@@ -1,0 +1,92 @@
+//! Criterion benchmarks for the compiler tool-chain itself — the paper's
+//! Sec. 7 claim that "our transformation framework itself runs quite fast
+//! — within a fraction of a second for all benchmarks considered here".
+//!
+//! Groups: dependence analysis, the ILP-driven transformation search, the
+//! full optimizer pipeline (search + tiling + wavefront), and code
+//! generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pluto::{find_transformation, Optimizer, PlutoOptions};
+use pluto_codegen::generate;
+use pluto_frontend::kernels::{self, Kernel};
+use pluto_ir::analyze_dependences;
+use std::time::Duration;
+
+/// The paper's evaluation kernels (the wider example suite is exercised by
+/// the test-suite and `speedup_lab`; benchmarking it would double the run
+/// time of `cargo bench` for no extra signal).
+fn paper_kernels() -> Vec<(&'static str, Kernel)> {
+    kernels::all()
+        .into_iter()
+        .filter(|(n, _)| {
+            matches!(
+                *n,
+                "jacobi-1d-imper" | "fdtd-2d" | "lu" | "mvt" | "seidel-2d" | "matmul" | "sor-2d"
+            )
+        })
+        .collect()
+}
+
+fn dependence_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dependence_analysis");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    for (name, k) in paper_kernels() {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &k, |b, k| {
+            b.iter(|| analyze_dependences(&k.program, true));
+        });
+    }
+    g.finish();
+}
+
+fn transformation_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transformation_search");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    for (name, k) in paper_kernels() {
+        let deps = analyze_dependences(&k.program, true);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &k, |b, k| {
+            b.iter(|| find_transformation(&k.program, &deps, &PlutoOptions::default()).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn full_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("optimizer_pipeline");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    for (name, k) in paper_kernels() {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &k, |b, k| {
+            b.iter(|| Optimizer::new().tile_size(32).optimize(&k.program).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn code_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("code_generation");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    for (name, k) in paper_kernels() {
+        let o = Optimizer::new().tile_size(32).optimize(&k.program).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(name), &k, |b, k| {
+            b.iter(|| generate(&k.program, &o.result.transform));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    toolchain,
+    dependence_analysis,
+    transformation_search,
+    full_pipeline,
+    code_generation
+);
+criterion_main!(toolchain);

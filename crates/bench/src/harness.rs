@@ -1,0 +1,139 @@
+//! Running variants on the simulated machine and collecting results.
+
+use crate::variants::Variant;
+use pluto_codegen::generate;
+use pluto_frontend::kernels::{self, Kernel};
+use pluto_machine::{simulate, Arrays, CacheConfig, MachineConfig};
+
+/// One table cell: a variant run at a core count.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Variant name.
+    pub variant: String,
+    /// Cores used.
+    pub cores: usize,
+    /// Modelled cycles.
+    pub cycles: u64,
+    /// Modelled GFLOP/s.
+    pub gflops: f64,
+    /// L1 misses (all cores).
+    pub l1_misses: u64,
+    /// L2 misses (all cores).
+    pub l2_misses: u64,
+    /// Parallel regions entered (barrier count).
+    pub regions: u64,
+    /// Statement instances executed.
+    pub instances: u64,
+    /// Static loop count of the generated code (code complexity proxy).
+    pub code_loops: usize,
+}
+
+/// The scaled-down benchmark machine: the paper's 4-core topology with
+/// 8 KB L1 / 256 KB L2 per core (problem sizes are scaled down with it so
+/// working sets overflow the hierarchy the same way; see the crate docs).
+pub fn bench_machine(cores: usize) -> MachineConfig {
+    MachineConfig {
+        cores,
+        cache: CacheConfig {
+            line: 64,
+            l1_size: 8 * 1024,
+            l1_assoc: 8,
+            l2_size: 64 * 1024,
+            l2_assoc: 16,
+        },
+        // Scaled with the problem sizes (the paper's real barriers cost
+        // O(µs) against minutes-long runs).
+        barrier: 500,
+        ..MachineConfig::default()
+    }
+}
+
+/// Runs one variant of a kernel on the simulated machine.
+pub fn measure(k: &Kernel, v: &Variant, params: &[i64], cores: usize) -> Measurement {
+    let cfg = bench_machine(cores).with_collapse(v.collapse);
+    measure_on(k, v, params, cfg)
+}
+
+/// Runs one variant on an explicit machine (figures with working sets that
+/// need differently scaled caches).
+pub fn measure_on(k: &Kernel, v: &Variant, params: &[i64], mut cfg: MachineConfig) -> Measurement {
+    cfg.collapse = v.collapse;
+    let cores = cfg.cores;
+    let mut ast = generate(&k.program, &v.result.transform);
+    if v.unroll > 1 {
+        pluto_codegen::unroll_innermost(&mut ast, v.unroll);
+    }
+    let code_loops = ast.stats().loops;
+    let mut arrays = Arrays::new((k.extents)(params));
+    arrays.seed_with(kernels::seed_value);
+    let st = simulate(&k.program, &ast, params, &mut arrays, cfg);
+    Measurement {
+        variant: v.name.clone(),
+        cores,
+        cycles: st.cycles,
+        gflops: st.gflops(&cfg),
+        l1_misses: st.cache.l1_misses,
+        l2_misses: st.cache.l2_misses,
+        regions: st.regions,
+        instances: st.exec.instances,
+        code_loops,
+    }
+}
+
+/// Pretty-prints a figure's measurements as a table, with speedups
+/// relative to the first row (the sequential baseline).
+pub fn print_table(title: &str, rows: &[Measurement]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<38} {:>5} {:>12} {:>8} {:>10} {:>10} {:>8} {:>6} {:>8}",
+        "variant", "cores", "cycles", "GF/s", "L1miss", "L2miss", "barriers", "loops", "speedup"
+    );
+    let base = rows.first().map(|r| r.cycles).unwrap_or(1);
+    for r in rows {
+        println!(
+            "{:<38} {:>5} {:>12} {:>8.3} {:>10} {:>10} {:>8} {:>6} {:>8.2}",
+            r.variant,
+            r.cores,
+            r.cycles,
+            r.gflops,
+            r.l1_misses,
+            r.l2_misses,
+            r.regions,
+            r.code_loops,
+            base as f64 / r.cycles as f64
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variants;
+
+    #[test]
+    fn measure_runs_and_counts() {
+        let k = kernels::sor_2d();
+        let v = variants::pluto(&k.program, 8, 1);
+        let m = measure(&k, &v, &[64], 2);
+        assert_eq!(m.instances, 63 * 63);
+        assert!(m.cycles > 0);
+        assert!(m.regions > 0, "wavefront must parallelize");
+    }
+
+    #[test]
+    fn pluto_beats_orig_on_locality() {
+        // seidel with a working set larger than the bench L2.
+        let k = kernels::seidel_2d();
+        let params = [6i64, 260];
+        let o = variants::orig(&k.program);
+        let p = variants::pluto(&k.program, 16, 1);
+        let mo = measure(&k, &o, &params, 1);
+        let mp = measure(&k, &p, &params, 1);
+        assert!(
+            mp.l2_misses * 2 < mo.l2_misses,
+            "tiling should cut L2 misses at least 2x: pluto {} vs orig {}",
+            mp.l2_misses,
+            mo.l2_misses
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Benchmark harness reproducing every figure of the paper's evaluation
+//! (Sec. 7) on the simulated machine substrate.
+//!
+//! * [`variants`] builds the transformation each compared approach would
+//!   produce — exactly the paper's methodology: "the input code was run
+//!   through our system and the transformations were forced to be what
+//!   those approaches would have generated", so every approach shares the
+//!   same code generator and machine model;
+//! * [`harness`] runs a variant on the simulated machine and collects
+//!   modelled cycles, GFLOP/s, cache misses and synchronization counts;
+//! * the `figures` binary (`cargo run -p pluto-bench --release --bin
+//!   figures -- all`) prints one table per paper figure (6, 8, 10, 12, 13)
+//!   and the generated-code listings for Figs. 3, 4 and 9;
+//! * `benches/figures.rs` holds the Criterion groups (`cargo bench`):
+//!   per-figure simulated-machine runs at reduced sizes plus tool-chain
+//!   benchmarks (dependence analysis, transformation search, code
+//!   generation — the paper's "runs in a fraction of a second" claim).
+//!
+//! Problem sizes and cache geometry are scaled down together from the
+//! paper's (which targeted minutes-long native runs): the simulated
+//! machine keeps the paper's 4-core topology but uses 8 KB L1 / 256 KB L2
+//! so that the working sets of interpreter-scale problems overflow the
+//! caches the same way the paper's 2000²-element arrays overflowed the
+//! Q6600's. Shapes (who wins, crossover behaviour), not absolute GFLOP/s,
+//! are the reproduction target.
+
+pub mod harness;
+pub mod variants;
+
+pub use harness::{bench_machine, measure, measure_on, Measurement};
+pub use variants::Variant;

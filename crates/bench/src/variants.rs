@@ -1,0 +1,352 @@
+//! The compared transformation variants, per the paper's Sec. 7
+//! methodology (forced baseline transformations share Pluto's code
+//! generator and machine model).
+
+use pluto::baselines::{forced_search_result, forced_transformation, validate_legality};
+use pluto::{
+    carried_at, tile_band, wavefront, Band, FusionPolicy, Optimizer, Parallelism, PlutoOptions,
+    RowKind, SearchResult,
+};
+use pluto_codegen::original_schedule;
+use pluto_ir::{analyze_dependences, Dependence, Program};
+use pluto_linalg::Int;
+
+/// One compared approach: a name, a complete transformation, and the
+/// parallel-collapse depth its execution should use.
+#[derive(Debug, Clone)]
+pub struct Variant {
+    /// Display name (matches the paper's legend).
+    pub name: String,
+    /// The transformation to generate code from.
+    pub result: SearchResult,
+    /// Collapse depth for the thread team (2 = two degrees of pipelined
+    /// parallelism, Fig. 13).
+    pub collapse: usize,
+    /// Innermost unroll factor applied as a syntactic post-pass
+    /// (paper Sec. 6); 1 = none.
+    pub unroll: usize,
+}
+
+impl Variant {
+    fn new(name: &str, result: SearchResult) -> Variant {
+        Variant {
+            name: name.to_string(),
+            result,
+            collapse: 1,
+            unroll: 1,
+        }
+    }
+}
+
+/// The untransformed program, sequential — the paper's `icc -fast` line.
+pub fn orig(prog: &Program) -> Variant {
+    let t = original_schedule(prog);
+    let deps = analyze_dependences(prog, false);
+    Variant::new("orig (icc-like)", forced_search_result(prog, &deps, t))
+}
+
+/// The untransformed program with every dependence-free loop marked
+/// parallel — the "inner parallel / no time tiling" strategy the paper
+/// attributes to auto-parallelizers and non-cost-guided partitioning
+/// (barriers at every outer iteration, no locality optimization).
+pub fn inner_parallel(prog: &Program) -> Variant {
+    let deps = analyze_dependences(prog, false);
+    let mut t = original_schedule(prog);
+    for r in 0..t.num_rows() {
+        if t.rows[r].kind != RowKind::Loop {
+            continue;
+        }
+        let parallel = deps.iter().all(|d| {
+            !d.kind.constrains_legality()
+                || !carried_at(d, prog, &t.stmts[d.src].rows, &t.stmts[d.dst].rows, r)
+        });
+        if parallel {
+            t.rows[r].par = Parallelism::Parallel;
+            for sp in t.stmt_par.iter_mut() {
+                sp[r] = Parallelism::Parallel;
+            }
+        }
+    }
+    Variant::new("inner-parallel (max par, no cost fn)", forced_search_result(prog, &deps, t))
+}
+
+/// The full Pluto pipeline (tiling + wavefront + vector reorder).
+pub fn pluto(prog: &Program, tile: Int, degrees: usize) -> Variant {
+    let opt = Optimizer::new()
+        .tile_size(tile)
+        .wavefront_degrees(degrees);
+    let o = opt.optimize(prog).expect("pluto pipeline");
+    let mut v = Variant::new("pluto", o.result);
+    v.collapse = degrees;
+    v
+}
+
+/// The full pipeline plus the Sec. 6 syntactic unroll-jam post-pass —
+/// the "further syntactic transformations" preview of the MVT experiment.
+pub fn pluto_unrolled(prog: &Program, tile: Int, factor: usize) -> Variant {
+    let mut v = pluto(prog, tile, 1);
+    v.name = format!("pluto + unroll-jam x{factor}");
+    v.unroll = factor;
+    v
+}
+
+/// Pluto's transformation without tiling (locality-transform only).
+pub fn pluto_untiled(prog: &Program) -> Variant {
+    let opt = Optimizer::new().tiling(false).parallel(false).vectorization(false);
+    let o = opt.optimize(prog).expect("pluto untiled");
+    Variant::new("pluto (no tiling)", o.result)
+}
+
+/// Pluto with fusion disabled (every SCC distributed) — the "existing
+/// techniques" side of the MVT experiment.
+pub fn pluto_nofuse(prog: &Program, tile: Int) -> Variant {
+    let opt = Optimizer::new().tile_size(tile).search_options(PlutoOptions {
+        use_input_deps: false,
+        fuse: FusionPolicy::NoFuse,
+        ..PlutoOptions::default()
+    });
+    let o = opt.optimize(prog).expect("pluto nofuse");
+    Variant::new("unfused (sync-free par)", o.result)
+}
+
+/// The *automatic* scheduling-based baseline: a genuine Feautrier
+/// multidimensional schedule (min-latency greedy, computed by
+/// [`pluto::feautrier_schedule`]) with the statements' space dimensions
+/// inner-parallel and no tiling — the class of approaches the paper's
+/// Sec. 8 contrasts against ("geared towards maximum fine-grained
+/// parallelism, as opposed to tileability").
+pub fn feautrier(prog: &Program) -> Variant {
+    let deps = analyze_dependences(prog, false);
+    let res = pluto::feautrier_schedule(prog, &deps).expect("schedulable");
+    Variant::new("feautrier (min-latency schedule)", res)
+}
+
+/// Scheduling-based time tiling for the imperfect 1-d Jacobi (paper: the
+/// Feautrier schedule θ = 2t / 2t+1 with Griebl's FCO allocation 2t+i,
+/// then tiled and wavefronted).
+pub fn jacobi_sched_fco(prog: &Program, tile: Int) -> Variant {
+    // Rows over [t, i|j, T, N, 1].
+    let rows_s1 = vec![vec![2, 0, 0, 0, 0], vec![2, 1, 0, 0, 0]];
+    let rows_s2 = vec![vec![2, 0, 0, 0, 1], vec![2, 1, 0, 0, 1]];
+    let t = forced_transformation(
+        prog,
+        vec![rows_s1, rows_s2],
+        vec![RowKind::Loop, RowKind::Loop],
+        vec![Band { start: 0, width: 2 }],
+    );
+    let deps = analyze_dependences(prog, true);
+    assert!(
+        validate_legality(prog, &deps, &t).is_empty(),
+        "sched-fco baseline must be legal"
+    );
+    let mut res = forced_search_result(prog, &deps, t);
+    let tb = tile_band(&mut res, prog, &deps, 0, &[tile, tile]);
+    if res.transform.rows[tb.start].par == Parallelism::Sequential {
+        wavefront(&mut res.transform, tb, 1);
+    }
+    Variant::new("scheduling-based (time tiling)", res)
+}
+
+/// Lim/Lam-style affine partitioning for the imperfect 1-d Jacobi:
+/// maximally independent time partitions (the paper reports θ_S1, θ_S2
+/// from Algorithm A of reference 37) with the space loop parallel and *no tiling
+/// or cost function* — maximum parallelism degree only.
+pub fn jacobi_affine_partitioning(prog: &Program) -> Variant {
+    // Time partition: 2t / 2t+1 satisfies all dependences; space loop
+    // parallel under it.
+    let rows_s1 = vec![vec![2, 0, 0, 0, 0], vec![0, 1, 0, 0, 0]];
+    let rows_s2 = vec![vec![2, 0, 0, 0, 1], vec![0, 1, 0, 0, 0]];
+    let t = forced_transformation(
+        prog,
+        vec![rows_s1, rows_s2],
+        vec![RowKind::Loop, RowKind::Loop],
+        vec![],
+    );
+    let deps = analyze_dependences(prog, true);
+    assert!(
+        validate_legality(prog, &deps, &t).is_empty(),
+        "affine-partitioning baseline must be legal"
+    );
+    let mut res = forced_search_result(prog, &deps, t);
+    res.transform.rows[1].par = Parallelism::Parallel;
+    for sp in res.transform.stmt_par.iter_mut() {
+        sp[1] = Parallelism::Parallel;
+    }
+    Variant::new("affine partitioning (max par)", res)
+}
+
+/// MVT fused without permutation (`ij` with `ij`) — exploits no reuse on
+/// `A` (paper Fig. 12's middle variant), tiled like the others.
+pub fn mvt_fused_ij_ij(prog: &Program, tile: Int) -> Variant {
+    // Rows over [i, j, N, 1]; trailing scalar row fixes textual order.
+    let rows = vec![vec![1, 0, 0, 0], vec![0, 1, 0, 0]];
+    let mk = |c: Int| {
+        let mut r = rows.clone();
+        r.push(vec![0, 0, 0, c]);
+        r
+    };
+    let t = forced_transformation(
+        prog,
+        vec![mk(0), mk(1)],
+        vec![RowKind::Loop, RowKind::Loop, RowKind::Scalar],
+        vec![Band { start: 0, width: 2 }],
+    );
+    let deps = analyze_dependences(prog, true);
+    assert!(
+        validate_legality(prog, &deps, &t).is_empty(),
+        "ij/ij fusion must be legal"
+    );
+    let mut res = forced_search_result(prog, &deps, t);
+    tile_band(&mut res, prog, &deps, 0, &[tile, tile]);
+    Variant::new("fused ij/ij (no permutation)", res)
+}
+
+/// Scheduling-based LU: the minimum-latency schedule `2k / 2k+1` with the
+/// remaining dimensions parallel but untiled (the paper: "scheduling-based
+/// parallelization performs poorly, mainly due to code complexity arising
+/// out of a non-unimodular transformation").
+pub fn lu_sched(prog: &Program) -> Variant {
+    // S1 over [k, j, N, 1]; S2 over [k, i, j, N, 1].
+    let rows_s1 = vec![
+        vec![2, 0, 0, 0],
+        vec![0, 1, 0, 0],
+        vec![0, 1, 0, 0],
+    ];
+    let rows_s2 = vec![
+        vec![2, 0, 0, 0, 1],
+        vec![0, 1, 0, 0, 0],
+        vec![0, 0, 1, 0, 0],
+    ];
+    let t = forced_transformation(
+        prog,
+        vec![rows_s1, rows_s2],
+        vec![RowKind::Loop, RowKind::Loop, RowKind::Loop],
+        vec![],
+    );
+    let deps = analyze_dependences(prog, true);
+    assert!(
+        validate_legality(prog, &deps, &t).is_empty(),
+        "lu schedule baseline must be legal"
+    );
+    let mut res = forced_search_result(prog, &deps, t);
+    // Everything after the strict schedule dimension is parallel.
+    res.transform.rows[1].par = Parallelism::Parallel;
+    for sp in res.transform.stmt_par.iter_mut() {
+        sp[1] = Parallelism::Parallel;
+    }
+    Variant::new("scheduling-based", res)
+}
+
+/// Exact legality of an *untiled* variant against freshly computed
+/// dependences. Tiled variants carry supernode dimensions the dependence
+/// polyhedra do not speak about; their legality is established before
+/// tiling (builders assert it) and preserved by Theorem 1 — use
+/// [`matches_original`] for the end-to-end check instead.
+pub fn is_legal(prog: &Program, v: &Variant) -> bool {
+    let deps: Vec<Dependence> = analyze_dependences(prog, false);
+    validate_legality(prog, &deps, &v.result.transform).is_empty()
+}
+
+/// The strongest check: executing the variant produces arrays bitwise
+/// identical to executing the original program.
+pub fn matches_original(k: &pluto_frontend::Kernel, v: &Variant, params: &[i64]) -> bool {
+    use pluto_codegen::generate;
+    use pluto_frontend::kernels::seed_value;
+    use pluto_machine::{run_sequential, Arrays};
+    let orig_ast = generate(&k.program, &original_schedule(&k.program));
+    let mut reference = Arrays::new((k.extents)(params));
+    reference.seed_with(seed_value);
+    run_sequential(&k.program, &orig_ast, params, &mut reference);
+    let ast = generate(&k.program, &v.result.transform);
+    let mut arrays = Arrays::new((k.extents)(params));
+    arrays.seed_with(seed_value);
+    run_sequential(&k.program, &ast, params, &mut arrays);
+    arrays.bitwise_eq(&reference)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pluto_frontend::kernels;
+
+    #[test]
+    fn all_jacobi_variants_equivalent() {
+        let k = kernels::jacobi_1d_imperfect();
+        let params = [7i64, 25];
+        for v in [
+            orig(&k.program),
+            inner_parallel(&k.program),
+            pluto(&k.program, 4, 1),
+            jacobi_sched_fco(&k.program, 4),
+            jacobi_affine_partitioning(&k.program),
+        ] {
+            assert!(matches_original(&k, &v, &params), "{} diverges", v.name);
+        }
+    }
+
+    #[test]
+    fn mvt_variants_equivalent() {
+        let k = kernels::mvt();
+        let params = [21i64];
+        for v in [
+            pluto(&k.program, 4, 1),
+            pluto_nofuse(&k.program, 4),
+            mvt_fused_ij_ij(&k.program, 4),
+            inner_parallel(&k.program),
+        ] {
+            assert!(matches_original(&k, &v, &params), "{} diverges", v.name);
+        }
+    }
+
+    #[test]
+    fn lu_variants_equivalent() {
+        let k = kernels::lu();
+        let params = [18i64];
+        for v in [lu_sched(&k.program), pluto(&k.program, 4, 1)] {
+            assert!(matches_original(&k, &v, &params), "{} diverges", v.name);
+        }
+    }
+
+    #[test]
+    fn untiled_variants_legal() {
+        let k = kernels::jacobi_1d_imperfect();
+        for v in [
+            orig(&k.program),
+            inner_parallel(&k.program),
+            jacobi_affine_partitioning(&k.program),
+            pluto_untiled(&k.program),
+        ] {
+            assert!(is_legal(&k.program, &v), "{} illegal", v.name);
+        }
+    }
+
+    #[test]
+    fn inner_parallel_marks_space_loops() {
+        let k = kernels::jacobi_1d_imperfect();
+        let v = inner_parallel(&k.program);
+        // Original 2d+1: rows [β0, t, β1, i|j, β2]; the space row (3) is
+        // parallel, the time row (1) is not.
+        assert_eq!(v.result.transform.rows[1].par, Parallelism::Sequential);
+        assert_eq!(v.result.transform.rows[3].par, Parallelism::Parallel);
+    }
+}
+
+#[cfg(test)]
+mod feautrier_tests {
+    use super::*;
+    use pluto_frontend::kernels;
+
+    #[test]
+    fn feautrier_variant_is_equivalent_on_kernels() {
+        for name in ["fdtd-2d", "sor-2d", "seidel-2d"] {
+            let (_, k) = kernels::all().into_iter().find(|(n, _)| *n == name).unwrap();
+            let v = feautrier(&k.program);
+            let params: Vec<i64> = match name {
+                "fdtd-2d" => vec![3, 7, 8],
+                "seidel-2d" => vec![4, 9],
+                _ => vec![13],
+            };
+            assert!(matches_original(&k, &v, &params), "{name} diverges");
+        }
+    }
+}

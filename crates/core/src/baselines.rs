@@ -1,0 +1,241 @@
+//! Forced transformations and legality validation.
+//!
+//! The paper's experimental comparison (Sec. 7) runs *previous approaches'
+//! transformations through Pluto's own code generator*: "the input code was
+//! run through our system and the transformations were forced to be what
+//! those approaches would have generated". This module provides exactly
+//! that mechanism — build a [`Transformation`] from hand-specified
+//! statement-wise rows (e.g. Lim/Lam affine partitions or Feautrier
+//! schedules with Griebl FCO allocations), validate it against the
+//! dependences, and obtain the satisfaction bookkeeping needed for tiling
+//! and parallel code generation.
+
+use crate::farkas::{distance_row, satisfies_strictly};
+use crate::search::SearchResult;
+use crate::types::{Band, RowInfo, RowKind, StmtScattering, Transformation};
+use pluto_ir::{Dependence, Program};
+use pluto_linalg::Int;
+
+/// Builds a transformation from explicit per-statement scattering rows
+/// (each over `[iters…, params…, 1]`) with the given row kinds and bands.
+///
+/// # Panics
+/// Panics if row counts differ across statements, widths are wrong, or
+/// `kinds.len()` differs from the row count.
+pub fn forced_transformation(
+    prog: &Program,
+    rows_per_stmt: Vec<Vec<Vec<Int>>>,
+    kinds: Vec<RowKind>,
+    bands: Vec<Band>,
+) -> Transformation {
+    assert_eq!(rows_per_stmt.len(), prog.stmts.len(), "one row set per statement");
+    let nrows = kinds.len();
+    let np = prog.num_params();
+    for (s, rows) in rows_per_stmt.iter().enumerate() {
+        assert_eq!(rows.len(), nrows, "statement {s}: row count mismatch");
+        for r in rows {
+            assert_eq!(
+                r.len(),
+                prog.stmts[s].num_iters() + np + 1,
+                "statement {s}: row width mismatch"
+            );
+        }
+    }
+    let rows: Vec<RowInfo> = kinds
+        .into_iter()
+        .map(|kind| RowInfo {
+            kind,
+            ..RowInfo::loop_row()
+        })
+        .collect();
+    let stmt_par = Transformation::uniform_stmt_par(&rows, prog.stmts.len());
+    Transformation {
+        stmts: rows_per_stmt
+            .into_iter()
+            .map(|rows| StmtScattering { rows })
+            .collect(),
+        domains: prog.stmts.iter().map(|s| s.domain.clone()).collect(),
+        dim_names: prog.stmts.iter().map(|s| s.iters.clone()).collect(),
+        num_orig_dims: prog.stmts.iter().map(|s| s.num_iters()).collect(),
+        rows,
+        stmt_par,
+        bands,
+    }
+}
+
+/// Wraps a forced transformation as a [`SearchResult`] by computing the
+/// strict-satisfaction map, so the tiling/wavefront machinery can be
+/// applied to baseline transformations too.
+pub fn forced_search_result(
+    prog: &Program,
+    deps: &[Dependence],
+    transform: Transformation,
+) -> SearchResult {
+    let satisfied_at = satisfaction_map(prog, deps, &transform);
+    SearchResult {
+        transform,
+        satisfied_at,
+    }
+}
+
+/// For each dependence, the first row that strictly satisfies it
+/// (`δ >= 1` everywhere on the dependence polyhedron).
+pub fn satisfaction_map(
+    prog: &Program,
+    deps: &[Dependence],
+    t: &Transformation,
+) -> Vec<Option<usize>> {
+    deps.iter()
+        .map(|dep| {
+            (0..t.num_rows()).find(|&r| {
+                satisfies_strictly(
+                    dep,
+                    prog,
+                    &t.stmts[dep.src].rows[r],
+                    &t.stmts[dep.dst].rows[r],
+                )
+            })
+        })
+        .collect()
+}
+
+/// A legality violation found by [`validate_legality`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Index of the offending dependence.
+    pub dep: usize,
+    /// Row at which the transformed distance can go negative, or
+    /// `num_rows` when two dependent instances map to the same point.
+    pub row: usize,
+}
+
+/// Exact legality check: every non-input dependence must have a
+/// lexicographically positive transformed distance on its whole
+/// polyhedron. Returns all violations (empty = legal).
+///
+/// Used by the property-test suite to verify every transformation the
+/// search produces, and to sanity-check hand-forced baselines.
+pub fn validate_legality(
+    prog: &Program,
+    deps: &[Dependence],
+    t: &Transformation,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (di, dep) in deps.iter().enumerate() {
+        if !dep.kind.constrains_legality() {
+            continue;
+        }
+        // Violated at row r: δ_k == 0 for k < r and δ_r <= −1 reachable.
+        for r in 0..t.num_rows() {
+            let mut p = dep.poly.clone();
+            for k in 0..r {
+                p.add_eq(distance_row(
+                    dep,
+                    prog,
+                    &t.stmts[dep.src].rows[k],
+                    &t.stmts[dep.dst].rows[k],
+                ));
+            }
+            let mut row = distance_row(
+                dep,
+                prog,
+                &t.stmts[dep.src].rows[r],
+                &t.stmts[dep.dst].rows[r],
+            );
+            let n = row.len();
+            for v in row.iter_mut() {
+                *v = -*v;
+            }
+            row[n - 1] -= 1; // −δ − 1 >= 0  <=>  δ <= −1
+            p.add_ineq(row);
+            if !p.is_empty() {
+                out.push(Violation { dep: di, row: r });
+            }
+        }
+        // All-zero distance for dependent (distinct) instances is illegal.
+        let mut p = dep.poly.clone();
+        for k in 0..t.num_rows() {
+            p.add_eq(distance_row(
+                dep,
+                prog,
+                &t.stmts[dep.src].rows[k],
+                &t.stmts[dep.dst].rows[k],
+            ));
+        }
+        if !p.is_empty() {
+            out.push(Violation {
+                dep: di,
+                row: t.num_rows(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pluto_ir::{analyze_dependences, Expr, ProgramBuilder, StatementSpec};
+
+    fn scan_program() -> Program {
+        let mut b = ProgramBuilder::new("scan", &["N"]);
+        b.add_context_ineq(vec![1, -3]);
+        b.add_array("a", 1);
+        b.add_statement(StatementSpec {
+            name: "S1".into(),
+            iters: vec!["i".into()],
+            domain_ineqs: vec![vec![1, 0, -1], vec![-1, 1, -1]],
+            beta: vec![0, 0],
+            write: ("a".into(), vec![vec![1, 0, 0]]),
+            reads: vec![("a".into(), vec![vec![1, 0, -1]])],
+            body: Expr::Read(0),
+        });
+        b.build()
+    }
+
+    #[test]
+    fn forward_identity_is_legal() {
+        let prog = scan_program();
+        let deps = analyze_dependences(&prog, false);
+        let t = forced_transformation(
+            &prog,
+            vec![vec![vec![1, 0, 0]]],
+            vec![RowKind::Loop],
+            vec![Band { start: 0, width: 1 }],
+        );
+        assert!(validate_legality(&prog, &deps, &t).is_empty());
+        let sat = satisfaction_map(&prog, &deps, &t);
+        assert!(sat.iter().all(|s| *s == Some(0)));
+    }
+
+    #[test]
+    fn reversal_is_caught() {
+        let prog = scan_program();
+        let deps = analyze_dependences(&prog, false);
+        let t = forced_transformation(
+            &prog,
+            vec![vec![vec![-1, 0, 0]]],
+            vec![RowKind::Loop],
+            vec![Band { start: 0, width: 1 }],
+        );
+        let v = validate_legality(&prog, &deps, &t);
+        assert!(!v.is_empty());
+        assert!(v.iter().any(|x| x.row == 0));
+    }
+
+    #[test]
+    fn collapsing_transform_is_caught() {
+        // φ = 0 maps every instance to the same point: illegal for a
+        // dependence between distinct instances.
+        let prog = scan_program();
+        let deps = analyze_dependences(&prog, false);
+        let t = forced_transformation(
+            &prog,
+            vec![vec![vec![0, 0, 0]]],
+            vec![RowKind::Loop],
+            vec![Band { start: 0, width: 1 }],
+        );
+        let v = validate_legality(&prog, &deps, &t);
+        assert!(v.iter().any(|x| x.row == 1), "all-zero distance flagged");
+    }
+}

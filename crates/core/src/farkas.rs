@@ -1,0 +1,391 @@
+//! Farkas-lemma based constraint construction (paper Sec. 3.2).
+//!
+//! A universally quantified affine condition "`L(x) >= 0` for all `x` in
+//! the dependence polyhedron `P_e`" is linearized by the affine form of
+//! Farkas' lemma: `L ≡ λ0 + Σ λk·P_e^k` with `λ >= 0`. Equating the
+//! coefficient of each dimension of `P_e`'s space on both sides yields
+//! equalities linking the transformation unknowns and the multipliers; the
+//! multipliers are then eliminated by Fourier–Motzkin, leaving a constraint
+//! system purely over the unknowns `(u, w, …, c_i, c_0, …)`.
+
+use pluto_ir::{Dependence, Program};
+use pluto_linalg::Int;
+use pluto_poly::ConstraintSet;
+
+/// Layout of the global unknown vector
+/// `[u_1..u_p, w, S0: c_1..c_m c_0, S1: …]` (paper Eq. 5 ordering).
+#[derive(Debug, Clone)]
+pub struct VarMap {
+    num_params: usize,
+    stmt_off: Vec<usize>,
+    stmt_iters: Vec<usize>,
+    total: usize,
+}
+
+impl VarMap {
+    /// Builds the layout for a program.
+    pub fn new(prog: &Program) -> VarMap {
+        let num_params = prog.num_params();
+        let mut off = num_params + 1; // after u's and w
+        let mut stmt_off = Vec::with_capacity(prog.stmts.len());
+        let mut stmt_iters = Vec::with_capacity(prog.stmts.len());
+        for s in &prog.stmts {
+            stmt_off.push(off);
+            stmt_iters.push(s.num_iters());
+            off += s.num_iters() + 1; // c_1..c_m and c_0
+        }
+        VarMap {
+            num_params,
+            stmt_off,
+            stmt_iters,
+            total: off,
+        }
+    }
+
+    /// Total number of unknowns.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Column of `u_k`.
+    pub fn u(&self, k: usize) -> usize {
+        debug_assert!(k < self.num_params);
+        k
+    }
+
+    /// Column of `w`.
+    pub fn w(&self) -> usize {
+        self.num_params
+    }
+
+    /// Column of statement `s`'s iterator coefficient `c_{i+1}`.
+    ///
+    /// Iterator coefficients are laid out *innermost first*, so the lexmin
+    /// objective (Eq. 5) minimizes inner-loop coefficients with higher
+    /// priority and tie-breaks in favour of hyperplanes that follow the
+    /// original loop order (outer loops first) — matching the solutions
+    /// the paper reports for symmetric kernels.
+    pub fn c(&self, s: usize, i: usize) -> usize {
+        debug_assert!(i < self.stmt_iters[s]);
+        self.stmt_off[s] + (self.stmt_iters[s] - 1 - i)
+    }
+
+    /// Column of statement `s`'s translation coefficient `c_0`.
+    pub fn c0(&self, s: usize) -> usize {
+        self.stmt_off[s] + self.stmt_iters[s]
+    }
+
+    /// Number of iterator coefficients of statement `s`.
+    pub fn num_iters(&self, s: usize) -> usize {
+        self.stmt_iters[s]
+    }
+
+    /// Number of statements.
+    pub fn num_stmts(&self) -> usize {
+        self.stmt_off.len()
+    }
+
+    /// Extracts `(c_1..c_m, c_0)` of statement `s` from a solution vector
+    /// (undoing the innermost-first column layout).
+    pub fn stmt_solution(&self, s: usize, sol: &[Int]) -> (Vec<Int>, Int) {
+        let m = self.stmt_iters[s];
+        let coeffs = (0..m).map(|i| sol[self.c(s, i)]).collect();
+        (coeffs, sol[self.c0(s)])
+    }
+}
+
+/// The symbolic affine form `L` over a dependence polyhedron's space: one
+/// row per `P_e` column (source iters, target iters, params, constant),
+/// each row a linear expression over `[unknowns…, 1]` giving that
+/// dimension's coefficient in `L`.
+pub type SymbolicForm = Vec<Vec<Int>>;
+
+/// Builds `L = φ_dst(t) − φ_src(s)` (the legality / δ form, Eq. 3).
+pub fn delta_form(dep: &Dependence, prog: &Program, vm: &VarMap) -> SymbolicForm {
+    let ms = prog.stmts[dep.src].num_iters();
+    let mt = prog.stmts[dep.dst].num_iters();
+    let np = prog.num_params();
+    let width = vm.total() + 1;
+    let mut form = vec![vec![0; width]; ms + mt + np + 1];
+    for j in 0..ms {
+        form[j][vm.c(dep.src, j)] -= 1;
+    }
+    for j in 0..mt {
+        form[ms + j][vm.c(dep.dst, j)] += 1;
+    }
+    // Hyperplanes carry no parameter coefficients (Eq. 1), so param rows
+    // stay zero. Constant: c0_dst − c0_src.
+    form[ms + mt + np][vm.c0(dep.dst)] += 1;
+    form[ms + mt + np][vm.c0(dep.src)] -= 1;
+    form
+}
+
+/// Builds `L = u·p + w − δ` (bounding, Eq. 4) or `u·p + w + δ` when
+/// `reversed` (the lower bound needed for input dependences, Sec. 4.1).
+pub fn bounding_form(
+    dep: &Dependence,
+    prog: &Program,
+    vm: &VarMap,
+    reversed: bool,
+) -> SymbolicForm {
+    let ms = prog.stmts[dep.src].num_iters();
+    let mt = prog.stmts[dep.dst].num_iters();
+    let np = prog.num_params();
+    let sign: Int = if reversed { 1 } else { -1 };
+    let mut form = delta_form(dep, prog, vm);
+    for row in form.iter_mut() {
+        for v in row.iter_mut() {
+            *v *= sign;
+        }
+    }
+    for k in 0..np {
+        form[ms + mt + k][vm.u(k)] += 1;
+    }
+    form[ms + mt + np][vm.w()] += 1;
+    form
+}
+
+/// Applies Farkas' lemma to "`L(x) >= 0` on `poly`" and eliminates the
+/// multipliers, returning constraints over the `num_unknowns` unknowns.
+///
+/// # Panics
+/// Panics if `form` has one row per poly column plus a constant row.
+pub fn farkas_eliminate(
+    poly: &ConstraintSet,
+    form: &SymbolicForm,
+    num_unknowns: usize,
+) -> ConstraintSet {
+    let nx = poly.num_vars();
+    assert_eq!(form.len(), nx + 1, "form must cover poly columns + const");
+    // Multipliers: λ0, one per inequality, two per equality.
+    let n_ineq = poly.ineqs().len();
+    let n_eq = poly.eqs().len();
+    let n_lambda = 1 + n_ineq + 2 * n_eq;
+    let width = num_unknowns + n_lambda + 1; // + constant column
+    let lam = |k: usize| num_unknowns + k; // λ_k column
+
+    let mut sys = ConstraintSet::new(width - 1);
+    // Coefficient-matching equalities, one per poly dimension d:
+    //   L[d](unknowns) − Σ_k λk·row_k[d] == 0
+    for d in 0..nx {
+        let mut row = vec![0; width];
+        for (uc, &v) in form[d][..num_unknowns].iter().enumerate() {
+            row[uc] = v;
+        }
+        row[width - 1] = form[d][num_unknowns]; // constant part of the expr
+        for (k, ineq) in poly.ineqs().iter().enumerate() {
+            row[lam(1 + k)] -= ineq[d];
+        }
+        for (k, eq) in poly.eqs().iter().enumerate() {
+            row[lam(1 + n_ineq + 2 * k)] -= eq[d];
+            row[lam(1 + n_ineq + 2 * k + 1)] += eq[d];
+        }
+        sys.add_eq(row);
+    }
+    // Constant matching: L[const] − λ0 − Σ λk·row_k[const] == 0.
+    {
+        let mut row = vec![0; width];
+        for (uc, &v) in form[nx][..num_unknowns].iter().enumerate() {
+            row[uc] = v;
+        }
+        row[width - 1] = form[nx][num_unknowns];
+        row[lam(0)] -= 1;
+        for (k, ineq) in poly.ineqs().iter().enumerate() {
+            row[lam(1 + k)] -= ineq[nx];
+        }
+        for (k, eq) in poly.eqs().iter().enumerate() {
+            row[lam(1 + n_ineq + 2 * k)] -= eq[nx];
+            row[lam(1 + n_ineq + 2 * k + 1)] += eq[nx];
+        }
+        sys.add_eq(row);
+    }
+    // λ >= 0.
+    for k in 0..n_lambda {
+        let mut row = vec![0; width];
+        row[lam(k)] = 1;
+        sys.add_ineq(row);
+    }
+    // Eliminate every multiplier column.
+    let mut out = sys.project_out(num_unknowns, n_lambda);
+    out.dedup();
+    out
+}
+
+/// The affine row `φ_dst^r(t) − φ_src^r(s)` over the dependence
+/// polyhedron's columns `[s iters, t iters, params, 1]`, for concrete
+/// scattering rows (over `[iters, params, 1]` each).
+pub fn distance_row(
+    dep: &Dependence,
+    prog: &Program,
+    src_row: &[Int],
+    dst_row: &[Int],
+) -> Vec<Int> {
+    let ms = prog.stmts[dep.src].num_iters();
+    let mt = prog.stmts[dep.dst].num_iters();
+    let np = prog.num_params();
+    debug_assert_eq!(src_row.len(), ms + np + 1);
+    debug_assert_eq!(dst_row.len(), mt + np + 1);
+    let mut row = vec![0; ms + mt + np + 1];
+    for j in 0..ms {
+        row[j] = -src_row[j];
+    }
+    for j in 0..mt {
+        row[ms + j] = dst_row[j];
+    }
+    for k in 0..np {
+        row[ms + mt + k] = dst_row[mt + k] - src_row[ms + k];
+    }
+    row[ms + mt + np] = dst_row[mt + np] - src_row[ms + np];
+    row
+}
+
+/// Whether scattering rows strictly satisfy the dependence at row `r`
+/// given the rows are applied in order: tests emptiness of
+/// `P_e ∧ δ^r <= 0` (the dependence distance is `>= 1` everywhere).
+pub fn satisfies_strictly(
+    dep: &Dependence,
+    prog: &Program,
+    src_row: &[Int],
+    dst_row: &[Int],
+) -> bool {
+    let mut p = dep.poly.clone();
+    let mut row = distance_row(dep, prog, src_row, dst_row);
+    // δ <= 0  i.e.  −δ >= 0.
+    for v in row.iter_mut() {
+        *v = -*v;
+    }
+    p.add_ineq(row);
+    p.is_empty()
+}
+
+/// Whether the dependence has a non-negative component on the given rows
+/// everywhere (weak satisfaction / legality of the row as a tiling
+/// hyperplane, Eq. 2): tests emptiness of `P_e ∧ δ <= −1`.
+pub fn respects_weakly(
+    dep: &Dependence,
+    prog: &Program,
+    src_row: &[Int],
+    dst_row: &[Int],
+) -> bool {
+    let mut p = dep.poly.clone();
+    let mut row = distance_row(dep, prog, src_row, dst_row);
+    for v in row.iter_mut() {
+        *v = -*v;
+    }
+    let n = row.len();
+    row[n - 1] -= 1; // −δ − 1 >= 0  <=>  δ <= −1
+    p.add_ineq(row);
+    p.is_empty()
+}
+
+/// Whether the dependence is *carried* at level `r` of the given scattering
+/// rows: with all outer distances pinned to zero, the distance at `r` can
+/// still be `>= 1`. Loop `r` is parallel iff no live dependence is carried
+/// at `r`.
+pub fn carried_at(
+    dep: &Dependence,
+    prog: &Program,
+    src_rows: &[Vec<Int>],
+    dst_rows: &[Vec<Int>],
+    r: usize,
+) -> bool {
+    let mut p = dep.poly.clone();
+    for k in 0..r {
+        p.add_eq(distance_row(dep, prog, &src_rows[k], &dst_rows[k]));
+    }
+    let mut row = distance_row(dep, prog, &src_rows[r], &dst_rows[r]);
+    let n = row.len();
+    row[n - 1] -= 1; // δ − 1 >= 0
+    p.add_ineq(row);
+    !p.is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pluto_ir::{analyze_dependences, Expr, ProgramBuilder, StatementSpec};
+
+    /// `for i in 1..N { a[i] = a[i-1] }` — distance-1 flow dep.
+    fn scan_program() -> Program {
+        let mut b = ProgramBuilder::new("scan", &["N"]);
+        b.add_context_ineq(vec![1, -3]);
+        b.add_array("a", 1);
+        b.add_statement(StatementSpec {
+            name: "S1".into(),
+            iters: vec!["i".into()],
+            domain_ineqs: vec![vec![1, 0, -1], vec![-1, 1, -1]],
+            beta: vec![0, 0],
+            write: ("a".into(), vec![vec![1, 0, 0]]),
+            reads: vec![("a".into(), vec![vec![1, 0, -1]])],
+            body: Expr::Read(0),
+        });
+        b.build()
+    }
+
+    #[test]
+    fn varmap_layout() {
+        let p = scan_program();
+        let vm = VarMap::new(&p);
+        // [u_N, w, c_1(S1), c_0(S1)]
+        assert_eq!(vm.total(), 4);
+        assert_eq!(vm.u(0), 0);
+        assert_eq!(vm.w(), 1);
+        assert_eq!(vm.c(0, 0), 2);
+        assert_eq!(vm.c0(0), 3);
+    }
+
+    #[test]
+    fn legality_excludes_reversal() {
+        let p = scan_program();
+        let deps = analyze_dependences(&p, false);
+        let flow = deps.iter().find(|d| d.src == 0 && d.dst == 0).unwrap();
+        let vm = VarMap::new(&p);
+        let form = delta_form(flow, &p, &vm);
+        let sys = farkas_eliminate(&flow.poly, &form, vm.total());
+        // φ = i (c = 1) is legal; the system admits c_1 = 1.
+        // Unknowns: [u, w, c1, c0]; legality ignores u, w.
+        assert!(sys.contains(&[0, 0, 1, 0]), "forward hyperplane legal");
+        // c_1 = 0 gives distance 0 — also weakly legal.
+        assert!(sys.contains(&[0, 0, 0, 0]));
+        // Note: negative c is excluded by the search's non-negativity, not
+        // here; Farkas itself only encodes δ >= 0, which c_1 = −1 violates.
+        assert!(!sys.contains(&[0, 0, -1, 0]), "reversal illegal");
+    }
+
+    #[test]
+    fn bounding_limits_distance() {
+        let p = scan_program();
+        let deps = analyze_dependences(&p, false);
+        let flow = deps.iter().find(|d| d.src == 0 && d.dst == 0).unwrap();
+        let vm = VarMap::new(&p);
+        let form = bounding_form(flow, &p, &vm, false);
+        let sys = farkas_eliminate(&flow.poly, &form, vm.total());
+        // δ = c_1 (uniform distance 1·c_1). u·N + w must bound it:
+        // c_1 = 1 needs w >= 1 (or u >= something).
+        assert!(sys.contains(&[0, 1, 1, 0]));
+        assert!(!sys.contains(&[0, 0, 1, 0]), "unbounded distance rejected");
+        // c_1 = 0: distance 0, bound 0 suffices.
+        assert!(sys.contains(&[0, 0, 0, 0]));
+    }
+
+    #[test]
+    fn satisfaction_tests() {
+        let p = scan_program();
+        let deps = analyze_dependences(&p, false);
+        let flow = deps.iter().find(|d| d.src == 0 && d.dst == 0).unwrap();
+        // Row φ = i over [i, N, 1].
+        let fwd = vec![1, 0, 0];
+        assert!(satisfies_strictly(flow, &p, &fwd, &fwd));
+        assert!(respects_weakly(flow, &p, &fwd, &fwd));
+        // Row φ = 0: weak but not strict.
+        let zero = vec![0, 0, 0];
+        assert!(!satisfies_strictly(flow, &p, &zero, &zero));
+        assert!(respects_weakly(flow, &p, &zero, &zero));
+        // Row φ = −i: neither.
+        let rev = vec![-1, 0, 0];
+        assert!(!respects_weakly(flow, &p, &rev, &rev));
+        // Carried at level 0 for φ = i.
+        let rows = vec![fwd.clone()];
+        assert!(carried_at(flow, &p, &rows, &rows, 0));
+    }
+}

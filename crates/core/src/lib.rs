@@ -1,0 +1,72 @@
+//! The Pluto automatic transformation framework (PLDI'08).
+//!
+//! This crate is the paper's primary contribution, reimplemented in Rust:
+//! given a polyhedral [`Program`](pluto_ir::Program) and its dependence
+//! polyhedra, it finds statement-wise affine transformations that make
+//! rectangular tiling legal while minimizing an upper bound on dependence
+//! distances (communication volume / reuse distance), then tiles the
+//! domains (Algorithm 1) and extracts coarse-grained pipelined parallelism
+//! with a tile-space wavefront (Algorithm 2).
+//!
+//! Pipeline:
+//!
+//! 1. [`find_transformation`] — the ILP-driven hyperplane search
+//!    (Sec. 3.2): Farkas-eliminated legality (Eq. 2) + bounding (Eq. 4)
+//!    constraints, lexmin objective (Eq. 5), orthogonal-subspace
+//!    independence (Eq. 6), permutable-band detection and DDG cutting.
+//! 2. [`tile_band`] — supernode-based tiling of a permutable band
+//!    (Algorithm 1), applicable repeatedly for multi-level tiling.
+//! 3. [`wavefront`] — the tile-space unimodular wavefront (Algorithm 2)
+//!    when the outer tile loop of a band is not synchronization-free.
+//! 4. [`reorder_for_vectorization`] — intra-tile post-pass moving an inner
+//!    parallel loop innermost (Sec. 5.4).
+//!
+//! [`Optimizer`] chains all of the above with sensible defaults.
+//!
+//! # Examples
+//!
+//! ```
+//! use pluto::{find_transformation, PlutoOptions};
+//! use pluto_ir::{analyze_dependences, Expr, ProgramBuilder, StatementSpec};
+//!
+//! // for i in 1..N { a[i] = a[i-1]; }
+//! let mut b = ProgramBuilder::new("scan", &["N"]);
+//! b.add_context_ineq(vec![1, -3]);
+//! b.add_array("a", 1);
+//! b.add_statement(StatementSpec {
+//!     name: "S1".into(),
+//!     iters: vec!["i".into()],
+//!     domain_ineqs: vec![vec![1, 0, -1], vec![-1, 1, -1]],
+//!     beta: vec![0, 0],
+//!     write: ("a".into(), vec![vec![1, 0, 0]]),
+//!     reads: vec![("a".into(), vec![vec![1, 0, -1]])],
+//!     body: Expr::Read(0),
+//! });
+//! let prog = b.build();
+//! let deps = analyze_dependences(&prog, true);
+//! let result = find_transformation(&prog, &deps, &PlutoOptions::default())?;
+//! assert_eq!(result.transform.num_rows(), 1);
+//! # Ok::<(), pluto::PlutoError>(())
+//! ```
+
+pub mod baselines;
+mod explain;
+mod feautrier;
+mod farkas;
+mod pipeline;
+mod search;
+mod tiling;
+mod types;
+mod wavefront;
+
+pub use explain::explain;
+pub use feautrier::feautrier_schedule;
+pub use farkas::{
+    bounding_form, carried_at, delta_form, distance_row, farkas_eliminate, respects_weakly,
+    satisfies_strictly, VarMap,
+};
+pub use pipeline::{Optimized, Optimizer};
+pub use search::{find_transformation, FusionPolicy, PlutoError, PlutoOptions, SearchResult};
+pub use tiling::tile_band;
+pub use types::{Band, Parallelism, RowInfo, RowKind, StmtScattering, Transformation};
+pub use wavefront::{reorder_for_vectorization, wavefront};

@@ -1,0 +1,619 @@
+//! The Pluto transformation search (paper Sec. 3): iteratively find
+//! statement-wise affine hyperplanes by lexmin ILP, force linear
+//! independence, detect permutable bands, and cut the DDG with scalar
+//! dimensions when stuck (fusion structure).
+
+use crate::farkas::{
+    bounding_form, carried_at, delta_form, farkas_eliminate, satisfies_strictly, VarMap,
+};
+use crate::types::{Band, Parallelism, RowInfo, StmtScattering, Transformation};
+use pluto_ilp::IlpProblem;
+use pluto_ir::{DepKind, Dependence, Program};
+use pluto_linalg::{Int, IntMatrix};
+use pluto_poly::ConstraintSet;
+use std::fmt;
+
+/// Fusion policy for DDG cutting (mirrors the Pluto tool's options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FusionPolicy {
+    /// Cut between strongly connected components only when the ILP has no
+    /// solution (the paper's default behaviour, maximizing fusion).
+    #[default]
+    Smart,
+    /// Separate all SCCs with a scalar dimension up front (no fusion
+    /// across dependent loop nests — the "existing techniques" baseline of
+    /// the MVT experiment).
+    NoFuse,
+}
+
+/// Options controlling the search.
+#[derive(Debug, Clone)]
+pub struct PlutoOptions {
+    /// Consider read-after-read dependences in the bounding objective
+    /// (Sec. 4.1). On by default, as in the paper.
+    pub use_input_deps: bool,
+    /// Fusion policy.
+    pub fuse: FusionPolicy,
+    /// Hard cap on total scattering rows (safety valve).
+    pub max_rows: usize,
+}
+
+impl Default for PlutoOptions {
+    fn default() -> PlutoOptions {
+        PlutoOptions {
+            use_input_deps: true,
+            fuse: FusionPolicy::Smart,
+            max_rows: 32,
+        }
+    }
+}
+
+/// Failure modes of the search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlutoError {
+    /// No legal hyperplane exists under the non-negative-coefficient
+    /// restriction and the DDG cannot be cut further.
+    NoSolution {
+        /// Row index at which the search stalled.
+        at_row: usize,
+    },
+    /// The row cap was exceeded.
+    TooManyRows,
+}
+
+impl fmt::Display for PlutoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlutoError::NoSolution { at_row } => {
+                write!(f, "no legal affine transformation found at row {at_row}")
+            }
+            PlutoError::TooManyRows => write!(f, "scattering row limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for PlutoError {}
+
+/// Result of the transformation search (pre-tiling).
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// The transformation: one hyperplane/scalar row per level.
+    pub transform: Transformation,
+    /// For each dependence (aligned with the input slice), the first row
+    /// that strictly satisfies it.
+    pub satisfied_at: Vec<Option<usize>>,
+}
+
+/// Runs the Pluto algorithm on a program and its dependences.
+///
+/// # Errors
+/// Returns [`PlutoError`] if the search stalls (see variants).
+pub fn find_transformation(
+    prog: &Program,
+    deps: &[Dependence],
+    opts: &PlutoOptions,
+) -> Result<SearchResult, PlutoError> {
+    Search::new(prog, deps, opts).run()
+}
+
+struct Search<'a> {
+    prog: &'a Program,
+    deps: &'a [Dependence],
+    opts: &'a PlutoOptions,
+    vm: VarMap,
+    /// Per-statement rows over `[iters…, params…, 1]`.
+    rows: Vec<Vec<Vec<Int>>>,
+    row_infos: Vec<RowInfo>,
+    bands: Vec<Band>,
+    band_start: usize,
+    /// Independent hyperplane iterate-coefficient rows per statement.
+    h: Vec<IntMatrix>,
+    satisfied_at: Vec<Option<usize>>,
+    /// Cached Farkas systems per dependence: (legality, bounding, reverse).
+    legality_cache: Vec<Option<ConstraintSet>>,
+    bounding_cache: Vec<Option<ConstraintSet>>,
+    reverse_cache: Vec<Option<ConstraintSet>>,
+}
+
+impl<'a> Search<'a> {
+    fn new(prog: &'a Program, deps: &'a [Dependence], opts: &'a PlutoOptions) -> Search<'a> {
+        let vm = VarMap::new(prog);
+        let n = prog.stmts.len();
+        Search {
+            prog,
+            deps,
+            opts,
+            vm,
+            rows: vec![Vec::new(); n],
+            row_infos: Vec::new(),
+            bands: Vec::new(),
+            band_start: 0,
+            h: prog
+                .stmts
+                .iter()
+                .map(|s| IntMatrix::empty(s.num_iters()))
+                .collect(),
+            satisfied_at: vec![None; deps.len()],
+            legality_cache: vec![None; deps.len()],
+            bounding_cache: vec![None; deps.len()],
+            reverse_cache: vec![None; deps.len()],
+        }
+    }
+
+    fn run(mut self) -> Result<SearchResult, PlutoError> {
+        if self.opts.fuse == FusionPolicy::NoFuse {
+            // Separate all SCCs up front with a scalar dimension.
+            self.cut_sccs();
+        }
+        loop {
+            let dims_done = self.all_dims_found();
+            let deps_done = self.all_legality_satisfied();
+            if dims_done && deps_done {
+                break;
+            }
+            if self.row_infos.len() >= self.opts.max_rows {
+                return Err(PlutoError::TooManyRows);
+            }
+            if dims_done {
+                // Only loop-independent orderings remain: cut.
+                if self.cut_sccs() {
+                    continue;
+                }
+                return Err(PlutoError::NoSolution {
+                    at_row: self.row_infos.len(),
+                });
+            }
+            match self.solve_for_row() {
+                Some(sol) => self.commit_row(&sol),
+                None => {
+                    // Try cutting the DDG between SCCs first.
+                    if self.opts.fuse == FusionPolicy::Smart && self.cut_sccs() {
+                        continue;
+                    }
+                    // Close the current band and retry with satisfied
+                    // dependences dropped from the legality set.
+                    if self.band_start < self.row_infos.len() {
+                        self.close_band();
+                        continue;
+                    }
+                    if self.cut_sccs() {
+                        continue;
+                    }
+                    return Err(PlutoError::NoSolution {
+                        at_row: self.row_infos.len(),
+                    });
+                }
+            }
+        }
+        self.close_band();
+        let stmt_par = self.compute_parallelism();
+        for r in 0..self.row_infos.len() {
+            if self.row_infos[r].kind == crate::types::RowKind::Loop
+                && (0..self.prog.stmts.len()).all(|s| stmt_par[s][r] == Parallelism::Parallel)
+            {
+                self.row_infos[r].par = Parallelism::Parallel;
+            }
+        }
+        let transform = Transformation {
+            stmts: self
+                .rows
+                .iter()
+                .map(|rs| StmtScattering { rows: rs.clone() })
+                .collect(),
+            domains: self.prog.stmts.iter().map(|s| s.domain.clone()).collect(),
+            dim_names: self.prog.stmts.iter().map(|s| s.iters.clone()).collect(),
+            num_orig_dims: self.prog.stmts.iter().map(|s| s.num_iters()).collect(),
+            rows: self.row_infos,
+            stmt_par,
+            bands: self.bands,
+        };
+        Ok(SearchResult {
+            transform,
+            satisfied_at: self.satisfied_at,
+        })
+    }
+
+    fn all_dims_found(&self) -> bool {
+        (0..self.prog.stmts.len()).all(|s| self.stmt_done(s))
+    }
+
+    fn stmt_done(&self, s: usize) -> bool {
+        self.h[s].num_rows() == self.prog.stmts[s].num_iters()
+    }
+
+    fn all_legality_satisfied(&self) -> bool {
+        self.deps
+            .iter()
+            .zip(&self.satisfied_at)
+            .all(|(d, s)| !d.kind.constrains_legality() || s.is_some())
+    }
+
+    /// A dependence constrains the current band if it was not strictly
+    /// satisfied before the band start.
+    fn live_in_band(&self, di: usize) -> bool {
+        match self.satisfied_at[di] {
+            None => true,
+            Some(r) => r >= self.band_start,
+        }
+    }
+
+    fn solve_for_row(&mut self) -> Option<Vec<Int>> {
+        let mut ilp = IlpProblem::new(self.vm.total());
+        for di in 0..self.deps.len() {
+            if !self.live_in_band(di) {
+                continue;
+            }
+            let dep = &self.deps[di];
+            if dep.kind.constrains_legality() {
+                let sys = self.legality_cache[di].get_or_insert_with(|| {
+                    let form = delta_form(dep, self.prog, &self.vm);
+                    farkas_eliminate(&dep.poly, &form, self.vm.total())
+                });
+                add_system(&mut ilp, sys);
+            }
+            if dep.kind == DepKind::Input && !self.opts.use_input_deps {
+                continue;
+            }
+            let bsys = self.bounding_cache[di].get_or_insert_with(|| {
+                let form = bounding_form(dep, self.prog, &self.vm, false);
+                farkas_eliminate(&dep.poly, &form, self.vm.total())
+            });
+            add_system(&mut ilp, bsys);
+            if dep.kind == DepKind::Input {
+                let rsys = self.reverse_cache[di].get_or_insert_with(|| {
+                    let form = bounding_form(dep, self.prog, &self.vm, true);
+                    farkas_eliminate(&dep.poly, &form, self.vm.total())
+                });
+                add_system(&mut ilp, rsys);
+            }
+        }
+        // Per-statement structure constraints.
+        for s in 0..self.prog.stmts.len() {
+            let m = self.vm.num_iters(s);
+            if self.stmt_done(s) {
+                // A completed (lower-dimensional) statement is "sunk" into
+                // the band (paper Sec. 7, LU): its coefficients stay free
+                // (non-negative) so legality can pick any — possibly
+                // linearly dependent — hyperplane for it, and lexmin keeps
+                // them minimal.
+                continue;
+            }
+            // Avoid the trivial zero solution: Σ c_i >= 1 (Sec. 4.2).
+            let mut sum = vec![0; self.vm.total() + 1];
+            for i in 0..m {
+                sum[self.vm.c(s, i)] = 1;
+            }
+            sum[self.vm.total()] = -1;
+            ilp.add_ineq(sum);
+            // Linear independence w.r.t. rows already found (Eq. 6).
+            if self.h[s].num_rows() > 0 {
+                let hperp = self.h[s].to_rat().orthogonal_complement().to_int_rows();
+                let mut total = vec![0; self.vm.total() + 1];
+                let mut any = false;
+                for r in hperp.rows() {
+                    if r.iter().all(|&v| v == 0) {
+                        continue;
+                    }
+                    any = true;
+                    let mut row = vec![0; self.vm.total() + 1];
+                    for (i, &v) in r.iter().enumerate() {
+                        row[self.vm.c(s, i)] = v;
+                        total[self.vm.c(s, i)] += v;
+                    }
+                    ilp.add_ineq(row); // h⊥_i · c >= 0
+                }
+                if any {
+                    total[self.vm.total()] = -1;
+                    ilp.add_ineq(total); // Σ h⊥_i · c >= 1
+                }
+            }
+        }
+        ilp.try_lexmin().ok().flatten()
+    }
+
+    fn commit_row(&mut self, sol: &[Int]) {
+        let r = self.row_infos.len();
+        let np = self.prog.num_params();
+        for s in 0..self.prog.stmts.len() {
+            let (coeffs, c0) = self.vm.stmt_solution(s, sol);
+            let mut row = coeffs.clone();
+            row.extend(std::iter::repeat_n(0, np));
+            row.push(c0);
+            self.rows[s].push(row);
+            if coeffs.iter().any(|&v| v != 0) && self.h[s].is_independent(&coeffs) {
+                self.h[s].push_row(coeffs);
+            }
+        }
+        self.row_infos.push(RowInfo::loop_row());
+        self.mark_satisfied(r);
+    }
+
+    fn mark_satisfied(&mut self, r: usize) {
+        for di in 0..self.deps.len() {
+            if self.satisfied_at[di].is_some() {
+                continue;
+            }
+            let dep = &self.deps[di];
+            if satisfies_strictly(dep, self.prog, &self.rows[dep.src][r], &self.rows[dep.dst][r])
+            {
+                self.satisfied_at[di] = Some(r);
+            }
+        }
+    }
+
+    /// Cuts the DDG between strongly connected components of the
+    /// unsatisfied legality subgraph with a scalar dimension. Returns false
+    /// if there is only one component (nothing to cut).
+    fn cut_sccs(&mut self) -> bool {
+        let n = self.prog.stmts.len();
+        if n <= 1 {
+            return false;
+        }
+        let mut adj = vec![Vec::new(); n];
+        for (di, d) in self.deps.iter().enumerate() {
+            if !d.kind.constrains_legality() || self.satisfied_at[di].is_some() {
+                continue;
+            }
+            adj[d.src].push(d.dst);
+        }
+        let comp = topo_scc(&adj);
+        let num_comps = comp.iter().copied().max().map_or(0, |m| m + 1);
+        if num_comps <= 1 {
+            return false;
+        }
+        // Close any open band: a scalar dimension separates bands.
+        self.close_band();
+        let r = self.row_infos.len();
+        let np = self.prog.num_params();
+        for s in 0..n {
+            let m = self.prog.stmts[s].num_iters();
+            let mut row = vec![0; m + np + 1];
+            row[m + np] = comp[s] as Int;
+            self.rows[s].push(row);
+        }
+        self.row_infos.push(RowInfo::scalar_row());
+        // Inter-component dependences are now strictly satisfied.
+        for (di, d) in self.deps.iter().enumerate() {
+            if self.satisfied_at[di].is_none() && comp[d.src] < comp[d.dst] {
+                self.satisfied_at[di] = Some(r);
+            }
+        }
+        self.band_start = self.row_infos.len();
+        true
+    }
+
+    fn close_band(&mut self) {
+        let end = self.row_infos.len();
+        if self.band_start < end {
+            self.bands.push(Band {
+                start: self.band_start,
+                width: end - self.band_start,
+            });
+        }
+        self.band_start = end;
+    }
+
+    /// Exact per-statement, per-row parallelism: a loop row is parallel
+    /// for a statement's *fission group* (statements sharing its scalar-row
+    /// prefix — exactly those that share the loop in generated code) iff no
+    /// live legality dependence within the group is carried at the row.
+    /// Distributed nests thereby keep their own parallel loops even when a
+    /// sibling group's reduction serializes the same global row (gemver).
+    fn compute_parallelism(&self) -> Vec<Vec<Parallelism>> {
+        let nrows = self.row_infos.len();
+        let nstmts = self.prog.stmts.len();
+        // Scalar-prefix group key of statement s above row r.
+        let key = |s: usize, r: usize| -> Vec<Int> {
+            (0..r)
+                .filter(|&k| self.row_infos[k].kind == crate::types::RowKind::Scalar)
+                .map(|k| {
+                    let row = &self.rows[s][k];
+                    row[row.len() - 1]
+                })
+                .collect()
+        };
+        let mut out = vec![vec![Parallelism::Sequential; nrows]; nstmts];
+        for r in 0..nrows {
+            if self.row_infos[r].kind != crate::types::RowKind::Loop {
+                continue;
+            }
+            let mut group_seq: Vec<Vec<Int>> = Vec::new();
+            for (di, dep) in self.deps.iter().enumerate() {
+                if !dep.kind.constrains_legality() {
+                    continue;
+                }
+                match self.satisfied_at[di] {
+                    Some(s) if s < r => continue, // settled by an outer row
+                    _ => {}
+                }
+                if carried_at(dep, self.prog, &self.rows[dep.src], &self.rows[dep.dst], r) {
+                    // A live carried dep has both ends in one group (a
+                    // scalar row above r would have satisfied it).
+                    group_seq.push(key(dep.src, r));
+                }
+            }
+            for s in 0..nstmts {
+                let k = key(s, r);
+                if !group_seq.contains(&k) {
+                    out[s][r] = Parallelism::Parallel;
+                }
+            }
+        }
+        out
+    }
+}
+
+fn add_system(ilp: &mut IlpProblem, sys: &ConstraintSet) {
+    for e in sys.eqs() {
+        ilp.add_eq(e.clone());
+    }
+    for i in sys.ineqs() {
+        ilp.add_ineq(i.clone());
+    }
+}
+
+/// Condensation of a digraph: returns for each node the index of its SCC in
+/// a topological order of the condensation (sources first).
+fn topo_scc(adj: &[Vec<usize>]) -> Vec<usize> {
+    let n = adj.len();
+    // Kosaraju: order by finish time on G, then collect SCCs on Gᵀ.
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        // Iterative DFS with an explicit edge-progress stack.
+        let mut stack = vec![(start, 0usize)];
+        seen[start] = true;
+        while let Some(&mut (v, ref mut ei)) = stack.last_mut() {
+            if *ei < adj[v].len() {
+                let w = adj[v][*ei];
+                *ei += 1;
+                if !seen[w] {
+                    seen[w] = true;
+                    stack.push((w, 0));
+                }
+            } else {
+                order.push(v);
+                stack.pop();
+            }
+        }
+    }
+    let mut radj = vec![Vec::new(); n];
+    for (v, outs) in adj.iter().enumerate() {
+        for &w in outs {
+            radj[w].push(v);
+        }
+    }
+    let mut comp = vec![usize::MAX; n];
+    let mut c = 0;
+    for &v in order.iter().rev() {
+        if comp[v] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![v];
+        comp[v] = c;
+        while let Some(x) = stack.pop() {
+            for &w in &radj[x] {
+                if comp[w] == usize::MAX {
+                    comp[w] = c;
+                    stack.push(w);
+                }
+            }
+        }
+        c += 1;
+    }
+    // Kosaraju's component discovery order (reverse finish order on G) is a
+    // topological order of the condensation.
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scc_topological_numbering() {
+        // 0 -> 1 -> 2, 2 -> 1 (1,2 form an SCC), 3 isolated... with edge 2->3.
+        let adj = vec![vec![1], vec![2], vec![1, 3], vec![]];
+        let comp = topo_scc(&adj);
+        assert_eq!(comp[1], comp[2]);
+        assert!(comp[0] < comp[1]);
+        assert!(comp[1] < comp[3]);
+    }
+
+    #[test]
+    fn scc_chain() {
+        let adj = vec![vec![1], vec![2], vec![]];
+        let comp = topo_scc(&adj);
+        assert_eq!(comp, vec![0, 1, 2]);
+    }
+}
+
+#[cfg(test)]
+mod policy_tests {
+    use super::*;
+    use crate::types::RowKind;
+    use pluto_ir::{analyze_dependences, Expr, ProgramBuilder, StatementSpec};
+
+    /// Two independent copy loops (no cross dependences).
+    fn two_nests() -> Program {
+        let mut b = ProgramBuilder::new("p", &["N"]);
+        b.add_context_ineq(vec![1, -2]);
+        b.add_array("a", 1);
+        b.add_array("b", 1);
+        b.add_array("c", 1);
+        b.add_array("d", 1);
+        for (idx, (src, dst)) in [("a", "b"), ("c", "d")].iter().enumerate() {
+            b.add_statement(StatementSpec {
+                name: format!("S{}", idx + 1),
+                iters: vec!["i".into()],
+                domain_ineqs: vec![vec![1, 0, 0], vec![-1, 1, -1]],
+                beta: vec![idx as i128, 0],
+                write: (dst.to_string(), vec![vec![1, 0, 0]]),
+                reads: vec![(src.to_string(), vec![vec![1, 0, 0]])],
+                body: Expr::Read(0),
+            });
+        }
+        b.build()
+    }
+
+    #[test]
+    fn nofuse_cuts_up_front() {
+        let prog = two_nests();
+        let deps = analyze_dependences(&prog, true);
+        let opts = PlutoOptions {
+            fuse: FusionPolicy::NoFuse,
+            ..PlutoOptions::default()
+        };
+        // With no inter-statement dependences there is a single SCC per
+        // statement; NoFuse inserts the scalar dimension immediately.
+        let res = find_transformation(&prog, &deps, &opts).unwrap();
+        assert_eq!(res.transform.rows[0].kind, RowKind::Scalar);
+    }
+
+    #[test]
+    fn smart_fuse_keeps_independent_nests_fused() {
+        let prog = two_nests();
+        let deps = analyze_dependences(&prog, true);
+        let res = find_transformation(&prog, &deps, &PlutoOptions::default()).unwrap();
+        // No dependences force a cut, so the loops fuse into one nest
+        // (plus the textual-order scalar row if any zero-distance pairs
+        // exist — none here across different arrays).
+        assert_eq!(res.transform.rows[0].kind, RowKind::Loop);
+    }
+
+    #[test]
+    fn row_cap_errors() {
+        let prog = two_nests();
+        let deps = analyze_dependences(&prog, true);
+        let opts = PlutoOptions {
+            max_rows: 0,
+            ..PlutoOptions::default()
+        };
+        match find_transformation(&prog, &deps, &opts) {
+            Err(PlutoError::TooManyRows) => {}
+            other => panic!("expected TooManyRows, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        let e = PlutoError::NoSolution { at_row: 3 };
+        assert!(e.to_string().contains("row 3"));
+        assert!(PlutoError::TooManyRows.to_string().contains("limit"));
+    }
+
+    #[test]
+    fn parallel_rows_marked_for_independent_nests() {
+        let prog = two_nests();
+        let deps = analyze_dependences(&prog, true);
+        let res = find_transformation(&prog, &deps, &PlutoOptions::default()).unwrap();
+        // Copy loops carry nothing: the loop row is parallel.
+        let loop_row = (0..res.transform.num_rows())
+            .find(|&r| res.transform.rows[r].kind == RowKind::Loop)
+            .unwrap();
+        assert_eq!(res.transform.rows[loop_row].par, Parallelism::Parallel);
+    }
+}

@@ -1,0 +1,355 @@
+//! Tiling of permutable bands under statement-wise transformations
+//! (paper Sec. 5.2, Algorithm 1).
+//!
+//! For a band of `w` mutually permutable scattering rows, each statement's
+//! domain is augmented with one *supernode* iterator per domain dimension
+//! the band's rows touch, constrained Ancourt–Irigoin style:
+//!
+//! ```text
+//! τ_j · f_j(iT)  <=  f_j(i) + f0_j  <=  τ_j · f_j(iT) + τ_j − 1
+//! ```
+//!
+//! and `w` new scattering rows `φT_j = f_j(iT)` are inserted at the band's
+//! start, forming a new tile-space band (Theorem 1 guarantees it satisfies
+//! the tiling legality condition). Applying the procedure again to the
+//! tile band yields multi-level (e.g. L2 over L1) tiling.
+
+use crate::farkas::distance_row;
+use crate::search::SearchResult;
+use crate::types::{Band, Parallelism, RowInfo, RowKind};
+use pluto_ir::{Dependence, Program};
+use pluto_linalg::Int;
+
+/// Tiles band `band_idx` of the search result with the given per-row tile
+/// sizes, updating domains, scatterings, row metadata, bands and the
+/// dependence satisfaction map in place. Returns the new tile-space band.
+///
+/// Tile rows are marked [`Parallelism::Parallel`] only when
+/// synchronization-free (the corresponding point row has identically zero
+/// dependence distance for every dependence live at the band); otherwise
+/// they stay sequential and [`wavefront`](crate::wavefront::wavefront) can
+/// extract pipelined parallelism.
+///
+/// # Panics
+/// Panics if `band_idx` is out of range, `sizes.len()` differs from the
+/// band width, or any size is < 1.
+pub fn tile_band(
+    res: &mut SearchResult,
+    prog: &Program,
+    deps: &[Dependence],
+    band_idx: usize,
+    sizes: &[Int],
+) -> Band {
+    let band = res.transform.bands[band_idx];
+    assert_eq!(sizes.len(), band.width, "one tile size per band row");
+    assert!(sizes.iter().all(|&s| s >= 1), "tile sizes must be >= 1");
+    let w = band.width;
+    let start = band.start;
+    let np = prog.num_params();
+
+    // Per-row sync-free parallelism of the future tile rows, computed
+    // before mutation: tile row j is parallel iff every live legality
+    // dependence has identically zero distance on the *point* row
+    // underlying band row j. (When re-tiling a tile band for a second
+    // level, the point rows sit `tile_level * w` rows below the band —
+    // each tiling level inserted `w` rows at the band start.)
+    let lvl = res.transform.rows[start].tile_level as usize;
+    let point_start = start + lvl * w;
+    debug_assert_eq!(res.transform.rows[point_start].tile_level, 0);
+    let nstmts = res.transform.stmts.len();
+    // Per-statement sync-freedom of the future tile rows: a carried dep
+    // serializes only its own fission group (both ends share one group,
+    // as cross-group deps are settled by a scalar row above the band).
+    let group_key = |s: usize, upto: usize| -> Vec<Int> {
+        (0..upto)
+            .filter(|&k| res.transform.rows[k].kind == crate::types::RowKind::Scalar)
+            .map(|k| {
+                let row = &res.transform.stmts[s].rows[k];
+                row[row.len() - 1]
+            })
+            .collect()
+    };
+    let mut seq_groups: Vec<Vec<Vec<Int>>> = vec![Vec::new(); w];
+    for (di, dep) in deps.iter().enumerate() {
+        if !dep.kind.constrains_legality() {
+            continue;
+        }
+        if let Some(s) = res.satisfied_at[di] {
+            if s < point_start {
+                continue; // settled outside the band
+            }
+        }
+        for j in 0..w {
+            if seq_groups[j].contains(&group_key(dep.src, start)) {
+                continue;
+            }
+            let r = point_start + j;
+            let mut p = dep.poly.clone();
+            // Point rows reference original iterators plus `lvl * w`-ish
+            // leading supernode columns added by earlier tilings; strip the
+            // supernode prefix (their coefficients are zero on point rows).
+            let src_row = strip_supernodes(
+                &res.transform.stmts[dep.src].rows[r],
+                prog.stmts[dep.src].num_iters(),
+                np,
+            );
+            let dst_row = strip_supernodes(
+                &res.transform.stmts[dep.dst].rows[r],
+                prog.stmts[dep.dst].num_iters(),
+                np,
+            );
+            let mut row = distance_row(dep, prog, &src_row, &dst_row);
+            let n = row.len();
+            row[n - 1] -= 1; // δ >= 1 reachable?
+            p.add_ineq(row);
+            if !p.is_empty() {
+                seq_groups[j].push(group_key(dep.src, start));
+            }
+        }
+    }
+    let keys: Vec<Vec<Int>> = (0..nstmts).map(|s| group_key(s, start)).collect();
+    let tile_par: Vec<Parallelism> = (0..w)
+        .map(|j| {
+            if keys.iter().all(|k| !seq_groups[j].contains(k)) {
+                Parallelism::Parallel
+            } else {
+                Parallelism::Sequential
+            }
+        })
+        .collect();
+
+    let tile_level = res.transform.rows[start].tile_level + 1;
+    for s in 0..res.transform.stmts.len() {
+        let nd = res.transform.dim_names[s].len();
+        // Domain dims referenced by the band's rows for this statement.
+        let mut used: Vec<usize> = (0..nd)
+            .filter(|&d| {
+                band.rows()
+                    .any(|r| res.transform.stmts[s].rows[r][d] != 0)
+            })
+            .collect();
+        used.sort_unstable();
+        let count = used.len();
+        // Map old dim -> supernode column (among the new leading dims).
+        let sup_of = |d: usize| used.iter().position(|&x| x == d);
+
+        // 1. Augment the domain.
+        let mut dom = res.transform.domains[s].insert_dims(0, count);
+        for (j, r) in band.rows().enumerate() {
+            let row = res.transform.stmts[s].rows[r].clone(); // old width nd+np+1
+            let tau = sizes[j];
+            // Divide the supernode expression by the row's content: a row
+            // like 2t takes only even values, so tile origins must step by
+            // τ·(f/g) or half the tiles would be unreachable.
+            let g = row_content(&row[..nd]);
+            // lower:  f(i) + f0 − τ·(f(iT)/g) >= 0
+            let mut lo = vec![0; count + nd + np + 1];
+            // upper:  τ·(f(iT)/g) + τ − 1 − f(i) − f0 >= 0
+            let mut hi = vec![0; count + nd + np + 1];
+            for d in 0..nd {
+                lo[count + d] = row[d];
+                hi[count + d] = -row[d];
+                if row[d] != 0 {
+                    let sc = sup_of(d).expect("used dim has supernode");
+                    lo[sc] = -tau * (row[d] / g);
+                    hi[sc] = tau * (row[d] / g);
+                }
+            }
+            for k in 0..np {
+                lo[count + nd + k] = row[nd + k];
+                hi[count + nd + k] = -row[nd + k];
+            }
+            lo[count + nd + np] = row[nd + np];
+            hi[count + nd + np] = -row[nd + np] + tau - 1;
+            dom.add_ineq(lo);
+            dom.add_ineq(hi);
+        }
+        res.transform.domains[s] = dom;
+
+        // 2. Widen every existing scattering row.
+        for row in res.transform.stmts[s].rows.iter_mut() {
+            for _ in 0..count {
+                row.insert(0, 0);
+            }
+        }
+        // 3. Insert the tile-space rows at the band start (build them all
+        // first — inserting while reading would shift the row indices).
+        let trows: Vec<Vec<Int>> = band
+            .rows()
+            .map(|r| {
+                let point_row = &res.transform.stmts[s].rows[r];
+                let g = row_content(&point_row[count..count + nd]);
+                let mut trow = vec![0; count + nd + np + 1];
+                for d in 0..nd {
+                    if point_row[count + d] != 0 {
+                        let sc = sup_of(d).expect("used dim has supernode");
+                        trow[sc] = point_row[count + d] / g;
+                    }
+                }
+                trow
+            })
+            .collect();
+        for trow in trows.into_iter().rev() {
+            res.transform.stmts[s].rows.insert(start, trow);
+        }
+        // 4. Names for the new dims.
+        let mut names = Vec::with_capacity(count);
+        for &d in &used {
+            names.push(format!(
+                "{}T{}",
+                res.transform.dim_names[s][d],
+                if tile_level > 1 {
+                    tile_level.to_string()
+                } else {
+                    String::new()
+                }
+            ));
+        }
+        for (k, n) in names.into_iter().enumerate() {
+            res.transform.dim_names[s].insert(k, n);
+        }
+        // Original dims stay a suffix; num_orig_dims unchanged.
+    }
+
+    // 5. Global row metadata and band bookkeeping.
+    for j in (0..w).rev() {
+        res.transform.rows.insert(
+            start,
+            RowInfo {
+                kind: RowKind::Loop,
+                par: tile_par[j],
+                tile_level,
+            },
+        );
+        for s in 0..nstmts {
+            let p = if seq_groups[j].contains(&keys[s]) {
+                Parallelism::Sequential
+            } else {
+                Parallelism::Parallel
+            };
+            res.transform.stmt_par[s].insert(start, p);
+        }
+    }
+    for b in res.transform.bands.iter_mut() {
+        if b.start >= start {
+            b.start += w;
+        }
+    }
+    let tile_band = Band { start, width: w };
+    res.transform.bands.insert(band_idx, tile_band);
+    for s in res.satisfied_at.iter_mut().flatten() {
+        if *s >= start {
+            *s += w;
+        }
+    }
+    tile_band
+}
+
+/// The positive gcd of a row's iterator coefficients (1 for a zero row).
+fn row_content(coeffs: &[Int]) -> Int {
+    let mut g = 0;
+    for &v in coeffs {
+        g = pluto_linalg::gcd(g, v);
+    }
+    g.max(1)
+}
+
+/// Drops leading supernode columns from a point row, keeping the trailing
+/// `[original iters…, params…, 1]` slice expected by `distance_row`.
+///
+/// # Panics
+/// Panics (debug) if any stripped supernode coefficient is non-zero —
+/// point rows never reference supernodes.
+fn strip_supernodes(row: &[Int], num_orig: usize, np: usize) -> Vec<Int> {
+    let keep = num_orig + np + 1;
+    let extra = row.len() - keep;
+    debug_assert!(row[..extra].iter().all(|&v| v == 0));
+    row[extra..].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{find_transformation, PlutoOptions};
+    use pluto_ir::{analyze_dependences, Expr, ProgramBuilder, StatementSpec};
+
+    /// `for i in 0..N { for j in 0..N { a[i][j] = a[i-1][j] + a[i][j-1] } }`
+    fn sor_like() -> pluto_ir::Program {
+        let mut b = ProgramBuilder::new("sor", &["N"]);
+        b.add_context_ineq(vec![1, -4]);
+        b.add_array("a", 2);
+        b.add_statement(StatementSpec {
+            name: "S1".into(),
+            iters: vec!["i".into(), "j".into()],
+            domain_ineqs: vec![
+                vec![1, 0, 0, -1],
+                vec![-1, 0, 1, -1],
+                vec![0, 1, 0, -1],
+                vec![0, -1, 1, -1],
+            ],
+            beta: vec![0, 0, 0],
+            write: ("a".into(), vec![vec![1, 0, 0, 0], vec![0, 1, 0, 0]]),
+            reads: vec![
+                ("a".into(), vec![vec![1, 0, 0, -1], vec![0, 1, 0, 0]]),
+                ("a".into(), vec![vec![1, 0, 0, 0], vec![0, 1, 0, -1]]),
+            ],
+            body: Expr::Read(0) + Expr::Read(1),
+        });
+        b.build()
+    }
+
+    #[test]
+    fn tiles_sor_band() {
+        let prog = sor_like();
+        let deps = analyze_dependences(&prog, true);
+        let mut res = find_transformation(&prog, &deps, &PlutoOptions::default()).unwrap();
+        assert_eq!(res.transform.bands.len(), 1);
+        assert_eq!(res.transform.bands[0].width, 2);
+        let tb = tile_band(&mut res, &prog, &deps, 0, &[32, 32]);
+        // Now 4 rows: 2 tile + 2 point; 2 bands.
+        assert_eq!(res.transform.num_rows(), 4);
+        assert_eq!(res.transform.bands.len(), 2);
+        assert_eq!(tb, Band { start: 0, width: 2 });
+        // Domain gained two supernodes.
+        assert_eq!(res.transform.dim_names[0].len(), 4);
+        assert_eq!(res.transform.num_orig_dims[0], 2);
+        // Both dependences have distance (1,0)/(0,1): both tile rows carry
+        // a dependence => doacross, sequential.
+        assert_eq!(res.transform.rows[0].par, Parallelism::Sequential);
+        assert_eq!(res.transform.rows[1].par, Parallelism::Sequential);
+        // Supernode constraint sanity: point (iT=1, jT=0, i=35, j=3, N=100)
+        // is in the tiled domain for size 32, but iT=0 is not.
+        let d = &res.transform.domains[0];
+        assert!(d.contains(&[1, 0, 35, 3, 100]));
+        assert!(!d.contains(&[0, 0, 35, 3, 100]));
+    }
+
+    /// Matmul-like: all-parallel space loops tile into parallel tile loops.
+    #[test]
+    fn parallel_tile_rows_detected() {
+        let mut b = ProgramBuilder::new("init", &["N"]);
+        b.add_context_ineq(vec![1, -4]);
+        b.add_array("a", 2);
+        b.add_statement(StatementSpec {
+            name: "S1".into(),
+            iters: vec!["i".into(), "j".into()],
+            domain_ineqs: vec![
+                vec![1, 0, 0, 0],
+                vec![-1, 0, 1, -1],
+                vec![0, 1, 0, 0],
+                vec![0, -1, 1, -1],
+            ],
+            beta: vec![0, 0, 0],
+            write: ("a".into(), vec![vec![1, 0, 0, 0], vec![0, 1, 0, 0]]),
+            reads: vec![],
+            body: Expr::Lit(1.0),
+        });
+        let prog = b.build();
+        let deps = analyze_dependences(&prog, true);
+        let mut res = find_transformation(&prog, &deps, &PlutoOptions::default()).unwrap();
+        let tb = tile_band(&mut res, &prog, &deps, 0, &[16, 16]);
+        for r in tb.rows() {
+            assert_eq!(res.transform.rows[r].par, Parallelism::Parallel);
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Transformation representation: statement-wise scatterings, row metadata,
+//! permutable bands.
+
+use pluto_ir::Program;
+use pluto_linalg::Int;
+use pluto_poly::ConstraintSet;
+use std::fmt;
+
+/// Classification of one scattering row (shared across statements — the
+/// paper notes every statement's transformation has the same number of
+/// rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowKind {
+    /// A real loop dimension (an affine hyperplane per statement).
+    Loop,
+    /// A scalar (constant) dimension introduced by DDG cutting / fusion
+    /// structure — never a loop in generated code.
+    Scalar,
+}
+
+/// Parallelism classification of a loop row, computed from dependence
+/// satisfaction (paper Sec. 3.2 "outer space and inner time" and Sec. 5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Carries at least one dependence: must run sequentially (or be the
+    /// wavefront row of a pipelined band).
+    Sequential,
+    /// Carries no dependence: may be marked `omp parallel for`.
+    Parallel,
+    /// Parallel and moved innermost for vectorization (Sec. 5.4).
+    Vector,
+}
+
+/// Metadata for one scattering row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowInfo {
+    /// Loop or scalar dimension.
+    pub kind: RowKind,
+    /// Parallelism of the row (meaningful for loop rows).
+    pub par: Parallelism,
+    /// Tiling level that produced this row: 0 = point (intra-tile or
+    /// untiled) loop, 1 = first tile level (e.g. L1), 2 = second, …
+    pub tile_level: u8,
+}
+
+impl RowInfo {
+    /// A freshly found sequential point-loop row.
+    pub fn loop_row() -> RowInfo {
+        RowInfo {
+            kind: RowKind::Loop,
+            par: Parallelism::Sequential,
+            tile_level: 0,
+        }
+    }
+
+    /// A scalar (fusion-structure) row.
+    pub fn scalar_row() -> RowInfo {
+        RowInfo {
+            kind: RowKind::Scalar,
+            par: Parallelism::Sequential,
+            tile_level: 0,
+        }
+    }
+}
+
+/// A maximal set of consecutive scattering rows that are mutually
+/// permutable (every dependence live at the band start has a non-negative
+/// component on every row) — the unit of tiling (paper Sec. 3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Band {
+    /// First row of the band.
+    pub start: usize,
+    /// Number of rows in the band.
+    pub width: usize,
+}
+
+impl Band {
+    /// Rows covered by the band.
+    pub fn rows(&self) -> std::ops::Range<usize> {
+        self.start..self.start + self.width
+    }
+}
+
+/// The scattering of a single statement: one affine row per global
+/// scattering dimension, each over `[domain dims…, params…, 1]`.
+///
+/// Before tiling the domain dims are exactly the statement's original
+/// iterators; tiling prepends supernode dims to both the domain and the
+/// rows' coefficient space (paper Algorithm 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StmtScattering {
+    /// `rows[r]` has width `num_dims + num_params + 1`.
+    pub rows: Vec<Vec<Int>>,
+}
+
+impl StmtScattering {
+    /// Number of scattering rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// A complete statement-wise affine transformation of a program, ready for
+/// tiling, wavefronting and code generation.
+#[derive(Debug, Clone)]
+pub struct Transformation {
+    /// Per-statement scatterings (aligned with `Program::stmts`).
+    pub stmts: Vec<StmtScattering>,
+    /// Per-statement (possibly supernode-augmented) domains over
+    /// `[dims…, params…, 1]`.
+    pub domains: Vec<ConstraintSet>,
+    /// Per-statement names for the domain dims (supernodes first).
+    pub dim_names: Vec<Vec<String>>,
+    /// Per-statement count of trailing *original* iterator dims (the suffix
+    /// of the domain dims that statement bodies index with).
+    pub num_orig_dims: Vec<usize>,
+    /// Global row metadata (same length for every statement).
+    pub rows: Vec<RowInfo>,
+    /// Per-statement, per-row parallelism (`stmt_par[s][r]`). Statements in
+    /// different fission groups (separated by scalar rows) can have
+    /// different parallelism at the same row — e.g. gemver's four
+    /// distributed nests each parallelize a different loop. The global
+    /// `rows[r].par` stays the conservative all-statements value used by
+    /// the band-level passes; the code generator consults `stmt_par` for
+    /// the statements actually sharing each loop.
+    pub stmt_par: Vec<Vec<Parallelism>>,
+    /// Permutable bands over row indices.
+    pub bands: Vec<Band>,
+}
+
+impl Transformation {
+    /// Number of global scattering rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Builds the per-statement parallelism table from the global row
+    /// metadata (used by constructors that have no finer information).
+    pub fn uniform_stmt_par(rows: &[RowInfo], num_stmts: usize) -> Vec<Vec<Parallelism>> {
+        vec![rows.iter().map(|r| r.par).collect(); num_stmts]
+    }
+
+    /// Parallelism of row `r` as seen by statement `s`.
+    pub fn par_for(&self, s: usize, r: usize) -> Parallelism {
+        self.stmt_par
+            .get(s)
+            .and_then(|v| v.get(r))
+            .copied()
+            .unwrap_or(self.rows[r].par)
+    }
+
+    /// Evaluates statement `s`'s scattering row `r` at a concrete point
+    /// `[dims…, params…]` (implicit trailing 1).
+    pub fn eval_row(&self, s: usize, r: usize, vals: &[Int]) -> Int {
+        let row = &self.stmts[s].rows[r];
+        debug_assert_eq!(row.len(), vals.len() + 1);
+        let mut v = row[vals.len()];
+        for (k, &x) in vals.iter().enumerate() {
+            v += row[k] * x;
+        }
+        v
+    }
+
+    /// Renders the transformation for diagnostics (one block per
+    /// statement, as in the paper's figures).
+    pub fn display(&self, prog: &Program) -> String {
+        let mut out = String::new();
+        for (s, st) in self.stmts.iter().enumerate() {
+            out.push_str(&format!("{}:\n", prog.stmts[s].name));
+            let names = &self.dim_names[s];
+            for (r, row) in st.rows.iter().enumerate() {
+                let info = self.rows[r];
+                let nd = names.len();
+                let np = prog.num_params();
+                let mut terms = String::new();
+                for (k, &a) in row[..nd].iter().enumerate() {
+                    if a == 0 {
+                        continue;
+                    }
+                    push_term(&mut terms, a, &names[k]);
+                }
+                for (k, &a) in row[nd..nd + np].iter().enumerate() {
+                    if a == 0 {
+                        continue;
+                    }
+                    push_term(&mut terms, a, &prog.params[k]);
+                }
+                let c = row[nd + np];
+                if c != 0 || terms.is_empty() {
+                    push_const(&mut terms, c);
+                }
+                let tag = match (info.kind, self.par_for(s, r)) {
+                    (RowKind::Scalar, _) => "scalar",
+                    (_, Parallelism::Parallel) => "parallel",
+                    (_, Parallelism::Vector) => "vector",
+                    (_, Parallelism::Sequential) => "seq",
+                };
+                let tile = if info.tile_level > 0 {
+                    format!(" tileL{}", info.tile_level)
+                } else {
+                    String::new()
+                };
+                out.push_str(&format!("  c{} = {terms}  [{tag}{tile}]\n", r + 1));
+            }
+        }
+        out
+    }
+}
+
+fn push_term(s: &mut String, a: Int, name: &str) {
+    if !s.is_empty() {
+        s.push_str(if a > 0 { " + " } else { " - " });
+    } else if a < 0 {
+        s.push('-');
+    }
+    let m = a.abs();
+    if m != 1 {
+        s.push_str(&format!("{m}*"));
+    }
+    s.push_str(name);
+}
+
+fn push_const(s: &mut String, c: Int) {
+    if s.is_empty() {
+        s.push_str(&c.to_string());
+    } else {
+        s.push_str(if c > 0 { " + " } else { " - " });
+        s.push_str(&c.abs().to_string());
+    }
+}
+
+impl fmt::Display for Transformation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Transformation({} rows, {} bands)",
+            self.num_rows(),
+            self.bands.len()
+        )
+    }
+}

@@ -1,0 +1,149 @@
+//! Tile-space wavefronting for pipelined parallelism (Algorithm 2) and the
+//! intra-tile vectorization reorder (Sec. 5.4).
+
+use crate::types::{Band, Parallelism, RowKind, Transformation};
+
+/// Applies the unimodular tile-space wavefront of Algorithm 2 to extract
+/// `m` degrees of pipelined parallelism from a (tile) band:
+/// `φT¹ ← φT¹ + φT² + … + φT^{m+1}`, after which rows 2..=m+1 of the band
+/// are parallel (the sum row carries every dependence the band carries).
+///
+/// The transformation touches only the tile-space rows, so tile shapes —
+/// and with them the communication/locality properties the cost function
+/// optimized — are preserved; unimodularity keeps the generated code free
+/// of modulos (paper Sec. 5.3).
+///
+/// # Panics
+/// Panics if `m + 1 > band.width` or `m == 0`.
+pub fn wavefront(t: &mut Transformation, band: Band, m: usize) {
+    assert!(m >= 1, "wavefront needs at least one degree");
+    assert!(
+        m < band.width,
+        "wavefront of {m} degrees needs a band of width >= {}",
+        m + 1
+    );
+    let s = band.start;
+    for st in t.stmts.iter_mut() {
+        let width = st.rows[s].len();
+        let mut sum = st.rows[s].clone();
+        for j in 1..=m {
+            for k in 0..width {
+                sum[k] += st.rows[s + j][k];
+            }
+        }
+        st.rows[s] = sum;
+    }
+    t.rows[s].par = Parallelism::Sequential;
+    for j in 1..=m {
+        t.rows[s + j].par = Parallelism::Parallel;
+    }
+    for j in m + 1..band.width {
+        t.rows[s + j].par = Parallelism::Sequential;
+    }
+    for sp in t.stmt_par.iter_mut() {
+        sp[s] = Parallelism::Sequential;
+        for j in 1..=m {
+            sp[s + j] = Parallelism::Parallel;
+        }
+        for j in m + 1..band.width {
+            sp[s + j] = Parallelism::Sequential;
+        }
+    }
+}
+
+/// Intra-tile reordering for vectorization (Sec. 5.4): within the point
+/// (intra-tile) band, moves the *last parallel* loop row to the innermost
+/// position of the band and marks it [`Parallelism::Vector`]. Returns the
+/// final row index of the vector loop, or `None` if the band has no
+/// parallel row.
+///
+/// Rows of a permutable band may be freely reordered, so tile shapes and
+/// the tile-space schedule are unaffected.
+pub fn reorder_for_vectorization(t: &mut Transformation, band: Band) -> Option<usize> {
+    let rows: Vec<usize> = band.rows().collect();
+    let vec_row = *rows
+        .iter().rfind(|&&r| t.rows[r].kind == RowKind::Loop && t.rows[r].par == Parallelism::Parallel)?;
+    let last = *rows.last().expect("non-empty band");
+    if vec_row != last {
+        for st in t.stmts.iter_mut() {
+            let row = st.rows.remove(vec_row);
+            st.rows.insert(last, row);
+        }
+        let info = t.rows.remove(vec_row);
+        t.rows.insert(last, info);
+        for sp in t.stmt_par.iter_mut() {
+            let p = sp.remove(vec_row);
+            sp.insert(last, p);
+        }
+    }
+    t.rows[last].par = Parallelism::Vector;
+    for sp in t.stmt_par.iter_mut() {
+        if sp[last] != Parallelism::Sequential {
+            sp[last] = Parallelism::Vector;
+        }
+    }
+    Some(last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{RowInfo, StmtScattering};
+    use pluto_poly::ConstraintSet;
+
+    fn two_row_transform() -> Transformation {
+        // One statement, rows c1 = i, c2 = j over [i, j, 1] (no params).
+        let rows = vec![RowInfo::loop_row(), RowInfo::loop_row()];
+        let stmt_par = Transformation::uniform_stmt_par(&rows, 1);
+        Transformation {
+            stmts: vec![StmtScattering {
+                rows: vec![vec![1, 0, 0], vec![0, 1, 0]],
+            }],
+            domains: vec![ConstraintSet::new(2)],
+            dim_names: vec![vec!["i".into(), "j".into()]],
+            num_orig_dims: vec![2],
+            rows,
+            stmt_par,
+            bands: vec![Band { start: 0, width: 2 }],
+        }
+    }
+
+    #[test]
+    fn wavefront_sums_rows() {
+        let mut t = two_row_transform();
+        let band = t.bands[0];
+        wavefront(&mut t, band, 1);
+        assert_eq!(t.stmts[0].rows[0], vec![1, 1, 0]);
+        assert_eq!(t.stmts[0].rows[1], vec![0, 1, 0]);
+        assert_eq!(t.rows[0].par, Parallelism::Sequential);
+        assert_eq!(t.rows[1].par, Parallelism::Parallel);
+    }
+
+    #[test]
+    #[should_panic(expected = "band of width")]
+    fn wavefront_width_checked() {
+        let mut t = two_row_transform();
+        let band = t.bands[0];
+        wavefront(&mut t, band, 2);
+    }
+
+    #[test]
+    fn vector_reorder_moves_parallel_innermost() {
+        let mut t = two_row_transform();
+        t.rows[0].par = Parallelism::Parallel; // outer parallel, inner seq
+        t.stmt_par[0][0] = Parallelism::Parallel;
+        let band = t.bands[0];
+        let v = reorder_for_vectorization(&mut t, band).unwrap();
+        assert_eq!(v, 1);
+        // Row order swapped: former row 0 (i) now innermost.
+        assert_eq!(t.stmts[0].rows[1], vec![1, 0, 0]);
+        assert_eq!(t.rows[1].par, Parallelism::Vector);
+    }
+
+    #[test]
+    fn vector_reorder_none_when_all_sequential() {
+        let mut t = two_row_transform();
+        let band = t.bands[0];
+        assert_eq!(reorder_for_vectorization(&mut t, band), None);
+    }
+}

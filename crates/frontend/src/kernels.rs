@@ -1,0 +1,1084 @@
+//! The paper's benchmark kernels (Sec. 7) as polyhedral programs.
+//!
+//! Each constructor documents the C loop nest it models. Iterator columns
+//! come first, then parameters, then the constant — e.g. for a statement
+//! with iterators `(t, i)` in a program with parameters `(T, N)`, a row
+//! `[a_t, a_i, a_T, a_N, c]` encodes `a_t·t + a_i·i + a_T·T + a_N·N + c`.
+
+use pluto_ir::{Expr, Program, ProgramBuilder, StatementSpec};
+use pluto_linalg::Int;
+
+/// A benchmark program plus the array extents needed to execute it.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// The polyhedral program.
+    pub program: Program,
+    /// Computes each array's extents from concrete parameter values
+    /// (aligned with `program.arrays`).
+    pub extents: fn(&[i64]) -> Vec<Vec<usize>>,
+}
+
+/// Imperfectly nested 1-d Jacobi (paper Fig. 3a):
+///
+/// ```c
+/// for (t = 0; t < T; t++) {
+///   for (i = 2; i < N - 1; i++)
+///     b[i] = 0.333 * (a[i-1] + a[i] + a[i+1]);   // S1
+///   for (j = 2; j < N - 1; j++)
+///     a[j] = b[j];                                // S2
+/// }
+/// ```
+pub fn jacobi_1d_imperfect() -> Kernel {
+    let mut b = ProgramBuilder::new("jacobi-1d-imper", &["T", "N"]);
+    b.add_context_ineq(vec![1, 0, -1]); // T >= 1
+    b.add_context_ineq(vec![0, 1, -5]); // N >= 5
+    b.add_array("a", 1);
+    b.add_array("b", 1);
+    // Columns: [t, i, T, N, 1].
+    b.add_statement(StatementSpec {
+        name: "S1".into(),
+        iters: vec!["t".into(), "i".into()],
+        domain_ineqs: vec![
+            vec![1, 0, 0, 0, 0],   // t >= 0
+            vec![-1, 0, 1, 0, -1], // t <= T-1
+            vec![0, 1, 0, 0, -2],  // i >= 2
+            vec![0, -1, 0, 1, -2], // i <= N-2
+        ],
+        beta: vec![0, 0, 0],
+        write: ("b".into(), vec![vec![0, 1, 0, 0, 0]]),
+        reads: vec![
+            ("a".into(), vec![vec![0, 1, 0, 0, -1]]),
+            ("a".into(), vec![vec![0, 1, 0, 0, 0]]),
+            ("a".into(), vec![vec![0, 1, 0, 0, 1]]),
+        ],
+        body: Expr::Lit(0.333) * (Expr::Read(0) + Expr::Read(1) + Expr::Read(2)),
+    });
+    b.add_statement(StatementSpec {
+        name: "S2".into(),
+        iters: vec!["t".into(), "j".into()],
+        domain_ineqs: vec![
+            vec![1, 0, 0, 0, 0],
+            vec![-1, 0, 1, 0, -1],
+            vec![0, 1, 0, 0, -2],
+            vec![0, -1, 0, 1, -2],
+        ],
+        beta: vec![0, 1, 0],
+        write: ("a".into(), vec![vec![0, 1, 0, 0, 0]]),
+        reads: vec![("b".into(), vec![vec![0, 1, 0, 0, 0]])],
+        body: Expr::Read(0),
+    });
+    Kernel {
+        program: b.build(),
+        extents: |p| vec![vec![p[1] as usize], vec![p[1] as usize]],
+    }
+}
+
+/// 2-d FDTD electromagnetic kernel (paper Fig. 7), four imperfectly
+/// nested statements:
+///
+/// ```c
+/// for (t = 0; t < tmax; t++) {
+///   for (j = 0; j < ny; j++) ey[0][j] = f(t);                      // S1
+///   for (i = 1; i < nx; i++) for (j = 0; j < ny; j++)
+///     ey[i][j] = ey[i][j] - 0.5*(hz[i][j] - hz[i-1][j]);           // S2
+///   for (i = 0; i < nx; i++) for (j = 1; j < ny; j++)
+///     ex[i][j] = ex[i][j] - 0.5*(hz[i][j] - hz[i][j-1]);           // S3
+///   for (i = 0; i < nx; i++) for (j = 0; j < ny; j++)
+///     hz[i][j] = hz[i][j] - 0.7*(ex[i][j+1] - ex[i][j]
+///                                + ey[i+1][j] - ey[i][j]);          // S4
+/// }
+/// ```
+pub fn fdtd_2d() -> Kernel {
+    let mut b = ProgramBuilder::new("fdtd-2d", &["tmax", "nx", "ny"]);
+    b.add_context_ineq(vec![1, 0, 0, -1]); // tmax >= 1
+    b.add_context_ineq(vec![0, 1, 0, -3]); // nx >= 3
+    b.add_context_ineq(vec![0, 0, 1, -3]); // ny >= 3
+    b.add_array("ex", 2); // nx x (ny+1)
+    b.add_array("ey", 2); // (nx+1) x ny
+    b.add_array("hz", 2); // nx x ny
+    // S1 columns: [t, j, tmax, nx, ny, 1].
+    b.add_statement(StatementSpec {
+        name: "S1".into(),
+        iters: vec!["t".into(), "j".into()],
+        domain_ineqs: vec![
+            vec![1, 0, 0, 0, 0, 0],
+            vec![-1, 0, 1, 0, 0, -1],
+            vec![0, 1, 0, 0, 0, 0],
+            vec![0, -1, 0, 0, 1, -1],
+        ],
+        beta: vec![0, 0, 0],
+        write: (
+            "ey".into(),
+            vec![vec![0, 0, 0, 0, 0, 0], vec![0, 1, 0, 0, 0, 0]],
+        ),
+        reads: vec![],
+        body: Expr::Lit(1.0) / (Expr::Iter(0) + Expr::Lit(2.0)),
+    });
+    // S2 columns: [t, i, j, tmax, nx, ny, 1].
+    b.add_statement(StatementSpec {
+        name: "S2".into(),
+        iters: vec!["t".into(), "i".into(), "j".into()],
+        domain_ineqs: vec![
+            vec![1, 0, 0, 0, 0, 0, 0],
+            vec![-1, 0, 0, 1, 0, 0, -1],
+            vec![0, 1, 0, 0, 0, 0, -1],
+            vec![0, -1, 0, 0, 1, 0, -1],
+            vec![0, 0, 1, 0, 0, 0, 0],
+            vec![0, 0, -1, 0, 0, 1, -1],
+        ],
+        beta: vec![0, 1, 0, 0],
+        write: (
+            "ey".into(),
+            vec![vec![0, 1, 0, 0, 0, 0, 0], vec![0, 0, 1, 0, 0, 0, 0]],
+        ),
+        reads: vec![
+            (
+                "ey".into(),
+                vec![vec![0, 1, 0, 0, 0, 0, 0], vec![0, 0, 1, 0, 0, 0, 0]],
+            ),
+            (
+                "hz".into(),
+                vec![vec![0, 1, 0, 0, 0, 0, 0], vec![0, 0, 1, 0, 0, 0, 0]],
+            ),
+            (
+                "hz".into(),
+                vec![vec![0, 1, 0, 0, 0, 0, -1], vec![0, 0, 1, 0, 0, 0, 0]],
+            ),
+        ],
+        body: Expr::Read(0) - Expr::Lit(0.5) * (Expr::Read(1) - Expr::Read(2)),
+    });
+    // S3 columns: [t, i, j, tmax, nx, ny, 1].
+    b.add_statement(StatementSpec {
+        name: "S3".into(),
+        iters: vec!["t".into(), "i".into(), "j".into()],
+        domain_ineqs: vec![
+            vec![1, 0, 0, 0, 0, 0, 0],
+            vec![-1, 0, 0, 1, 0, 0, -1],
+            vec![0, 1, 0, 0, 0, 0, 0],
+            vec![0, -1, 0, 0, 1, 0, -1],
+            vec![0, 0, 1, 0, 0, 0, -1],
+            vec![0, 0, -1, 0, 0, 1, -1],
+        ],
+        beta: vec![0, 2, 0, 0],
+        write: (
+            "ex".into(),
+            vec![vec![0, 1, 0, 0, 0, 0, 0], vec![0, 0, 1, 0, 0, 0, 0]],
+        ),
+        reads: vec![
+            (
+                "ex".into(),
+                vec![vec![0, 1, 0, 0, 0, 0, 0], vec![0, 0, 1, 0, 0, 0, 0]],
+            ),
+            (
+                "hz".into(),
+                vec![vec![0, 1, 0, 0, 0, 0, 0], vec![0, 0, 1, 0, 0, 0, 0]],
+            ),
+            (
+                "hz".into(),
+                vec![vec![0, 1, 0, 0, 0, 0, 0], vec![0, 0, 1, 0, 0, 0, -1]],
+            ),
+        ],
+        body: Expr::Read(0) - Expr::Lit(0.5) * (Expr::Read(1) - Expr::Read(2)),
+    });
+    // S4 columns: [t, i, j, tmax, nx, ny, 1].
+    b.add_statement(StatementSpec {
+        name: "S4".into(),
+        iters: vec!["t".into(), "i".into(), "j".into()],
+        domain_ineqs: vec![
+            vec![1, 0, 0, 0, 0, 0, 0],
+            vec![-1, 0, 0, 1, 0, 0, -1],
+            vec![0, 1, 0, 0, 0, 0, 0],
+            vec![0, -1, 0, 0, 1, 0, -1],
+            vec![0, 0, 1, 0, 0, 0, 0],
+            vec![0, 0, -1, 0, 0, 1, -1],
+        ],
+        beta: vec![0, 3, 0, 0],
+        write: (
+            "hz".into(),
+            vec![vec![0, 1, 0, 0, 0, 0, 0], vec![0, 0, 1, 0, 0, 0, 0]],
+        ),
+        reads: vec![
+            (
+                "hz".into(),
+                vec![vec![0, 1, 0, 0, 0, 0, 0], vec![0, 0, 1, 0, 0, 0, 0]],
+            ),
+            (
+                "ex".into(),
+                vec![vec![0, 1, 0, 0, 0, 0, 0], vec![0, 0, 1, 0, 0, 0, 1]],
+            ),
+            (
+                "ex".into(),
+                vec![vec![0, 1, 0, 0, 0, 0, 0], vec![0, 0, 1, 0, 0, 0, 0]],
+            ),
+            (
+                "ey".into(),
+                vec![vec![0, 1, 0, 0, 0, 0, 1], vec![0, 0, 1, 0, 0, 0, 0]],
+            ),
+            (
+                "ey".into(),
+                vec![vec![0, 1, 0, 0, 0, 0, 0], vec![0, 0, 1, 0, 0, 0, 0]],
+            ),
+        ],
+        body: Expr::Read(0)
+            - Expr::Lit(0.7)
+                * (Expr::Read(1) - Expr::Read(2) + Expr::Read(3) - Expr::Read(4)),
+    });
+    Kernel {
+        program: b.build(),
+        extents: |p| {
+            let (nx, ny) = (p[1] as usize, p[2] as usize);
+            vec![
+                vec![nx, ny + 1],
+                vec![nx + 1, ny],
+                vec![nx, ny],
+            ]
+        },
+    }
+}
+
+/// LU decomposition (paper Fig. 9a):
+///
+/// ```c
+/// for (k = 0; k < N; k++) {
+///   for (j = k+1; j < N; j++)
+///     a[k][j] = a[k][j] / a[k][k];                 // S1
+///   for (i = k+1; i < N; i++)
+///     for (j = k+1; j < N; j++)
+///       a[i][j] = a[i][j] - a[i][k] * a[k][j];     // S2
+/// }
+/// ```
+pub fn lu() -> Kernel {
+    let mut b = ProgramBuilder::new("lu", &["N"]);
+    b.add_context_ineq(vec![1, -3]); // N >= 3
+    b.add_array("a", 2);
+    // S1 columns: [k, j, N, 1].
+    b.add_statement(StatementSpec {
+        name: "S1".into(),
+        iters: vec!["k".into(), "j".into()],
+        domain_ineqs: vec![
+            vec![1, 0, 0, 0],   // k >= 0
+            vec![-1, 0, 1, -1], // k <= N-1
+            vec![-1, 1, 0, -1], // j >= k+1
+            vec![0, -1, 1, -1], // j <= N-1
+        ],
+        beta: vec![0, 0, 0],
+        write: ("a".into(), vec![vec![1, 0, 0, 0], vec![0, 1, 0, 0]]),
+        reads: vec![
+            ("a".into(), vec![vec![1, 0, 0, 0], vec![0, 1, 0, 0]]),
+            ("a".into(), vec![vec![1, 0, 0, 0], vec![1, 0, 0, 0]]),
+        ],
+        body: Expr::Read(0) / Expr::Read(1),
+    });
+    // S2 columns: [k, i, j, N, 1].
+    b.add_statement(StatementSpec {
+        name: "S2".into(),
+        iters: vec!["k".into(), "i".into(), "j".into()],
+        domain_ineqs: vec![
+            vec![1, 0, 0, 0, 0],
+            vec![-1, 0, 0, 1, -1],
+            vec![-1, 1, 0, 0, -1], // i >= k+1
+            vec![0, -1, 0, 1, -1],
+            vec![-1, 0, 1, 0, -1], // j >= k+1
+            vec![0, 0, -1, 1, -1],
+        ],
+        beta: vec![0, 1, 0, 0],
+        write: (
+            "a".into(),
+            vec![vec![0, 1, 0, 0, 0], vec![0, 0, 1, 0, 0]],
+        ),
+        reads: vec![
+            (
+                "a".into(),
+                vec![vec![0, 1, 0, 0, 0], vec![0, 0, 1, 0, 0]],
+            ),
+            (
+                "a".into(),
+                vec![vec![0, 1, 0, 0, 0], vec![1, 0, 0, 0, 0]],
+            ),
+            (
+                "a".into(),
+                vec![vec![1, 0, 0, 0, 0], vec![0, 0, 1, 0, 0]],
+            ),
+        ],
+        body: Expr::Read(0) - Expr::Read(1) * Expr::Read(2),
+    });
+    Kernel {
+        program: b.build(),
+        extents: |p| vec![vec![p[0] as usize, p[0] as usize]],
+    }
+}
+
+/// Matrix-vector transpose sequence (paper Fig. 11):
+///
+/// ```c
+/// for (i = 0; i < N; i++)
+///   for (j = 0; j < N; j++)
+///     x1[i] = x1[i] + a[i][j] * y1[j];   // S1
+/// for (i = 0; i < N; i++)
+///   for (j = 0; j < N; j++)
+///     x2[i] = x2[i] + a[j][i] * y2[j];   // S2
+/// ```
+///
+/// The only inter-statement dependence is a non-uniform *input* dependence
+/// on `a` — the kernel that motivates Sec. 4.1.
+pub fn mvt() -> Kernel {
+    let mut b = ProgramBuilder::new("mvt", &["N"]);
+    b.add_context_ineq(vec![1, -3]);
+    b.add_array("a", 2);
+    b.add_array("x1", 1);
+    b.add_array("x2", 1);
+    b.add_array("y1", 1);
+    b.add_array("y2", 1);
+    // Columns: [i, j, N, 1].
+    let dom = vec![
+        vec![1, 0, 0, 0],
+        vec![-1, 0, 1, -1],
+        vec![0, 1, 0, 0],
+        vec![0, -1, 1, -1],
+    ];
+    b.add_statement(StatementSpec {
+        name: "S1".into(),
+        iters: vec!["i".into(), "j".into()],
+        domain_ineqs: dom.clone(),
+        beta: vec![0, 0, 0],
+        write: ("x1".into(), vec![vec![1, 0, 0, 0]]),
+        reads: vec![
+            ("x1".into(), vec![vec![1, 0, 0, 0]]),
+            ("a".into(), vec![vec![1, 0, 0, 0], vec![0, 1, 0, 0]]),
+            ("y1".into(), vec![vec![0, 1, 0, 0]]),
+        ],
+        body: Expr::Read(0) + Expr::Read(1) * Expr::Read(2),
+    });
+    b.add_statement(StatementSpec {
+        name: "S2".into(),
+        iters: vec!["i".into(), "j".into()],
+        domain_ineqs: dom,
+        beta: vec![1, 0, 0],
+        write: ("x2".into(), vec![vec![1, 0, 0, 0]]),
+        reads: vec![
+            ("x2".into(), vec![vec![1, 0, 0, 0]]),
+            ("a".into(), vec![vec![0, 1, 0, 0], vec![1, 0, 0, 0]]),
+            ("y2".into(), vec![vec![0, 1, 0, 0]]),
+        ],
+        body: Expr::Read(0) + Expr::Read(1) * Expr::Read(2),
+    });
+    Kernel {
+        program: b.build(),
+        extents: |p| {
+            let n = p[0] as usize;
+            vec![vec![n, n], vec![n], vec![n], vec![n], vec![n]]
+        },
+    }
+}
+
+/// 3-D Gauss-Seidel successive over-relaxation (paper Sec. 7; time +
+/// 2-d space, all three dimensions tilable after skewing):
+///
+/// ```c
+/// for (t = 0; t < T; t++)
+///   for (i = 1; i < N - 1; i++)
+///     for (j = 1; j < N - 1; j++)
+///       a[i][j] = 0.2 * (a[i-1][j] + a[i][j-1] + a[i][j]
+///                        + a[i][j+1] + a[i+1][j]);
+/// ```
+pub fn seidel_2d() -> Kernel {
+    let mut b = ProgramBuilder::new("seidel-2d", &["T", "N"]);
+    b.add_context_ineq(vec![1, 0, -1]);
+    b.add_context_ineq(vec![0, 1, -4]);
+    b.add_array("a", 2);
+    // Columns: [t, i, j, T, N, 1].
+    b.add_statement(StatementSpec {
+        name: "S1".into(),
+        iters: vec!["t".into(), "i".into(), "j".into()],
+        domain_ineqs: vec![
+            vec![1, 0, 0, 0, 0, 0],
+            vec![-1, 0, 0, 1, 0, -1],
+            vec![0, 1, 0, 0, 0, -1],
+            vec![0, -1, 0, 0, 1, -2],
+            vec![0, 0, 1, 0, 0, -1],
+            vec![0, 0, -1, 0, 1, -2],
+        ],
+        beta: vec![0, 0, 0, 0],
+        write: (
+            "a".into(),
+            vec![vec![0, 1, 0, 0, 0, 0], vec![0, 0, 1, 0, 0, 0]],
+        ),
+        reads: vec![
+            (
+                "a".into(),
+                vec![vec![0, 1, 0, 0, 0, -1], vec![0, 0, 1, 0, 0, 0]],
+            ),
+            (
+                "a".into(),
+                vec![vec![0, 1, 0, 0, 0, 0], vec![0, 0, 1, 0, 0, -1]],
+            ),
+            (
+                "a".into(),
+                vec![vec![0, 1, 0, 0, 0, 0], vec![0, 0, 1, 0, 0, 0]],
+            ),
+            (
+                "a".into(),
+                vec![vec![0, 1, 0, 0, 0, 0], vec![0, 0, 1, 0, 0, 1]],
+            ),
+            (
+                "a".into(),
+                vec![vec![0, 1, 0, 0, 0, 1], vec![0, 0, 1, 0, 0, 0]],
+            ),
+        ],
+        body: Expr::Lit(0.2)
+            * (Expr::Read(0) + Expr::Read(1) + Expr::Read(2) + Expr::Read(3) + Expr::Read(4)),
+    });
+    Kernel {
+        program: b.build(),
+        extents: |p| vec![vec![p[1] as usize, p[1] as usize]],
+    }
+}
+
+/// Dense matrix multiplication `C += A·B` (the classic tiling example):
+///
+/// ```c
+/// for (i = 0; i < N; i++)
+///   for (j = 0; j < N; j++)
+///     for (k = 0; k < N; k++)
+///       C[i][j] = C[i][j] + A[i][k] * B[k][j];
+/// ```
+pub fn matmul() -> Kernel {
+    let mut b = ProgramBuilder::new("matmul", &["N"]);
+    b.add_context_ineq(vec![1, -2]);
+    b.add_array("C", 2);
+    b.add_array("A", 2);
+    b.add_array("B", 2);
+    // Columns: [i, j, k, N, 1].
+    b.add_statement(StatementSpec {
+        name: "S1".into(),
+        iters: vec!["i".into(), "j".into(), "k".into()],
+        domain_ineqs: vec![
+            vec![1, 0, 0, 0, 0],
+            vec![-1, 0, 0, 1, -1],
+            vec![0, 1, 0, 0, 0],
+            vec![0, -1, 0, 1, -1],
+            vec![0, 0, 1, 0, 0],
+            vec![0, 0, -1, 1, -1],
+        ],
+        beta: vec![0, 0, 0, 0],
+        write: (
+            "C".into(),
+            vec![vec![1, 0, 0, 0, 0], vec![0, 1, 0, 0, 0]],
+        ),
+        reads: vec![
+            (
+                "C".into(),
+                vec![vec![1, 0, 0, 0, 0], vec![0, 1, 0, 0, 0]],
+            ),
+            (
+                "A".into(),
+                vec![vec![1, 0, 0, 0, 0], vec![0, 0, 1, 0, 0]],
+            ),
+            (
+                "B".into(),
+                vec![vec![0, 0, 1, 0, 0], vec![0, 1, 0, 0, 0]],
+            ),
+        ],
+        body: Expr::Read(0) + Expr::Read(1) * Expr::Read(2),
+    });
+    Kernel {
+        program: b.build(),
+        extents: |p| {
+            let n = p[0] as usize;
+            vec![vec![n, n]; 3]
+        },
+    }
+}
+
+/// The 2-d SOR-like nest of the paper's Fig. 4 (pipelined parallel
+/// example):
+///
+/// ```c
+/// for (i = 1; i < N; i++)
+///   for (j = 1; j < N; j++)
+///     a[i][j] = a[i-1][j] + a[i][j-1];
+/// ```
+pub fn sor_2d() -> Kernel {
+    let mut b = ProgramBuilder::new("sor-2d", &["N"]);
+    b.add_context_ineq(vec![1, -3]);
+    b.add_array("a", 2);
+    // Columns: [i, j, N, 1].
+    b.add_statement(StatementSpec {
+        name: "S1".into(),
+        iters: vec!["i".into(), "j".into()],
+        domain_ineqs: vec![
+            vec![1, 0, 0, -1],
+            vec![-1, 0, 1, -1],
+            vec![0, 1, 0, -1],
+            vec![0, -1, 1, -1],
+        ],
+        beta: vec![0, 0, 0],
+        write: (
+            "a".into(),
+            vec![vec![1, 0, 0, 0], vec![0, 1, 0, 0]],
+        ),
+        reads: vec![
+            (
+                "a".into(),
+                vec![vec![1, 0, 0, -1], vec![0, 1, 0, 0]],
+            ),
+            (
+                "a".into(),
+                vec![vec![1, 0, 0, 0], vec![0, 1, 0, -1]],
+            ),
+        ],
+        body: Expr::Read(0) + Expr::Read(1),
+    });
+    Kernel {
+        program: b.build(),
+        extents: |p| vec![vec![p[0] as usize, p[0] as usize]],
+    }
+}
+
+/// All kernels by name (used by examples and the benchmark harness).
+pub fn all() -> Vec<(&'static str, Kernel)> {
+    vec![
+        ("jacobi-1d-imper", jacobi_1d_imperfect()),
+        ("fdtd-2d", fdtd_2d()),
+        ("lu", lu()),
+        ("mvt", mvt()),
+        ("seidel-2d", seidel_2d()),
+        ("matmul", matmul()),
+        ("sor-2d", sor_2d()),
+        ("jacobi-2d-imper", jacobi_2d_imperfect()),
+        ("gemver", gemver()),
+        ("trmm", trmm()),
+        ("syrk", syrk()),
+        ("trisolv", trisolv()),
+        ("doitgen", doitgen()),
+    ]
+}
+
+/// Shared helper for tests/benches: a deterministic pseudo-random initial
+/// value for array cell `(array_index, flat_offset)`.
+pub fn seed_value(array: usize, offset: usize) -> f64 {
+    // Simple SplitMix-style hash, mapped into [0.5, 1.5) to avoid
+    // catastrophic cancellation in long stencil runs.
+    let mut z = (array as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(offset as u64)
+        .wrapping_add(0x1234_5678);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    0.5 + (z % 1_000_000) as f64 / 1_000_000.0
+}
+
+/// Convenience: total statement-instance count of a kernel at the given
+/// parameter values (exact for the rectangular/triangular domains above;
+/// used for FLOP-rate reporting).
+pub fn instance_count(name: &str, p: &[Int]) -> Int {
+    match name {
+        "jacobi-1d-imper" => 2 * p[0] * (p[1] - 4),
+        "fdtd-2d" => p[0] * (p[2] + (p[1] - 1) * p[2] + p[1] * (p[2] - 1) + p[1] * p[2]),
+        "lu" => {
+            let n = p[0];
+            // Σ_k (N-1-k) + (N-1-k)^2
+            (0..n).map(|k| (n - 1 - k) + (n - 1 - k) * (n - 1 - k)).sum()
+        }
+        "mvt" => 2 * p[0] * p[0],
+        "seidel-2d" => p[0] * (p[1] - 2) * (p[1] - 2),
+        "matmul" => p[0] * p[0] * p[0],
+        "sor-2d" => (p[0] - 1) * (p[0] - 1),
+        "jacobi-2d-imper" => 2 * p[0] * (p[1] - 2) * (p[1] - 2),
+        "gemver" => 3 * p[0] * p[0] + p[0],
+        "trmm" => {
+            let n = p[0];
+            (1..n).map(|i| n * i).sum()
+        }
+        "syrk" => p[0] * p[0] * p[0],
+        "trisolv" => {
+            let n = p[0];
+            2 * n + n * (n - 1) / 2
+        }
+        "doitgen" => {
+            let n = p[0];
+            n * n * n + n * n * n * n + n * n * n
+        }
+        _ => panic!("unknown kernel `{name}`"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pluto_ir::analyze_dependences;
+
+    #[test]
+    fn kernels_build_and_have_dependences() {
+        for (name, k) in all() {
+            assert!(!k.program.stmts.is_empty(), "{name}");
+            let deps = analyze_dependences(&k.program, true);
+            assert!(!deps.is_empty(), "{name}: no dependences found");
+        }
+    }
+
+    #[test]
+    fn jacobi_has_interstatement_flow() {
+        let k = jacobi_1d_imperfect();
+        let deps = analyze_dependences(&k.program, false);
+        assert!(deps
+            .iter()
+            .any(|d| d.src == 0 && d.dst == 1 && d.kind == pluto_ir::DepKind::Flow));
+        assert!(deps
+            .iter()
+            .any(|d| d.src == 1 && d.dst == 0 && d.kind == pluto_ir::DepKind::Flow));
+    }
+
+    #[test]
+    fn mvt_inter_statement_is_input_only() {
+        let k = mvt();
+        let deps = analyze_dependences(&k.program, true);
+        for d in deps.iter().filter(|d| d.src != d.dst) {
+            assert_eq!(d.kind, pluto_ir::DepKind::Input, "only RAR across MVs");
+        }
+    }
+
+    #[test]
+    fn extents_match_arrays() {
+        for (name, k) in all() {
+            let np = k.program.num_params();
+            let params: Vec<i64> = vec![10; np];
+            let e = (k.extents)(&params);
+            assert_eq!(e.len(), k.program.arrays.len(), "{name}");
+            for (a, ext) in k.program.arrays.iter().zip(&e) {
+                assert_eq!(a.ndim, ext.len(), "{name}/{}", a.name);
+            }
+        }
+    }
+
+    #[test]
+    fn instance_counts_positive() {
+        for (name, k) in all() {
+            let np = k.program.num_params();
+            let p: Vec<Int> = vec![8; np];
+            assert!(instance_count(name, &p) > 0, "{name}");
+        }
+    }
+}
+
+/// Imperfectly nested 2-d Jacobi (the 2-d analogue of Fig. 3, from the
+/// Pluto tool's example suite):
+///
+/// ```c
+/// for (t = 0; t < T; t++) {
+///   for (i = 1; i < N-1; i++) for (j = 1; j < N-1; j++)
+///     B[i][j] = 0.2*(A[i][j] + A[i-1][j] + A[i+1][j]
+///                    + A[i][j-1] + A[i][j+1]);          // S1
+///   for (i = 1; i < N-1; i++) for (j = 1; j < N-1; j++)
+///     A[i][j] = B[i][j];                                // S2
+/// }
+/// ```
+pub fn jacobi_2d_imperfect() -> Kernel {
+    let mut b = ProgramBuilder::new("jacobi-2d-imper", &["T", "N"]);
+    b.add_context_ineq(vec![1, 0, -1]);
+    b.add_context_ineq(vec![0, 1, -4]);
+    b.add_array("A", 2);
+    b.add_array("B", 2);
+    // Columns: [t, i, j, T, N, 1].
+    let dom = vec![
+        vec![1, 0, 0, 0, 0, 0],
+        vec![-1, 0, 0, 1, 0, -1],
+        vec![0, 1, 0, 0, 0, -1],
+        vec![0, -1, 0, 0, 1, -2],
+        vec![0, 0, 1, 0, 0, -1],
+        vec![0, 0, -1, 0, 1, -2],
+    ];
+    let at = |di: Int, dj: Int| -> Vec<Vec<Int>> {
+        vec![vec![0, 1, 0, 0, 0, di], vec![0, 0, 1, 0, 0, dj]]
+    };
+    b.add_statement(StatementSpec {
+        name: "S1".into(),
+        iters: vec!["t".into(), "i".into(), "j".into()],
+        domain_ineqs: dom.clone(),
+        beta: vec![0, 0, 0, 0],
+        write: ("B".into(), at(0, 0)),
+        reads: vec![
+            ("A".into(), at(0, 0)),
+            ("A".into(), at(-1, 0)),
+            ("A".into(), at(1, 0)),
+            ("A".into(), at(0, -1)),
+            ("A".into(), at(0, 1)),
+        ],
+        body: Expr::Lit(0.2)
+            * (Expr::Read(0) + Expr::Read(1) + Expr::Read(2) + Expr::Read(3) + Expr::Read(4)),
+    });
+    b.add_statement(StatementSpec {
+        name: "S2".into(),
+        iters: vec!["t".into(), "i".into(), "j".into()],
+        domain_ineqs: dom,
+        beta: vec![0, 1, 0, 0],
+        write: ("A".into(), at(0, 0)),
+        reads: vec![("B".into(), at(0, 0))],
+        body: Expr::Read(0),
+    });
+    Kernel {
+        program: b.build(),
+        extents: |p| vec![vec![p[1] as usize, p[1] as usize]; 2],
+    }
+}
+
+/// BLAS gemver (Pluto example suite): `Â = A + u1·v1ᵀ + u2·v2ᵀ;
+/// x = β·Âᵀ·y + z; w = α·Â·x` — four statements with rich inter-statement
+/// reuse that exercises fusion across a producer and two consumers.
+pub fn gemver() -> Kernel {
+    let mut b = ProgramBuilder::new("gemver", &["N"]);
+    b.add_context_ineq(vec![1, -3]);
+    b.add_array("A", 2);
+    b.add_array("u1", 1);
+    b.add_array("v1", 1);
+    b.add_array("u2", 1);
+    b.add_array("v2", 1);
+    b.add_array("x", 1);
+    b.add_array("y", 1);
+    b.add_array("z", 1);
+    b.add_array("w", 1);
+    // Columns: [i, j, N, 1].
+    let dom2 = vec![
+        vec![1, 0, 0, 0],
+        vec![-1, 0, 1, -1],
+        vec![0, 1, 0, 0],
+        vec![0, -1, 1, -1],
+    ];
+    let a_ij = vec![vec![1, 0, 0, 0], vec![0, 1, 0, 0]];
+    let a_ji = vec![vec![0, 1, 0, 0], vec![1, 0, 0, 0]];
+    let vi = |_: ()| vec![vec![1, 0, 0, 0]];
+    let vj = |_: ()| vec![vec![0, 1, 0, 0]];
+    b.add_statement(StatementSpec {
+        name: "S1".into(),
+        iters: vec!["i".into(), "j".into()],
+        domain_ineqs: dom2.clone(),
+        beta: vec![0, 0, 0],
+        write: ("A".into(), a_ij.clone()),
+        reads: vec![
+            ("A".into(), a_ij.clone()),
+            ("u1".into(), vi(())),
+            ("v1".into(), vj(())),
+            ("u2".into(), vi(())),
+            ("v2".into(), vj(())),
+        ],
+        body: Expr::Read(0) + Expr::Read(1) * Expr::Read(2) + Expr::Read(3) * Expr::Read(4),
+    });
+    b.add_statement(StatementSpec {
+        name: "S2".into(),
+        iters: vec!["i".into(), "j".into()],
+        domain_ineqs: dom2.clone(),
+        beta: vec![1, 0, 0],
+        write: ("x".into(), vi(())),
+        reads: vec![
+            ("x".into(), vi(())),
+            ("A".into(), a_ji),
+            ("y".into(), vj(())),
+        ],
+        body: Expr::Read(0) + Expr::Lit(0.9) * Expr::Read(1) * Expr::Read(2),
+    });
+    b.add_statement(StatementSpec {
+        name: "S3".into(),
+        iters: vec!["i".into()],
+        domain_ineqs: vec![vec![1, 0, 0], vec![-1, 1, -1]],
+        beta: vec![2, 0],
+        write: ("x".into(), vec![vec![1, 0, 0]]),
+        reads: vec![
+            ("x".into(), vec![vec![1, 0, 0]]),
+            ("z".into(), vec![vec![1, 0, 0]]),
+        ],
+        body: Expr::Read(0) + Expr::Read(1),
+    });
+    b.add_statement(StatementSpec {
+        name: "S4".into(),
+        iters: vec!["i".into(), "j".into()],
+        domain_ineqs: dom2,
+        beta: vec![3, 0, 0],
+        write: ("w".into(), vi(())),
+        reads: vec![
+            ("w".into(), vi(())),
+            ("A".into(), a_ij),
+            ("x".into(), vj(())),
+        ],
+        body: Expr::Read(0) + Expr::Lit(1.1) * Expr::Read(1) * Expr::Read(2),
+    });
+    Kernel {
+        program: b.build(),
+        extents: |p| {
+            let n = p[0] as usize;
+            vec![
+                vec![n, n],
+                vec![n],
+                vec![n],
+                vec![n],
+                vec![n],
+                vec![n],
+                vec![n],
+                vec![n],
+                vec![n],
+            ]
+        },
+    }
+}
+
+/// Triangular matrix multiply (trmm-like, Pluto example suite):
+///
+/// ```c
+/// for (i = 1; i < N; i++)
+///   for (j = 0; j < N; j++)
+///     for (k = 0; k < i; k++)
+///       B[i][j] = B[i][j] + A[i][k] * B[k][j];
+/// ```
+///
+/// A genuinely triangular iteration space with a loop-carried flow on `B`.
+pub fn trmm() -> Kernel {
+    let mut b = ProgramBuilder::new("trmm", &["N"]);
+    b.add_context_ineq(vec![1, -3]);
+    b.add_array("A", 2);
+    b.add_array("B", 2);
+    // Columns: [i, j, k, N, 1].
+    b.add_statement(StatementSpec {
+        name: "S1".into(),
+        iters: vec!["i".into(), "j".into(), "k".into()],
+        domain_ineqs: vec![
+            vec![1, 0, 0, 0, -1],  // i >= 1
+            vec![-1, 0, 0, 1, -1], // i <= N-1
+            vec![0, 1, 0, 0, 0],
+            vec![0, -1, 0, 1, -1],
+            vec![0, 0, 1, 0, 0],   // k >= 0
+            vec![1, 0, -1, 0, -1], // k <= i-1
+        ],
+        beta: vec![0, 0, 0, 0],
+        write: (
+            "B".into(),
+            vec![vec![1, 0, 0, 0, 0], vec![0, 1, 0, 0, 0]],
+        ),
+        reads: vec![
+            (
+                "B".into(),
+                vec![vec![1, 0, 0, 0, 0], vec![0, 1, 0, 0, 0]],
+            ),
+            (
+                "A".into(),
+                vec![vec![1, 0, 0, 0, 0], vec![0, 0, 1, 0, 0]],
+            ),
+            (
+                "B".into(),
+                vec![vec![0, 0, 1, 0, 0], vec![0, 1, 0, 0, 0]],
+            ),
+        ],
+        body: Expr::Read(0) + Expr::Read(1) * Expr::Read(2),
+    });
+    Kernel {
+        program: b.build(),
+        extents: |p| vec![vec![p[0] as usize, p[0] as usize]; 2],
+    }
+}
+
+/// Symmetric rank-k update (syrk): `C += A·Aᵀ` — a matmul-class kernel
+/// with two reads of the same array (input-dependence reuse).
+pub fn syrk() -> Kernel {
+    let mut b = ProgramBuilder::new("syrk", &["N"]);
+    b.add_context_ineq(vec![1, -2]);
+    b.add_array("C", 2);
+    b.add_array("A", 2);
+    // Columns: [i, j, k, N, 1].
+    b.add_statement(StatementSpec {
+        name: "S1".into(),
+        iters: vec!["i".into(), "j".into(), "k".into()],
+        domain_ineqs: vec![
+            vec![1, 0, 0, 0, 0],
+            vec![-1, 0, 0, 1, -1],
+            vec![0, 1, 0, 0, 0],
+            vec![0, -1, 0, 1, -1],
+            vec![0, 0, 1, 0, 0],
+            vec![0, 0, -1, 1, -1],
+        ],
+        beta: vec![0, 0, 0, 0],
+        write: (
+            "C".into(),
+            vec![vec![1, 0, 0, 0, 0], vec![0, 1, 0, 0, 0]],
+        ),
+        reads: vec![
+            (
+                "C".into(),
+                vec![vec![1, 0, 0, 0, 0], vec![0, 1, 0, 0, 0]],
+            ),
+            (
+                "A".into(),
+                vec![vec![1, 0, 0, 0, 0], vec![0, 0, 1, 0, 0]],
+            ),
+            (
+                "A".into(),
+                vec![vec![0, 1, 0, 0, 0], vec![0, 0, 1, 0, 0]],
+            ),
+        ],
+        body: Expr::Read(0) + Expr::Read(1) * Expr::Read(2),
+    });
+    Kernel {
+        program: b.build(),
+        extents: |p| vec![vec![p[0] as usize, p[0] as usize]; 2],
+    }
+}
+
+/// Forward substitution (trisolv): a mostly sequential triangular solve —
+/// a stress test for codes with little parallelism to extract.
+///
+/// ```c
+/// for (i = 0; i < N; i++) {
+///   x[i] = b[i];                                  // S1
+///   for (j = 0; j < i; j++)
+///     x[i] = x[i] - L[i][j] * x[j];               // S2
+///   x[i] = x[i] / L[i][i];                        // S3
+/// }
+/// ```
+pub fn trisolv() -> Kernel {
+    let mut bl = ProgramBuilder::new("trisolv", &["N"]);
+    bl.add_context_ineq(vec![1, -3]);
+    bl.add_array("L", 2);
+    bl.add_array("x", 1);
+    bl.add_array("b", 1);
+    // S1/S3 columns: [i, N, 1]; S2 columns: [i, j, N, 1].
+    bl.add_statement(StatementSpec {
+        name: "S1".into(),
+        iters: vec!["i".into()],
+        domain_ineqs: vec![vec![1, 0, 0], vec![-1, 1, -1]],
+        beta: vec![0, 0],
+        write: ("x".into(), vec![vec![1, 0, 0]]),
+        reads: vec![("b".into(), vec![vec![1, 0, 0]])],
+        body: Expr::Read(0),
+    });
+    bl.add_statement(StatementSpec {
+        name: "S2".into(),
+        iters: vec!["i".into(), "j".into()],
+        domain_ineqs: vec![
+            vec![1, 0, 0, 0],
+            vec![-1, 0, 1, -1],
+            vec![0, 1, 0, 0],
+            vec![1, -1, 0, -1], // j <= i-1
+        ],
+        beta: vec![0, 1, 0],
+        write: ("x".into(), vec![vec![1, 0, 0, 0]]),
+        reads: vec![
+            ("x".into(), vec![vec![1, 0, 0, 0]]),
+            ("L".into(), vec![vec![1, 0, 0, 0], vec![0, 1, 0, 0]]),
+            ("x".into(), vec![vec![0, 1, 0, 0]]),
+        ],
+        body: Expr::Read(0) - Expr::Read(1) * Expr::Read(2),
+    });
+    bl.add_statement(StatementSpec {
+        name: "S3".into(),
+        iters: vec!["i".into()],
+        domain_ineqs: vec![vec![1, 0, 0], vec![-1, 1, -1]],
+        beta: vec![0, 2],
+        write: ("x".into(), vec![vec![1, 0, 0]]),
+        reads: vec![
+            ("x".into(), vec![vec![1, 0, 0]]),
+            ("L".into(), vec![vec![1, 0, 0], vec![1, 0, 0]]),
+        ],
+        body: Expr::Read(0) / Expr::Read(1),
+    });
+    Kernel {
+        program: bl.build(),
+        extents: |p| {
+            let n = p[0] as usize;
+            vec![vec![n, n], vec![n], vec![n]]
+        },
+    }
+}
+
+/// Multi-resolution analysis kernel (doitgen, Pluto example suite): a
+/// 3-statement imperfect nest over a 3-d array with a temporary.
+///
+/// ```c
+/// for (r = 0; r < N; r++)
+///   for (q = 0; q < N; q++) {
+///     for (p = 0; p < N; p++) {
+///       sum[p] = 0;                                   // S1
+///       for (s = 0; s < N; s++)
+///         sum[p] = sum[p] + A[r][q][s] * C4[s][p];    // S2
+///     }
+///     for (p = 0; p < N; p++)
+///       A[r][q][p] = sum[p];                          // S3
+///   }
+/// ```
+pub fn doitgen() -> Kernel {
+    let mut b = ProgramBuilder::new("doitgen", &["N"]);
+    b.add_context_ineq(vec![1, -2]);
+    b.add_array("A", 3);
+    b.add_array("C4", 2);
+    b.add_array("sum", 1);
+    // S1 columns: [r, q, p, N, 1]; S2: [r, q, p, s, N, 1]; S3: [r, q, p, N, 1].
+    let dom3 = vec![
+        vec![1, 0, 0, 0, 0],
+        vec![-1, 0, 0, 1, -1],
+        vec![0, 1, 0, 0, 0],
+        vec![0, -1, 0, 1, -1],
+        vec![0, 0, 1, 0, 0],
+        vec![0, 0, -1, 1, -1],
+    ];
+    b.add_statement(StatementSpec {
+        name: "S1".into(),
+        iters: vec!["r".into(), "q".into(), "p".into()],
+        domain_ineqs: dom3.clone(),
+        beta: vec![0, 0, 0, 0],
+        write: ("sum".into(), vec![vec![0, 0, 1, 0, 0]]),
+        reads: vec![],
+        body: Expr::Lit(0.0),
+    });
+    b.add_statement(StatementSpec {
+        name: "S2".into(),
+        iters: vec!["r".into(), "q".into(), "p".into(), "s".into()],
+        domain_ineqs: vec![
+            vec![1, 0, 0, 0, 0, 0],
+            vec![-1, 0, 0, 0, 1, -1],
+            vec![0, 1, 0, 0, 0, 0],
+            vec![0, -1, 0, 0, 1, -1],
+            vec![0, 0, 1, 0, 0, 0],
+            vec![0, 0, -1, 0, 1, -1],
+            vec![0, 0, 0, 1, 0, 0],
+            vec![0, 0, 0, -1, 1, -1],
+        ],
+        beta: vec![0, 0, 0, 1, 0],
+        write: ("sum".into(), vec![vec![0, 0, 1, 0, 0, 0]]),
+        reads: vec![
+            ("sum".into(), vec![vec![0, 0, 1, 0, 0, 0]]),
+            (
+                "A".into(),
+                vec![
+                    vec![1, 0, 0, 0, 0, 0],
+                    vec![0, 1, 0, 0, 0, 0],
+                    vec![0, 0, 0, 1, 0, 0],
+                ],
+            ),
+            (
+                "C4".into(),
+                vec![vec![0, 0, 0, 1, 0, 0], vec![0, 0, 1, 0, 0, 0]],
+            ),
+        ],
+        body: Expr::Read(0) + Expr::Read(1) * Expr::Read(2),
+    });
+    b.add_statement(StatementSpec {
+        name: "S3".into(),
+        iters: vec!["r".into(), "q".into(), "p".into()],
+        domain_ineqs: dom3,
+        beta: vec![0, 0, 1, 0],
+        write: (
+            "A".into(),
+            vec![
+                vec![1, 0, 0, 0, 0],
+                vec![0, 1, 0, 0, 0],
+                vec![0, 0, 1, 0, 0],
+            ],
+        ),
+        reads: vec![("sum".into(), vec![vec![0, 0, 1, 0, 0]])],
+        body: Expr::Read(0),
+    });
+    Kernel {
+        program: b.build(),
+        extents: |p| {
+            let n = p[0] as usize;
+            vec![vec![n, n, n], vec![n, n], vec![n]]
+        },
+    }
+}

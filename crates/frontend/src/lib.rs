@@ -1,0 +1,26 @@
+//! Program construction front-end: the paper's benchmark kernels and a
+//! small affine-C parser — the `pluto-rs` stand-in for the LooPo
+//! scanner/parser.
+//!
+//! [`kernels`] builds the exact loop nests evaluated in the paper's
+//! Sec. 7 (imperfectly nested 1-d Jacobi, 2-d FDTD, LU decomposition,
+//! MVT, 3-D Gauss-Seidel) plus supporting kernels (matmul, the Fig. 4
+//! SOR-like nest) through the typed [`ProgramBuilder`] API.
+//!
+//! [`parse`] accepts a restricted C-like affine-loop language, so the tool
+//! is usable source-to-source like the original PLuTo:
+//!
+//! ```text
+//! params N;
+//! array a[N][N];
+//! for (i = 1; i <= N - 2; i++)
+//!   for (j = 1; j <= N - 2; j++)
+//!     a[i][j] = a[i-1][j] + a[i][j-1];
+//! ```
+
+pub mod kernels;
+mod parser;
+
+pub use kernels::Kernel;
+pub use parser::{parse, parse_unit, ParseError, ParsedUnit};
+pub use pluto_ir::{Program, ProgramBuilder};

@@ -1,0 +1,956 @@
+//! A recursive-descent parser for a restricted affine-C language.
+//!
+//! The accepted language covers the paper's input class: perfectly or
+//! imperfectly nested `for` loops with affine bounds in outer iterators
+//! and parameters, and single-assignment statements with affine array
+//! subscripts. See [`parse`] for the grammar.
+
+use pluto_ir::{Expr, Program, ProgramBuilder, StatementSpec};
+use pluto_linalg::Int;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error raised by [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// Byte offset in the source where the error was detected.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses an affine-C program.
+///
+/// Grammar (informally):
+///
+/// ```text
+/// program := ("params" ident ("," ident)* ";")?
+///            ("assume" affine (">=" | "<=") affine ";")*
+///            ("array" ident ("[" affine "]")+ ";")*
+///            item*
+/// item    := for | assign
+/// for     := "for" "(" id "=" affine ";" id ("<=" | "<") affine ";"
+///            id "++" ")" ( "{" item* "}" | item )
+/// assign  := id ("[" affine "]")* ("=" | "+=" | "-=") expr ";"
+/// expr    := term (("+" | "-") term)*
+/// term    := factor (("*" | "/") factor)*
+/// factor  := number | "(" expr ")" | "-" factor
+///          | id ("[" affine "]")*        // array read or iterator value
+/// affine  := linear expression over iterators, parameters and integers
+/// ```
+///
+/// # Errors
+/// Returns [`ParseError`] on malformed input, unknown identifiers,
+/// non-affine bounds or subscripts.
+///
+/// # Examples
+/// ```
+/// let src = "
+///   params N;
+///   array a[N][N];
+///   for (i = 1; i <= N - 2; i++)
+///     for (j = 1; j <= N - 2; j++)
+///       a[i][j] = 0.25 * (a[i-1][j] + a[i][j-1]);
+/// ";
+/// let prog = pluto_frontend::parse(src)?;
+/// assert_eq!(prog.stmts.len(), 1);
+/// assert_eq!(prog.stmts[0].iters, vec!["i", "j"]);
+/// # Ok::<(), pluto_frontend::ParseError>(())
+/// ```
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    Ok(parse_unit(src)?.program)
+}
+
+/// A parsed program together with its declared array extents (affine in
+/// the parameters), so parsed sources can be allocated and executed.
+#[derive(Debug, Clone)]
+pub struct ParsedUnit {
+    /// The polyhedral program.
+    pub program: Program,
+    /// Per-array extent rows over `[params…, 1]` (one per dimension).
+    extent_rows: Vec<Vec<Vec<Int>>>,
+}
+
+impl ParsedUnit {
+    /// Evaluates the declared array extents at concrete parameter values.
+    ///
+    /// # Panics
+    /// Panics if an extent evaluates non-positive.
+    pub fn extents(&self, params: &[i64]) -> Vec<Vec<usize>> {
+        self.extent_rows
+            .iter()
+            .map(|dims| {
+                dims.iter()
+                    .map(|row| {
+                        let mut v = row[params.len()];
+                        for (k, &p) in params.iter().enumerate() {
+                            v += row[k] * p as Int;
+                        }
+                        assert!(v > 0, "array extent must be positive, got {v}");
+                        v as usize
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Like [`parse`], but also returns the declared array extents.
+///
+/// # Errors
+/// Returns [`ParseError`] like [`parse`].
+pub fn parse_unit(src: &str) -> Result<ParsedUnit, ParseError> {
+    let tokens = lex(src)?;
+    Parser::new(src, tokens).program()
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(Int),
+    Float(f64),
+    Sym(&'static str),
+}
+
+struct Lexed {
+    tok: Tok,
+    offset: usize,
+}
+
+fn lex(src: &str) -> Result<Vec<Lexed>, ParseError> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        if c.is_ascii_alphabetic() || c == '_' {
+            while i < b.len() && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            out.push(Lexed {
+                tok: Tok::Ident(src[start..i].to_string()),
+                offset: start,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            while i < b.len() && (b[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            if i < b.len() && b[i] == b'.' {
+                i += 1;
+                while i < b.len() && (b[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let v: f64 = src[start..i].parse().map_err(|_| ParseError {
+                    message: "bad float literal".into(),
+                    offset: start,
+                })?;
+                out.push(Lexed {
+                    tok: Tok::Float(v),
+                    offset: start,
+                });
+            } else {
+                let v: Int = src[start..i].parse().map_err(|_| ParseError {
+                    message: "bad integer literal".into(),
+                    offset: start,
+                })?;
+                out.push(Lexed {
+                    tok: Tok::Int(v),
+                    offset: start,
+                });
+            }
+            continue;
+        }
+        // Multi-char symbols first.
+        for sym in ["++", "+=", "-=", "<=", ">=", "=="] {
+            if src[i..].starts_with(sym) {
+                out.push(Lexed {
+                    tok: Tok::Sym(sym),
+                    offset: start,
+                });
+                i += sym.len();
+            }
+        }
+        if i != start {
+            continue;
+        }
+        let sym = match c {
+            '(' => "(",
+            ')' => ")",
+            '[' => "[",
+            ']' => "]",
+            '{' => "{",
+            '}' => "}",
+            ';' => ";",
+            ',' => ",",
+            '=' => "=",
+            '+' => "+",
+            '-' => "-",
+            '*' => "*",
+            '/' => "/",
+            '<' => "<",
+            _ => {
+                return Err(ParseError {
+                    message: format!("unexpected character `{c}`"),
+                    offset: start,
+                })
+            }
+        };
+        out.push(Lexed {
+            tok: Tok::Sym(sym),
+            offset: start,
+        });
+        i += 1;
+    }
+    Ok(out)
+}
+
+/// A symbolic affine expression over iterator and parameter names.
+#[derive(Debug, Clone, Default)]
+struct Lin {
+    terms: HashMap<String, Int>,
+    konst: Int,
+}
+
+impl Lin {
+    fn constant(c: Int) -> Lin {
+        Lin {
+            terms: HashMap::new(),
+            konst: c,
+        }
+    }
+    fn var(name: &str) -> Lin {
+        let mut t = HashMap::new();
+        t.insert(name.to_string(), 1);
+        Lin { terms: t, konst: 0 }
+    }
+    fn add(&mut self, o: &Lin, scale: Int) {
+        for (k, v) in &o.terms {
+            *self.terms.entry(k.clone()).or_insert(0) += v * scale;
+        }
+        self.konst += o.konst * scale;
+    }
+    fn is_const(&self) -> Option<Int> {
+        if self.terms.values().all(|&v| v == 0) {
+            Some(self.konst)
+        } else {
+            None
+        }
+    }
+    /// Materializes as a row over `[iters…, params…, 1]`.
+    fn row(&self, iters: &[String], params: &[String]) -> Result<Vec<Int>, String> {
+        let mut row = vec![0; iters.len() + params.len() + 1];
+        for (name, &coef) in &self.terms {
+            if coef == 0 {
+                continue;
+            }
+            if let Some(k) = iters.iter().position(|x| x == name) {
+                row[k] = coef;
+            } else if let Some(k) = params.iter().position(|x| x == name) {
+                row[iters.len() + k] = coef;
+            } else {
+                return Err(format!("unknown identifier `{name}`"));
+            }
+        }
+        row[iters.len() + params.len()] = self.konst;
+        Ok(row)
+    }
+}
+
+struct LoopFrame {
+    iter: String,
+    /// `iter − lb >= 0` and `ub − iter >= 0` as symbolic expressions.
+    lb: Lin,
+    ub: Lin,
+    /// Position of this loop within its parent body.
+    position: Int,
+}
+
+struct Parser<'s> {
+    src: &'s str,
+    toks: Vec<Lexed>,
+    pos: usize,
+    params: Vec<String>,
+    assumes: Vec<Lin>,
+    arrays: Vec<(String, usize)>,
+    extents: Vec<Vec<Lin>>,
+    loops: Vec<LoopFrame>,
+    /// Per-depth sibling counters (depth 0 = top level).
+    counters: Vec<Int>,
+    stmts: Vec<PendingStmt>,
+}
+
+struct PendingStmt {
+    iters: Vec<String>,
+    bounds: Vec<(Lin, Lin)>,
+    beta: Vec<Int>,
+    write: (String, Vec<Lin>),
+    reads: Vec<(String, Vec<Lin>)>,
+    body: Expr,
+    offset: usize,
+}
+
+impl<'s> Parser<'s> {
+    fn new(src: &'s str, toks: Vec<Lexed>) -> Parser<'s> {
+        Parser {
+            src,
+            toks,
+            pos: 0,
+            params: Vec::new(),
+            assumes: Vec::new(),
+            arrays: Vec::new(),
+            extents: Vec::new(),
+            loops: Vec::new(),
+            counters: vec![0],
+            stmts: Vec::new(),
+        }
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: msg.into(),
+            offset: self.toks.get(self.pos).map_or(self.src.len(), |t| t.offset),
+        })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.tok.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn eat_sym(&mut self, s: &str) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(Tok::Sym(x)) if x == s => Ok(()),
+            other => {
+                self.pos -= 1;
+                self.err(format!("expected `{s}`, found {other:?}"))
+            }
+        }
+    }
+
+    fn eat_ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(x)) => Ok(x),
+            other => {
+                self.pos -= 1;
+                self.err(format!("expected identifier, found {other:?}"))
+            }
+        }
+    }
+
+    fn program(mut self) -> Result<ParsedUnit, ParseError> {
+        // Optional params declaration.
+        if matches!(self.peek(), Some(Tok::Ident(x)) if x == "params") {
+            self.bump();
+            loop {
+                let p = self.eat_ident()?;
+                self.params.push(p);
+                match self.peek() {
+                    Some(Tok::Sym(",")) => {
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            }
+            self.eat_sym(";")?;
+        }
+        // Context assumptions: `assume <affine> >= <affine>;`.
+        while matches!(self.peek(), Some(Tok::Ident(x)) if x == "assume") {
+            self.bump();
+            let lhs = self.affine()?;
+            let flip = match self.bump() {
+                Some(Tok::Sym(">=")) => false,
+                Some(Tok::Sym("<=")) => true,
+                other => {
+                    self.pos -= 1;
+                    return self.err(format!("expected `>=` or `<=`, found {other:?}"));
+                }
+            };
+            let rhs = self.affine()?;
+            // lhs - rhs >= 0 (or rhs - lhs >= 0 when flipped).
+            let mut row = Lin::default();
+            row.add(&lhs, if flip { -1 } else { 1 });
+            row.add(&rhs, if flip { 1 } else { -1 });
+            self.eat_sym(";")?;
+            self.assumes.push(row);
+        }
+        // Array declarations.
+        while matches!(self.peek(), Some(Tok::Ident(x)) if x == "array") {
+            self.bump();
+            let name = self.eat_ident()?;
+            let mut dims = Vec::new();
+            while matches!(self.peek(), Some(Tok::Sym("["))) {
+                self.bump();
+                dims.push(self.affine()?);
+                self.eat_sym("]")?;
+            }
+            self.eat_sym(";")?;
+            if dims.is_empty() {
+                return self.err("array declaration needs at least one extent");
+            }
+            self.arrays.push((name, dims.len()));
+            self.extents.push(dims);
+        }
+        while self.peek().is_some() {
+            self.item()?;
+        }
+        // Materialize the program.
+        let mut b = ProgramBuilder::new("parsed", &self.params.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+        // Parameters are assumed large enough for every loop to run.
+        for k in 0..self.params.len() {
+            let mut row = vec![0; self.params.len() + 1];
+            row[k] = 1;
+            row[self.params.len()] = -1; // p >= 1
+            b.add_context_ineq(row);
+        }
+        for a in &self.assumes {
+            let row = a.row(&[], &self.params).map_err(|m| ParseError {
+                message: m,
+                offset: 0,
+            })?;
+            b.add_context_ineq(row);
+        }
+        for (name, ndim) in &self.arrays {
+            b.add_array(name, *ndim);
+        }
+        let params = self.params.clone();
+        for (si, ps) in self.stmts.iter().enumerate() {
+            let mk_row = |l: &Lin| -> Result<Vec<Int>, ParseError> {
+                l.row(&ps.iters, &params).map_err(|m| ParseError {
+                    message: m,
+                    offset: ps.offset,
+                })
+            };
+            let mut domain = Vec::new();
+            for (d, (lb, ub)) in ps.bounds.iter().enumerate() {
+                // iter − lb >= 0
+                let mut lo = mk_row(lb)?;
+                for v in lo.iter_mut() {
+                    *v = -*v;
+                }
+                lo[d] += 1;
+                domain.push(lo);
+                // ub − iter >= 0
+                let mut hi = mk_row(ub)?;
+                hi[d] -= 1;
+                domain.push(hi);
+            }
+            let write_rows: Vec<Vec<Int>> = ps
+                .write
+                .1
+                .iter()
+                .map(&mk_row)
+                .collect::<Result<_, _>>()?;
+            let mut reads = Vec::new();
+            for (arr, subs) in &ps.reads {
+                let rows: Vec<Vec<Int>> = subs.iter().map(&mk_row).collect::<Result<_, _>>()?;
+                reads.push((arr.clone(), rows));
+            }
+            b.add_statement(StatementSpec {
+                name: format!("S{}", si + 1),
+                iters: ps.iters.clone(),
+                domain_ineqs: domain,
+                beta: ps.beta.clone(),
+                write: (ps.write.0.clone(), write_rows),
+                reads,
+                body: ps.body.clone(),
+            });
+        }
+        let extent_rows = self
+            .extents
+            .iter()
+            .map(|dims| {
+                dims.iter()
+                    .map(|l| {
+                        l.row(&[], &params).map_err(|m| ParseError {
+                            message: m,
+                            offset: 0,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ParsedUnit {
+            program: b.build(),
+            extent_rows,
+        })
+    }
+
+    fn item(&mut self) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(x)) if x == "for" => self.for_loop(),
+            Some(Tok::Ident(_)) => self.assign(),
+            other => self.err(format!("expected `for` or assignment, found {other:?}")),
+        }
+    }
+
+    fn for_loop(&mut self) -> Result<(), ParseError> {
+        self.bump(); // for
+        self.eat_sym("(")?;
+        let iter = self.eat_ident()?;
+        self.eat_sym("=")?;
+        let lb = self.affine()?;
+        self.eat_sym(";")?;
+        let it2 = self.eat_ident()?;
+        if it2 != iter {
+            return self.err("loop condition must test the loop iterator");
+        }
+        let strict = match self.bump() {
+            Some(Tok::Sym("<=")) => false,
+            Some(Tok::Sym("<")) => true,
+            other => {
+                self.pos -= 1;
+                return self.err(format!("expected `<` or `<=`, found {other:?}"));
+            }
+        };
+        let mut ub = self.affine()?;
+        if strict {
+            ub.konst -= 1;
+        }
+        self.eat_sym(";")?;
+        let it3 = self.eat_ident()?;
+        if it3 != iter {
+            return self.err("increment must use the loop iterator");
+        }
+        self.eat_sym("++")?;
+        self.eat_sym(")")?;
+        let depth = self.loops.len();
+        let position = self.counters[depth];
+        self.counters[depth] += 1;
+        self.loops.push(LoopFrame {
+            iter,
+            lb,
+            ub,
+            position,
+        });
+        self.counters.push(0);
+        if matches!(self.peek(), Some(Tok::Sym("{"))) {
+            self.bump();
+            while !matches!(self.peek(), Some(Tok::Sym("}"))) {
+                if self.peek().is_none() {
+                    return self.err("unterminated block");
+                }
+                self.item()?;
+            }
+            self.bump();
+        } else {
+            self.item()?;
+        }
+        self.loops.pop();
+        self.counters.pop();
+        Ok(())
+    }
+
+    fn assign(&mut self) -> Result<(), ParseError> {
+        let offset = self.toks[self.pos].offset;
+        let (array, subs) = self.access()?;
+        if !self.arrays.iter().any(|(n, _)| *n == array) {
+            return self.err(format!("assignment to undeclared array `{array}`"));
+        }
+        let op = match self.bump() {
+            Some(Tok::Sym("=")) => None,
+            Some(Tok::Sym("+=")) => Some(false),
+            Some(Tok::Sym("-=")) => Some(true),
+            other => {
+                self.pos -= 1;
+                return self.err(format!("expected assignment, found {other:?}"));
+            }
+        };
+        let mut reads = Vec::new();
+        if op.is_some() {
+            // Compound assignment desugars to a leading self-read.
+            reads.push((array.clone(), subs.clone()));
+        }
+        let rhs = self.expr(&mut reads)?;
+        let body = match op {
+            None => rhs,
+            Some(false) => Expr::Read(0) + rhs,
+            Some(true) => Expr::Read(0) - rhs,
+        };
+        self.eat_sym(";")?;
+        let depth = self.loops.len();
+        let mut beta: Vec<Int> = self.loops.iter().map(|l| l.position).collect();
+        beta.push(self.counters[depth]);
+        self.counters[depth] += 1;
+        self.stmts.push(PendingStmt {
+            iters: self.loops.iter().map(|l| l.iter.clone()).collect(),
+            bounds: self.loops.iter().map(|l| (l.lb.clone(), l.ub.clone())).collect(),
+            beta,
+            write: (array, subs),
+            reads,
+            body,
+            offset,
+        });
+        Ok(())
+    }
+
+    fn access(&mut self) -> Result<(String, Vec<Lin>), ParseError> {
+        let name = self.eat_ident()?;
+        let mut subs = Vec::new();
+        while matches!(self.peek(), Some(Tok::Sym("["))) {
+            self.bump();
+            subs.push(self.affine()?);
+            self.eat_sym("]")?;
+        }
+        Ok((name, subs))
+    }
+
+    fn expr(&mut self, reads: &mut Vec<(String, Vec<Lin>)>) -> Result<Expr, ParseError> {
+        let mut e = self.term(reads)?;
+        loop {
+            match self.peek() {
+                Some(Tok::Sym("+")) => {
+                    self.bump();
+                    e = e + self.term(reads)?;
+                }
+                Some(Tok::Sym("-")) => {
+                    self.bump();
+                    e = e - self.term(reads)?;
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn term(&mut self, reads: &mut Vec<(String, Vec<Lin>)>) -> Result<Expr, ParseError> {
+        let mut e = self.factor(reads)?;
+        loop {
+            match self.peek() {
+                Some(Tok::Sym("*")) => {
+                    self.bump();
+                    e = e * self.factor(reads)?;
+                }
+                Some(Tok::Sym("/")) => {
+                    self.bump();
+                    e = e / self.factor(reads)?;
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn factor(&mut self, reads: &mut Vec<(String, Vec<Lin>)>) -> Result<Expr, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Int(v)) => {
+                self.bump();
+                Ok(Expr::Lit(v as f64))
+            }
+            Some(Tok::Float(v)) => {
+                self.bump();
+                Ok(Expr::Lit(v))
+            }
+            Some(Tok::Sym("(")) => {
+                self.bump();
+                let e = self.expr(reads)?;
+                self.eat_sym(")")?;
+                Ok(e)
+            }
+            Some(Tok::Sym("-")) => {
+                self.bump();
+                Ok(Expr::Lit(0.0) - self.factor(reads)?)
+            }
+            Some(Tok::Ident(_)) => {
+                let (name, subs) = self.access()?;
+                if subs.is_empty() {
+                    // Iterator value as an expression leaf.
+                    if let Some(k) = self.loops.iter().position(|l| l.iter == name) {
+                        Ok(Expr::Iter(k))
+                    } else {
+                        self.err(format!("`{name}` is not a loop iterator or array access"))
+                    }
+                } else {
+                    if !self.arrays.iter().any(|(n, _)| *n == name) {
+                        return self.err(format!("read of undeclared array `{name}`"));
+                    }
+                    reads.push((name, subs));
+                    Ok(Expr::Read(reads.len() - 1))
+                }
+            }
+            other => self.err(format!("expected expression, found {other:?}")),
+        }
+    }
+
+    /// Parses an affine expression (no array accesses, multiplication only
+    /// by integer constants).
+    fn affine(&mut self) -> Result<Lin, ParseError> {
+        let mut acc = Lin::default();
+        let first = self.affine_term()?;
+        acc.add(&first, 1);
+        loop {
+            match self.peek() {
+                Some(Tok::Sym("+")) => {
+                    self.bump();
+                    let t = self.affine_term()?;
+                    acc.add(&t, 1);
+                }
+                Some(Tok::Sym("-")) => {
+                    self.bump();
+                    let t = self.affine_term()?;
+                    acc.add(&t, -1);
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn affine_term(&mut self) -> Result<Lin, ParseError> {
+        let mut a = self.affine_atom()?;
+        while matches!(self.peek(), Some(Tok::Sym("*"))) {
+            self.bump();
+            let b = self.affine_atom()?;
+            a = match (a.is_const(), b.is_const()) {
+                (Some(c), _) => {
+                    let r = b.clone();
+                    let mut out = Lin::default();
+                    out.add(&r, c);
+                    out
+                }
+                (_, Some(c)) => {
+                    let mut out = Lin::default();
+                    out.add(&a, c);
+                    out
+                }
+                _ => return self.err("non-affine product of two variables"),
+            };
+        }
+        Ok(a)
+    }
+
+    fn affine_atom(&mut self) -> Result<Lin, ParseError> {
+        match self.bump() {
+            Some(Tok::Int(v)) => Ok(Lin::constant(v)),
+            Some(Tok::Ident(x)) => Ok(Lin::var(&x)),
+            Some(Tok::Sym("-")) => {
+                let a = self.affine_atom()?;
+                let mut out = Lin::default();
+                out.add(&a, -1);
+                Ok(out)
+            }
+            Some(Tok::Sym("(")) => {
+                let a = self.affine()?;
+                self.eat_sym(")")?;
+                Ok(a)
+            }
+            other => {
+                self.pos -= 1;
+                self.err(format!("expected affine expression, found {other:?}"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sor() {
+        let src = "
+          params N;
+          array a[N][N];
+          for (i = 1; i < N; i++)
+            for (j = 1; j < N; j++)
+              a[i][j] = a[i-1][j] + a[i][j-1];
+        ";
+        let p = parse(src).unwrap();
+        assert_eq!(p.params, vec!["N"]);
+        assert_eq!(p.stmts.len(), 1);
+        let s = &p.stmts[0];
+        assert_eq!(s.iters, vec!["i", "j"]);
+        assert_eq!(s.reads.len(), 2);
+        // Domain: i in [1, N-1] at N = 10.
+        assert!(s.domain.contains(&[1, 9, 10]));
+        assert!(!s.domain.contains(&[0, 5, 10]));
+        assert!(!s.domain.contains(&[10, 5, 10]));
+    }
+
+    #[test]
+    fn parses_imperfect_nest_betas() {
+        let src = "
+          params T, N;
+          array a[N]; array b[N];
+          for (t = 0; t < T; t++) {
+            for (i = 2; i <= N - 2; i++)
+              b[i] = 0.333 * (a[i-1] + a[i] + a[i+1]);
+            for (j = 2; j <= N - 2; j++)
+              a[j] = b[j];
+          }
+        ";
+        let p = parse(src).unwrap();
+        assert_eq!(p.stmts.len(), 2);
+        assert_eq!(p.stmts[0].beta, vec![0, 0, 0]);
+        assert_eq!(p.stmts[1].beta, vec![0, 1, 0]);
+        assert_eq!(p.stmts[0].common_loops(&p.stmts[1]), 1);
+    }
+
+    #[test]
+    fn iterator_in_body() {
+        let src = "
+          params N;
+          array a[N];
+          for (i = 0; i < N; i++)
+            a[i] = i * 2;
+        ";
+        let p = parse(src).unwrap();
+        assert_eq!(p.stmts[0].reads.len(), 0);
+        assert_eq!(p.stmts[0].body, Expr::Iter(0) * Expr::Lit(2.0));
+    }
+
+    #[test]
+    fn rejects_nonaffine() {
+        let src = "
+          params N;
+          array a[N];
+          for (i = 0; i < N; i++)
+            a[i*i] = 1;
+        ";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_array() {
+        let src = "for (i = 0; i < 5; i++) z[i] = 1;";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn skewed_bounds() {
+        let src = "
+          params N;
+          array a[N][N];
+          for (i = 0; i < N; i++)
+            for (j = i + 1; j <= 2 * i + 3; j++)
+              a[i][j] = 1;
+        ";
+        let p = parse(src).unwrap();
+        let s = &p.stmts[0];
+        // j in [i+1, 2i+3]: (i=2, j=3) ok, (i=2, j=8) not.
+        assert!(s.domain.contains(&[2, 3, 100]));
+        assert!(s.domain.contains(&[2, 7, 100]));
+        assert!(!s.domain.contains(&[2, 8, 100]));
+        assert!(!s.domain.contains(&[2, 2, 100]));
+    }
+
+    #[test]
+    fn comments_and_floats() {
+        let src = "
+          // a scaling kernel
+          params N;
+          array a[N];
+          for (i = 0; i < N; i++)
+            a[i] = 0.5 * a[i]; // halve
+        ";
+        let p = parse(src).unwrap();
+        assert_eq!(p.stmts.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod ext_tests {
+    use super::*;
+
+    #[test]
+    fn compound_assignment_desugars() {
+        let src = "
+          params N;
+          array C[N][N]; array A[N][N]; array B[N][N];
+          for (i = 0; i < N; i++)
+            for (j = 0; j < N; j++)
+              for (k = 0; k < N; k++)
+                C[i][j] += A[i][k] * B[k][j];
+        ";
+        let p = parse(src).unwrap();
+        let s = &p.stmts[0];
+        assert_eq!(s.reads.len(), 3);
+        // First read is the self-read of C[i][j].
+        assert_eq!(s.reads[0].array, s.write.array);
+        assert_eq!(s.reads[0].map, s.write.map);
+        assert_eq!(s.body, Expr::Read(0) + Expr::Read(1) * Expr::Read(2));
+    }
+
+    #[test]
+    fn minus_equals() {
+        let src = "
+          params N;
+          array a[N];
+          for (i = 0; i < N; i++)
+            a[i] -= 2.0;
+        ";
+        let p = parse(src).unwrap();
+        assert_eq!(p.stmts[0].body, Expr::Read(0) - Expr::Lit(2.0));
+    }
+
+    #[test]
+    fn assume_enters_context() {
+        let src = "
+          params N, M;
+          assume N >= 10;
+          assume M <= N;
+          array a[N];
+          for (i = 0; i < M; i++)
+            a[i] = 1;
+        ";
+        let p = parse(src).unwrap();
+        // Context: N >= 10 and M <= N (plus the defaults N,M >= 1).
+        assert!(p.context.contains(&[10, 5]));
+        assert!(!p.context.contains(&[9, 5])); // violates N >= 10
+        assert!(!p.context.contains(&[10, 11])); // violates M <= N
+    }
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    #[test]
+    fn parsed_unit_evaluates_extents() {
+        let src = "
+          params N, M;
+          array a[N][M+1];
+          array b[2*N];
+          for (i = 0; i < N; i++)
+            b[i] = a[i][0];
+        ";
+        let u = parse_unit(src).unwrap();
+        let e = u.extents(&[10, 5]);
+        assert_eq!(e, vec![vec![10, 6], vec![20]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn nonpositive_extent_panics() {
+        let src = "
+          params N;
+          array a[N];
+          for (i = 0; i < N; i++)
+            a[i] = 1;
+        ";
+        let u = parse_unit(src).unwrap();
+        let _ = u.extents(&[0]);
+    }
+}

@@ -1,0 +1,179 @@
+//! Exact integer lexicographic minimization — the `pluto-rs` stand-in for
+//! PipLib.
+//!
+//! The Pluto algorithm (PLDI'08, Sec. 3.2) casts transformation search as
+//!
+//! > `minimize≺ {u1, u2, …, uk, w, …, ci's, …}`  (Eq. 5)
+//!
+//! a *lexicographic* minimum of a non-negative integer vector subject to
+//! linear inequalities. The paper solves this with PIP; this crate
+//! implements the same algorithm family from scratch:
+//!
+//! * a lexicographic dual simplex over exact rationals whose
+//!   pivot rule keeps every tableau column lexico-positive, so the first
+//!   all-feasible dictionary read off is the *rational* lexmin;
+//! * Gomory–Chvátal cuts generated from the first fractional objective row,
+//!   iterated until the lexmin is integral (Gomory's lexicographic method,
+//!   which is finitely terminating).
+//!
+//! All problem variables are constrained non-negative, exactly matching
+//! Pluto's practical choice (Sec. 4.2) that avoids combinatorial explosion.
+//! A helper entry point splits free variables into differences of
+//! non-negative ones for general integer feasibility testing (used by the
+//! dependence analyzer).
+//!
+//! # Examples
+//!
+//! ```
+//! use pluto_ilp::IlpProblem;
+//! // minimize (x, y) lexicographically s.t. x + y >= 3, x <= 2, x,y >= 0
+//! let mut p = IlpProblem::new(2);
+//! p.add_ineq(vec![1, 1, -3]); // x + y - 3 >= 0
+//! p.add_ineq(vec![-1, 0, 2]); // -x + 2 >= 0
+//! assert_eq!(p.lexmin(), Some(vec![0, 3]));
+//! ```
+
+mod solver;
+
+pub use solver::{IlpProblem, SolveError};
+
+#[cfg(test)]
+mod brute {
+    //! Brute-force reference used by the test-suite only.
+    use pluto_linalg::Int;
+
+    /// Enumerates the lexmin of `{x : rows·(x,1) >= 0, 0 <= x_i <= bound}`.
+    pub fn lexmin_boxed(num_vars: usize, rows: &[Vec<Int>], bound: Int) -> Option<Vec<Int>> {
+        let mut best: Option<Vec<Int>> = None;
+        let mut x = vec![0; num_vars];
+        loop {
+            let ok = rows.iter().all(|r| {
+                let mut v = r[num_vars];
+                for i in 0..num_vars {
+                    v += r[i] * x[i];
+                }
+                v >= 0
+            });
+            if ok {
+                match &best {
+                    None => best = Some(x.clone()),
+                    Some(b) if x < *b => best = Some(x.clone()),
+                    _ => {}
+                }
+            }
+            // Odometer increment.
+            let mut i = num_vars;
+            loop {
+                if i == 0 {
+                    return best;
+                }
+                i -= 1;
+                if x[i] < bound {
+                    x[i] += 1;
+                    for v in x[i + 1..].iter_mut() {
+                        *v = 0;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn simple_lexmin() {
+        let mut p = IlpProblem::new(2);
+        p.add_ineq(vec![1, 1, -3]);
+        assert_eq!(p.lexmin(), Some(vec![0, 3]));
+    }
+
+    #[test]
+    fn forces_first_var_positive() {
+        // x >= 1 (so lexmin starts at 1), then x + y >= 4 forces y = 3.
+        let mut p = IlpProblem::new(2);
+        p.add_ineq(vec![1, 0, -1]);
+        p.add_ineq(vec![1, 1, -4]);
+        assert_eq!(p.lexmin(), Some(vec![1, 3]));
+    }
+
+    #[test]
+    fn equality_support() {
+        let mut p = IlpProblem::new(2);
+        p.add_eq(vec![1, 1, -5]); // x + y = 5
+        p.add_ineq(vec![-1, 0, 3]); // x <= 3
+        p.add_ineq(vec![1, -1, 1]); // y <= x + 1
+        assert_eq!(p.lexmin(), Some(vec![2, 3]));
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut p = IlpProblem::new(1);
+        p.add_ineq(vec![1, -5]); // x >= 5
+        p.add_ineq(vec![-1, 3]); // x <= 3
+        assert_eq!(p.lexmin(), None);
+        assert!(!p.is_feasible());
+    }
+
+    #[test]
+    fn integrality_needs_cut() {
+        // 2x >= 1 over integers => x >= 1 (rational lexmin x = 1/2).
+        let mut p = IlpProblem::new(1);
+        p.add_ineq(vec![2, -1]);
+        assert_eq!(p.lexmin(), Some(vec![1]));
+    }
+
+    #[test]
+    fn integer_empty_but_rational_nonempty() {
+        // 2x = 1 has rational solution x=1/2 but no integer one.
+        let mut p = IlpProblem::new(1);
+        p.add_eq(vec![2, -1]);
+        assert_eq!(p.lexmin(), None);
+    }
+
+    #[test]
+    fn free_variable_feasibility() {
+        // x <= -2 with x free: feasible only if free vars supported.
+        let rows = vec![vec![-1, -2]]; // -x - 2 >= 0
+        assert!(IlpProblem::feasible_with_free_vars(1, &rows));
+        // x >= 1 and x <= -1: infeasible.
+        let rows2 = vec![vec![1, -1], vec![-1, -1]];
+        assert!(!IlpProblem::feasible_with_free_vars(1, &rows2));
+    }
+
+    #[test]
+    fn randomized_against_brute_force() {
+        let mut rng = StdRng::seed_from_u64(0xB0DDE5);
+        for case in 0..300 {
+            let n = rng.gen_range(1..=3usize);
+            let m = rng.gen_range(1..=4usize);
+            let mut rows: Vec<Vec<i128>> = Vec::new();
+            for _ in 0..m {
+                let mut r: Vec<i128> = (0..n).map(|_| rng.gen_range(-3..=3)).collect();
+                r.push(rng.gen_range(-6..=6));
+                rows.push(r);
+            }
+            // Box the problem so brute force terminates: x_i <= 7.
+            let mut p = IlpProblem::new(n);
+            let mut all = rows.clone();
+            for r in &rows {
+                p.add_ineq(r.clone());
+            }
+            for i in 0..n {
+                let mut r = vec![0; n + 1];
+                r[i] = -1;
+                r[n] = 7;
+                p.add_ineq(r.clone());
+                all.push(r);
+            }
+            let got = p.lexmin();
+            let want = brute::lexmin_boxed(n, &all, 7);
+            assert_eq!(got, want, "case {case}: rows {rows:?}");
+        }
+    }
+}

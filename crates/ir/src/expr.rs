@@ -1,0 +1,152 @@
+//! Executable statement bodies.
+
+use std::fmt;
+
+/// The right-hand side of a statement, as an arithmetic expression tree
+/// over that statement's read accesses.
+///
+/// Every statement in the polyhedral input class is a single assignment
+/// `A[f(i)] = expr(reads…)`; the leaves of `expr` are indices into the
+/// statement's read-access list, literals, and original iterator values
+/// (e.g. FDTD's source statement `ey[0][j] = f(t)`). This keeps the IR fully
+/// executable — the machine substrate evaluates bodies directly, which lets
+/// the test-suite check that *transformed programs compute identical
+/// results* to the originals.
+///
+/// # Examples
+/// ```
+/// use pluto_ir::Expr;
+/// // 0.5 * (reads[0] + reads[1])
+/// let e = Expr::Lit(0.5) * (Expr::Read(0) + Expr::Read(1));
+/// assert_eq!(e.max_read_index(), Some(1));
+/// ```
+#[derive(Clone, PartialEq)]
+pub enum Expr {
+    /// The value loaded by the statement's `n`-th read access.
+    Read(usize),
+    /// A floating-point literal.
+    Lit(f64),
+    /// The value of the statement's `k`-th original iterator, as `f64`.
+    Iter(usize),
+    /// Addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Division.
+    Div(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Evaluates the expression given the loaded read values and the
+    /// statement's original iterator values.
+    ///
+    /// # Panics
+    /// Panics if a [`Expr::Read`] / [`Expr::Iter`] index is out of bounds.
+    pub fn eval(&self, reads: &[f64], iters: &[i64]) -> f64 {
+        match self {
+            Expr::Read(i) => reads[*i],
+            Expr::Lit(v) => *v,
+            Expr::Iter(k) => iters[*k] as f64,
+            Expr::Add(a, b) => a.eval(reads, iters) + b.eval(reads, iters),
+            Expr::Sub(a, b) => a.eval(reads, iters) - b.eval(reads, iters),
+            Expr::Mul(a, b) => a.eval(reads, iters) * b.eval(reads, iters),
+            Expr::Div(a, b) => a.eval(reads, iters) / b.eval(reads, iters),
+        }
+    }
+
+    /// The largest read index referenced, if any (used to validate that a
+    /// statement body is consistent with its access list).
+    pub fn max_read_index(&self) -> Option<usize> {
+        match self {
+            Expr::Read(i) => Some(*i),
+            Expr::Lit(_) | Expr::Iter(_) => None,
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                match (a.max_read_index(), b.max_read_index()) {
+                    (None, r) | (r, None) => r,
+                    (Some(x), Some(y)) => Some(x.max(y)),
+                }
+            }
+        }
+    }
+
+    /// Counts arithmetic operations (used for FLOP accounting in benches).
+    pub fn num_ops(&self) -> usize {
+        match self {
+            Expr::Read(_) | Expr::Lit(_) | Expr::Iter(_) => 0,
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                1 + a.num_ops() + b.num_ops()
+            }
+        }
+    }
+}
+
+impl std::ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Div for Expr {
+    type Output = Expr;
+    fn div(self, rhs: Expr) -> Expr {
+        Expr::Div(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl fmt::Debug for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Read(i) => write!(f, "r{i}"),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Iter(k) => write!(f, "it{k}"),
+            Expr::Add(a, b) => write!(f, "({a:?} + {b:?})"),
+            Expr::Sub(a, b) => write!(f, "({a:?} - {b:?})"),
+            Expr::Mul(a, b) => write!(f, "({a:?} * {b:?})"),
+            Expr::Div(a, b) => write!(f, "({a:?} / {b:?})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_tree() {
+        let e = (Expr::Read(0) + Expr::Read(1)) * Expr::Lit(0.5);
+        assert_eq!(e.eval(&[3.0, 5.0], &[]), 4.0);
+        assert_eq!(e.num_ops(), 2);
+        assert_eq!(e.max_read_index(), Some(1));
+    }
+
+    #[test]
+    fn literal_only() {
+        let e = Expr::Lit(2.0) / Expr::Lit(4.0);
+        assert_eq!(e.eval(&[], &[]), 0.5);
+        assert_eq!(e.max_read_index(), None);
+    }
+
+    #[test]
+    fn iterator_leaves() {
+        let e = Expr::Iter(0) * Expr::Lit(2.0) + Expr::Read(0);
+        assert_eq!(e.eval(&[1.0], &[5]), 11.0);
+        assert_eq!(e.max_read_index(), Some(0));
+    }
+}

@@ -1,0 +1,28 @@
+//! Polyhedral program representation and exact dependence analysis — the
+//! `pluto-rs` stand-in for the LooPo front-end infrastructure.
+//!
+//! A [`Program`] is a sequence of [`Statement`]s, each with
+//!
+//! * an iteration [domain](Statement::domain) — the integer polytope of its
+//!   dynamic instances over `[iterators…, parameters…, 1]`;
+//! * affine array [accesses](Access) (one write target plus reads);
+//! * a static position vector `β` (the classic 2d+1 encoding) recording the
+//!   original imperfectly nested loop structure and textual order;
+//! * an executable body ([`Expr`]) so the machine substrate can actually
+//!   run original and transformed programs and compare results.
+//!
+//! [`analyze_dependences`] builds the Data Dependence Graph of the paper
+//! (Sec. 2.1): for every pair of accesses to the same array it emits one
+//! *dependence polyhedron* per common-loop depth plus the loop-independent
+//! level, keeping exactly the integer-feasible ones (ILP-backed, like the
+//! paper's use of PIP inside the LooPo dependence tester). Flow, anti,
+//! output **and input** (read-after-read) dependences are all produced —
+//! input dependences drive Pluto's locality cost function (Sec. 4.1).
+
+mod deps;
+mod expr;
+mod program;
+
+pub use deps::{analyze_dependences, DepKind, Dependence};
+pub use expr::Expr;
+pub use program::{Access, ArrayDecl, Program, ProgramBuilder, Statement, StatementSpec};

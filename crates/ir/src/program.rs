@@ -1,0 +1,391 @@
+//! The polyhedral program representation.
+
+use crate::expr::Expr;
+use pluto_linalg::Int;
+use pluto_poly::ConstraintSet;
+use std::fmt;
+
+/// A declared array with its dimensionality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDecl {
+    /// Source-level name, e.g. `"a"`.
+    pub name: String,
+    /// Number of subscript dimensions.
+    pub ndim: usize,
+}
+
+/// An affine array access `A[f(i, p)]`.
+///
+/// `map` holds one row per array dimension over the columns
+/// `[iterators…, parameters…, 1]` of the owning statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Access {
+    /// Index into [`Program::arrays`].
+    pub array: usize,
+    /// One affine row per array dimension.
+    pub map: Vec<Vec<Int>>,
+}
+
+impl Access {
+    /// Creates an access after checking row widths against `ndim`.
+    pub fn new(array: usize, map: Vec<Vec<Int>>) -> Access {
+        Access { array, map }
+    }
+
+    /// Evaluates subscripts at a concrete iteration/parameter point.
+    ///
+    /// `vals` is `[iter values…, param values…]`; the implicit trailing `1`
+    /// multiplies the constant column.
+    pub fn eval(&self, vals: &[Int]) -> Vec<Int> {
+        self.map
+            .iter()
+            .map(|row| {
+                debug_assert_eq!(row.len(), vals.len() + 1);
+                let mut v = row[vals.len()];
+                for (k, &x) in vals.iter().enumerate() {
+                    v += row[k] * x;
+                }
+                v
+            })
+            .collect()
+    }
+}
+
+/// One statement of the input program.
+#[derive(Debug, Clone)]
+pub struct Statement {
+    /// Position in [`Program::stmts`].
+    pub id: usize,
+    /// Diagnostic name, e.g. `"S1"`.
+    pub name: String,
+    /// Loop iterator names, outermost first.
+    pub iters: Vec<String>,
+    /// Iteration domain over `[iters…, params…, 1]`.
+    pub domain: ConstraintSet,
+    /// Static position vector of length `iters.len() + 1` (the `β` of the
+    /// classic 2d+1 schedule encoding): `beta[k]` is the statement subtree's
+    /// position inside the depth-`k` loop body. Statements share their first
+    /// `l` loops iff their `beta[..=l-1]`… prefixes (and iterator count)
+    /// agree, and textual order is the lexicographic order of `beta`.
+    pub beta: Vec<Int>,
+    /// The single write access (left-hand side).
+    pub write: Access,
+    /// Read accesses (right-hand side leaves).
+    pub reads: Vec<Access>,
+    /// Executable right-hand side over `reads`.
+    pub body: Expr,
+}
+
+impl Statement {
+    /// Number of enclosing loops (domain dimensionality `m_S`).
+    pub fn num_iters(&self) -> usize {
+        self.iters.len()
+    }
+
+    /// Length of common `beta`-prefix with `other` — the number of loops
+    /// the two statements share in the original nest.
+    pub fn common_loops(&self, other: &Statement) -> usize {
+        let lim = self.num_iters().min(other.num_iters());
+        let mut d = 0;
+        while d < lim && self.beta[d] == other.beta[d] {
+            d += 1;
+        }
+        d
+    }
+
+    /// Whether `self` textually precedes `other` once they share
+    /// `common` loops (lexicographic `beta` comparison from that depth).
+    pub fn precedes_textually(&self, other: &Statement, common: usize) -> bool {
+        let a = &self.beta[common..];
+        let b = &other.beta[common..];
+        a < b
+    }
+}
+
+/// A full static-control program part (SCoP).
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Diagnostic name, e.g. `"jacobi-1d"`.
+    pub name: String,
+    /// Symbolic parameter names (problem sizes), e.g. `["T", "N"]`.
+    pub params: Vec<String>,
+    /// Constraints over `[params…, 1]` known to hold (e.g. `N >= 4`).
+    pub context: ConstraintSet,
+    /// Declared arrays.
+    pub arrays: Vec<ArrayDecl>,
+    /// Statements in textual order.
+    pub stmts: Vec<Statement>,
+}
+
+impl Program {
+    /// Number of symbolic parameters.
+    pub fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Looks up an array index by name.
+    pub fn array_index(&self, name: &str) -> Option<usize> {
+        self.arrays.iter().position(|a| a.name == name)
+    }
+
+    /// The statement's domain intersected with the parameter context,
+    /// still over `[iters…, params…, 1]`.
+    pub fn domain_in_context(&self, s: &Statement) -> ConstraintSet {
+        let lifted = lift_context(&self.context, s.num_iters());
+        s.domain.intersect(&lifted)
+    }
+}
+
+/// Lifts a context over `[params…, 1]` to `[iters…, params…, 1]` by
+/// inserting `num_iters` leading unconstrained columns.
+pub(crate) fn lift_context(context: &ConstraintSet, num_iters: usize) -> ConstraintSet {
+    context.insert_dims(0, num_iters)
+}
+
+/// Everything needed to declare one statement through [`ProgramBuilder`].
+#[derive(Debug, Clone)]
+pub struct StatementSpec {
+    /// Diagnostic name.
+    pub name: String,
+    /// Iterator names, outermost first.
+    pub iters: Vec<String>,
+    /// Domain inequality rows over `[iters…, params…, 1]`.
+    pub domain_ineqs: Vec<Vec<Int>>,
+    /// Static position vector (length `iters.len() + 1`).
+    pub beta: Vec<Int>,
+    /// Write target: array name and affine subscript rows.
+    pub write: (String, Vec<Vec<Int>>),
+    /// Reads: array name and affine subscript rows, in body order.
+    pub reads: Vec<(String, Vec<Vec<Int>>)>,
+    /// Executable body over the reads.
+    pub body: Expr,
+}
+
+/// Incremental construction of a [`Program`].
+///
+/// # Examples
+/// ```
+/// use pluto_ir::{Expr, ProgramBuilder, StatementSpec};
+/// let mut b = ProgramBuilder::new("copy", &["N"]);
+/// b.add_context_ineq(vec![1, -1]); // N >= 1
+/// b.add_array("a", 1);
+/// b.add_array("b", 1);
+/// b.add_statement(StatementSpec {
+///     name: "S1".into(),
+///     iters: vec!["i".into()],
+///     domain_ineqs: vec![vec![1, 0, 0], vec![-1, 1, -1]], // 0 <= i <= N-1
+///     beta: vec![0, 0],
+///     write: ("b".into(), vec![vec![1, 0, 0]]),
+///     reads: vec![("a".into(), vec![vec![1, 0, 0]])],
+///     body: Expr::Read(0),
+/// });
+/// let p = b.build();
+/// assert_eq!(p.stmts.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    params: Vec<String>,
+    context: ConstraintSet,
+    arrays: Vec<ArrayDecl>,
+    stmts: Vec<Statement>,
+}
+
+impl ProgramBuilder {
+    /// Starts a program over the given symbolic parameters.
+    pub fn new(name: &str, params: &[&str]) -> ProgramBuilder {
+        ProgramBuilder {
+            name: name.to_string(),
+            params: params.iter().map(|s| s.to_string()).collect(),
+            context: ConstraintSet::new(params.len()),
+            arrays: Vec::new(),
+            stmts: Vec::new(),
+        }
+    }
+
+    /// Adds a context inequality over `[params…, 1]`.
+    pub fn add_context_ineq(&mut self, row: Vec<Int>) -> &mut Self {
+        self.context.add_ineq(row);
+        self
+    }
+
+    /// Declares an array; returns its index.
+    pub fn add_array(&mut self, name: &str, ndim: usize) -> usize {
+        self.arrays.push(ArrayDecl {
+            name: name.to_string(),
+            ndim,
+        });
+        self.arrays.len() - 1
+    }
+
+    /// Adds a statement from a [`StatementSpec`].
+    ///
+    /// # Panics
+    /// Panics if the spec references unknown arrays, has subscript row
+    /// counts that do not match array ranks, a `beta` of the wrong length,
+    /// or a body reading outside its access list.
+    pub fn add_statement(&mut self, spec: StatementSpec) -> &mut Self {
+        let id = self.stmts.len();
+        let cols = spec.iters.len() + self.params.len() + 1;
+        assert_eq!(
+            spec.beta.len(),
+            spec.iters.len() + 1,
+            "{}: beta length must be iters + 1",
+            spec.name
+        );
+        let mut domain = ConstraintSet::new(cols - 1);
+        for row in spec.domain_ineqs {
+            domain.add_ineq(row);
+        }
+        let resolve = |(name, map): (String, Vec<Vec<Int>>)| -> Access {
+            let array = self
+                .arrays
+                .iter()
+                .position(|a| a.name == name)
+                .unwrap_or_else(|| panic!("unknown array `{name}`"));
+            assert_eq!(
+                map.len(),
+                self.arrays[array].ndim,
+                "subscript count mismatch for `{name}`"
+            );
+            for row in &map {
+                assert_eq!(row.len(), cols, "subscript width mismatch for `{name}`");
+            }
+            Access::new(array, map)
+        };
+        let write = resolve(spec.write);
+        let reads: Vec<Access> = spec.reads.into_iter().map(resolve).collect();
+        if let Some(max) = spec.body.max_read_index() {
+            assert!(
+                max < reads.len(),
+                "{}: body reads r{max} but only {} reads declared",
+                spec.name,
+                reads.len()
+            );
+        }
+        self.stmts.push(Statement {
+            id,
+            name: spec.name,
+            iters: spec.iters,
+            domain,
+            beta: spec.beta,
+            write,
+            reads,
+            body: spec.body,
+        });
+        self
+    }
+
+    /// Finishes construction.
+    pub fn build(self) -> Program {
+        Program {
+            name: self.name,
+            params: self.params,
+            context: self.context,
+            arrays: self.arrays,
+            stmts: self.stmts,
+        }
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "program {} (params: {})", self.name, self.params.join(", "))?;
+        for s in &self.stmts {
+            let mut names: Vec<&str> = s.iters.iter().map(|x| x.as_str()).collect();
+            names.extend(self.params.iter().map(|x| x.as_str()));
+            writeln!(
+                f,
+                "  {} [{}] beta={:?}: {}",
+                s.name,
+                s.iters.join(","),
+                s.beta,
+                s.domain.display_with(&names)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_stmt_program() -> Program {
+        // for t: { for i: S1; for j: S2; }  (imperfect nest)
+        let mut b = ProgramBuilder::new("p", &["N"]);
+        b.add_array("a", 1);
+        b.add_array("b", 1);
+        b.add_statement(StatementSpec {
+            name: "S1".into(),
+            iters: vec!["t".into(), "i".into()],
+            domain_ineqs: vec![vec![1, 0, 0, 0], vec![0, 1, 0, 0]],
+            beta: vec![0, 0, 0],
+            write: ("b".into(), vec![vec![0, 1, 0, 0]]),
+            reads: vec![("a".into(), vec![vec![0, 1, 0, 0]])],
+            body: Expr::Read(0),
+        });
+        b.add_statement(StatementSpec {
+            name: "S2".into(),
+            iters: vec!["t".into(), "j".into()],
+            domain_ineqs: vec![vec![1, 0, 0, 0], vec![0, 1, 0, 0]],
+            beta: vec![0, 1, 0],
+            write: ("a".into(), vec![vec![0, 1, 0, 0]]),
+            reads: vec![("b".into(), vec![vec![0, 1, 0, 0]])],
+            body: Expr::Read(0),
+        });
+        b.build()
+    }
+
+    #[test]
+    fn beta_commonality() {
+        let p = two_stmt_program();
+        let (s1, s2) = (&p.stmts[0], &p.stmts[1]);
+        assert_eq!(s1.common_loops(s2), 1); // share only the t loop
+        assert!(s1.precedes_textually(s2, 1));
+        assert!(!s2.precedes_textually(s1, 1));
+        assert_eq!(s1.common_loops(s1), 2);
+    }
+
+    #[test]
+    fn access_eval() {
+        let a = Access::new(0, vec![vec![1, -1, 0, 2]]);
+        // subscript = i - j + 2 at (i=5, j=3, N=100)
+        assert_eq!(a.eval(&[5, 3, 100]), vec![4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown array")]
+    fn unknown_array_panics() {
+        let mut b = ProgramBuilder::new("p", &[]);
+        b.add_statement(StatementSpec {
+            name: "S1".into(),
+            iters: vec![],
+            domain_ineqs: vec![],
+            beta: vec![0],
+            write: ("nope".into(), vec![]),
+            reads: vec![],
+            body: Expr::Lit(0.0),
+        });
+    }
+
+    #[test]
+    fn domain_in_context_restricts() {
+        let mut b = ProgramBuilder::new("p", &["N"]);
+        b.add_context_ineq(vec![1, -10]); // N >= 10
+        b.add_array("a", 1);
+        b.add_statement(StatementSpec {
+            name: "S1".into(),
+            iters: vec!["i".into()],
+            domain_ineqs: vec![vec![1, 0, 0], vec![-1, 1, -1]],
+            beta: vec![0, 0],
+            write: ("a".into(), vec![vec![1, 0, 0]]),
+            reads: vec![],
+            body: Expr::Lit(1.0),
+        });
+        let p = b.build();
+        let d = p.domain_in_context(&p.stmts[0]);
+        assert!(d.contains(&[0, 10]));
+        assert!(!d.contains(&[0, 5])); // violates N >= 10
+    }
+}

@@ -1,0 +1,208 @@
+//! Checked helper arithmetic on the workspace-wide integer type.
+//!
+//! All polyhedral coefficients in `pluto-rs` are [`Int`] (`i128`). Repeated
+//! Fourier–Motzkin combination can grow coefficients quickly, so every
+//! combining operation normalizes by the gcd; overflow nevertheless remains
+//! possible in principle and is treated as a hard (panicking) error rather
+//! than silently wrapping.
+
+/// The integer coefficient type used throughout the tool-chain.
+pub type Int = i128;
+
+/// Greatest common divisor, always non-negative; `gcd(0, 0) == 0`.
+///
+/// # Examples
+/// ```
+/// use pluto_linalg::gcd;
+/// assert_eq!(gcd(12, -18), 6);
+/// assert_eq!(gcd(0, 7), 7);
+/// assert_eq!(gcd(0, 0), 0);
+/// ```
+pub fn gcd(a: Int, b: Int) -> Int {
+    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a as Int
+}
+
+/// Least common multiple, always non-negative; `lcm(x, 0) == 0`.
+///
+/// # Panics
+/// Panics on overflow.
+///
+/// # Examples
+/// ```
+/// use pluto_linalg::lcm;
+/// assert_eq!(lcm(4, 6), 12);
+/// assert_eq!(lcm(-4, 6), 12);
+/// assert_eq!(lcm(5, 0), 0);
+/// ```
+pub fn lcm(a: Int, b: Int) -> Int {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let g = gcd(a, b);
+    (a / g).checked_mul(b).expect("lcm overflow").abs()
+}
+
+/// Floor division: the greatest integer `q` with `q * b <= a`.
+///
+/// Matches the `floord` macro emitted by CLooG-style code generators.
+///
+/// # Panics
+/// Panics if `b == 0`.
+///
+/// # Examples
+/// ```
+/// use pluto_linalg::floor_div;
+/// assert_eq!(floor_div(7, 2), 3);
+/// assert_eq!(floor_div(-7, 2), -4);
+/// assert_eq!(floor_div(7, -2), -4);
+/// ```
+pub fn floor_div(a: Int, b: Int) -> Int {
+    assert!(b != 0, "floor_div by zero");
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// Ceiling division: the least integer `q` with `q * b >= a` (for `b > 0`).
+///
+/// Matches the `ceild` macro emitted by CLooG-style code generators.
+///
+/// # Panics
+/// Panics if `b == 0`.
+///
+/// # Examples
+/// ```
+/// use pluto_linalg::ceil_div;
+/// assert_eq!(ceil_div(7, 2), 4);
+/// assert_eq!(ceil_div(-7, 2), -3);
+/// assert_eq!(ceil_div(6, 2), 3);
+/// ```
+pub fn ceil_div(a: Int, b: Int) -> Int {
+    assert!(b != 0, "ceil_div by zero");
+    -floor_div(-a, b)
+}
+
+/// Normalizes a row of integers by dividing out the gcd of all entries.
+///
+/// A zero row is left unchanged. Used after every Fourier–Motzkin
+/// combination to keep coefficients small.
+pub fn normalize_row(row: &mut [Int]) {
+    let mut g = 0;
+    for &x in row.iter() {
+        g = gcd(g, x);
+        if g == 1 {
+            return;
+        }
+    }
+    if g > 1 {
+        for x in row.iter_mut() {
+            *x /= g;
+        }
+    }
+}
+
+/// Normalizes an inequality row `a·x + c >= 0` (last entry the constant):
+/// divides coefficients by their gcd and *floors* the constant, which is the
+/// tightest sound strengthening over the integers.
+///
+/// # Examples
+/// ```
+/// use pluto_linalg::int::normalize_ineq;
+/// // 2x + 3 >= 0  ==>  x + 1 >= 0 over the integers (x >= -3/2 -> x >= -1).
+/// let mut row = vec![2, 3];
+/// normalize_ineq(&mut row);
+/// assert_eq!(row, vec![1, 1]);
+/// ```
+pub fn normalize_ineq(row: &mut [Int]) {
+    let n = row.len();
+    if n == 0 {
+        return;
+    }
+    let mut g = 0;
+    for &x in row[..n - 1].iter() {
+        g = gcd(g, x);
+    }
+    if g > 1 {
+        for x in row[..n - 1].iter_mut() {
+            *x /= g;
+        }
+        row[n - 1] = floor_div(row[n - 1], g);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(gcd(48, 36), 12);
+        assert_eq!(gcd(-48, 36), 12);
+        assert_eq!(gcd(48, -36), 12);
+        assert_eq!(gcd(17, 5), 1);
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(0, -9), 9);
+    }
+
+    #[test]
+    fn lcm_basic() {
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(7, 3), 21);
+        assert_eq!(lcm(0, 3), 0);
+        assert_eq!(lcm(-2, 3), 6);
+    }
+
+    #[test]
+    fn floor_ceil_agree_on_exact() {
+        for a in -20..20 {
+            for b in [-7, -3, -1, 1, 2, 5] {
+                let f = floor_div(a, b);
+                let c = ceil_div(a, b);
+                // Defining property: remainder a - f*b lies in [0, |b|) with
+                // the sign of b (floored division).
+                let r = a - f * b;
+                if b > 0 {
+                    assert!((0..b).contains(&r), "floor property {a}/{b}");
+                } else {
+                    assert!((b + 1..=0).contains(&r), "floor property {a}/{b}");
+                }
+                if a % b == 0 {
+                    assert_eq!(f, c);
+                } else {
+                    assert_eq!(c, f + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normalize_row_divides_gcd() {
+        let mut r = vec![4, -8, 12];
+        normalize_row(&mut r);
+        assert_eq!(r, vec![1, -2, 3]);
+        let mut z = vec![0, 0];
+        normalize_row(&mut z);
+        assert_eq!(z, vec![0, 0]);
+    }
+
+    #[test]
+    fn normalize_ineq_floors_constant() {
+        // 3x - 4 >= 0  ==> x >= 4/3 ==> x >= 2 ==> x - 2 >= 0.
+        let mut r = vec![3, -4];
+        normalize_ineq(&mut r);
+        assert_eq!(r, vec![1, -2]);
+        // constant-only row untouched
+        let mut c = vec![0, 5];
+        normalize_ineq(&mut c);
+        assert_eq!(c, vec![0, 5]);
+    }
+}

@@ -1,0 +1,33 @@
+//! Exact integer and rational linear algebra for the `pluto-rs` tool-chain.
+//!
+//! Every computation in the polyhedral framework — Fourier–Motzkin
+//! projection, the lexmin simplex, Farkas elimination, orthogonal sub-space
+//! construction (Eq. 6 of the PLDI'08 paper) — must be *exact*: floating
+//! point is never acceptable because legality proofs hinge on integer
+//! feasibility. This crate provides:
+//!
+//! * checked [`Int`] (`i128`) helper arithmetic: [`gcd`], [`lcm`],
+//!   [`floor_div`], [`ceil_div`];
+//! * an exact rational type [`Ratio`] with a positive-denominator invariant;
+//! * dense matrices over integers ([`IntMatrix`]) and rationals
+//!   ([`RatMatrix`]) with echelon reduction, rank, null-space and the
+//!   orthogonal-complement operator `H^⊥ = I - Hᵀ(H Hᵀ)⁻¹ H` used by the
+//!   Pluto algorithm to force linear independence of successive hyperplanes.
+//!
+//! # Examples
+//!
+//! ```
+//! use pluto_linalg::{Ratio, RatMatrix};
+//! let h = RatMatrix::from_i64(&[&[1, 0, 0]]);
+//! let perp = h.orthogonal_complement();
+//! // The orthogonal complement of span{e1} in R^3 is span{e2, e3}.
+//! assert_eq!(perp.rank(), 2);
+//! ```
+
+pub mod int;
+pub mod matrix;
+pub mod ratio;
+
+pub use int::{ceil_div, floor_div, gcd, lcm, Int};
+pub use matrix::{IntMatrix, RatMatrix};
+pub use ratio::Ratio;

@@ -1,0 +1,501 @@
+//! Dense matrices over exact integers and rationals.
+//!
+//! The Pluto algorithm needs only small dense matrices (hyperplane rows per
+//! statement, dependence polyhedra faces), so a simple row-major `Vec`
+//! representation with exact Gaussian elimination is both adequate and easy
+//! to audit.
+
+use crate::int::{lcm, normalize_row, Int};
+use crate::ratio::Ratio;
+use std::fmt;
+
+/// A dense row-major matrix of [`Int`] entries.
+///
+/// # Examples
+/// ```
+/// use pluto_linalg::IntMatrix;
+/// let m = IntMatrix::from_rows(vec![vec![1, 0], vec![1, 1]]);
+/// assert_eq!(m.rank(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct IntMatrix {
+    rows: Vec<Vec<Int>>,
+    cols: usize,
+}
+
+impl IntMatrix {
+    /// Creates a matrix from rows.
+    ///
+    /// # Panics
+    /// Panics if rows have differing lengths.
+    pub fn from_rows(rows: Vec<Vec<Int>>) -> IntMatrix {
+        let cols = rows.first().map_or(0, |r| r.len());
+        assert!(rows.iter().all(|r| r.len() == cols), "ragged matrix rows");
+        IntMatrix { rows, cols }
+    }
+
+    /// An empty matrix (zero rows) over `cols` columns.
+    pub fn empty(cols: usize) -> IntMatrix {
+        IntMatrix { rows: Vec::new(), cols }
+    }
+
+    /// The `n`-by-`n` identity.
+    pub fn identity(n: usize) -> IntMatrix {
+        let rows = (0..n)
+            .map(|i| (0..n).map(|j| Int::from(i == j)).collect())
+            .collect();
+        IntMatrix { rows, cols: n }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow a row.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    pub fn row(&self, i: usize) -> &[Int] {
+        &self.rows[i]
+    }
+
+    /// Iterate over rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[Int]> {
+        self.rows.iter().map(|r| r.as_slice())
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row length differs from `num_cols` (unless the matrix
+    /// is empty, in which case the width is adopted).
+    pub fn push_row(&mut self, row: Vec<Int>) {
+        if self.rows.is_empty() && self.cols == 0 {
+            self.cols = row.len();
+        }
+        assert_eq!(row.len(), self.cols, "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> IntMatrix {
+        let mut out = vec![vec![0; self.rows.len()]; self.cols];
+        for (i, r) in self.rows.iter().enumerate() {
+            for (j, &v) in r.iter().enumerate() {
+                out[j][i] = v;
+            }
+        }
+        IntMatrix {
+            rows: out,
+            cols: self.rows.len(),
+        }
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch or overflow.
+    pub fn mul(&self, rhs: &IntMatrix) -> IntMatrix {
+        assert_eq!(self.cols, rhs.num_rows(), "matrix product shape mismatch");
+        let mut out = vec![vec![0 as Int; rhs.cols]; self.rows.len()];
+        for (i, r) in self.rows.iter().enumerate() {
+            for k in 0..self.cols {
+                let a = r[k];
+                if a == 0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[i][j] = out[i][j]
+                        .checked_add(a.checked_mul(rhs.rows[k][j]).expect("matmul overflow"))
+                        .expect("matmul overflow");
+                }
+            }
+        }
+        IntMatrix {
+            rows: out,
+            cols: rhs.cols,
+        }
+    }
+
+    /// The rank (over the rationals).
+    pub fn rank(&self) -> usize {
+        self.to_rat().rank()
+    }
+
+    /// Converts to a rational matrix.
+    pub fn to_rat(&self) -> RatMatrix {
+        RatMatrix {
+            rows: self
+                .rows
+                .iter()
+                .map(|r| r.iter().map(|&v| Ratio::from(v)).collect())
+                .collect(),
+            cols: self.cols,
+        }
+    }
+
+    /// Whether `candidate` is linearly independent of this matrix's rows.
+    pub fn is_independent(&self, candidate: &[Int]) -> bool {
+        let mut m = self.clone();
+        if m.cols == 0 {
+            m.cols = candidate.len();
+        }
+        let before = m.rank();
+        m.push_row(candidate.to_vec());
+        m.rank() == before + 1
+    }
+}
+
+impl fmt::Debug for IntMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "IntMatrix {}x{} [", self.rows.len(), self.cols)?;
+        for r in &self.rows {
+            writeln!(f, "  {r:?}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A dense row-major matrix of [`Ratio`] entries.
+///
+/// # Examples
+/// ```
+/// use pluto_linalg::RatMatrix;
+/// let m = RatMatrix::from_i64(&[&[2, 1], &[4, 2]]);
+/// assert_eq!(m.rank(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct RatMatrix {
+    rows: Vec<Vec<Ratio>>,
+    cols: usize,
+}
+
+impl RatMatrix {
+    /// Creates a matrix from rational rows.
+    ///
+    /// # Panics
+    /// Panics if rows have differing lengths.
+    pub fn from_rows(rows: Vec<Vec<Ratio>>) -> RatMatrix {
+        let cols = rows.first().map_or(0, |r| r.len());
+        assert!(rows.iter().all(|r| r.len() == cols), "ragged matrix rows");
+        RatMatrix { rows, cols }
+    }
+
+    /// Convenience constructor from `i64` literals (used widely in tests).
+    pub fn from_i64(rows: &[&[i64]]) -> RatMatrix {
+        RatMatrix::from_rows(
+            rows.iter()
+                .map(|r| r.iter().map(|&v| Ratio::from(v)).collect())
+                .collect(),
+        )
+    }
+
+    /// The `n`-by-`n` identity.
+    pub fn identity(n: usize) -> RatMatrix {
+        RatMatrix::from_rows(
+            (0..n)
+                .map(|i| {
+                    (0..n)
+                        .map(|j| if i == j { Ratio::ONE } else { Ratio::ZERO })
+                        .collect()
+                })
+                .collect(),
+        )
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow a row.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    pub fn row(&self, i: usize) -> &[Ratio] {
+        &self.rows[i]
+    }
+
+    /// Iterate over rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[Ratio]> {
+        self.rows.iter().map(|r| r.as_slice())
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> RatMatrix {
+        let mut out = vec![vec![Ratio::ZERO; self.rows.len()]; self.cols];
+        for (i, r) in self.rows.iter().enumerate() {
+            for (j, &v) in r.iter().enumerate() {
+                out[j][i] = v;
+            }
+        }
+        RatMatrix {
+            rows: out,
+            cols: self.rows.len(),
+        }
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn mul(&self, rhs: &RatMatrix) -> RatMatrix {
+        assert_eq!(self.cols, rhs.num_rows(), "matrix product shape mismatch");
+        let mut out = vec![vec![Ratio::ZERO; rhs.cols]; self.rows.len()];
+        for (i, r) in self.rows.iter().enumerate() {
+            for k in 0..self.cols {
+                let a = r[k];
+                if a.is_zero() {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[i][j] += a * rhs.rows[k][j];
+                }
+            }
+        }
+        RatMatrix {
+            rows: out,
+            cols: rhs.cols,
+        }
+    }
+
+    /// Reduced row-echelon form (in place), returning the pivot columns.
+    pub fn reduce(&mut self) -> Vec<usize> {
+        let mut pivots = Vec::new();
+        let mut r = 0;
+        for c in 0..self.cols {
+            if r == self.rows.len() {
+                break;
+            }
+            // Find a pivot at or below row r in column c.
+            let Some(p) = (r..self.rows.len()).find(|&i| !self.rows[i][c].is_zero()) else {
+                continue;
+            };
+            self.rows.swap(r, p);
+            let inv = self.rows[r][c].recip();
+            for v in self.rows[r].iter_mut() {
+                *v = *v * inv;
+            }
+            for i in 0..self.rows.len() {
+                if i != r && !self.rows[i][c].is_zero() {
+                    let f = self.rows[i][c];
+                    for j in 0..self.cols {
+                        let sub = f * self.rows[r][j];
+                        self.rows[i][j] = self.rows[i][j] - sub;
+                    }
+                }
+            }
+            pivots.push(c);
+            r += 1;
+        }
+        pivots
+    }
+
+    /// The rank.
+    pub fn rank(&self) -> usize {
+        let mut m = self.clone();
+        m.reduce().len()
+    }
+
+    /// Inverse of a square matrix, or `None` if singular.
+    pub fn inverse(&self) -> Option<RatMatrix> {
+        assert_eq!(self.rows.len(), self.cols, "inverse of non-square matrix");
+        let n = self.cols;
+        // Augment with identity and reduce.
+        let mut aug = RatMatrix::from_rows(
+            self.rows
+                .iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    let mut row = r.clone();
+                    row.extend((0..n).map(|j| if i == j { Ratio::ONE } else { Ratio::ZERO }));
+                    row
+                })
+                .collect(),
+        );
+        let pivots = aug.reduce();
+        if pivots.len() < n || pivots.iter().any(|&c| c >= n) {
+            return None;
+        }
+        Some(RatMatrix::from_rows(
+            aug.rows.into_iter().map(|r| r[n..].to_vec()).collect(),
+        ))
+    }
+
+    /// A basis for the (right) null space `{x : M x = 0}`.
+    pub fn null_space(&self) -> RatMatrix {
+        let mut m = self.clone();
+        let pivots = m.reduce();
+        let pivot_set: Vec<usize> = pivots.clone();
+        let free: Vec<usize> = (0..self.cols).filter(|c| !pivot_set.contains(c)).collect();
+        let mut basis = Vec::new();
+        for &fc in &free {
+            let mut v = vec![Ratio::ZERO; self.cols];
+            v[fc] = Ratio::ONE;
+            for (ri, &pc) in pivot_set.iter().enumerate() {
+                v[pc] = -m.rows[ri][fc];
+            }
+            basis.push(v);
+        }
+        RatMatrix {
+            rows: basis,
+            cols: self.cols,
+        }
+    }
+
+    /// The orthogonal-complement projector of the row space,
+    /// `H^⊥ = I − Hᵀ (H Hᵀ)⁻¹ H` (Eq. 6 of the paper).
+    ///
+    /// Rows of the result span the subspace orthogonal to the rows of
+    /// `self`; its rank is `cols − rank(self)`. If `self` has no rows the
+    /// identity is returned.
+    ///
+    /// # Panics
+    /// Panics if the rows of `self` are linearly dependent (the Pluto search
+    /// only ever calls this with an independent set of hyperplanes).
+    pub fn orthogonal_complement(&self) -> RatMatrix {
+        if self.rows.is_empty() {
+            return RatMatrix::identity(self.cols);
+        }
+        let ht = self.transpose();
+        let hht = self.mul(&ht);
+        let inv = hht
+            .inverse()
+            .expect("orthogonal_complement: dependent hyperplane rows");
+        let proj = ht.mul(&inv).mul(self);
+        let mut out = RatMatrix::identity(self.cols);
+        for i in 0..self.cols {
+            for j in 0..self.cols {
+                out.rows[i][j] = out.rows[i][j] - proj.rows[i][j];
+            }
+        }
+        out
+    }
+
+    /// Scales each row to the smallest integer row with the same direction
+    /// (clears denominators, divides by gcd) and drops zero rows.
+    pub fn to_int_rows(&self) -> IntMatrix {
+        let mut rows = Vec::new();
+        for r in &self.rows {
+            let mut l: Int = 1;
+            for v in r {
+                l = lcm(l, v.denom());
+            }
+            let mut row: Vec<Int> = r.iter().map(|v| v.numer() * (l / v.denom())).collect();
+            normalize_row(&mut row);
+            if row.iter().any(|&v| v != 0) {
+                rows.push(row);
+            }
+        }
+        if rows.is_empty() {
+            IntMatrix::empty(self.cols)
+        } else {
+            IntMatrix::from_rows(rows)
+        }
+    }
+}
+
+impl fmt::Debug for RatMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "RatMatrix {}x{} [", self.rows.len(), self.cols)?;
+        for r in &self.rows {
+            writeln!(f, "  {r:?}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_and_reduce() {
+        let m = RatMatrix::from_i64(&[&[1, 2, 3], &[2, 4, 6], &[1, 0, 1]]);
+        assert_eq!(m.rank(), 2);
+        assert_eq!(RatMatrix::identity(4).rank(), 4);
+        assert_eq!(RatMatrix::from_i64(&[&[0, 0]]).rank(), 0);
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let m = RatMatrix::from_i64(&[&[2, 1], &[1, 1]]);
+        let inv = m.inverse().unwrap();
+        let prod = m.mul(&inv);
+        assert_eq!(prod, RatMatrix::identity(2));
+        let sing = RatMatrix::from_i64(&[&[1, 2], &[2, 4]]);
+        assert!(sing.inverse().is_none());
+    }
+
+    #[test]
+    fn null_space_is_annihilated() {
+        let m = RatMatrix::from_i64(&[&[1, 1, 0], &[0, 1, 1]]);
+        let ns = m.null_space();
+        assert_eq!(ns.num_rows(), 1);
+        let prod = m.mul(&ns.transpose());
+        for r in prod.rows() {
+            assert!(r.iter().all(|v| v.is_zero()));
+        }
+    }
+
+    #[test]
+    fn orthogonal_complement_of_e1() {
+        let h = RatMatrix::from_i64(&[&[1, 0, 0]]);
+        let perp = h.orthogonal_complement();
+        assert_eq!(perp.rank(), 2);
+        // Every row of perp is orthogonal to (1,0,0): first column zero.
+        for r in perp.rows() {
+            assert!(r[0].is_zero());
+        }
+    }
+
+    #[test]
+    fn orthogonal_complement_skewed() {
+        // H = [(1,1)]: complement spanned by (1,-1) direction.
+        let h = RatMatrix::from_i64(&[&[1, 1]]);
+        let perp = h.orthogonal_complement();
+        assert_eq!(perp.rank(), 1);
+        // Every nonzero row is proportional to (1, -1).
+        for r in perp.to_int_rows().rows() {
+            assert_eq!(r[0] + r[1], 0);
+            assert!(r[0] != 0);
+        }
+    }
+
+    #[test]
+    fn int_matrix_independence() {
+        let mut m = IntMatrix::empty(3);
+        assert!(m.is_independent(&[1, 0, 0]));
+        m.push_row(vec![1, 0, 0]);
+        assert!(!m.is_independent(&[2, 0, 0]));
+        assert!(m.is_independent(&[1, 1, 0]));
+    }
+
+    #[test]
+    fn to_int_rows_clears_denominators() {
+        let m = RatMatrix::from_rows(vec![vec![Ratio::new(1, 2), Ratio::new(1, 3)]]);
+        let im = m.to_int_rows();
+        assert_eq!(im.row(0), &[3, 2]);
+    }
+
+    #[test]
+    fn transpose_mul() {
+        let a = IntMatrix::from_rows(vec![vec![1, 2], vec![3, 4]]);
+        let b = a.transpose();
+        assert_eq!(b.row(0), &[1, 3]);
+        let p = a.mul(&b);
+        assert_eq!(p.row(0), &[5, 11]);
+        assert_eq!(p.row(1), &[11, 25]);
+    }
+}

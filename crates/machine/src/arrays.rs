@@ -1,0 +1,146 @@
+//! Dense `f64` tensors backing program execution.
+
+use pluto_linalg::Int;
+
+/// The array store for one program execution: one dense row-major `f64`
+/// buffer per declared array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arrays {
+    data: Vec<Vec<f64>>,
+    extents: Vec<Vec<usize>>,
+    /// Per-array base byte address in the simulated flat address space
+    /// (arrays are laid out back-to-back, line-aligned).
+    bases: Vec<u64>,
+}
+
+impl Arrays {
+    /// Allocates zero-initialized arrays with the given per-array extents.
+    pub fn new(extents: Vec<Vec<usize>>) -> Arrays {
+        let mut bases = Vec::with_capacity(extents.len());
+        let mut next: u64 = 0;
+        let data = extents
+            .iter()
+            .map(|e| {
+                let len: usize = e.iter().product::<usize>().max(1);
+                bases.push(next);
+                // Line-align each array in the simulated address space.
+                next += (len as u64 * 8).div_ceil(64) * 64;
+                vec![0.0; len]
+            })
+            .collect();
+        Arrays {
+            data,
+            extents,
+            bases,
+        }
+    }
+
+    /// Number of arrays.
+    pub fn num_arrays(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Extents of array `a`.
+    pub fn extents(&self, a: usize) -> &[usize] {
+        &self.extents[a]
+    }
+
+    /// Seeds every cell with `f(array_index, flat_offset)`.
+    pub fn seed_with(&mut self, f: impl Fn(usize, usize) -> f64) {
+        for (a, buf) in self.data.iter_mut().enumerate() {
+            for (o, v) in buf.iter_mut().enumerate() {
+                *v = f(a, o);
+            }
+        }
+    }
+
+    /// Flattens subscripts into an offset.
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds or negative subscripts (always a bug in the
+    /// kernel definition or the transformation pipeline).
+    #[inline]
+    pub fn offset(&self, a: usize, subs: &[Int]) -> usize {
+        let ext = &self.extents[a];
+        debug_assert_eq!(subs.len(), ext.len());
+        let mut off = 0usize;
+        for (k, &s) in subs.iter().enumerate() {
+            let e = ext[k];
+            assert!(
+                s >= 0 && (s as usize) < e,
+                "array {a}: subscript {k} = {s} out of 0..{e}"
+            );
+            off = off * e + s as usize;
+        }
+        off
+    }
+
+    /// Reads a cell by precomputed offset.
+    #[inline]
+    pub fn load(&self, a: usize, off: usize) -> f64 {
+        self.data[a][off]
+    }
+
+    /// Writes a cell by precomputed offset.
+    #[inline]
+    pub fn store(&mut self, a: usize, off: usize, v: f64) {
+        self.data[a][off] = v;
+    }
+
+    /// Simulated byte address of a cell (for the cache simulator).
+    #[inline]
+    pub fn address(&self, a: usize, off: usize) -> u64 {
+        self.bases[a] + off as u64 * 8
+    }
+
+    /// Exact comparison against another store (the transformed-vs-original
+    /// oracle: results must be bitwise identical).
+    pub fn bitwise_eq(&self, other: &Arrays) -> bool {
+        self.extents == other.extents
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(x, y)| x.iter().zip(y).all(|(a, b)| a.to_bits() == b.to_bits()))
+    }
+
+    /// Raw parts for the parallel executor.
+    pub(crate) fn raw(&mut self) -> Vec<*mut f64> {
+        self.data.iter_mut().map(|b| b.as_mut_ptr()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_and_indexing() {
+        let mut a = Arrays::new(vec![vec![3, 4], vec![5]]);
+        assert_eq!(a.offset(0, &[2, 3]), 11);
+        assert_eq!(a.offset(1, &[4]), 4);
+        a.store(0, 11, 2.5);
+        assert_eq!(a.load(0, 11), 2.5);
+        // Second array starts on a fresh cache line.
+        assert_eq!(a.address(1, 0) % 64, 0);
+        assert!(a.address(1, 0) >= 12 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 0..")]
+    fn oob_panics() {
+        let a = Arrays::new(vec![vec![3]]);
+        a.offset(0, &[3]);
+    }
+
+    #[test]
+    fn bitwise_compare() {
+        let mut a = Arrays::new(vec![vec![4]]);
+        let mut b = Arrays::new(vec![vec![4]]);
+        a.seed_with(|x, o| (x + o) as f64);
+        b.seed_with(|x, o| (x + o) as f64);
+        assert!(a.bitwise_eq(&b));
+        b.store(0, 2, -1.0);
+        assert!(!a.bitwise_eq(&b));
+    }
+}

@@ -1,0 +1,597 @@
+//! The AST interpreter: sequential, cache-simulated and multi-threaded.
+
+use crate::arrays::Arrays;
+use crate::cache::{CacheConfig, CacheSim, CacheStats};
+use pluto_codegen::Ast;
+use pluto_ir::{Expr, Program};
+use pluto_linalg::Int;
+
+/// Counters accumulated during one execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Statement instances executed.
+    pub instances: u64,
+    /// Floating-point operations executed (per-body op count).
+    pub flops: u64,
+    /// Parallel regions entered (≈ barrier count in the OpenMP mapping).
+    pub parallel_regions: u64,
+}
+
+impl ExecStats {
+    fn merge(&mut self, o: ExecStats) {
+        self.instances += o.instances;
+        self.flops += o.flops;
+        self.parallel_regions += o.parallel_regions;
+    }
+}
+
+/// Thread-team configuration for [`run_parallel`].
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelConfig {
+    /// Worker threads (the paper's "number of cores").
+    pub threads: usize,
+    /// How many consecutive parallel loops to collapse into one work list
+    /// (2 exploits two degrees of pipelined parallelism, as in Fig. 13).
+    pub collapse: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> ParallelConfig {
+        ParallelConfig {
+            threads: 4,
+            collapse: 1,
+        }
+    }
+}
+
+/// Pre-lowered per-statement execution info.
+struct StmtInfo {
+    write_array: usize,
+    write_rows: Vec<Vec<Int>>,
+    reads: Vec<(usize, Vec<Vec<Int>>)>,
+    body: Expr,
+    flops: u64,
+    n_iters: usize,
+}
+
+struct Ctx {
+    stmts: Vec<StmtInfo>,
+    extents: Vec<Vec<usize>>,
+    bases: Vec<u64>,
+    params: Vec<Int>,
+}
+
+impl Ctx {
+    fn new(prog: &Program, params: &[i64], arrays: &Arrays) -> Ctx {
+        assert_eq!(params.len(), prog.num_params(), "parameter count mismatch");
+        let stmts = prog
+            .stmts
+            .iter()
+            .map(|s| StmtInfo {
+                write_array: s.write.array,
+                write_rows: s.write.map.clone(),
+                reads: s.reads.iter().map(|r| (r.array, r.map.clone())).collect(),
+                body: s.body.clone(),
+                flops: s.body.num_ops() as u64,
+                n_iters: s.num_iters(),
+            })
+            .collect();
+        let mut bases = Vec::with_capacity(arrays.num_arrays());
+        let mut next = 0u64;
+        let extents: Vec<Vec<usize>> = (0..arrays.num_arrays())
+            .map(|a| arrays.extents(a).to_vec())
+            .collect();
+        for e in &extents {
+            bases.push(next);
+            let len: usize = e.iter().product::<usize>().max(1);
+            next += (len as u64 * 8).div_ceil(64) * 64;
+        }
+        Ctx {
+            stmts,
+            extents,
+            bases,
+            params: params.iter().map(|&p| p as Int).collect(),
+        }
+    }
+
+}
+
+/// Abstraction over the different memory backends.
+trait Mem {
+    fn load(&mut self, a: usize, off: usize, addr: u64) -> f64;
+    fn store(&mut self, a: usize, off: usize, addr: u64, v: f64);
+}
+
+struct Direct<'a>(&'a mut Arrays);
+
+impl Mem for Direct<'_> {
+    #[inline]
+    fn load(&mut self, a: usize, off: usize, _addr: u64) -> f64 {
+        self.0.load(a, off)
+    }
+    #[inline]
+    fn store(&mut self, a: usize, off: usize, _addr: u64, v: f64) {
+        self.0.store(a, off, v);
+    }
+}
+
+struct Cached<'a> {
+    arrays: &'a mut Arrays,
+    sim: &'a mut CacheSim,
+}
+
+impl Mem for Cached<'_> {
+    #[inline]
+    fn load(&mut self, a: usize, off: usize, addr: u64) -> f64 {
+        self.sim.access(addr);
+        self.arrays.load(a, off)
+    }
+    #[inline]
+    fn store(&mut self, a: usize, off: usize, addr: u64, v: f64) {
+        self.sim.access(addr);
+        self.arrays.store(a, off, v);
+    }
+}
+
+/// Raw-pointer backend for the thread team.
+///
+/// Safety: distinct iterations of a loop marked parallel have disjoint
+/// write sets and no read/write overlap — that is exactly the dependence
+/// condition the transformation framework establishes (and the test-suite
+/// re-verifies with `validate_legality`), so concurrent threads never race.
+#[derive(Clone, Copy)]
+struct RawMem<'a> {
+    ptrs: &'a [SendPtr],
+}
+
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f64);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl Mem for RawMem<'_> {
+    #[inline]
+    fn load(&mut self, a: usize, off: usize, _addr: u64) -> f64 {
+        unsafe { *self.ptrs[a].0.add(off) }
+    }
+    #[inline]
+    fn store(&mut self, a: usize, off: usize, _addr: u64, v: f64) {
+        unsafe { *self.ptrs[a].0.add(off) = v }
+    }
+}
+
+/// Scratch buffers reused across statement instances.
+struct Scratch {
+    iters: Vec<Int>,
+    vp: Vec<Int>,
+    reads: Vec<f64>,
+    iters_i64: Vec<i64>,
+    /// Per-statement suppression depth from enclosing `Filter` nodes.
+    suppressed: Vec<u32>,
+}
+
+impl Scratch {
+    fn new() -> Scratch {
+        Scratch {
+            iters: Vec::new(),
+            vp: Vec::new(),
+            reads: Vec::new(),
+            iters_i64: Vec::new(),
+            suppressed: Vec::new(),
+        }
+    }
+
+    fn with_stmts(n: usize) -> Scratch {
+        let mut s = Scratch::new();
+        s.suppressed = vec![0; n];
+        s
+    }
+}
+
+fn eval_row(row: &[Int], vp: &[Int]) -> Int {
+    let mut v = row[vp.len()];
+    for (k, &x) in vp.iter().enumerate() {
+        v += row[k] * x;
+    }
+    v
+}
+
+fn exec<M: Mem>(
+    ast: &Ast,
+    vals: &mut [Int],
+    ctx: &Ctx,
+    mem: &mut M,
+    sc: &mut Scratch,
+    stats: &mut ExecStats,
+) {
+    match ast {
+        Ast::Seq(v) => {
+            for a in v {
+                exec(a, vals, ctx, mem, sc, stats);
+            }
+        }
+        Ast::Loop(l) => {
+            let lb = l.lb.eval_lower(vals);
+            let ub = l.ub.eval_upper(vals);
+            let mut x = lb;
+            while x <= ub {
+                vals[l.var] = x;
+                exec(&l.body, vals, ctx, mem, sc, stats);
+                x += 1;
+            }
+        }
+        Ast::Let {
+            var, expr, body, ..
+        } => {
+            vals[*var] = expr.eval_floor(vals);
+            exec(body, vals, ctx, mem, sc, stats);
+        }
+        Ast::Guard { conds, body } => {
+            if conds.iter().all(|c| c.holds(vals)) {
+                exec(body, vals, ctx, mem, sc, stats);
+            }
+        }
+        Ast::Filter { stmt, conds, body } => {
+            let pass = conds.iter().all(|c| c.holds(vals));
+            if !pass {
+                sc.suppressed[*stmt] += 1;
+            }
+            exec(body, vals, ctx, mem, sc, stats);
+            if !pass {
+                sc.suppressed[*stmt] -= 1;
+            }
+        }
+        Ast::Stmt { stmt, orig_dims } => {
+            if sc.suppressed[*stmt] == 0 {
+                run_stmt(*stmt, orig_dims, vals, ctx, mem, sc, stats);
+            }
+        }
+    }
+}
+
+#[inline]
+fn run_stmt<M: Mem>(
+    stmt: usize,
+    orig_dims: &[usize],
+    vals: &[Int],
+    ctx: &Ctx,
+    mem: &mut M,
+    sc: &mut Scratch,
+    stats: &mut ExecStats,
+) {
+    let info = &ctx.stmts[stmt];
+    debug_assert_eq!(orig_dims.len(), info.n_iters);
+    sc.iters.clear();
+    sc.iters_i64.clear();
+    sc.vp.clear();
+    for &v in orig_dims {
+        sc.iters.push(vals[v]);
+        sc.iters_i64.push(vals[v] as i64);
+    }
+    sc.vp.extend_from_slice(&sc.iters);
+    sc.vp.extend_from_slice(&ctx.params);
+    sc.reads.clear();
+    for (a, rows) in &info.reads {
+        let mut off = 0usize;
+        for (k, row) in rows.iter().enumerate() {
+            let s = eval_row(row, &sc.vp);
+            let e = ctx.extents[*a][k];
+            assert!(
+                s >= 0 && (s as usize) < e,
+                "array {a}: subscript {k} = {s} out of 0..{e}"
+            );
+            off = off * e + s as usize;
+        }
+        let addr = ctx.bases[*a] + off as u64 * 8;
+        sc.reads.push(mem.load(*a, off, addr));
+    }
+    let v = info.body.eval(&sc.reads, &sc.iters_i64);
+    let a = info.write_array;
+    let mut off = 0usize;
+    for (k, row) in info.write_rows.iter().enumerate() {
+        let s = eval_row(row, &sc.vp);
+        let e = ctx.extents[a][k];
+        assert!(
+            s >= 0 && (s as usize) < e,
+            "array {a}: subscript {k} = {s} out of 0..{e}"
+        );
+        off = off * e + s as usize;
+    }
+    let addr = ctx.bases[a] + off as u64 * 8;
+    mem.store(a, off, addr, v);
+    stats.instances += 1;
+    stats.flops += info.flops;
+}
+
+/// Runs the AST sequentially (parallel markers ignored).
+pub fn run_sequential(prog: &Program, ast: &Ast, params: &[i64], arrays: &mut Arrays) -> ExecStats {
+    let ctx = Ctx::new(prog, params, arrays);
+    let mut vals = vec![0; ast.num_vars().max(params.len())];
+    for (k, &p) in params.iter().enumerate() {
+        vals[k] = p as Int;
+    }
+    let mut stats = ExecStats::default();
+    let mut sc = Scratch::with_stmts(prog.stmts.len());
+    exec(ast, &mut vals, &ctx, &mut Direct(arrays), &mut sc, &mut stats);
+    stats
+}
+
+/// Runs the AST sequentially with every access driven through the cache
+/// simulator.
+pub fn run_with_cache(
+    prog: &Program,
+    ast: &Ast,
+    params: &[i64],
+    arrays: &mut Arrays,
+    cfg: CacheConfig,
+) -> (ExecStats, CacheStats) {
+    let ctx = Ctx::new(prog, params, arrays);
+    let mut vals = vec![0; ast.num_vars().max(params.len())];
+    for (k, &p) in params.iter().enumerate() {
+        vals[k] = p as Int;
+    }
+    let mut stats = ExecStats::default();
+    let mut sim = CacheSim::new(cfg);
+    let mut sc = Scratch::with_stmts(prog.stmts.len());
+    {
+        let mut mem = Cached {
+            arrays,
+            sim: &mut sim,
+        };
+        exec(ast, &mut vals, &ctx, &mut mem, &mut sc, &mut stats);
+    }
+    (stats, sim.stats)
+}
+
+/// Runs the AST with a thread team: every loop marked parallel distributes
+/// its iterations (block-wise; collapsed work lists when `collapse >= 2`
+/// and the next loop in is parallel too) over `cfg.threads` scoped
+/// threads, with an implicit barrier at loop exit — the paper's OpenMP
+/// `parallel for` semantics.
+pub fn run_parallel(
+    prog: &Program,
+    ast: &Ast,
+    params: &[i64],
+    arrays: &mut Arrays,
+    cfg: ParallelConfig,
+) -> ExecStats {
+    let ctx = Ctx::new(prog, params, arrays);
+    let mut vals = vec![0; ast.num_vars().max(params.len())];
+    for (k, &p) in params.iter().enumerate() {
+        vals[k] = p as Int;
+    }
+    let mut stats = ExecStats::default();
+    let ptrs: Vec<SendPtr> = arrays.raw().into_iter().map(SendPtr).collect();
+    let mut sc = Scratch::with_stmts(prog.stmts.len());
+    exec_outer(ast, &mut vals, &ctx, &ptrs, cfg, &mut sc, &mut stats);
+    stats
+}
+
+/// Sequential walker that dispatches parallel loops onto the thread team.
+fn exec_outer(
+    ast: &Ast,
+    vals: &mut [Int],
+    ctx: &Ctx,
+    ptrs: &[SendPtr],
+    cfg: ParallelConfig,
+    sc: &mut Scratch,
+    stats: &mut ExecStats,
+) {
+    match ast {
+        Ast::Seq(v) => {
+            for a in v {
+                exec_outer(a, vals, ctx, ptrs, cfg, sc, stats);
+            }
+        }
+        Ast::Loop(l) if l.parallel && cfg.threads > 1 => {
+            run_team(l, vals, ctx, ptrs, cfg, sc, stats);
+        }
+        Ast::Loop(l) => {
+            let lb = l.lb.eval_lower(vals);
+            let ub = l.ub.eval_upper(vals);
+            let mut x = lb;
+            while x <= ub {
+                vals[l.var] = x;
+                exec_outer(&l.body, vals, ctx, ptrs, cfg, sc, stats);
+                x += 1;
+            }
+        }
+        Ast::Let {
+            var, expr, body, ..
+        } => {
+            vals[*var] = expr.eval_floor(vals);
+            exec_outer(body, vals, ctx, ptrs, cfg, sc, stats);
+        }
+        Ast::Guard { conds, body } => {
+            if conds.iter().all(|c| c.holds(vals)) {
+                exec_outer(body, vals, ctx, ptrs, cfg, sc, stats);
+            }
+        }
+        Ast::Filter { stmt, conds, body } => {
+            let pass = conds.iter().all(|c| c.holds(vals));
+            if !pass {
+                sc.suppressed[*stmt] += 1;
+            }
+            exec_outer(body, vals, ctx, ptrs, cfg, sc, stats);
+            if !pass {
+                sc.suppressed[*stmt] -= 1;
+            }
+        }
+        Ast::Stmt { stmt, orig_dims } => {
+            if sc.suppressed[*stmt] == 0 {
+                let mut mem = RawMem { ptrs };
+                run_stmt(*stmt, orig_dims, vals, ctx, &mut mem, sc, stats);
+            }
+        }
+    }
+}
+
+/// One parallel region: distribute the loop (or a 2-deep collapsed work
+/// list) over the team and join (barrier).
+fn run_team(
+    l: &pluto_codegen::LoopNode,
+    vals: &mut [Int],
+    ctx: &Ctx,
+    ptrs: &[SendPtr],
+    cfg: ParallelConfig,
+    sc: &Scratch,
+    stats: &mut ExecStats,
+) {
+    stats.parallel_regions += 1;
+    let lb = l.lb.eval_lower(vals);
+    let ub = l.ub.eval_upper(vals);
+    if lb > ub {
+        return;
+    }
+    // Work items: either single-loop values or collapsed (outer, inner)
+    // pairs when two consecutive parallel loops exist.
+    let inner: Option<&pluto_codegen::LoopNode> = if cfg.collapse >= 2 {
+        match &*l.body {
+            Ast::Loop(i) if i.parallel => Some(i),
+            _ => None,
+        }
+    } else {
+        None
+    };
+    let mut items: Vec<(Int, Int)> = Vec::new();
+    match inner {
+        Some(i) => {
+            let mut x = lb;
+            while x <= ub {
+                vals[l.var] = x;
+                let ilb = i.lb.eval_lower(vals);
+                let iub = i.ub.eval_upper(vals);
+                let mut y = ilb;
+                while y <= iub {
+                    items.push((x, y));
+                    y += 1;
+                }
+                x += 1;
+            }
+        }
+        None => {
+            let mut x = lb;
+            while x <= ub {
+                items.push((x, 0));
+                x += 1;
+            }
+        }
+    }
+    let nthreads = cfg.threads.min(items.len().max(1));
+    let body: &Ast = match inner {
+        Some(i) => &i.body,
+        None => &l.body,
+    };
+    let results = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nthreads);
+        for t in 0..nthreads {
+            let chunk_lo = items.len() * t / nthreads;
+            let chunk_hi = items.len() * (t + 1) / nthreads;
+            let my_items = &items[chunk_lo..chunk_hi];
+            let mut my_vals = vals.to_vec();
+            let outer_var = l.var;
+            let inner_var = inner.map(|i| i.var);
+            let suppressed = sc.suppressed.clone();
+            handles.push(scope.spawn(move |_| {
+                let mut mem = RawMem { ptrs };
+                let mut st = ExecStats::default();
+                let mut sc = Scratch::new();
+                sc.suppressed = suppressed;
+                for &(x, y) in my_items {
+                    my_vals[outer_var] = x;
+                    if let Some(iv) = inner_var {
+                        my_vals[iv] = y;
+                    }
+                    exec(body, &mut my_vals, ctx, &mut mem, &mut sc, &mut st);
+                }
+                st
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("thread scope failed");
+    for r in results {
+        stats.merge(r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pluto_codegen::{generate, original_schedule};
+    use pluto_ir::{ProgramBuilder, StatementSpec};
+
+    /// `for i in 0..N { b[i] = 2 * a[i] }`
+    fn scale_program() -> Program {
+        let mut b = ProgramBuilder::new("scale", &["N"]);
+        b.add_context_ineq(vec![1, -1]);
+        b.add_array("a", 1);
+        b.add_array("b", 1);
+        b.add_statement(StatementSpec {
+            name: "S1".into(),
+            iters: vec!["i".into()],
+            domain_ineqs: vec![vec![1, 0, 0], vec![-1, 1, -1]],
+            beta: vec![0, 0],
+            write: ("b".into(), vec![vec![1, 0, 0]]),
+            reads: vec![("a".into(), vec![vec![1, 0, 0]])],
+            body: Expr::Lit(2.0) * Expr::Read(0),
+        });
+        b.build()
+    }
+
+    #[test]
+    fn sequential_scale() {
+        let prog = scale_program();
+        let ast = generate(&prog, &original_schedule(&prog));
+        let mut arrays = Arrays::new(vec![vec![8], vec![8]]);
+        arrays.seed_with(|a, o| if a == 0 { o as f64 } else { 0.0 });
+        let stats = run_sequential(&prog, &ast, &[8], &mut arrays);
+        assert_eq!(stats.instances, 8);
+        for i in 0..8 {
+            assert_eq!(arrays.load(1, i), 2.0 * i as f64);
+        }
+    }
+
+    #[test]
+    fn cache_run_counts_accesses() {
+        let prog = scale_program();
+        let ast = generate(&prog, &original_schedule(&prog));
+        let mut arrays = Arrays::new(vec![vec![64], vec![64]]);
+        let (stats, cs) = run_with_cache(&prog, &ast, &[64], &mut arrays, CacheConfig::default());
+        assert_eq!(stats.instances, 64);
+        assert_eq!(cs.accesses, 128); // one read + one write per instance
+        assert!(cs.l1_misses >= 16); // 2 arrays x 8 lines
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let prog = scale_program();
+        let mut t = original_schedule(&prog);
+        // Mark the i-loop parallel (it trivially is).
+        t.rows[1].par = pluto::Parallelism::Parallel;
+        for sp in t.stmt_par.iter_mut() {
+            sp[1] = pluto::Parallelism::Parallel;
+        }
+        let ast = generate(&prog, &t);
+        let mut seq = Arrays::new(vec![vec![100], vec![100]]);
+        seq.seed_with(|a, o| (a * 7 + o) as f64);
+        let mut par = seq.clone();
+        run_sequential(&prog, &ast, &[100], &mut seq);
+        let stats = run_parallel(
+            &prog,
+            &ast,
+            &[100],
+            &mut par,
+            ParallelConfig {
+                threads: 4,
+                collapse: 1,
+            },
+        );
+        assert!(seq.bitwise_eq(&par));
+        assert_eq!(stats.parallel_regions, 1);
+        assert_eq!(stats.instances, 100);
+    }
+}

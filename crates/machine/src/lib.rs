@@ -1,0 +1,32 @@
+//! Execution and measurement substrate — the `pluto-rs` stand-in for the
+//! paper's Intel Q6600 quad-core + icc + OpenMP testbed.
+//!
+//! The paper evaluates transformed code by compiling with icc and running
+//! on real hardware. We instead *execute the generated loop ASTs
+//! directly*:
+//!
+//! * [`run_sequential`] — a deterministic interpreter over dense `f64`
+//!   arrays; used both as the correctness oracle (original vs transformed
+//!   programs must produce bitwise-identical arrays, since legality
+//!   preserves each statement instance's inputs and per-instance flop
+//!   order) and for wall-clock locality measurements;
+//! * [`run_parallel`] — real multi-threaded execution via crossbeam scoped
+//!   threads: the OpenMP `parallel for` of the paper maps to a
+//!   block-distributed thread team per parallel loop entry, with the
+//!   paper's coarse-grained tile-schedule semantics (one implicit barrier
+//!   per outer sequential iteration);
+//! * [`run_with_cache`] — the same interpretation with every array access
+//!   driven through a two-level set-associative write-allocate [`CacheSim`]
+//!   (default geometry mirrors the paper's machine: 32 KB 8-way L1,
+//!   4 MB 16-way L2, 64-byte lines), producing the locality metrics behind
+//!   the single-core speedups of Figs. 6, 8, 10.
+
+mod arrays;
+mod cache;
+mod interp;
+mod simulate;
+
+pub use arrays::Arrays;
+pub use cache::{CacheConfig, CacheSim, CacheStats};
+pub use interp::{run_parallel, run_sequential, run_with_cache, ExecStats, ParallelConfig};
+pub use simulate::{simulate, MachineConfig, SimStats};

@@ -1,0 +1,34 @@
+//! Integer polyhedra in constraint form — the `pluto-rs` stand-in for
+//! PolyLib.
+//!
+//! A [`ConstraintSet`] is a conjunction of affine equalities and
+//! inequalities over a fixed number of integer variables; geometrically, the
+//! integer points of a (possibly unbounded) convex polyhedron. The paper's
+//! tool-chain uses PolyLib (Chernikova dual conversion) for its set
+//! operations; we instead keep everything in constraint (H) form and use
+//!
+//! * exact **Fourier–Motzkin elimination** (with Gaussian substitution
+//!   through equalities first) for projection — the workhorse behind both
+//!   loop-bound generation and Farkas-multiplier elimination;
+//! * the workspace **ILP solver** for exact integer emptiness and
+//!   redundancy queries.
+//!
+//! # Examples
+//!
+//! ```
+//! use pluto_poly::ConstraintSet;
+//! // The triangle 0 <= i <= j <= 10 in (i, j).
+//! let mut s = ConstraintSet::new(2);
+//! s.add_ineq(vec![1, 0, 0]);   // i >= 0
+//! s.add_ineq(vec![-1, 1, 0]);  // j - i >= 0
+//! s.add_ineq(vec![0, -1, 10]); // j <= 10
+//! assert!(!s.is_empty());
+//! // Projecting out j leaves 0 <= i <= 10.
+//! let p = s.project_out(1, 1);
+//! assert!(p.contains(&[10]));
+//! assert!(!p.contains(&[11]));
+//! ```
+
+mod set;
+
+pub use set::ConstraintSet;

@@ -1,0 +1,85 @@
+//! Speedup lab: run every paper kernel through the simulated quad-core
+//! machine at 1, 2 and 4 cores, original vs Pluto-optimized, and print a
+//! compact locality + parallelism report.
+//!
+//! ```text
+//! cargo run --release --example speedup_lab
+//! ```
+
+use pluto::Optimizer;
+use pluto_codegen::{generate, original_schedule};
+use pluto_frontend::kernels;
+use pluto_machine::{simulate, Arrays, CacheConfig, MachineConfig};
+
+fn main() {
+    // Smaller-than-benchmark sizes so the lab finishes in seconds; the
+    // simulated caches are scaled down with them (8 KB L1 / 64 KB L2, as
+    // in the benchmark harness) so working sets overflow the hierarchy
+    // like the paper's full-size problems did.
+    let machine = |cores: usize| MachineConfig {
+        cores,
+        cache: CacheConfig {
+            line: 64,
+            l1_size: 8 * 1024,
+            l1_assoc: 8,
+            l2_size: 64 * 1024,
+            l2_assoc: 16,
+        },
+        barrier: 500,
+        ..MachineConfig::default()
+    };
+    let sizes: &[(&str, Vec<i64>)] = &[
+        ("jacobi-1d-imper", vec![32, 40_000]),
+        ("fdtd-2d", vec![16, 100, 100]),
+        ("lu", vec![150]),
+        ("mvt", vec![500]),
+        ("seidel-2d", vec![16, 150]),
+        ("matmul", vec![110]),
+        ("sor-2d", vec![320]),
+        ("jacobi-2d-imper", vec![10, 110]),
+        ("gemver", vec![450]),
+        ("trmm", vec![160]),
+        ("syrk", vec![110]),
+        ("trisolv", vec![700]),
+        ("doitgen", vec![42]),
+    ];
+    println!(
+        "{:<16} {:>12} {:>12} {:>8} {:>8} {:>8} {:>10}",
+        "kernel", "orig cyc", "pluto cyc", "seq x", "2-core x", "4-core x", "L2miss ÷"
+    );
+    for (name, params) in sizes {
+        let (_, k) = kernels::all()
+            .into_iter()
+            .find(|(n, _)| n == name)
+            .expect("kernel");
+        let orig = original_schedule(&k.program);
+        let orig_ast = generate(&k.program, &orig);
+        let o = Optimizer::new()
+            .tile_size(8)
+            .optimize(&k.program)
+            .expect("optimizes");
+        let ast = generate(&k.program, &o.result.transform);
+
+        let run = |ast: &pluto_codegen::Ast, cores: usize| {
+            let mut arrays = Arrays::new((k.extents)(params));
+            arrays.seed_with(kernels::seed_value);
+            simulate(&k.program, ast, params, &mut arrays, machine(cores))
+        };
+        let base = run(&orig_ast, 1);
+        let p1 = run(&ast, 1);
+        let p2 = run(&ast, 2);
+        let p4 = run(&ast, 4);
+        println!(
+            "{:<16} {:>12} {:>12} {:>8.2} {:>8.2} {:>8.2} {:>10.1}",
+            name,
+            base.cycles,
+            p1.cycles,
+            base.cycles as f64 / p1.cycles as f64,
+            base.cycles as f64 / p2.cycles as f64,
+            base.cycles as f64 / p4.cycles as f64,
+            base.cache.l2_misses as f64 / p1.cache.l2_misses.max(1) as f64,
+        );
+    }
+    println!("\n(x = modelled speedup over the sequential original;");
+    println!(" L2miss ÷ = factor by which tiling cut simulated L2 misses)");
+}

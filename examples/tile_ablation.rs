@@ -1,0 +1,90 @@
+//! Ablation study: how tile size, fusion policy and the wavefront degree
+//! change the modelled performance — the design-choice knobs DESIGN.md
+//! calls out (the paper leaves tile-size selection to "rough thumb
+//! rules"; this shows why that is good enough and where it stops being).
+//!
+//! ```text
+//! cargo run --release --example tile_ablation
+//! ```
+
+use pluto::{FusionPolicy, Optimizer, PlutoOptions};
+use pluto_codegen::generate;
+use pluto_frontend::kernels;
+use pluto_machine::{simulate, Arrays, MachineConfig};
+
+fn run(k: &kernels::Kernel, opt: &Optimizer, params: &[i64], cores: usize) -> u64 {
+    let o = opt.optimize(&k.program).expect("optimizes");
+    let ast = generate(&k.program, &o.result.transform);
+    let mut arrays = Arrays::new((k.extents)(params));
+    arrays.seed_with(kernels::seed_value);
+    simulate(
+        &k.program,
+        &ast,
+        params,
+        &mut arrays,
+        MachineConfig::default().with_cores(cores),
+    )
+    .cycles
+}
+
+fn main() {
+    // 1. Tile-size sweep on seidel (time-skewed stencil).
+    let k = kernels::seidel_2d();
+    let params = [16i64, 150];
+    println!("tile-size sweep, seidel-2d (T=16, N=150), 4 cores:");
+    println!("{:>8} {:>14}", "tile", "cycles");
+    for tile in [4, 8, 16, 32, 64] {
+        let cyc = run(&k, &Optimizer::new().tile_size(tile), &params, 4);
+        println!("{tile:>8} {cyc:>14}");
+    }
+
+    // 2. Fusion policy on MVT (the Sec. 4.1 input-dependence story).
+    let k = kernels::mvt();
+    let params = [500i64];
+    println!("\nfusion policy, mvt (N=500), 1 core:");
+    let smart = run(&k, &Optimizer::new().tile_size(16), &params, 1);
+    let nofuse = run(
+        &k,
+        &Optimizer::new().tile_size(16).search_options(PlutoOptions {
+            fuse: FusionPolicy::NoFuse,
+            ..PlutoOptions::default()
+        }),
+        &params,
+        1,
+    );
+    println!("  smart fuse (ij/ji): {smart:>12} cycles");
+    println!("  no fuse:            {nofuse:>12} cycles");
+    println!("  fusion wins by {:.2}x (reuse on A)", nofuse as f64 / smart as f64);
+
+    // 3. Wavefront degree on seidel (Fig. 13's 1-d vs 2-d pipelined).
+    let k = kernels::seidel_2d();
+    let params = [16i64, 150];
+    println!("\nwavefront degrees, seidel-2d, 4 cores:");
+    for m in [1usize, 2] {
+        let cyc = run(
+            &k,
+            &Optimizer::new().tile_size(8).wavefront_degrees(m),
+            &params,
+            4,
+        );
+        println!("  m = {m}: {cyc:>12} cycles");
+    }
+
+    // 4. Input dependences on/off for MVT: without them the cost function
+    // cannot see the reuse on A and fuses without the permutation.
+    let k = kernels::mvt();
+    let params = [500i64];
+    let without = run(
+        &k,
+        &Optimizer::new().tile_size(16).search_options(PlutoOptions {
+            use_input_deps: false,
+            ..PlutoOptions::default()
+        }),
+        &params,
+        1,
+    );
+    let with = run(&k, &Optimizer::new().tile_size(16), &params, 1);
+    println!("\nRAR dependences in the bounding objective (Sec. 4.1), mvt:");
+    println!("  with input deps:    {with:>12} cycles");
+    println!("  without input deps: {without:>12} cycles");
+}

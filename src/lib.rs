@@ -1,0 +1,51 @@
+//! `pluto-repro` — umbrella crate re-exporting the whole `pluto-rs`
+//! workspace, a from-scratch Rust reproduction of *"A Practical Automatic
+//! Polyhedral Parallelizer and Locality Optimizer"* (PLDI 2008).
+//!
+//! See the repository README for the architecture map; the short version:
+//!
+//! * [`frontend`] parses affine C (or builds the paper's kernels);
+//! * [`ir`] holds the polyhedral program and computes dependence polyhedra;
+//! * [`pluto`] finds the transformation (legality + cost-bounded lexmin,
+//!   tiling, wavefronting) — the paper's contribution;
+//! * [`codegen`] scans the transformed polyhedra into an executable loop
+//!   AST and OpenMP C;
+//! * [`machine`] executes and measures (threads, caches, simulated
+//!   quad-core);
+//! * [`poly`], [`ilp`] and [`linalg`] are the exact-arithmetic substrates
+//!   standing in for PolyLib and PIP.
+//!
+//! # Example: end-to-end
+//!
+//! ```
+//! use pluto::Optimizer;
+//! use pluto_codegen::{generate, original_schedule};
+//! use pluto_frontend::kernels;
+//! use pluto_machine::{run_sequential, Arrays};
+//!
+//! let kernel = kernels::matmul();
+//! let optimized = Optimizer::new().tile_size(16).optimize(&kernel.program)?;
+//! let ast = generate(&kernel.program, &optimized.result.transform);
+//!
+//! // Execute and check against the untransformed program.
+//! let params = [24i64];
+//! let mut a = Arrays::new((kernel.extents)(&params));
+//! a.seed_with(kernels::seed_value);
+//! run_sequential(&kernel.program, &ast, &params, &mut a);
+//!
+//! let mut reference = Arrays::new((kernel.extents)(&params));
+//! reference.seed_with(kernels::seed_value);
+//! let orig = generate(&kernel.program, &original_schedule(&kernel.program));
+//! run_sequential(&kernel.program, &orig, &params, &mut reference);
+//! assert!(a.bitwise_eq(&reference));
+//! # Ok::<(), pluto::PlutoError>(())
+//! ```
+
+pub use pluto;
+pub use pluto_codegen as codegen;
+pub use pluto_frontend as frontend;
+pub use pluto_ilp as ilp;
+pub use pluto_ir as ir;
+pub use pluto_linalg as linalg;
+pub use pluto_machine as machine;
+pub use pluto_poly as poly;

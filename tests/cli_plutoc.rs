@@ -1,0 +1,82 @@
+//! Integration tests for the `plutoc` command-line tool.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+const SRC: &str = "
+params N, T;
+array a[N]; array b[N];
+for (t = 0; t < T; t++) {
+  for (i = 2; i <= N - 2; i++)
+    b[i] = 0.333 * (a[i-1] + a[i] + a[i+1]);
+  for (j = 2; j <= N - 2; j++)
+    a[j] = b[j];
+}
+";
+
+fn plutoc(args: &[&str], stdin: &str) -> (String, String, bool) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_plutoc"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn plutoc");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(stdin.as_bytes())
+        .expect("write source");
+    let out = child.wait_with_output().expect("plutoc runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn emits_openmp_c_from_stdin() {
+    let (stdout, _, ok) = plutoc(&["--tile", "16", "-"], SRC);
+    assert!(ok);
+    assert!(stdout.contains("#define S1(t,i)"));
+    assert!(stdout.contains("#pragma omp parallel for"));
+    assert!(stdout.contains("floord("));
+}
+
+#[test]
+fn verify_mode_checks_results() {
+    let (_, stderr, ok) = plutoc(&["--tile", "8", "--verify", "9,40", "-"], SRC);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("verified"), "{stderr}");
+}
+
+#[test]
+fn show_transform_prints_rows() {
+    let (_, stderr, ok) = plutoc(&["--show-transform", "--notile", "-"], SRC);
+    assert!(ok);
+    assert!(stderr.contains("c1 ="), "{stderr}");
+    assert!(stderr.contains("2*t"), "paper's skew-2 visible: {stderr}");
+}
+
+#[test]
+fn rejects_bad_source() {
+    let (_, stderr, ok) = plutoc(&["-"], "for (i = 0; i < N; i++) z[i*i] = 1;");
+    assert!(!ok);
+    assert!(stderr.contains("plutoc:"), "{stderr}");
+}
+
+#[test]
+fn verify_param_count_mismatch_fails() {
+    let (_, stderr, ok) = plutoc(&["--verify", "5", "-"], SRC);
+    assert!(!ok);
+    assert!(stderr.contains("expects 2 value(s)"), "{stderr}");
+}
+
+#[test]
+fn notile_noparallel_emit_plain_loops() {
+    let (stdout, _, ok) = plutoc(&["--notile", "--noparallel", "-"], SRC);
+    assert!(ok);
+    assert!(!stdout.contains("#pragma omp"));
+}

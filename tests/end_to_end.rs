@@ -1,0 +1,162 @@
+//! The strongest end-to-end oracle: for every paper kernel, executing the
+//! Pluto-transformed program (tiled, wavefronted, vector-reordered) must
+//! produce arrays bitwise identical to executing the original program —
+//! legality preserves each statement instance's inputs, and per-instance
+//! flop order is untouched, so even floating point must agree exactly.
+
+use pluto::Optimizer;
+use pluto_codegen::{generate, original_schedule};
+use pluto_frontend::kernels::{self, Kernel};
+use pluto_machine::{run_parallel, run_sequential, Arrays, ParallelConfig};
+
+/// Small parameter values per kernel (order matches `program.params`).
+fn small_params(name: &str) -> Vec<i64> {
+    match name {
+        "jacobi-1d-imper" => vec![9, 23],   // T, N
+        "fdtd-2d" => vec![6, 11, 13],       // tmax, nx, ny
+        "lu" => vec![17],                   // N
+        "mvt" => vec![19],                  // N
+        "seidel-2d" => vec![7, 14],         // T, N
+        "matmul" => vec![13],               // N
+        "sor-2d" => vec![21],               // N
+        "jacobi-2d-imper" => vec![4, 10],   // T, N
+        "gemver" => vec![13],               // N
+        "trmm" => vec![11],                 // N
+        "syrk" => vec![9],                  // N
+        "trisolv" => vec![12],              // N
+        "doitgen" => vec![6],               // N
+        other => panic!("unknown kernel {other}"),
+    }
+}
+
+fn run_original(k: &Kernel, params: &[i64]) -> Arrays {
+    let ast = generate(&k.program, &original_schedule(&k.program));
+    let mut arrays = Arrays::new((k.extents)(params));
+    arrays.seed_with(kernels::seed_value);
+    run_sequential(&k.program, &ast, params, &mut arrays);
+    arrays
+}
+
+fn check_kernel(k: &Kernel, opt: &Optimizer, params: &[i64], threads: usize, label: &str) {
+    let name = &k.program.name;
+    let reference = run_original(k, params);
+    let optimized = opt
+        .optimize(&k.program)
+        .unwrap_or_else(|e| panic!("{name}: optimize failed: {e}"));
+    let ast = generate(&k.program, &optimized.result.transform);
+    let mut arrays = Arrays::new((k.extents)(params));
+    arrays.seed_with(kernels::seed_value);
+    let ref_stats;
+    if threads <= 1 {
+        ref_stats = run_sequential(&k.program, &ast, params, &mut arrays);
+    } else {
+        ref_stats = run_parallel(
+            &k.program,
+            &ast,
+            params,
+            &mut arrays,
+            ParallelConfig {
+                threads,
+                collapse: 1,
+            },
+        );
+    }
+    assert!(
+        arrays.bitwise_eq(&reference),
+        "{name} [{label}]: transformed execution diverges from original\n{}",
+        optimized.result.transform.display(&k.program)
+    );
+    assert!(ref_stats.instances > 0, "{name} [{label}]: nothing executed");
+}
+
+#[test]
+fn tiled_sequential_equivalence() {
+    let opt = Optimizer::new().tile_size(4).parallel(false).vectorization(false);
+    for (name, k) in kernels::all() {
+        check_kernel(&k, &opt, &small_params(name), 1, "tiled seq");
+    }
+}
+
+#[test]
+fn untiled_equivalence() {
+    let opt = Optimizer::new().tiling(false).parallel(false).vectorization(false);
+    for (name, k) in kernels::all() {
+        check_kernel(&k, &opt, &small_params(name), 1, "untiled");
+    }
+}
+
+#[test]
+fn full_pipeline_parallel_equivalence() {
+    // Tiling + wavefront + vector reorder, executed on 4 threads.
+    let opt = Optimizer::new().tile_size(4);
+    for (name, k) in kernels::all() {
+        check_kernel(&k, &opt, &small_params(name), 4, "tiled par");
+    }
+}
+
+#[test]
+fn two_level_tiling_equivalence() {
+    let opt = Optimizer::new().tile_size(3).second_level(2).parallel(false);
+    for (name, k) in kernels::all() {
+        check_kernel(&k, &opt, &small_params(name), 1, "L2 tiled");
+    }
+}
+
+#[test]
+fn wavefront_two_degrees_equivalence() {
+    // Fig. 13's 2-d pipelined parallel variant on seidel + collapse-2 team.
+    let k = kernels::seidel_2d();
+    let params = small_params("seidel-2d");
+    let reference = run_original(&k, &params);
+    let opt = Optimizer::new().tile_size(4).wavefront_degrees(2);
+    let optimized = opt.optimize(&k.program).unwrap();
+    let ast = generate(&k.program, &optimized.result.transform);
+    let mut arrays = Arrays::new((k.extents)(&params));
+    arrays.seed_with(kernels::seed_value);
+    run_parallel(
+        &k.program,
+        &ast,
+        &params,
+        &mut arrays,
+        ParallelConfig {
+            threads: 4,
+            collapse: 2,
+        },
+    );
+    assert!(arrays.bitwise_eq(&reference), "2-degree wavefront diverges");
+}
+
+#[test]
+fn parsed_source_equivalence() {
+    // Full source-to-source: parse affine C, transform, execute, compare.
+    let src = "
+      params N;
+      array a[N][N];
+      for (i = 1; i < N; i++)
+        for (j = 1; j < N; j++)
+          a[i][j] = a[i-1][j] + a[i][j-1];
+    ";
+    let prog = pluto_frontend::parse(src).expect("parses");
+    let params = [40i64];
+    let extents = vec![vec![40, 40]];
+    let mut reference = Arrays::new(extents.clone());
+    reference.seed_with(kernels::seed_value);
+    let orig = generate(&prog, &original_schedule(&prog));
+    run_sequential(&prog, &orig, &params, &mut reference);
+
+    let optimized = Optimizer::new().tile_size(8).optimize(&prog).unwrap();
+    let ast = generate(&prog, &optimized.result.transform);
+    let mut arrays = Arrays::new(extents);
+    arrays.seed_with(kernels::seed_value);
+    run_parallel(
+        &prog,
+        &ast,
+        &params,
+        &mut arrays,
+        ParallelConfig {
+            threads: 3,
+            collapse: 1,
+        },
+    );
+    assert!(arrays.bitwise_eq(&reference));
+}

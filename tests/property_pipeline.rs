@@ -1,0 +1,158 @@
+//! End-to-end property tests: random affine stencil programs run through
+//! the whole pipeline (dependences → search → tiling → wavefront →
+//! codegen → execution) must (a) produce exactly legal transformations
+//! and (b) compute bitwise-identical results to the original program.
+
+use proptest::prelude::*;
+use pluto::baselines::validate_legality;
+use pluto::{find_transformation, Optimizer, PlutoOptions};
+use pluto_codegen::{generate, original_schedule};
+use pluto_ir::{analyze_dependences, Expr, Program, ProgramBuilder, StatementSpec};
+use pluto_machine::{run_sequential, Arrays};
+
+/// A randomly generated 2-statement stencil program over one array:
+///
+/// ```c
+/// for t in 0..T {
+///   for i in 2..N-2: b[i] = f(a[i+o1], a[i+o2]);   // S1
+///   for j in 2..N-2: a[j] = g(b[j+o3]);            // S2
+/// }
+/// ```
+///
+/// with offsets `o ∈ {-2..2}` — a family that includes the paper's
+/// Jacobi as one member and exercises shifts, skews and fusion alignment.
+#[derive(Debug, Clone)]
+struct StencilSpec {
+    o1: i64,
+    o2: i64,
+    o3: i64,
+    scale: bool,
+}
+
+fn spec() -> impl Strategy<Value = StencilSpec> {
+    (-2i64..=2, -2i64..=2, -2i64..=2, proptest::bool::ANY).prop_map(|(o1, o2, o3, scale)| {
+        StencilSpec { o1, o2, o3, scale }
+    })
+}
+
+fn build(spec: &StencilSpec) -> Program {
+    let mut b = ProgramBuilder::new("randstencil", &["T", "N"]);
+    b.add_context_ineq(vec![1, 0, -1]); // T >= 1
+    b.add_context_ineq(vec![0, 1, -7]); // N >= 7
+    b.add_array("a", 1);
+    b.add_array("b", 1);
+    // Columns: [t, i, T, N, 1].
+    let dom = vec![
+        vec![1, 0, 0, 0, 0],
+        vec![-1, 0, 1, 0, -1],
+        vec![0, 1, 0, 0, -2],
+        vec![0, -1, 0, 1, -3],
+    ];
+    let body1 = if spec.scale {
+        Expr::Lit(0.4) * (Expr::Read(0) + Expr::Read(1))
+    } else {
+        Expr::Read(0) - Expr::Lit(0.25) * Expr::Read(1)
+    };
+    b.add_statement(StatementSpec {
+        name: "S1".into(),
+        iters: vec!["t".into(), "i".into()],
+        domain_ineqs: dom.clone(),
+        beta: vec![0, 0, 0],
+        write: ("b".into(), vec![vec![0, 1, 0, 0, 0]]),
+        reads: vec![
+            ("a".into(), vec![vec![0, 1, 0, 0, spec.o1 as i128]]),
+            ("a".into(), vec![vec![0, 1, 0, 0, spec.o2 as i128]]),
+        ],
+        body: body1,
+    });
+    b.add_statement(StatementSpec {
+        name: "S2".into(),
+        iters: vec!["t".into(), "j".into()],
+        domain_ineqs: dom,
+        beta: vec![0, 1, 0],
+        write: ("a".into(), vec![vec![0, 1, 0, 0, 0]]),
+        reads: vec![("b".into(), vec![vec![0, 1, 0, 0, spec.o3 as i128]])],
+        body: Expr::Lit(0.9) * Expr::Read(0),
+    });
+    b.build()
+}
+
+fn run(prog: &Program, t: &pluto::Transformation, params: &[i64]) -> Arrays {
+    let ast = generate(prog, t);
+    let n = params[1] as usize;
+    let mut arrays = Arrays::new(vec![vec![n], vec![n]]);
+    arrays.seed_with(pluto_frontend::kernels::seed_value);
+    run_sequential(prog, &ast, params, &mut arrays);
+    arrays
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The search always yields an exactly legal transformation.
+    #[test]
+    fn search_is_always_legal(sp in spec()) {
+        let prog = build(&sp);
+        let deps = analyze_dependences(&prog, true);
+        let res = find_transformation(&prog, &deps, &PlutoOptions::default())
+            .expect("stencil family is always transformable");
+        let violations = validate_legality(&prog, &deps, &res.transform);
+        prop_assert!(
+            violations.is_empty(),
+            "illegal transform for {sp:?}: {violations:?}\n{}",
+            res.transform.display(&prog)
+        );
+    }
+
+    /// Untransformed and fully optimized executions agree bitwise.
+    #[test]
+    fn optimized_execution_matches(sp in spec()) {
+        let prog = build(&sp);
+        let params = [5i64, 19];
+        let reference = run(&prog, &original_schedule(&prog), &params);
+        let o = Optimizer::new().tile_size(4).optimize(&prog).expect("optimizes");
+        let got = run(&prog, &o.result.transform, &params);
+        prop_assert!(got.bitwise_eq(&reference), "divergence for {sp:?}");
+    }
+
+    /// Tiling with any size in 2..=8 preserves semantics.
+    #[test]
+    fn any_tile_size_preserves_semantics(sp in spec(), tile in 2i64..=8) {
+        let prog = build(&sp);
+        let params = [4i64, 15];
+        let reference = run(&prog, &original_schedule(&prog), &params);
+        let o = Optimizer::new()
+            .tile_size(tile as i128)
+            .parallel(false)
+            .vectorization(false)
+            .optimize(&prog)
+            .expect("optimizes");
+        let got = run(&prog, &o.result.transform, &params);
+        prop_assert!(got.bitwise_eq(&reference), "tile {tile} diverges for {sp:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The Feautrier scheduler also produces exactly legal transformations
+    /// on the random stencil family, and its executions match the
+    /// original bitwise.
+    #[test]
+    fn feautrier_schedule_is_legal_and_equivalent(sp in spec()) {
+        let prog = build(&sp);
+        let deps = analyze_dependences(&prog, false);
+        let res = pluto::feautrier_schedule(&prog, &deps)
+            .expect("stencils always have schedules");
+        let violations = validate_legality(&prog, &deps, &res.transform);
+        prop_assert!(
+            violations.is_empty(),
+            "illegal schedule for {sp:?}: {violations:?}\n{}",
+            res.transform.display(&prog)
+        );
+        let params = [4i64, 15];
+        let reference = run(&prog, &original_schedule(&prog), &params);
+        let got = run(&prog, &res.transform, &params);
+        prop_assert!(got.bitwise_eq(&reference), "divergence for {sp:?}");
+    }
+}
