@@ -1,0 +1,23 @@
+#!/bin/sh
+# Hermetic CI gate: offline release build + full offline test suite +
+# the 200-kernel fixed-seed differential fuzz run.
+#
+# The workspace has zero external dependencies (path deps only), so every
+# step runs with --offline against an empty crate registry. Randomized
+# tests are seeded via pluto-testkit; failures print a
+# `TESTKIT_SEED=<hex> TESTKIT_CASES=1` replay line.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== build (release, all targets, offline) =="
+cargo build --release --offline --workspace --all-targets
+
+echo "== test suite (release, offline) =="
+cargo test --release --offline --workspace
+
+echo "== differential fuzz: 200 random kernels, fixed seed =="
+TESTKIT_CASES=200 cargo test --release --offline --test differential_fuzz \
+    -- --nocapture
+
+echo "== ci.sh: all gates passed =="

@@ -1,41 +1,30 @@
-//! Criterion benchmarks — one group per paper figure, each benchmarking
-//! every compared variant on the simulated machine at reduced sizes
-//! (the `figures` binary runs the full-size tables; these catch
-//! performance regressions in the whole pipeline and keep the
-//! figure-variant set continuously exercised).
+//! Benchmarks — one group per paper figure, each timing every compared
+//! variant on the simulated machine at reduced sizes (the `figures`
+//! binary runs the full-size tables; these catch performance regressions
+//! in the whole pipeline and keep the figure-variant set continuously
+//! exercised). Runs on the hermetic `timing` sampler, no external
+//! benchmark framework.
+//!
+//! `cargo bench --bench figures [-- <substring filter>]`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pluto_bench::timing::Runner;
 use pluto_bench::variants::{self, Variant};
 use pluto_bench::{bench_machine, measure_on};
 use pluto_frontend::kernels::{self, Kernel};
 
-fn run_group(
-    c: &mut Criterion,
-    group_name: &str,
-    k: &Kernel,
-    params: &[i64],
-    vs: Vec<Variant>,
-) {
-    let mut g = c.benchmark_group(group_name);
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(2));
-    g.warm_up_time(std::time::Duration::from_millis(500));
+fn run_group(r: &mut Runner, group_name: &str, k: &Kernel, params: &[i64], vs: Vec<Variant>) {
+    let mut g = r.group(group_name);
     for v in vs {
         for cores in [1usize, 4] {
             let cfg = bench_machine(cores);
-            g.bench_with_input(
-                BenchmarkId::new(v.name.clone(), cores),
-                &cores,
-                |b, _| {
-                    b.iter(|| measure_on(k, &v, params, cfg));
-                },
-            );
+            g.bench(&format!("{}/{cores}", v.name), || {
+                measure_on(k, &v, params, cfg);
+            });
         }
     }
-    g.finish();
 }
 
-fn fig6_jacobi(c: &mut Criterion) {
+fn fig6_jacobi(r: &mut Runner) {
     let k = kernels::jacobi_1d_imperfect();
     let vs = vec![
         variants::orig(&k.program),
@@ -43,30 +32,30 @@ fn fig6_jacobi(c: &mut Criterion) {
         variants::jacobi_sched_fco(&k.program, 8),
         variants::pluto(&k.program, 8, 1),
     ];
-    run_group(c, "fig6_jacobi", &k, &[16, 6000], vs);
+    run_group(r, "fig6_jacobi", &k, &[16, 6000], vs);
 }
 
-fn fig8_fdtd(c: &mut Criterion) {
+fn fig8_fdtd(r: &mut Runner) {
     let k = kernels::fdtd_2d();
     let vs = vec![
         variants::orig(&k.program),
         variants::inner_parallel(&k.program),
         variants::pluto(&k.program, 8, 1),
     ];
-    run_group(c, "fig8_fdtd", &k, &[8, 60, 60], vs);
+    run_group(r, "fig8_fdtd", &k, &[8, 60, 60], vs);
 }
 
-fn fig10_lu(c: &mut Criterion) {
+fn fig10_lu(r: &mut Runner) {
     let k = kernels::lu();
     let vs = vec![
         variants::orig(&k.program),
         variants::lu_sched(&k.program),
         variants::pluto(&k.program, 8, 1),
     ];
-    run_group(c, "fig10_lu", &k, &[100], vs);
+    run_group(r, "fig10_lu", &k, &[100], vs);
 }
 
-fn fig12_mvt(c: &mut Criterion) {
+fn fig12_mvt(r: &mut Runner) {
     let k = kernels::mvt();
     let vs = vec![
         variants::orig(&k.program),
@@ -74,62 +63,53 @@ fn fig12_mvt(c: &mut Criterion) {
         variants::mvt_fused_ij_ij(&k.program, 8),
         variants::pluto(&k.program, 8, 1),
     ];
-    run_group(c, "fig12_mvt", &k, &[300], vs);
+    run_group(r, "fig12_mvt", &k, &[300], vs);
 }
 
-fn fig13_seidel(c: &mut Criterion) {
+fn fig13_seidel(r: &mut Runner) {
     let k = kernels::seidel_2d();
     let mut p1 = variants::pluto(&k.program, 8, 1);
     p1.name = "pluto 1d-pipelined".into();
     let mut p2 = variants::pluto(&k.program, 8, 2);
     p2.name = "pluto 2d-pipelined".into();
     let vs = vec![variants::orig(&k.program), p1, p2];
-    run_group(c, "fig13_seidel", &k, &[12, 100], vs);
+    run_group(r, "fig13_seidel", &k, &[12, 100], vs);
 }
 
 /// Ablations: the design-choice knobs DESIGN.md calls out — tile size,
 /// fusion policy, wavefront degree.
-fn ablations(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablations");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(2));
-    g.warm_up_time(std::time::Duration::from_millis(500));
+fn ablations(r: &mut Runner) {
+    let mut g = r.group("ablations");
     let k = kernels::seidel_2d();
     for tile in [4i128, 16, 64] {
         let v = variants::pluto(&k.program, tile, 1);
-        g.bench_with_input(
-            BenchmarkId::new("seidel_tile", tile),
-            &tile,
-            |b, _| b.iter(|| measure_on(&k, &v, &[10, 100], bench_machine(4))),
-        );
+        g.bench(&format!("seidel_tile/{tile}"), || {
+            measure_on(&k, &v, &[10, 100], bench_machine(4));
+        });
     }
     let mv = kernels::mvt();
     for (name, v) in [
         ("mvt_fused", variants::pluto(&mv.program, 8, 1)),
         ("mvt_nofuse", variants::pluto_nofuse(&mv.program, 8)),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| measure_on(&mv, &v, &[300], bench_machine(1)))
+        g.bench(name, || {
+            measure_on(&mv, &v, &[300], bench_machine(1));
         });
     }
     for m in [1usize, 2] {
         let v = variants::pluto(&k.program, 8, m);
-        g.bench_with_input(
-            BenchmarkId::new("seidel_wavefront_m", m),
-            &m,
-            |b, _| b.iter(|| measure_on(&k, &v, &[10, 100], bench_machine(4))),
-        );
+        g.bench(&format!("seidel_wavefront_m/{m}"), || {
+            measure_on(&k, &v, &[10, 100], bench_machine(4));
+        });
     }
-    g.finish();
 }
 
-criterion_group!(
-    figures,
-    fig6_jacobi,
-    fig8_fdtd,
-    fig10_lu,
-    fig12_mvt,
-    fig13_seidel,
-    ablations
-);
-criterion_main!(figures);
+fn main() {
+    let mut r = Runner::from_args();
+    fig6_jacobi(&mut r);
+    fig8_fdtd(&mut r);
+    fig10_lu(&mut r);
+    fig12_mvt(&mut r);
+    fig13_seidel(&mut r);
+    ablations(&mut r);
+}

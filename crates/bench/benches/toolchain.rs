@@ -1,17 +1,19 @@
-//! Criterion benchmarks for the compiler tool-chain itself — the paper's
-//! Sec. 7 claim that "our transformation framework itself runs quite fast
-//! — within a fraction of a second for all benchmarks considered here".
+//! Benchmarks for the compiler tool-chain itself — the paper's Sec. 7
+//! claim that "our transformation framework itself runs quite fast —
+//! within a fraction of a second for all benchmarks considered here".
 //!
 //! Groups: dependence analysis, the ILP-driven transformation search, the
 //! full optimizer pipeline (search + tiling + wavefront), and code
-//! generation.
+//! generation. Runs on the hermetic `timing` sampler, no external
+//! benchmark framework.
+//!
+//! `cargo bench --bench toolchain [-- <substring filter>]`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pluto::{find_transformation, Optimizer, PlutoOptions};
+use pluto_bench::timing::Runner;
 use pluto_codegen::generate;
 use pluto_frontend::kernels::{self, Kernel};
 use pluto_ir::analyze_dependences;
-use std::time::Duration;
 
 /// The paper's evaluation kernels (the wider example suite is exercised by
 /// the test-suite and `speedup_lab`; benchmarking it would double the run
@@ -28,65 +30,48 @@ fn paper_kernels() -> Vec<(&'static str, Kernel)> {
         .collect()
 }
 
-fn dependence_analysis(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dependence_analysis");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(2));
-    g.warm_up_time(Duration::from_millis(500));
+fn dependence_analysis(r: &mut Runner) {
+    let mut g = r.group("dependence_analysis");
     for (name, k) in paper_kernels() {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &k, |b, k| {
-            b.iter(|| analyze_dependences(&k.program, true));
+        g.bench(name, || {
+            analyze_dependences(&k.program, true);
         });
     }
-    g.finish();
 }
 
-fn transformation_search(c: &mut Criterion) {
-    let mut g = c.benchmark_group("transformation_search");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(2));
-    g.warm_up_time(Duration::from_millis(500));
+fn transformation_search(r: &mut Runner) {
+    let mut g = r.group("transformation_search");
     for (name, k) in paper_kernels() {
         let deps = analyze_dependences(&k.program, true);
-        g.bench_with_input(BenchmarkId::from_parameter(name), &k, |b, k| {
-            b.iter(|| find_transformation(&k.program, &deps, &PlutoOptions::default()).unwrap());
+        g.bench(name, || {
+            find_transformation(&k.program, &deps, &PlutoOptions::default()).unwrap();
         });
     }
-    g.finish();
 }
 
-fn full_pipeline(c: &mut Criterion) {
-    let mut g = c.benchmark_group("optimizer_pipeline");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(2));
-    g.warm_up_time(Duration::from_millis(500));
+fn full_pipeline(r: &mut Runner) {
+    let mut g = r.group("optimizer_pipeline");
     for (name, k) in paper_kernels() {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &k, |b, k| {
-            b.iter(|| Optimizer::new().tile_size(32).optimize(&k.program).unwrap());
+        g.bench(name, || {
+            Optimizer::new().tile_size(32).optimize(&k.program).unwrap();
         });
     }
-    g.finish();
 }
 
-fn code_generation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("code_generation");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(2));
-    g.warm_up_time(Duration::from_millis(500));
+fn code_generation(r: &mut Runner) {
+    let mut g = r.group("code_generation");
     for (name, k) in paper_kernels() {
         let o = Optimizer::new().tile_size(32).optimize(&k.program).unwrap();
-        g.bench_with_input(BenchmarkId::from_parameter(name), &k, |b, k| {
-            b.iter(|| generate(&k.program, &o.result.transform));
+        g.bench(name, || {
+            generate(&k.program, &o.result.transform);
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    toolchain,
-    dependence_analysis,
-    transformation_search,
-    full_pipeline,
-    code_generation
-);
-criterion_main!(toolchain);
+fn main() {
+    let mut r = Runner::from_args();
+    dependence_analysis(&mut r);
+    transformation_search(&mut r);
+    full_pipeline(&mut r);
+    code_generation(&mut r);
+}

@@ -11,10 +11,12 @@
 //! * the `figures` binary (`cargo run -p pluto-bench --release --bin
 //!   figures -- all`) prints one table per paper figure (6, 8, 10, 12, 13)
 //!   and the generated-code listings for Figs. 3, 4 and 9;
-//! * `benches/figures.rs` holds the Criterion groups (`cargo bench`):
-//!   per-figure simulated-machine runs at reduced sizes plus tool-chain
-//!   benchmarks (dependence analysis, transformation search, code
-//!   generation — the paper's "runs in a fraction of a second" claim).
+//! * `benches/figures.rs` and `benches/toolchain.rs` hold the
+//!   `cargo bench` targets (on the hermetic [`timing`] sampler — no
+//!   external benchmark framework): per-figure simulated-machine runs at
+//!   reduced sizes plus tool-chain benchmarks (dependence analysis,
+//!   transformation search, code generation — the paper's "runs in a
+//!   fraction of a second" claim).
 //!
 //! Problem sizes and cache geometry are scaled down together from the
 //! paper's (which targeted minutes-long native runs): the simulated
@@ -25,6 +27,7 @@
 //! are the reproduction target.
 
 pub mod harness;
+pub mod timing;
 pub mod variants;
 
 pub use harness::{bench_machine, measure, measure_on, Measurement};

@@ -1,0 +1,78 @@
+//! Minimal wall-clock benchmark runner for the `cargo bench` targets.
+//!
+//! The workspace is hermetic (path dependencies only), so the bench
+//! targets use `harness = false` and this plain [`std::time::Instant`]
+//! sampler instead of an external framework. Each benchmark is warmed up
+//! once and then timed for a fixed number of samples; the report shows
+//! min / median / max, which is enough to catch pipeline performance
+//! regressions (absolute precision is not the target — the simulated
+//! machine already reports modelled cycles deterministically).
+
+use std::time::{Duration, Instant};
+
+/// Top-level runner: parses CLI args (an optional substring filter;
+/// cargo's `--bench` flag is ignored) and prints one line per benchmark.
+pub struct Runner {
+    filter: Option<String>,
+    samples: usize,
+}
+
+impl Runner {
+    /// Builds a runner from `std::env::args`, skipping harness flags.
+    pub fn from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with("--"));
+        Runner { filter, samples: 10 }
+    }
+
+    /// Starts a named group; benchmark ids are printed as `group/id`.
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        Group { runner: self, name: name.to_string() }
+    }
+}
+
+/// A named group of benchmarks sharing the runner's configuration.
+pub struct Group<'a> {
+    runner: &'a mut Runner,
+    name: String,
+}
+
+impl Group<'_> {
+    /// Times `f` and prints one report line, unless filtered out.
+    pub fn bench(&mut self, id: &str, mut f: impl FnMut()) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(flt) = &self.runner.filter {
+            if !full.contains(flt.as_str()) {
+                return;
+            }
+        }
+        f(); // warm-up
+        let mut times: Vec<Duration> = (0..self.runner.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                f();
+                t0.elapsed()
+            })
+            .collect();
+        times.sort();
+        println!(
+            "{full:<44} min {:>9}  median {:>9}  max {:>9}  ({} samples)",
+            fmt(times[0]),
+            fmt(times[times.len() / 2]),
+            fmt(times[times.len() - 1]),
+            times.len()
+        );
+    }
+}
+
+fn fmt(d: Duration) -> String {
+    let us = d.as_micros();
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.2}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
+    }
+}

@@ -567,12 +567,17 @@ impl<'a> Gen<'a> {
             konst: sign * konst,
             div: a.abs(),
         };
+        // The point region executes c = floord(n, d) (the `Let` below), so
+        // the complements are relative to the *floor*: as a floor-evaluated
+        // upper bound, q − 1 = floord(n − d, d); as a ceil-evaluated lower
+        // bound, q + 1 = ceild(n + 1, d). (Using n + d for the latter is
+        // wrong at non-divisible points: ceild(n + d, d) = q + 2.)
         let p_minus_1 = AffExpr {
             konst: p.konst - p.div,
             ..p.clone()
         };
         let p_plus_1 = AffExpr {
-            konst: p.konst + p.div,
+            konst: p.konst + 1,
             ..p.clone()
         };
 

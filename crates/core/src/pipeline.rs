@@ -115,8 +115,20 @@ impl Optimizer {
     /// Propagates [`PlutoError`] from the search.
     pub fn optimize(&self, prog: &Program) -> Result<Optimized, PlutoError> {
         let deps = analyze_dependences(prog, self.options.use_input_deps);
-        let mut res = find_transformation(prog, &deps, &self.options)?;
+        let res = find_transformation(prog, &deps, &self.options)?;
+        Ok(self.apply(prog, deps, res))
+    }
 
+    /// Applies the post-search pipeline stages (tiling → wavefront →
+    /// vectorization reorder) to an existing search result.
+    ///
+    /// Lets callers run the (expensive) hyperplane search once and derive
+    /// several differently-configured transformations from it — the
+    /// differential test oracle does exactly this; [`optimize`] is
+    /// `find_transformation` + this.
+    ///
+    /// [`optimize`]: Optimizer::optimize
+    pub fn apply(&self, prog: &Program, deps: Vec<Dependence>, mut res: SearchResult) -> Optimized {
         if self.tile {
             // Tile every point-level band of width >= 2, innermost-index
             // first is unnecessary — indices shift as bands are inserted,
@@ -184,7 +196,7 @@ impl Optimizer {
             }
         }
 
-        Ok(Optimized { deps, result: res })
+        Optimized { deps, result: res }
     }
 }
 

@@ -143,7 +143,7 @@ impl<'a> Search<'a> {
     fn run(mut self) -> Result<SearchResult, PlutoError> {
         if self.opts.fuse == FusionPolicy::NoFuse {
             // Separate all SCCs up front with a scalar dimension.
-            self.cut_sccs();
+            self.cut_sccs(false);
         }
         loop {
             let dims_done = self.all_dims_found();
@@ -156,7 +156,7 @@ impl<'a> Search<'a> {
             }
             if dims_done {
                 // Only loop-independent orderings remain: cut.
-                if self.cut_sccs() {
+                if self.cut_sccs(true) {
                     continue;
                 }
                 return Err(PlutoError::NoSolution {
@@ -167,7 +167,7 @@ impl<'a> Search<'a> {
                 Some(sol) => self.commit_row(&sol),
                 None => {
                     // Try cutting the DDG between SCCs first.
-                    if self.opts.fuse == FusionPolicy::Smart && self.cut_sccs() {
+                    if self.opts.fuse == FusionPolicy::Smart && self.cut_sccs(true) {
                         continue;
                     }
                     // Close the current band and retry with satisfied
@@ -176,8 +176,19 @@ impl<'a> Search<'a> {
                         self.close_band();
                         continue;
                     }
-                    if self.cut_sccs() {
+                    if self.cut_sccs(true) {
                         continue;
+                    }
+                    if deps_done {
+                        // Every legality dependence is strictly satisfied;
+                        // the only shortfall is statements with fewer
+                        // independent rows than dimensions (the remaining
+                        // hyperplanes may need coefficients outside the
+                        // non-negative search space). A rank-deficient
+                        // scattering is fine: codegen scans the undetermined
+                        // dims as innermost loops, and with no live
+                        // dependence any such order is legal.
+                        break;
                     }
                     return Err(PlutoError::NoSolution {
                         at_row: self.row_infos.len(),
@@ -343,8 +354,11 @@ impl<'a> Search<'a> {
 
     /// Cuts the DDG between strongly connected components of the
     /// unsatisfied legality subgraph with a scalar dimension. Returns false
-    /// if there is only one component (nothing to cut).
-    fn cut_sccs(&mut self) -> bool {
+    /// if there is only one component (nothing to cut). With
+    /// `require_progress`, also refuses a cut that would satisfy no
+    /// dependence: such a cut changes nothing the row search can see, so
+    /// repeating it would loop until the row limit.
+    fn cut_sccs(&mut self, require_progress: bool) -> bool {
         let n = self.prog.stmts.len();
         if n <= 1 {
             return false;
@@ -359,6 +373,13 @@ impl<'a> Search<'a> {
         let comp = topo_scc(&adj);
         let num_comps = comp.iter().copied().max().map_or(0, |m| m + 1);
         if num_comps <= 1 {
+            return false;
+        }
+        if require_progress
+            && !self.deps.iter().zip(&self.satisfied_at).any(|(d, s)| {
+                d.kind.constrains_legality() && s.is_none() && comp[d.src] < comp[d.dst]
+            })
+        {
             return false;
         }
         // Close any open band: a scalar dimension separates bands.

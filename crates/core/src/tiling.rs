@@ -2,14 +2,14 @@
 //! (paper Sec. 5.2, Algorithm 1).
 //!
 //! For a band of `w` mutually permutable scattering rows, each statement's
-//! domain is augmented with one *supernode* iterator per domain dimension
-//! the band's rows touch, constrained Ancourt–Irigoin style:
+//! domain is augmented with one *supernode* iterator per band row,
+//! constrained Ancourt–Irigoin style:
 //!
 //! ```text
-//! τ_j · f_j(iT)  <=  f_j(i) + f0_j  <=  τ_j · f_j(iT) + τ_j − 1
+//! τ_j · sT_j  <=  f_j(i) + f0_j  <=  τ_j · sT_j + τ_j − 1
 //! ```
 //!
-//! and `w` new scattering rows `φT_j = f_j(iT)` are inserted at the band's
+//! and `w` new scattering rows `φT_j = sT_j` are inserted at the band's
 //! start, forming a new tile-space band (Theorem 1 guarantees it satisfies
 //! the tiling legality condition). Applying the procedure again to the
 //! tile band yields multi-level (e.g. L2 over L1) tiling.
@@ -121,39 +121,49 @@ pub fn tile_band(
     let tile_level = res.transform.rows[start].tile_level + 1;
     for s in 0..res.transform.stmts.len() {
         let nd = res.transform.dim_names[s].len();
-        // Domain dims referenced by the band's rows for this statement.
-        let mut used: Vec<usize> = (0..nd)
-            .filter(|&d| {
-                band.rows()
-                    .any(|r| res.transform.stmts[s].rows[r][d] != 0)
-            })
+        // One supernode per band row with a nonzero iterator part for this
+        // statement (a zero row has a single degenerate "tile" and needs no
+        // supernode — an unconstrained one would leave codegen unbounded).
+        // Per-row supernodes keep every statement's tiled domain exact even
+        // when its rows are linearly dependent (a depth-1 statement sunk in
+        // a width-2 band: rows `2i` and `i`) or deficient (rows `i+j`, `k`
+        // never separate i from j): each supernode is pinned to its own row
+        // by τ·sT_j <= φ_j(i) <= τ·sT_j + τ − 1, so sT_j = ⌊φ_j(i)/τ⌋ is
+        // uniquely determined and no cross-row constraint can conflict.
+        let band_rows: Vec<Vec<Int>> = band
+            .rows()
+            .map(|r| res.transform.stmts[s].rows[r].clone()) // old width nd+np+1
             .collect();
-        used.sort_unstable();
-        let count = used.len();
-        // Map old dim -> supernode column (among the new leading dims).
-        let sup_of = |d: usize| used.iter().position(|&x| x == d);
+        let sup_col: Vec<Option<usize>> = {
+            let mut next = 0;
+            band_rows
+                .iter()
+                .map(|row| {
+                    if row[..nd].iter().any(|&v| v != 0) {
+                        next += 1;
+                        Some(next - 1)
+                    } else {
+                        None
+                    }
+                })
+                .collect()
+        };
+        let count = sup_col.iter().flatten().count();
 
-        // 1. Augment the domain.
+        // 1. Augment the domain (Ancourt–Irigoin per band row).
         let mut dom = res.transform.domains[s].insert_dims(0, count);
-        for (j, r) in band.rows().enumerate() {
-            let row = res.transform.stmts[s].rows[r].clone(); // old width nd+np+1
+        for (j, row) in band_rows.iter().enumerate() {
+            let Some(sc) = sup_col[j] else { continue };
             let tau = sizes[j];
-            // Divide the supernode expression by the row's content: a row
-            // like 2t takes only even values, so tile origins must step by
-            // τ·(f/g) or half the tiles would be unreachable.
-            let g = row_content(&row[..nd]);
-            // lower:  f(i) + f0 − τ·(f(iT)/g) >= 0
+            // lower:  f(i) + f0 − τ·sT_j >= 0
             let mut lo = vec![0; count + nd + np + 1];
-            // upper:  τ·(f(iT)/g) + τ − 1 − f(i) − f0 >= 0
+            // upper:  τ·sT_j + τ − 1 − f(i) − f0 >= 0
             let mut hi = vec![0; count + nd + np + 1];
+            lo[sc] = -tau;
+            hi[sc] = tau;
             for d in 0..nd {
                 lo[count + d] = row[d];
                 hi[count + d] = -row[d];
-                if row[d] != 0 {
-                    let sc = sup_of(d).expect("used dim has supernode");
-                    lo[sc] = -tau * (row[d] / g);
-                    hi[sc] = tau * (row[d] / g);
-                }
             }
             for k in 0..np {
                 lo[count + nd + k] = row[nd + k];
@@ -174,17 +184,12 @@ pub fn tile_band(
         }
         // 3. Insert the tile-space rows at the band start (build them all
         // first — inserting while reading would shift the row indices).
-        let trows: Vec<Vec<Int>> = band
-            .rows()
-            .map(|r| {
-                let point_row = &res.transform.stmts[s].rows[r];
-                let g = row_content(&point_row[count..count + nd]);
+        let trows: Vec<Vec<Int>> = sup_col
+            .iter()
+            .map(|sc| {
                 let mut trow = vec![0; count + nd + np + 1];
-                for d in 0..nd {
-                    if point_row[count + d] != 0 {
-                        let sc = sup_of(d).expect("used dim has supernode");
-                        trow[sc] = point_row[count + d] / g;
-                    }
+                if let Some(c) = sc {
+                    trow[*c] = 1;
                 }
                 trow
             })
@@ -192,18 +197,34 @@ pub fn tile_band(
         for trow in trows.into_iter().rev() {
             res.transform.stmts[s].rows.insert(start, trow);
         }
-        // 4. Names for the new dims.
-        let mut names = Vec::with_capacity(count);
-        for &d in &used {
-            names.push(format!(
+        // 4. Names for the new dims: after the row's leading iterator,
+        // de-duplicated (two rows with the same leading dim — e.g. seidel's
+        // t, t+i, t+j band — must not shadow each other in emitted C).
+        let mut names: Vec<String> = Vec::with_capacity(count);
+        for (j, row) in band_rows.iter().enumerate() {
+            if sup_col[j].is_none() {
+                continue;
+            }
+            let lead = (0..nd).find(|&d| row[d] != 0).expect("nonzero row");
+            let base = format!(
                 "{}T{}",
-                res.transform.dim_names[s][d],
+                res.transform.dim_names[s][lead],
                 if tile_level > 1 {
                     tile_level.to_string()
                 } else {
                     String::new()
                 }
-            ));
+            );
+            let taken = |n: &str| {
+                names.iter().any(|x| x == n) || res.transform.dim_names[s].iter().any(|x| x == n)
+            };
+            let mut name = base.clone();
+            let mut k = 2;
+            while taken(&name) {
+                name = format!("{base}_{k}");
+                k += 1;
+            }
+            names.push(name);
         }
         for (k, n) in names.into_iter().enumerate() {
             res.transform.dim_names[s].insert(k, n);
@@ -243,15 +264,6 @@ pub fn tile_band(
         }
     }
     tile_band
-}
-
-/// The positive gcd of a row's iterator coefficients (1 for a zero row).
-fn row_content(coeffs: &[Int]) -> Int {
-    let mut g = 0;
-    for &v in coeffs {
-        g = pluto_linalg::gcd(g, v);
-    }
-    g.max(1)
 }
 
 /// Drops leading supernode columns from a point row, keeping the trailing

@@ -83,8 +83,7 @@ mod brute {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use testkit::Rng;
 
     #[test]
     fn simple_lexmin() {
@@ -148,14 +147,14 @@ mod tests {
 
     #[test]
     fn randomized_against_brute_force() {
-        let mut rng = StdRng::seed_from_u64(0xB0DDE5);
+        let mut rng = Rng::new(0xB0DDE5);
         for case in 0..300 {
-            let n = rng.gen_range(1..=3usize);
-            let m = rng.gen_range(1..=4usize);
+            let n = rng.range_usize(1, 3);
+            let m = rng.range_usize(1, 4);
             let mut rows: Vec<Vec<i128>> = Vec::new();
             for _ in 0..m {
-                let mut r: Vec<i128> = (0..n).map(|_| rng.gen_range(-3..=3)).collect();
-                r.push(rng.gen_range(-6..=6));
+                let mut r: Vec<i128> = (0..n).map(|_| rng.range_i64(-3, 3) as i128).collect();
+                r.push(rng.range_i64(-6, 6) as i128);
                 rows.push(r);
             }
             // Box the problem so brute force terminates: x_i <= 7.

@@ -10,8 +10,8 @@
 //!   programs must produce bitwise-identical arrays, since legality
 //!   preserves each statement instance's inputs and per-instance flop
 //!   order) and for wall-clock locality measurements;
-//! * [`run_parallel`] — real multi-threaded execution via crossbeam scoped
-//!   threads: the OpenMP `parallel for` of the paper maps to a
+//! * [`run_parallel`] — real multi-threaded execution via `std::thread`
+//!   scoped threads: the OpenMP `parallel for` of the paper maps to a
 //!   block-distributed thread team per parallel loop entry, with the
 //!   paper's coarse-grained tile-schedule semantics (one implicit barrier
 //!   per outer sequential iteration);

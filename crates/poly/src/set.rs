@@ -190,12 +190,59 @@ impl ConstraintSet {
     pub fn project_out(&self, first: usize, count: usize) -> ConstraintSet {
         assert!(first + count <= self.num_vars, "projection range out of bounds");
         let mut cur = self.clone();
-        // Eliminate the highest column first so indices stay valid.
-        for v in (first..first + count).rev() {
+        // Columns still to eliminate, as indices into `cur`.
+        let mut cols: Vec<usize> = (first..first + count).collect();
+        // When the next elimination would be expensive and the system has
+        // grown, fall back to exact redundancy removal once per step: FM
+        // intermediates are dominated by redundant rows (observed: thousands
+        // of rows where the true projection has dozens), and eliminating
+        // from the irredundant core keeps the product growth polynomial.
+        let mut pruned_this_step = false;
+        while !cols.is_empty() {
+            // Greedy elimination order: Gaussian substitutions are free;
+            // otherwise minimize the Fourier–Motzkin growth estimate
+            // lowers·uppers − lowers − uppers. A fixed order explodes on the
+            // Farkas-multiplier systems (observed: millions of rows where
+            // the true projection has dozens).
+            let mut best = 0;
+            let mut best_score = Int::MAX;
+            for (ci, &v) in cols.iter().enumerate() {
+                let score = if cur.eqs.iter().any(|e| e[v] != 0) {
+                    -1
+                } else {
+                    let mut lo: Int = 0;
+                    let mut up: Int = 0;
+                    for r in &cur.ineqs {
+                        match r[v].signum() {
+                            1 => lo += 1,
+                            -1 => up += 1,
+                            _ => {}
+                        }
+                    }
+                    lo * up - lo - up
+                };
+                if score < best_score {
+                    best_score = score;
+                    best = ci;
+                }
+            }
+            if !pruned_this_step && best_score > 16 && cur.ineqs.len() > 48 {
+                cur.remove_redundant();
+                pruned_this_step = true;
+                continue; // re-score columns on the pruned system
+            }
+            let v = cols.swap_remove(best);
             cur = cur.eliminate_var(v);
             if cur.infeasible {
                 return ConstraintSet::empty(self.num_vars - count);
             }
+            for c in cols.iter_mut() {
+                if *c > v {
+                    *c -= 1;
+                }
+            }
+            cur.prune_dominated();
+            pruned_this_step = false;
         }
         cur
     }
@@ -263,6 +310,35 @@ impl ConstraintSet {
         }
         out.dedup();
         out
+    }
+
+    /// Drops inequalities dominated by a row with the *same* coefficient
+    /// vector and a tighter constant (`a·x + c₁ >= 0` implies
+    /// `a·x + c₂ >= 0` when `c₁ <= c₂`). Rows are gcd-normalized on entry,
+    /// so the coefficient-vector comparison is canonical. Cheap enough to
+    /// run between Fourier–Motzkin steps.
+    fn prune_dominated(&mut self) {
+        use std::collections::BTreeMap;
+        let n = self.num_vars;
+        let mut tightest: BTreeMap<&[Int], Int> = BTreeMap::new();
+        for r in &self.ineqs {
+            tightest
+                .entry(&r[..n])
+                .and_modify(|c| *c = (*c).min(r[n]))
+                .or_insert(r[n]);
+        }
+        let mut keep: BTreeMap<Vec<Int>, Int> = tightest
+            .into_iter()
+            .map(|(k, c)| (k.to_vec(), c))
+            .collect();
+        self.ineqs.retain(|r| {
+            if keep.get(&r[..n]) == Some(&r[n]) {
+                keep.remove(&r[..n]); // drop later duplicates of this row
+                true
+            } else {
+                false
+            }
+        });
     }
 
     /// Removes exact duplicate rows (cheap syntactic pass run after FM).

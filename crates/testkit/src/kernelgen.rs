@@ -1,0 +1,502 @@
+//! Random affine kernel generation.
+//!
+//! Kernels are generated as a plain-data [`KernelSpec`] first, then built
+//! into a [`pluto_ir::Program`] — the split is what makes shrinking
+//! possible: shrink candidates edit the spec (drop a statement, drop a
+//! read, zero an offset, …) and rebuild, so every shrunk kernel is again a
+//! well-formed program.
+//!
+//! The family covers 1–3 statements of loop depth 1–3 over a shared array
+//! pool, with affine accesses carrying constant and parametric offsets,
+//! and (optionally) non-uniform dependences: skewed subscripts `i ± j`,
+//! strides `2i`, and reversals `N − i`. Iteration domains are rectangular
+//! boxes `2 <= i_k <= N − 3`, which keeps the array-extent computation
+//! exact (interval arithmetic over a box) while still exercising every
+//! transformation the pipeline performs — skewing, shifting, fusion,
+//! tiling and wavefronting all come from the *access* structure.
+
+use crate::rng::Rng;
+use pluto_ir::{Expr, Program, ProgramBuilder, StatementSpec};
+use pluto_linalg::Int;
+
+/// Tunables for [`gen_spec`].
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Maximum statement count (1..=3 in the default family).
+    pub max_stmts: usize,
+    /// Maximum loop depth per statement.
+    pub max_depth: usize,
+    /// Maximum reads per statement.
+    pub max_reads: usize,
+    /// Out of 100: chance that a subscript row gets a non-uniform shape
+    /// (skew, stride or reversal).
+    pub nonuniform_pct: u64,
+    /// Out of 100: chance that a subscript row gets a parametric offset.
+    pub parametric_pct: u64,
+    /// Concrete value of the size parameter `N` used for execution.
+    pub exec_n: i64,
+}
+
+impl Default for GenConfig {
+    fn default() -> GenConfig {
+        GenConfig {
+            max_stmts: 3,
+            max_depth: 3,
+            max_reads: 3,
+            nonuniform_pct: 25,
+            parametric_pct: 10,
+            exec_n: 12,
+        }
+    }
+}
+
+/// One affine subscript row, columns `[iters…, N, 1]` in spec form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowSpec {
+    /// Primary iterator index (taken modulo the statement depth at build
+    /// time, so shrinking depth never invalidates a row).
+    pub iter: usize,
+    /// Coefficient of the primary iterator (±1 or 2).
+    pub coef: i64,
+    /// Optional second iterator term `(index, ±1)` — a skewed subscript.
+    pub second: Option<(usize, i64)>,
+    /// Coefficient of the parameter `N`.
+    pub nparam: i64,
+    /// Constant offset.
+    pub offset: i64,
+}
+
+/// One array access in spec form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessSpec {
+    /// Index into the spec's array pool.
+    pub array: usize,
+    /// One row per array dimension.
+    pub rows: Vec<RowSpec>,
+}
+
+/// One statement in spec form.
+#[derive(Debug, Clone)]
+pub struct StmtSpec {
+    /// Loop depth (1..=3).
+    pub depth: usize,
+    /// The write access.
+    pub write: AccessSpec,
+    /// Read accesses (at least one).
+    pub reads: Vec<AccessSpec>,
+    /// Per-read combining operator: 0 = add, 1 = subtract.
+    pub ops: Vec<u8>,
+    /// Per-read scale factor index into [`COEFS`].
+    pub coefs: Vec<u8>,
+}
+
+/// Body scale factors — convex-combination-style so long runs stay in a
+/// numerically tame range (the oracle compares bit-exactly; keeping values
+/// finite keeps it *discriminating*).
+pub const COEFS: [f64; 4] = [0.5, 0.25, 0.375, 0.125];
+
+/// A complete generated kernel in plain-data form.
+#[derive(Debug, Clone)]
+pub struct KernelSpec {
+    /// Per-array dimensionality of the array pool.
+    pub arrays: Vec<usize>,
+    /// Statements in textual order.
+    pub stmts: Vec<StmtSpec>,
+    /// When set (and all depths agree), statements share their outermost
+    /// loop — the imperfect-nest flavour.
+    pub shared_outer: bool,
+    /// Concrete `N` for execution.
+    pub exec_n: i64,
+}
+
+/// A built kernel: the program plus everything needed to execute it.
+#[derive(Debug, Clone)]
+pub struct BuiltKernel {
+    /// The polyhedral program.
+    pub program: Program,
+    /// Array extents sized for `params` (subscripts shifted in-bounds).
+    pub extents: Vec<Vec<usize>>,
+    /// Execution parameter values (`[N]`).
+    pub params: Vec<i64>,
+}
+
+/// Draws a random kernel spec.
+pub fn gen_spec(rng: &mut Rng, cfg: &GenConfig) -> KernelSpec {
+    let nstmts = rng.range_usize(1, cfg.max_stmts.max(1));
+    let narrays = rng.range_usize(1, (nstmts + 1).min(2));
+    let arrays: Vec<usize> = (0..narrays)
+        .map(|_| rng.range_usize(1, cfg.max_depth.min(2)))
+        .collect();
+    let uniform_depth = rng.range_usize(1, cfg.max_depth.max(1));
+    let shared_outer = rng.bool();
+    let stmts: Vec<StmtSpec> = (0..nstmts)
+        .map(|_| {
+            let depth = if shared_outer {
+                uniform_depth
+            } else {
+                rng.range_usize(1, cfg.max_depth.max(1))
+            };
+            let write = gen_access(rng, cfg, &arrays, depth);
+            let nreads = rng.range_usize(1, cfg.max_reads.max(1));
+            let reads: Vec<AccessSpec> = (0..nreads)
+                .map(|_| gen_access(rng, cfg, &arrays, depth))
+                .collect();
+            let ops = (0..nreads).map(|_| rng.below(2) as u8).collect();
+            let coefs = (0..nreads)
+                .map(|_| rng.below(COEFS.len() as u64) as u8)
+                .collect();
+            StmtSpec {
+                depth,
+                write,
+                reads,
+                ops,
+                coefs,
+            }
+        })
+        .collect();
+    KernelSpec {
+        arrays,
+        stmts,
+        shared_outer,
+        exec_n: cfg.exec_n,
+    }
+}
+
+fn gen_access(rng: &mut Rng, cfg: &GenConfig, arrays: &[usize], depth: usize) -> AccessSpec {
+    let array = rng.range_usize(0, arrays.len() - 1);
+    let rows = (0..arrays[array])
+        .map(|_| {
+            let iter = rng.range_usize(0, depth - 1);
+            let mut row = RowSpec {
+                iter,
+                coef: 1,
+                second: None,
+                nparam: 0,
+                offset: rng.range_i64(-2, 2),
+            };
+            if rng.chance(cfg.nonuniform_pct, 100) {
+                match rng.below(3) {
+                    0 if depth >= 2 => {
+                        // Skew: i ± j.
+                        let mut k2 = rng.range_usize(0, depth - 1);
+                        if k2 == iter {
+                            k2 = (k2 + 1) % depth;
+                        }
+                        row.second = Some((k2, if rng.bool() { 1 } else { -1 }));
+                    }
+                    1 => row.coef = 2,
+                    _ => {
+                        // Reversal: N − i.
+                        row.coef = -1;
+                        row.nparam = 1;
+                    }
+                }
+            }
+            if rng.chance(cfg.parametric_pct, 100) {
+                row.nparam += 1;
+            }
+            row
+        })
+        .collect();
+    AccessSpec { array, rows }
+}
+
+/// Domain box per iterator: `LO <= i_k <= N - 1 - HI_PAD`.
+const LO: i64 = 2;
+const HI_PAD: i64 = 3;
+
+/// Builds a spec into an executable program plus extents for `exec_n`.
+///
+/// Out-of-range spec indices (possible only through hand-edited or shrunk
+/// specs) are clamped, so every spec builds.
+pub fn build(spec: &KernelSpec) -> BuiltKernel {
+    let n0 = spec.exec_n.max(8);
+    let narr = spec.arrays.len();
+    // Per-array, per-dim (min, max) of every subscript over its domain box
+    // at N = n0; used to shift subscripts in-bounds and size extents.
+    let mut ranges: Vec<Vec<(i64, i64)>> = spec
+        .arrays
+        .iter()
+        .map(|&nd| vec![(0i64, 0i64); nd])
+        .collect();
+    let mut first: Vec<Vec<bool>> = spec.arrays.iter().map(|&nd| vec![true; nd]).collect();
+    for s in &spec.stmts {
+        for acc in std::iter::once(&s.write).chain(&s.reads) {
+            let a = acc.array.min(narr - 1);
+            for (j, row) in acc.rows.iter().enumerate().take(spec.arrays[a]) {
+                let (mn, mx) = row_interval(row, s.depth, n0);
+                let slot = &mut ranges[a][j];
+                if first[a][j] {
+                    *slot = (mn, mx);
+                    first[a][j] = false;
+                } else {
+                    slot.0 = slot.0.min(mn);
+                    slot.1 = slot.1.max(mx);
+                }
+            }
+        }
+    }
+    let shifts: Vec<Vec<i64>> = ranges
+        .iter()
+        .map(|dims| dims.iter().map(|&(mn, _)| (-mn).max(0)).collect())
+        .collect();
+    let extents: Vec<Vec<usize>> = ranges
+        .iter()
+        .zip(&shifts)
+        .map(|(dims, sh)| {
+            dims.iter()
+                .zip(sh)
+                .map(|(&(_, mx), &s)| (mx + s + 1).max(1) as usize)
+                .collect()
+        })
+        .collect();
+
+    let mut b = ProgramBuilder::new("fuzzkernel", &["N"]);
+    b.add_context_ineq(vec![1, -8]); // N >= 8
+    for (a, &nd) in spec.arrays.iter().enumerate() {
+        b.add_array(&format!("A{a}"), nd);
+    }
+    let share = spec.shared_outer
+        && spec
+            .stmts
+            .iter()
+            .all(|s| s.depth == spec.stmts[0].depth);
+    for (si, s) in spec.stmts.iter().enumerate() {
+        let d = s.depth;
+        let cols = d + 2; // [iters…, N, 1]
+        let mut domain_ineqs = Vec::with_capacity(2 * d);
+        for k in 0..d {
+            let mut lo = vec![0 as Int; cols];
+            lo[k] = 1;
+            lo[cols - 1] = -(LO as Int);
+            domain_ineqs.push(lo); // i_k >= LO
+            let mut hi = vec![0 as Int; cols];
+            hi[k] = -1;
+            hi[d] = 1;
+            hi[cols - 1] = -(HI_PAD as Int);
+            domain_ineqs.push(hi); // i_k <= N - HI_PAD
+        }
+        let mut beta = vec![0 as Int; d + 1];
+        if share {
+            beta[1] = si as Int;
+        } else {
+            beta[0] = si as Int;
+        }
+        let to_ir = |acc: &AccessSpec| -> (String, Vec<Vec<Int>>) {
+            let a = acc.array.min(narr - 1);
+            let rows = acc
+                .rows
+                .iter()
+                .enumerate()
+                .take(spec.arrays[a])
+                .map(|(j, r)| {
+                    let mut row = vec![0 as Int; cols];
+                    let k = r.iter % d;
+                    row[k] += r.coef as Int;
+                    if let Some((k2, c2)) = r.second {
+                        row[k2 % d] += c2 as Int;
+                    }
+                    row[d] += r.nparam as Int;
+                    row[cols - 1] += (r.offset + shifts[a][j]) as Int;
+                    row
+                })
+                .collect();
+            (format!("A{a}"), rows)
+        };
+        let nreads = s.reads.len();
+        let coef_at = |r: usize| COEFS[s.coefs.get(r).map(|&c| c as usize).unwrap_or(0) % COEFS.len()];
+        let mut body = Expr::Lit(coef_at(0)) * Expr::Read(0);
+        for r in 1..nreads {
+            let c = coef_at(r);
+            let term = Expr::Lit(c) * Expr::Read(r);
+            body = if s.ops.get(r).copied().unwrap_or(0) == 0 {
+                body + term
+            } else {
+                body - term
+            };
+        }
+        b.add_statement(StatementSpec {
+            name: format!("S{si}"),
+            iters: (0..d).map(|k| format!("i{k}")).collect(),
+            domain_ineqs,
+            beta,
+            write: to_ir(&s.write),
+            reads: s.reads.iter().map(&to_ir).collect(),
+            body,
+        });
+    }
+    BuiltKernel {
+        program: b.build(),
+        extents,
+        params: vec![n0],
+    }
+}
+
+/// Exact interval of a subscript row over the domain box at `N = n0`.
+fn row_interval(row: &RowSpec, depth: usize, n0: i64) -> (i64, i64) {
+    let lo = LO;
+    let hi = n0 - HI_PAD;
+    let mut mn = row.nparam * n0 + row.offset;
+    let mut mx = mn;
+    let mut add = |c: i64| {
+        let (a, b) = (c * lo, c * hi);
+        mn += a.min(b);
+        mx += a.max(b);
+    };
+    add(row.coef);
+    if let Some((k2, c2)) = row.second {
+        // The second iterator is distinct after the mod-depth clamp only
+        // when depth >= 2; either way its range is the same box.
+        let _ = k2;
+        add(c2);
+    }
+    let _ = depth;
+    (mn, mx)
+}
+
+/// Shrink candidates for a kernel spec, simplest first: fewer statements,
+/// fewer reads, then structurally simpler access rows.
+pub fn shrink_spec(spec: &KernelSpec) -> Vec<KernelSpec> {
+    let mut out = Vec::new();
+    // Drop a whole statement.
+    if spec.stmts.len() > 1 {
+        for i in 0..spec.stmts.len() {
+            let mut s = spec.clone();
+            s.stmts.remove(i);
+            out.push(s);
+        }
+    }
+    // Drop a read (keeping at least one) — ops/coefs shrink in lockstep.
+    for (si, st) in spec.stmts.iter().enumerate() {
+        if st.reads.len() > 1 {
+            for r in 0..st.reads.len() {
+                let mut s = spec.clone();
+                s.stmts[si].reads.remove(r);
+                if r < s.stmts[si].ops.len() {
+                    s.stmts[si].ops.remove(r);
+                }
+                if r < s.stmts[si].coefs.len() {
+                    s.stmts[si].coefs.remove(r);
+                }
+                out.push(s);
+            }
+        }
+    }
+    // Reduce a statement's depth.
+    for (si, st) in spec.stmts.iter().enumerate() {
+        if st.depth > 1 {
+            let mut s = spec.clone();
+            s.stmts[si].depth -= 1;
+            s.shared_outer = false;
+            out.push(s);
+        }
+    }
+    // Simplify rows: drop skew, normalize coefficient, clear parametric
+    // part, then move offsets toward zero.
+    for (si, st) in spec.stmts.iter().enumerate() {
+        for (ai, acc) in std::iter::once(&st.write).chain(&st.reads).enumerate() {
+            for (ri, row) in acc.rows.iter().enumerate() {
+                let mut simpler = Vec::new();
+                if row.second.is_some() {
+                    let mut r = row.clone();
+                    r.second = None;
+                    simpler.push(r);
+                }
+                if row.coef != 1 {
+                    let mut r = row.clone();
+                    r.coef = 1;
+                    r.nparam = 0;
+                    simpler.push(r);
+                }
+                if row.nparam != 0 {
+                    let mut r = row.clone();
+                    r.nparam = 0;
+                    if r.coef < 0 {
+                        r.coef = 1;
+                    }
+                    simpler.push(r);
+                }
+                if row.offset != 0 {
+                    let mut r = row.clone();
+                    r.offset -= r.offset.signum();
+                    simpler.push(r);
+                }
+                if row.iter != 0 {
+                    let mut r = row.clone();
+                    r.iter = 0;
+                    simpler.push(r);
+                }
+                for r in simpler {
+                    let mut s = spec.clone();
+                    let target = if ai == 0 {
+                        &mut s.stmts[si].write
+                    } else {
+                        &mut s.stmts[si].reads[ai - 1]
+                    };
+                    target.rows[ri] = r;
+                    out.push(s);
+                }
+            }
+        }
+    }
+    // Un-share the outer loop.
+    if spec.shared_outer {
+        let mut s = spec.clone();
+        s.shared_outer = false;
+        out.push(s);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_specs_build_consistently() {
+        let cfg = GenConfig::default();
+        let mut rng = Rng::new(0xFACE);
+        for _ in 0..50 {
+            let spec = gen_spec(&mut rng, &cfg);
+            let k = build(&spec);
+            assert_eq!(k.program.arrays.len(), k.extents.len());
+            assert_eq!(k.program.stmts.len(), spec.stmts.len());
+            for (decl, ext) in k.program.arrays.iter().zip(&k.extents) {
+                assert_eq!(decl.ndim, ext.len());
+                assert!(ext.iter().all(|&e| e >= 1));
+            }
+            // In-bounds execution is checked end-to-end in oracle::tests.
+        }
+    }
+
+    #[test]
+    fn shrink_candidates_always_build() {
+        let cfg = GenConfig::default();
+        let mut rng = Rng::new(0xBEEF);
+        for _ in 0..20 {
+            let spec = gen_spec(&mut rng, &cfg);
+            for cand in shrink_spec(&spec) {
+                let k = build(&cand);
+                assert!(!k.program.stmts.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn shrinking_reaches_a_trivial_kernel() {
+        let cfg = GenConfig::default();
+        let mut rng = Rng::new(0xC0FFEE);
+        let mut spec = gen_spec(&mut rng, &cfg);
+        // Greedily take the first candidate until fixpoint: must terminate
+        // and end at a small kernel.
+        let mut steps = 0;
+        while let Some(next) = shrink_spec(&spec).into_iter().next() {
+            spec = next;
+            steps += 1;
+            assert!(steps < 10_000, "shrinking must terminate");
+        }
+        assert_eq!(spec.stmts.len(), 1);
+        assert_eq!(spec.stmts[0].reads.len(), 1);
+        assert_eq!(spec.stmts[0].depth, 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! Hermetic test substrate for the pluto-rs workspace.
+//!
+//! The build environment has no registry access, so every test dependency
+//! must live in-tree. This crate replaces the external test stack:
+//!
+//! * [`Rng`] — a splitmix64-seeded xoshiro256** PRNG (replaces `rand`);
+//! * [`prop`] — a property-testing harness with per-case seeds, failure
+//!   reproduction via `TESTKIT_SEED`, and greedy shrinking (replaces
+//!   `proptest`);
+//! * [`kernelgen`] — a random affine kernel generator emitting valid
+//!   [`pluto_ir::Program`]s as shrinkable plain-data specs;
+//! * [`oracle`] — a differential oracle running each kernel through the
+//!   full `Optimizer` → codegen pipeline, re-checking the schedule with
+//!   the independent `validate_legality` audit, and asserting bit-exact
+//!   original-vs-transformed interpreter equivalence (sequential, tiled
+//!   and wavefront-parallel variants).
+//!
+//! Scheduler bugs are exactly the plausible-looking kind — a subtly
+//! illegal skew produces code that compiles, runs, and is wrong only on
+//! particular dependence patterns. The oracle exists to fuzz hundreds of
+//! such patterns per CI run, offline, in seconds.
+
+pub mod kernelgen;
+pub mod oracle;
+pub mod prop;
+pub mod rng;
+
+pub use kernelgen::{build, gen_spec, shrink_spec, BuiltKernel, GenConfig, KernelSpec};
+pub use oracle::{check_kernel, check_spec, OracleConfig};
+pub use prop::{check, Config};
+pub use rng::Rng;

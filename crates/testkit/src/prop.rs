@@ -1,0 +1,297 @@
+//! A minimal property-testing harness: case generation from a per-case
+//! seed, failure reporting with the exact reproduction seed, and greedy
+//! shrinking.
+//!
+//! Unlike proptest-style integrated shrinking, shrinking here is explicit:
+//! a property supplies a `shrink` function producing smaller candidate
+//! inputs, and the harness greedily descends to a local minimum that still
+//! fails. Reproduction is by seed: every failure message carries the case
+//! seed, and `TESTKIT_SEED=<n>` (decimal or 0x-hex) re-runs exactly that
+//! case first.
+
+use crate::rng::{splitmix64, Rng};
+
+/// Harness configuration for one [`check`] run.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random cases to run.
+    pub cases: u32,
+    /// Run seed; per-case seeds are derived from it.
+    pub seed: u64,
+    /// Cap on shrinking steps (each step tries every candidate of the
+    /// current input once).
+    pub max_shrink_steps: u32,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            cases: 64,
+            seed: 0x5EED_1DEA,
+            max_shrink_steps: 200,
+        }
+    }
+}
+
+impl Config {
+    /// A config running `cases` cases from the default seed.
+    pub fn with_cases(cases: u32) -> Config {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+
+    /// Environment overrides: `TESTKIT_SEED` pins the run seed,
+    /// `TESTKIT_CASES` the case count.
+    pub fn from_env(self) -> Config {
+        let mut cfg = self;
+        if let Ok(s) = std::env::var("TESTKIT_SEED") {
+            if let Some(seed) = parse_u64(&s) {
+                cfg.seed = seed;
+            }
+        }
+        if let Ok(s) = std::env::var("TESTKIT_CASES") {
+            if let Ok(cases) = s.parse() {
+                cfg.cases = cases;
+            }
+        }
+        cfg
+    }
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Seed of case number `case` under run seed `run_seed`. Exposed so a
+/// failure can be replayed as its own one-case run.
+pub fn case_seed(run_seed: u64, case: u32) -> u64 {
+    let mut sm = run_seed ^ (case as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+    splitmix64(&mut sm)
+}
+
+/// Runs `prop` on `cfg.cases` inputs drawn by `gen`; on failure, shrinks
+/// greedily with `shrink` and panics with the minimal failing input and
+/// its reproduction seed.
+///
+/// `prop` returns `Ok(())` to pass, `Err(reason)` to fail; panics inside
+/// `prop` are caught and treated as failures too (so the harness can
+/// shrink assertion-style properties).
+///
+/// # Examples
+/// ```
+/// use testkit::prop::{check, shrink_i64, Config};
+/// check(
+///     &Config::with_cases(32),
+///     "abs is non-negative",
+///     |rng| rng.range_i64(-100, 100),
+///     |&x| shrink_i64(x),
+///     |&x| {
+///         if x.abs() >= 0 { Ok(()) } else { Err("negative abs".into()) }
+///     },
+/// );
+/// ```
+pub fn check<T, G, S, P>(cfg: &Config, name: &str, gen: G, shrink: S, prop: P)
+where
+    T: Clone + std::fmt::Debug,
+    G: Fn(&mut Rng) -> T,
+    S: Fn(&T) -> Vec<T>,
+    P: Fn(&T) -> Result<(), String>,
+{
+    for case in 0..cfg.cases {
+        let seed = case_seed(cfg.seed, case);
+        let input = gen(&mut Rng::new(seed));
+        if let Err(first_err) = run_prop(&prop, &input) {
+            let (min, min_err, steps) = shrink_loop(cfg, &shrink, &prop, input, first_err);
+            panic!(
+                "property `{name}` failed at case {case}/{} (case seed {seed:#x}; \
+                 rerun this case with TESTKIT_SEED={seed:#x} TESTKIT_CASES=1)\n\
+                 minimal failing input (after {steps} shrink steps): {min:?}\n\
+                 failure: {min_err}",
+                cfg.cases
+            );
+        }
+    }
+}
+
+/// Runs the property, mapping panics to `Err` so they shrink too.
+fn run_prop<T, P>(prop: &P, input: &T) -> Result<(), String>
+where
+    P: Fn(&T) -> Result<(), String>,
+{
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| prop(input)));
+    match caught {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "property panicked (non-string payload)".into());
+            Err(format!("panic: {msg}"))
+        }
+    }
+}
+
+/// Greedy descent: repeatedly replace the failing input with its first
+/// shrink candidate that still fails, until fixpoint or the step cap.
+fn shrink_loop<T, S, P>(
+    cfg: &Config,
+    shrink: &S,
+    prop: &P,
+    mut input: T,
+    mut err: String,
+    ) -> (T, String, u32)
+where
+    T: Clone + std::fmt::Debug,
+    S: Fn(&T) -> Vec<T>,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let mut steps = 0;
+    'outer: while steps < cfg.max_shrink_steps {
+        for cand in shrink(&input) {
+            if let Err(e) = run_prop(prop, &cand) {
+                input = cand;
+                err = e;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (input, err, steps)
+}
+
+/// Shrink candidates for an integer: 0, sign-drop, then a binary descent
+/// `x − x/2, x − x/4, … , x − sign(x)` so greedy shrinking converges to a
+/// boundary in O(log |x|) steps instead of one-by-one.
+pub fn shrink_i64(x: i64) -> Vec<i64> {
+    let mut out = Vec::new();
+    if x == 0 {
+        return out;
+    }
+    out.push(0);
+    if x < 0 {
+        out.push(-x);
+    }
+    let mut delta = x / 2;
+    while delta != 0 {
+        out.push(x - delta);
+        delta /= 2;
+    }
+    out.retain(|&y| y != x);
+    out.dedup();
+    out
+}
+
+/// Shrink candidates for a vector: drop one element at a time, then
+/// shrink one element at a time with `elem`.
+pub fn shrink_vec<T: Clone>(xs: &[T], elem: impl Fn(&T) -> Vec<T>) -> Vec<Vec<T>> {
+    let mut out = Vec::new();
+    if xs.len() > 1 {
+        for i in 0..xs.len() {
+            let mut smaller = xs.to_vec();
+            smaller.remove(i);
+            out.push(smaller);
+        }
+    }
+    for i in 0..xs.len() {
+        for e in elem(&xs[i]) {
+            let mut v = xs.to_vec();
+            v[i] = e;
+            out.push(v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u32;
+        let counter = std::cell::Cell::new(0u32);
+        check(
+            &Config::with_cases(50),
+            "counts",
+            |rng| rng.range_i64(0, 10),
+            |_| vec![],
+            |_| {
+                counter.set(counter.get() + 1);
+                Ok(())
+            },
+        );
+        count += counter.get();
+        assert_eq!(count, 50);
+    }
+
+    #[test]
+    fn failure_is_shrunk_and_reports_seed() {
+        let res = std::panic::catch_unwind(|| {
+            check(
+                &Config::with_cases(100),
+                "no big numbers",
+                |rng| rng.range_i64(0, 1000),
+                |&x| shrink_i64(x),
+                |&x| {
+                    if x < 500 {
+                        Ok(())
+                    } else {
+                        Err(format!("{x} too big"))
+                    }
+                },
+            );
+        });
+        let msg = *res.expect_err("must fail").downcast::<String>().unwrap();
+        // Greedy shrink must land exactly on the boundary value.
+        assert!(msg.contains("input (after"), "{msg}");
+        assert!(msg.contains("500"), "shrunk to boundary: {msg}");
+        assert!(msg.contains("TESTKIT_SEED="), "repro seed present: {msg}");
+    }
+
+    #[test]
+    fn panicking_property_is_caught() {
+        let res = std::panic::catch_unwind(|| {
+            check(
+                &Config::with_cases(10),
+                "panics",
+                |rng| rng.range_i64(0, 10),
+                |&x| shrink_i64(x),
+                |&x| {
+                    assert!(x > 100, "forced panic");
+                    Ok(())
+                },
+            );
+        });
+        let msg = *res.expect_err("must fail").downcast::<String>().unwrap();
+        assert!(msg.contains("panic"), "{msg}");
+    }
+
+    #[test]
+    fn case_seeds_differ() {
+        let a = case_seed(1, 0);
+        let b = case_seed(1, 1);
+        let c = case_seed(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn shrink_helpers() {
+        assert!(shrink_i64(0).is_empty());
+        assert!(shrink_i64(7).contains(&0));
+        assert!(shrink_i64(-4).contains(&4));
+        let vs = shrink_vec(&[1i64, 2], |&x| shrink_i64(x));
+        assert!(vs.contains(&vec![2]));
+        assert!(vs.contains(&vec![1]));
+        assert!(vs.contains(&vec![0, 2]));
+    }
+}

@@ -1,0 +1,167 @@
+//! A small deterministic PRNG: splitmix64 seeding into xoshiro256**.
+//!
+//! The whole test-suite runs offline, so randomness must come from inside
+//! the workspace. xoshiro256** (Blackman & Vigna) passes BigCrush, is four
+//! `u64`s of state, and is trivially reproducible from a single seed —
+//! everything the suite needs and nothing it doesn't. The module only uses
+//! `core` operations and carries no global state.
+
+/// One step of splitmix64 — used to expand seeds and to derive
+/// independent per-case seeds from a run seed.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seedable xoshiro256** generator.
+///
+/// # Examples
+/// ```
+/// use testkit::Rng;
+/// let mut a = Rng::new(42);
+/// let mut b = Rng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let x = a.range_i64(-3, 3);
+/// assert!((-3..=3).contains(&x));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed (splitmix64-expanded, so
+    /// nearby seeds still give unrelated streams).
+    pub fn new(seed: u64) -> Rng {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Derives an independent child generator (for nested generation that
+    /// must not perturb the parent's stream length).
+    pub fn fork(&mut self) -> Rng {
+        Rng::new(self.next_u64())
+    }
+
+    /// Uniform in `0..n` (`n > 0`), by multiply-shift reduction.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "Rng::below(0)");
+        // 128-bit multiply-high: unbiased enough for test generation and
+        // exactly uniform when n divides 2^64.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform in the inclusive range `lo..=hi`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = (hi as i128 - lo as i128 + 1) as u64;
+        lo.wrapping_add(self.below(span) as i64)
+    }
+
+    /// Uniform in the inclusive range `lo..=hi` for `usize`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_i64(lo as i64, hi as i64) as usize
+    }
+
+    /// A uniform boolean.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// `true` with probability `num / den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+
+    /// Picks a uniform element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        assert!(!xs.is_empty(), "Rng::choose on empty slice");
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut r = Rng::new(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::new(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = Rng::new(8);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng::new(123);
+        for _ in 0..10_000 {
+            let x = r.range_i64(-5, 5);
+            assert!((-5..=5).contains(&x));
+            let u = r.range_usize(1, 3);
+            assert!((1..=3).contains(&u));
+            let f = r.f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_hits_every_value() {
+        let mut r = Rng::new(99);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[(r.range_i64(-3, 3) + 3) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of -3..=3 reachable: {seen:?}");
+    }
+
+    #[test]
+    fn fork_diverges_from_parent() {
+        let mut r = Rng::new(5);
+        let mut f = r.fork();
+        let a: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        let b: Vec<u64> = (0..4).map(|_| f.next_u64()).collect();
+        assert_ne!(a, b);
+    }
+}

@@ -58,6 +58,79 @@ fn fig9_lu_point_split_structure() {
     assert_eq!(c.matches("#define floord").count(), 1);
 }
 
+/// Extracts the header of the first `for` loop over `cvar`, e.g. `"c2"`.
+fn loop_header<'a>(c: &'a str, cvar: &str) -> &'a str {
+    let start = c
+        .find(&format!("for (int {cvar}"))
+        .unwrap_or_else(|| panic!("no loop over {cvar}:\n{c}"));
+    let end = c[start..].find('{').expect("loop body brace");
+    &c[start..start + end]
+}
+
+#[test]
+fn fig13_sor_wavefront_tile_space_code() {
+    // Fig. 13: the tiled wavefront for SOR. The tile band (iT, jT) is
+    // wavefronted into (iT+jT, jT): a sequential outer wavefront loop and
+    // a parallel inner tile loop whose bounds depend on the wavefront.
+    let k = kernels::sor_2d();
+    let o = Optimizer::new()
+        .tile_size(32)
+        .optimize(&k.program)
+        .expect("optimizes");
+    let t = format!("{}", o.result.transform.display(&k.program));
+    assert!(t.contains("iT + jT"), "wavefront row is the tile sum:\n{t}");
+    let c = emit_c(&k.program, &generate(&k.program, &o.result.transform));
+    // The wavefront loop itself carries no pragma…
+    let c1 = loop_header(&c, "c1");
+    assert!(
+        !c[..c.find(c1).unwrap()].contains("#pragma omp"),
+        "outer wavefront loop must be sequential:\n{c}"
+    );
+    // …the inner tile loop does, and its bounds are pipelined (they
+    // reference the wavefront iterator) with exact division helpers.
+    let pragma = c.find("#pragma omp parallel for").expect("omp pragma");
+    let c2_pos = c.find("for (int c2").expect("inner tile loop");
+    assert!(pragma < c2_pos, "pragma annotates the inner tile loop");
+    let c2 = loop_header(&c, "c2");
+    assert!(c2.contains("c1"), "inner tile bounds depend on wavefront: {c2}");
+    assert!(
+        c2.contains("ceild(") && c2.contains("floord("),
+        "Fig. 13 floord/ceild wavefront bounds: {c2}"
+    );
+    // Point loops scan 32-sized tiles.
+    assert!(c.contains("32*c1") || c.contains("32*c2"), "tile origin bounds");
+}
+
+#[test]
+fn fig13_seidel_wavefront_tile_space_code() {
+    // Seidel's t, t+i, t+j band tiles into a 3-d tile space whose
+    // wavefront exposes a parallel tile dimension, same shape as Fig. 13.
+    let k = kernels::seidel_2d();
+    let o = Optimizer::new()
+        .tile_size(32)
+        .optimize(&k.program)
+        .expect("optimizes");
+    let c = emit_c(&k.program, &generate(&k.program, &o.result.transform));
+    let pragma = c.find("#pragma omp parallel for").expect("omp pragma");
+    assert!(
+        pragma > c.find("for (int c1").expect("wavefront loop"),
+        "wavefront loop stays sequential:\n{c}"
+    );
+    assert!(pragma < c.find("for (int c2").expect("tile loop"));
+    let c2 = loop_header(&c, "c2");
+    assert!(
+        c2.contains("c1") && c2.contains("ceild("),
+        "parallel tile loop has pipelined ceild bounds: {c2}"
+    );
+    // All three point loops of the tile scan the skewed statement.
+    assert!(c.contains("S1(t,i,j)"), "statement macro call:\n{c}");
+    // Supernode recovery binds distinct (non-shadowing) tile iterators.
+    assert!(
+        c.contains("int tT") && c.contains("int tT_2"),
+        "deduplicated supernode names:\n{c}"
+    );
+}
+
 #[test]
 fn vectorize_pass_emits_ivdep() {
     let k = kernels::matmul();

@@ -2,13 +2,17 @@
 //! the whole pipeline (dependences → search → tiling → wavefront →
 //! codegen → execution) must (a) produce exactly legal transformations
 //! and (b) compute bitwise-identical results to the original program.
+//!
+//! Runs on the hermetic `testkit` harness: every failure message carries
+//! the case seed, and `TESTKIT_SEED=<n> TESTKIT_CASES=1` replays it.
 
-use proptest::prelude::*;
 use pluto::baselines::validate_legality;
 use pluto::{find_transformation, Optimizer, PlutoOptions};
 use pluto_codegen::{generate, original_schedule};
 use pluto_ir::{analyze_dependences, Expr, Program, ProgramBuilder, StatementSpec};
 use pluto_machine::{run_sequential, Arrays};
+use testkit::prop::{check, shrink_i64, Config};
+use testkit::Rng;
 
 /// A randomly generated 2-statement stencil program over one array:
 ///
@@ -29,10 +33,34 @@ struct StencilSpec {
     scale: bool,
 }
 
-fn spec() -> impl Strategy<Value = StencilSpec> {
-    (-2i64..=2, -2i64..=2, -2i64..=2, proptest::bool::ANY).prop_map(|(o1, o2, o3, scale)| {
-        StencilSpec { o1, o2, o3, scale }
-    })
+fn gen_stencil(rng: &mut Rng) -> StencilSpec {
+    StencilSpec {
+        o1: rng.range_i64(-2, 2),
+        o2: rng.range_i64(-2, 2),
+        o3: rng.range_i64(-2, 2),
+        scale: rng.bool(),
+    }
+}
+
+/// Shrinks each offset toward zero and drops the scale flag.
+fn shrink_stencil(sp: &StencilSpec) -> Vec<StencilSpec> {
+    let mut out = Vec::new();
+    for o in shrink_i64(sp.o1) {
+        out.push(StencilSpec { o1: o, ..sp.clone() });
+    }
+    for o in shrink_i64(sp.o2) {
+        out.push(StencilSpec { o2: o, ..sp.clone() });
+    }
+    for o in shrink_i64(sp.o3) {
+        out.push(StencilSpec { o3: o, ..sp.clone() });
+    }
+    if sp.scale {
+        out.push(StencilSpec {
+            scale: false,
+            ..sp.clone()
+        });
+    }
+    out
 }
 
 fn build(spec: &StencilSpec) -> Program {
@@ -86,73 +114,125 @@ fn run(prog: &Program, t: &pluto::Transformation, params: &[i64]) -> Arrays {
     arrays
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The search always yields an exactly legal transformation.
-    #[test]
-    fn search_is_always_legal(sp in spec()) {
-        let prog = build(&sp);
-        let deps = analyze_dependences(&prog, true);
-        let res = find_transformation(&prog, &deps, &PlutoOptions::default())
-            .expect("stencil family is always transformable");
-        let violations = validate_legality(&prog, &deps, &res.transform);
-        prop_assert!(
-            violations.is_empty(),
-            "illegal transform for {sp:?}: {violations:?}\n{}",
-            res.transform.display(&prog)
-        );
-    }
-
-    /// Untransformed and fully optimized executions agree bitwise.
-    #[test]
-    fn optimized_execution_matches(sp in spec()) {
-        let prog = build(&sp);
-        let params = [5i64, 19];
-        let reference = run(&prog, &original_schedule(&prog), &params);
-        let o = Optimizer::new().tile_size(4).optimize(&prog).expect("optimizes");
-        let got = run(&prog, &o.result.transform, &params);
-        prop_assert!(got.bitwise_eq(&reference), "divergence for {sp:?}");
-    }
-
-    /// Tiling with any size in 2..=8 preserves semantics.
-    #[test]
-    fn any_tile_size_preserves_semantics(sp in spec(), tile in 2i64..=8) {
-        let prog = build(&sp);
-        let params = [4i64, 15];
-        let reference = run(&prog, &original_schedule(&prog), &params);
-        let o = Optimizer::new()
-            .tile_size(tile as i128)
-            .parallel(false)
-            .vectorization(false)
-            .optimize(&prog)
-            .expect("optimizes");
-        let got = run(&prog, &o.result.transform, &params);
-        prop_assert!(got.bitwise_eq(&reference), "tile {tile} diverges for {sp:?}");
-    }
+/// The search always yields an exactly legal transformation.
+#[test]
+fn search_is_always_legal() {
+    check(
+        &Config::with_cases(24).from_env(),
+        "search_is_always_legal",
+        gen_stencil,
+        shrink_stencil,
+        |sp| {
+            let prog = build(sp);
+            let deps = analyze_dependences(&prog, true);
+            let res = find_transformation(&prog, &deps, &PlutoOptions::default())
+                .map_err(|e| format!("stencil family must be transformable: {e}"))?;
+            let violations = validate_legality(&prog, &deps, &res.transform);
+            if violations.is_empty() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "illegal transform for {sp:?}: {violations:?}\n{}",
+                    res.transform.display(&prog)
+                ))
+            }
+        },
+    );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+/// Untransformed and fully optimized executions agree bitwise.
+#[test]
+fn optimized_execution_matches() {
+    check(
+        &Config::with_cases(24).from_env(),
+        "optimized_execution_matches",
+        gen_stencil,
+        shrink_stencil,
+        |sp| {
+            let prog = build(sp);
+            let params = [5i64, 19];
+            let reference = run(&prog, &original_schedule(&prog), &params);
+            let o = Optimizer::new()
+                .tile_size(4)
+                .optimize(&prog)
+                .map_err(|e| format!("must optimize: {e}"))?;
+            let got = run(&prog, &o.result.transform, &params);
+            if got.bitwise_eq(&reference) {
+                Ok(())
+            } else {
+                Err(format!("divergence for {sp:?}"))
+            }
+        },
+    );
+}
 
-    /// The Feautrier scheduler also produces exactly legal transformations
-    /// on the random stencil family, and its executions match the
-    /// original bitwise.
-    #[test]
-    fn feautrier_schedule_is_legal_and_equivalent(sp in spec()) {
-        let prog = build(&sp);
-        let deps = analyze_dependences(&prog, false);
-        let res = pluto::feautrier_schedule(&prog, &deps)
-            .expect("stencils always have schedules");
-        let violations = validate_legality(&prog, &deps, &res.transform);
-        prop_assert!(
-            violations.is_empty(),
-            "illegal schedule for {sp:?}: {violations:?}\n{}",
-            res.transform.display(&prog)
-        );
-        let params = [4i64, 15];
-        let reference = run(&prog, &original_schedule(&prog), &params);
-        let got = run(&prog, &res.transform, &params);
-        prop_assert!(got.bitwise_eq(&reference), "divergence for {sp:?}");
-    }
+/// Tiling with any size in 2..=8 preserves semantics.
+#[test]
+fn any_tile_size_preserves_semantics() {
+    check(
+        &Config::with_cases(24).from_env(),
+        "any_tile_size_preserves_semantics",
+        |rng| (gen_stencil(rng), rng.range_i64(2, 8)),
+        |(sp, tile)| {
+            let mut out: Vec<(StencilSpec, i64)> = shrink_stencil(sp)
+                .into_iter()
+                .map(|s| (s, *tile))
+                .collect();
+            if *tile > 2 {
+                out.push((sp.clone(), tile - 1));
+            }
+            out
+        },
+        |(sp, tile)| {
+            let prog = build(sp);
+            let params = [4i64, 15];
+            let reference = run(&prog, &original_schedule(&prog), &params);
+            let o = Optimizer::new()
+                .tile_size(*tile as i128)
+                .parallel(false)
+                .vectorization(false)
+                .optimize(&prog)
+                .map_err(|e| format!("must optimize: {e}"))?;
+            let got = run(&prog, &o.result.transform, &params);
+            if got.bitwise_eq(&reference) {
+                Ok(())
+            } else {
+                Err(format!("tile {tile} diverges for {sp:?}"))
+            }
+        },
+    );
+}
+
+/// The Feautrier scheduler also produces exactly legal transformations
+/// on the random stencil family, and its executions match the
+/// original bitwise.
+#[test]
+fn feautrier_schedule_is_legal_and_equivalent() {
+    check(
+        &Config::with_cases(12).from_env(),
+        "feautrier_schedule_is_legal_and_equivalent",
+        gen_stencil,
+        shrink_stencil,
+        |sp| {
+            let prog = build(sp);
+            let deps = analyze_dependences(&prog, false);
+            let res = pluto::feautrier_schedule(&prog, &deps)
+                .map_err(|e| format!("stencils always have schedules: {e}"))?;
+            let violations = validate_legality(&prog, &deps, &res.transform);
+            if !violations.is_empty() {
+                return Err(format!(
+                    "illegal schedule for {sp:?}: {violations:?}\n{}",
+                    res.transform.display(&prog)
+                ));
+            }
+            let params = [4i64, 15];
+            let reference = run(&prog, &original_schedule(&prog), &params);
+            let got = run(&prog, &res.transform, &params);
+            if got.bitwise_eq(&reference) {
+                Ok(())
+            } else {
+                Err(format!("divergence for {sp:?}"))
+            }
+        },
+    );
 }
