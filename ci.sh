@@ -1,6 +1,6 @@
 #!/bin/sh
-# Hermetic CI gate: offline release build + full offline test suite +
-# the 200-kernel fixed-seed differential fuzz run.
+# Hermetic CI gate: lint + format checks, offline release build, full
+# offline test suite, and the 200-kernel fixed-seed differential fuzz run.
 #
 # The workspace has zero external dependencies (path deps only), so every
 # step runs with --offline against an empty crate registry. Randomized
@@ -9,6 +9,12 @@
 set -eu
 
 cd "$(dirname "$0")"
+
+echo "== clippy (all targets, warnings are errors) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== rustfmt (check only) =="
+cargo fmt --check
 
 echo "== build (release, all targets, offline) =="
 cargo build --release --offline --workspace --all-targets

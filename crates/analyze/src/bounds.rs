@@ -1,0 +1,159 @@
+//! PL002: the array bounds prover.
+//!
+//! For every access of every statement, the prover forms the *violation
+//! set* — the transformed iteration-space points (parameterized over the
+//! program context) whose subscript falls below `0` or at/above the
+//! declared extent — and proves it empty. A non-empty set is reported
+//! with a concrete witness iteration sampled by the ILP core.
+//!
+//! Extents are affine rows over `[params…, 1]` per array dimension; the
+//! valid subscript range of dimension `d` is `0 ..= extent_d − 1`.
+
+use crate::{param_context, AnalysisInput, Code, Diagnostic};
+use pluto_ir::Access;
+use pluto_linalg::Int;
+use pluto_poly::ConstraintSet;
+
+/// One out-of-bounds finding, before rendering.
+struct Violation {
+    /// Witness point `[dims…, params…]` in the statement's augmented space.
+    point: Vec<Int>,
+    /// Subscript value reached at the witness.
+    value: Int,
+    /// Extent value at the witness parameters (for the message).
+    extent: Int,
+    /// Whether the violation is below zero (else at/above the extent).
+    under: bool,
+}
+
+/// Checks one subscript dimension of one access. `ext` is the extent row
+/// over `[params…, 1]`.
+fn check_subscript(
+    base: &ConstraintSet,
+    sub: &[Int],
+    ext: &[Int],
+    nd: usize,
+    np: usize,
+) -> Option<Violation> {
+    let joint = nd + np;
+    let eval = |row: &[Int], point: &[Int]| -> Int {
+        let mut v = row[joint];
+        for (i, &x) in point.iter().enumerate() {
+            v += row[i] * x;
+        }
+        v
+    };
+    let ext_at = |point: &[Int]| -> Int {
+        let mut v = ext[np];
+        for p in 0..np {
+            v += ext[p] * point[nd + p];
+        }
+        v
+    };
+    // Under-run: subscript <= -1.
+    let mut under = base.clone();
+    let mut row: Vec<Int> = sub.iter().map(|&a| -a).collect();
+    row[joint] -= 1;
+    under.add_ineq(row);
+    if let Some(point) = under.sample_point() {
+        let value = eval(sub, &point);
+        let extent = ext_at(&point);
+        return Some(Violation {
+            point,
+            value,
+            extent,
+            under: true,
+        });
+    }
+    // Over-run: subscript >= extent.
+    let mut over = base.clone();
+    let mut row = sub.to_vec();
+    for p in 0..np {
+        row[nd + p] -= ext[p];
+    }
+    row[joint] -= ext[np];
+    over.add_ineq(row);
+    if let Some(point) = over.sample_point() {
+        let value = eval(sub, &point);
+        let extent = ext_at(&point);
+        return Some(Violation {
+            point,
+            value,
+            extent,
+            under: false,
+        });
+    }
+    None
+}
+
+/// Embeds an access row (over `[orig iters (m), params, 1]`) into the
+/// statement's augmented space (over `[nd dims, params, 1]`), where the
+/// original iterators are the trailing `m` dims.
+fn embed_access_row(row: &[Int], nd: usize, m: usize, np: usize) -> Vec<Int> {
+    let mut out = vec![0; nd + np + 1];
+    for j in 0..m {
+        out[nd - m + j] = row[j];
+    }
+    out[nd..nd + np].copy_from_slice(&row[m..m + np]);
+    out[nd + np] = row[m + np];
+    out
+}
+
+/// Proves every access in bounds; returns a PL002 diagnostic per
+/// violating subscript dimension. A no-op when the input carries no
+/// extent information.
+pub fn check(input: &AnalysisInput) -> Vec<Diagnostic> {
+    let Some(extents) = input.extents else {
+        return Vec::new();
+    };
+    let prog = input.program;
+    let t = input.transform;
+    let np = prog.num_params();
+    let param_ctx = param_context(input);
+    let mut diags = Vec::new();
+
+    for (s, stmt) in prog.stmts.iter().enumerate() {
+        let nd = t.domains[s].num_vars() - np;
+        let m = t.num_orig_dims[s];
+        let base = t.domains[s].intersect(&param_ctx.insert_dims(0, nd));
+        let mut visit = |access: &Access, what: &str| {
+            let Some(ext_rows) = extents.get(access.array) else {
+                return;
+            };
+            for (k, (sub_row, ext)) in access.map.iter().zip(ext_rows.iter()).enumerate() {
+                let sub = embed_access_row(sub_row, nd, m, np);
+                if let Some(v) = check_subscript(&base, &sub, ext, nd, np) {
+                    let arr = &prog.arrays[access.array].name;
+                    let mut d = Diagnostic::new(
+                        Code::Oob,
+                        format!("{}/{}:{}[dim {}]", stmt.name, what, arr, k),
+                        format!(
+                            "subscript {} of {} access to `{}` reaches {} ({})",
+                            k,
+                            what,
+                            arr,
+                            v.value,
+                            if v.under {
+                                "below 0".to_string()
+                            } else {
+                                format!("extent is {}", v.extent)
+                            }
+                        ),
+                    );
+                    for (i, name) in t.dim_names[s].iter().enumerate() {
+                        d.witness.push((name.clone(), v.point[i]));
+                    }
+                    for (p, name) in prog.params.iter().enumerate() {
+                        d.witness.push((name.clone(), v.point[nd + p]));
+                    }
+                    diags.push(d);
+                }
+            }
+        };
+        visit(&stmt.write, "write");
+        for (i, r) in stmt.reads.iter().enumerate() {
+            visit(r, &format!("read{i}"));
+        }
+    }
+    diags
+}

@@ -1,0 +1,342 @@
+//! PL003–PL006: structural lints over the generated AST.
+//!
+//! The walker threads an *accumulated context* — a conjunction of affine
+//! constraints over the AST's variable ids (parameters constrained by the
+//! program's `assume` rows; loop variables by their bounds; `let`
+//! bindings by exact floor-division inequalities; guard conditions by
+//! their rows) — and asks the ILP core exact questions against it:
+//!
+//! - **PL003** `empty-loop`: the loop's body can never execute for any
+//!   context point (every lower/upper bound-group pair is infeasible).
+//! - **PL004** `redundant-guard`: every condition of a guard (or filter)
+//!   is implied by the accumulated context — dead branch machinery.
+//! - **PL005** `one-trip-parallel`: a loop marked `parallel` provably
+//!   runs at most one iteration — parallelization overhead with no
+//!   parallelism.
+//! - **PL006** `shadowed-binding`: a loop or `let` rebinds a name already
+//!   bound on the path — legal for the executor (ids are distinct) but a
+//!   reliable symptom of supernode bookkeeping bugs in emitted C.
+
+use crate::{AnalysisInput, Code, Diagnostic};
+use pluto_codegen::{AffExpr, Ast, Bound, CondRow, LoopNode};
+use pluto_linalg::Int;
+use pluto_poly::ConstraintSet;
+
+/// Lint state threaded through the walk.
+struct Linter<'a> {
+    input: &'a AnalysisInput<'a>,
+    /// Accumulated affine context over AST variable ids.
+    cs: ConstraintSet,
+    /// Names bound on the current path (for PL006).
+    bound_names: Vec<String>,
+    path: String,
+    diags: Vec<Diagnostic>,
+}
+
+/// Runs all AST lints.
+pub fn check(input: &AnalysisInput) -> Vec<Diagnostic> {
+    let np = input.program.num_params();
+    let nvars = input.ast.num_vars().max(np);
+    let mut cs = ConstraintSet::new(nvars);
+    // Program parameters are AST vars 0..np; lift the `assume` context
+    // (and any pinned parameter values).
+    let param_ctx = crate::param_context(input);
+    let lift = |row: &[Int]| {
+        let mut out = vec![0; nvars + 1];
+        out[..np].copy_from_slice(&row[..np]);
+        out[nvars] = row[np];
+        out
+    };
+    for row in param_ctx.eqs() {
+        cs.add_eq(lift(row));
+    }
+    for row in param_ctx.ineqs() {
+        cs.add_ineq(lift(row));
+    }
+    let mut l = Linter {
+        input,
+        cs,
+        bound_names: Vec::new(),
+        path: String::new(),
+        diags: Vec::new(),
+    };
+    l.walk(input.ast);
+    l.diags
+}
+
+/// `var >= ceild(numer, div)` as a context row: `div·var − numer >= 0`.
+fn lower_row(var: usize, e: &AffExpr, nvars: usize) -> Vec<Int> {
+    let mut row = vec![0; nvars + 1];
+    row[var] += e.div;
+    for &(v, c) in &e.terms {
+        row[v] -= c;
+    }
+    row[nvars] -= e.konst;
+    row
+}
+
+/// `var <= floord(numer, div)` as a context row: `numer − div·var >= 0`.
+fn upper_row(var: usize, e: &AffExpr, nvars: usize) -> Vec<Int> {
+    let mut row = vec![0; nvars + 1];
+    row[var] -= e.div;
+    for &(v, c) in &e.terms {
+        row[v] += c;
+    }
+    row[nvars] += e.konst;
+    row
+}
+
+/// A guard condition as a context row.
+fn cond_row(c: &CondRow, nvars: usize) -> Vec<Int> {
+    let mut row = vec![0; nvars + 1];
+    for &(v, coef) in &c.terms {
+        row[v] += coef;
+    }
+    row[nvars] += c.konst;
+    row
+}
+
+impl Linter<'_> {
+    fn nvars(&self) -> usize {
+        self.cs.num_vars()
+    }
+
+    fn push_path(&mut self, seg: &str) -> usize {
+        let saved = self.path.len();
+        if !self.path.is_empty() {
+            self.path.push('/');
+        }
+        self.path.push_str(seg);
+        saved
+    }
+
+    /// PL006 check + binding registration. Returns whether a frame was
+    /// pushed (always true; kept for symmetry).
+    fn bind_name(&mut self, name: &str, what: &str) {
+        if self.bound_names.iter().any(|n| n == name) {
+            self.diags.push(Diagnostic::new(
+                Code::ShadowedBinding,
+                self.path.clone(),
+                format!("{what} `{name}` shadows an enclosing binding of the same name"),
+            ));
+        }
+        self.bound_names.push(name.to_string());
+    }
+
+    /// Whether the accumulated context (plus `extra` rows) is infeasible.
+    fn infeasible_with(&self, extra: &[Vec<Int>]) -> bool {
+        let mut s = self.cs.clone();
+        for row in extra {
+            s.add_ineq(row.clone());
+        }
+        s.is_empty()
+    }
+
+    /// Whether a condition row is implied by the accumulated context
+    /// (its negation is infeasible).
+    fn implied(&self, c: &CondRow) -> bool {
+        let nvars = self.nvars();
+        let row = cond_row(c, nvars);
+        let neg = |r: &[Int]| {
+            let mut n: Vec<Int> = r.iter().map(|&a| -a).collect();
+            n[nvars] -= 1;
+            n
+        };
+        if c.eq {
+            // ¬(e == 0) is e >= 1 ∨ e <= -1: implied iff both branches
+            // are infeasible.
+            let mut pos = row.clone();
+            pos[nvars] -= 1;
+            self.infeasible_with(&[pos]) && self.infeasible_with(&[neg(&row)])
+        } else {
+            self.infeasible_with(&[neg(&row)])
+        }
+    }
+
+    /// Whether the loop is provably empty: for *every* pair of a
+    /// lower-bound group and an upper-bound group, the conjunction of
+    /// their constraints on the loop variable is infeasible. (Lower bound
+    /// is min-of-max, upper is max-of-min, so the loop runs iff *some*
+    /// pair is jointly satisfiable.)
+    fn loop_empty(&self, l: &LoopNode) -> bool {
+        let nvars = self.nvars();
+        for gl in &l.lb.groups {
+            for gu in &l.ub.groups {
+                let mut rows: Vec<Vec<Int>> =
+                    gl.iter().map(|e| lower_row(l.var, e, nvars)).collect();
+                rows.extend(gu.iter().map(|e| upper_row(l.var, e, nvars)));
+                if !self.infeasible_with(&rows) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Adds a bound's constraints on `var` to the context — only sound
+    /// when the bound has a single group (no union/disjunction).
+    fn add_bound(&mut self, var: usize, b: &Bound, lower: bool) -> bool {
+        if b.groups.len() != 1 {
+            return false;
+        }
+        let nvars = self.nvars();
+        for e in &b.groups[0] {
+            let row = if lower {
+                lower_row(var, e, nvars)
+            } else {
+                upper_row(var, e, nvars)
+            };
+            self.cs.add_ineq(row);
+        }
+        true
+    }
+
+    /// PL005: under the accumulated context (bounds already added), can
+    /// the loop run two distinct iterations? Asks for `var' >= var + 1`
+    /// with `var'` satisfying the same single-group bounds.
+    fn provably_one_trip(&self, l: &LoopNode) -> bool {
+        if l.lb.groups.len() != 1 || l.ub.groups.len() != 1 {
+            return false;
+        }
+        let nvars = self.nvars();
+        let mut s = self.cs.insert_dims(nvars, 1); // var' = index nvars
+        let wide = nvars + 1;
+        for e in &l.lb.groups[0] {
+            s.add_ineq(lower_row(nvars, e, wide));
+        }
+        for e in &l.ub.groups[0] {
+            s.add_ineq(upper_row(nvars, e, wide));
+        }
+        // var' >= var + 1.
+        let mut row = vec![0; wide + 1];
+        row[nvars] = 1;
+        row[l.var] = -1;
+        row[wide] = -1;
+        s.add_ineq(row);
+        s.is_empty()
+    }
+
+    fn walk(&mut self, ast: &Ast) {
+        match ast {
+            Ast::Seq(xs) => xs.iter().for_each(|x| self.walk(x)),
+            Ast::Loop(l) => {
+                let saved_path = self.push_path(&l.name);
+                self.bind_name(&l.name, "loop variable");
+                if self.loop_empty(l) {
+                    self.diags.push(Diagnostic::new(
+                        Code::EmptyLoop,
+                        self.path.clone(),
+                        format!(
+                            "loop `{}` can never execute under its accumulated context",
+                            l.name
+                        ),
+                    ));
+                    // The subtree is dead; linting it against an empty
+                    // context would flag everything as redundant.
+                } else {
+                    let saved_cs = self.cs.clone();
+                    let lb_added = self.add_bound(l.var, &l.lb, true);
+                    let ub_added = self.add_bound(l.var, &l.ub, false);
+                    if l.parallel && lb_added && ub_added && self.provably_one_trip(l) {
+                        self.diags.push(Diagnostic::new(
+                            Code::OneTripParallel,
+                            self.path.clone(),
+                            format!(
+                                "loop `{}` is marked parallel but provably runs at most one \
+                                 iteration",
+                                l.name
+                            ),
+                        ));
+                    }
+                    self.walk(&l.body);
+                    self.cs = saved_cs;
+                }
+                self.bound_names.pop();
+                self.path.truncate(saved_path);
+            }
+            Ast::Let {
+                var,
+                name,
+                expr,
+                body,
+            } => {
+                let saved_path = self.push_path(&format!("let {name}"));
+                self.bind_name(name, "let binding");
+                let saved_cs = self.cs.clone();
+                self.add_let(*var, expr);
+                self.walk(body);
+                self.cs = saved_cs;
+                self.bound_names.pop();
+                self.path.truncate(saved_path);
+            }
+            Ast::Guard { conds, body } => {
+                let saved_path = self.push_path("guard");
+                if !conds.is_empty() && conds.iter().all(|c| self.implied(c)) {
+                    self.diags.push(Diagnostic::new(
+                        Code::RedundantGuard,
+                        self.path.clone(),
+                        format!(
+                            "all {} guard condition(s) are implied by the accumulated context",
+                            conds.len()
+                        ),
+                    ));
+                }
+                let saved_cs = self.cs.clone();
+                let nvars = self.nvars();
+                for c in conds {
+                    let row = cond_row(c, nvars);
+                    if c.eq {
+                        self.cs.add_eq(row);
+                    } else {
+                        self.cs.add_ineq(row);
+                    }
+                }
+                self.walk(body);
+                self.cs = saved_cs;
+                self.path.truncate(saved_path);
+            }
+            Ast::Filter { stmt, conds, body } => {
+                let saved_path =
+                    self.push_path(&format!("filter {}", self.input.program.stmts[*stmt].name));
+                if !conds.is_empty() && conds.iter().all(|c| self.implied(c)) {
+                    self.diags.push(Diagnostic::new(
+                        Code::RedundantGuard,
+                        self.path.clone(),
+                        format!(
+                            "all {} filter condition(s) on {} are implied by the accumulated \
+                             context",
+                            conds.len(),
+                            self.input.program.stmts[*stmt].name
+                        ),
+                    ));
+                }
+                // Filter conditions gate a single statement, not the
+                // subtree — they do not join the context.
+                self.walk(body);
+                self.path.truncate(saved_path);
+            }
+            Ast::Stmt { .. } => {}
+        }
+    }
+
+    /// `var := floord(numer, div)` as exact inequalities:
+    /// `numer − div·var >= 0` and `div·var − numer + div − 1 >= 0`
+    /// (an equality when `div == 1`).
+    fn add_let(&mut self, var: usize, e: &AffExpr) {
+        let nvars = self.nvars();
+        if e.div == 1 {
+            let mut row = vec![0; nvars + 1];
+            row[var] += 1;
+            for &(v, c) in &e.terms {
+                row[v] -= c;
+            }
+            row[nvars] -= e.konst;
+            self.cs.add_eq(row);
+            return;
+        }
+        self.cs.add_ineq(upper_row(var, e, nvars));
+        let mut low = lower_row(var, e, nvars);
+        low[nvars] += e.div - 1;
+        self.cs.add_ineq(low);
+    }
+}

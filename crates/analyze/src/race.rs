@@ -1,0 +1,303 @@
+//! PL001: independent race detection for `parallel`-marked loops.
+//!
+//! For every AST loop marked `parallel` that scans scattering row `r`,
+//! this module re-derives — without consulting the search's
+//! `Parallelism` tags — that no legality dependence between statements
+//! active under that loop is carried at `r`. The derivation is the
+//! textbook one (paper Sec. 2.3/5.2): compose the dependence polyhedron
+//! with both endpoint scatterings, restrict to instance pairs not
+//! separated by any outer row (`δ_k = 0` for `k < r`), and ask the ILP
+//! core for a point with `δ_r ≥ 1` or `δ_r ≤ −1`. Any such point is two
+//! distinct iterations of the parallel loop whose bodies are ordered by a
+//! dependence — i.e. a data race under concurrent execution, returned
+//! verbatim as the diagnostic's witness.
+
+use crate::{param_context, AnalysisInput, Code, Diagnostic};
+use pluto::Transformation;
+use pluto_codegen::Ast;
+use pluto_ir::{Dependence, Program};
+use pluto_linalg::Int;
+use pluto_poly::ConstraintSet;
+use std::collections::HashMap;
+
+/// A racing instance pair found at one loop level.
+#[derive(Debug, Clone)]
+pub struct RaceWitness {
+    /// Index of the violated dependence in the input slice.
+    pub dep: usize,
+    /// Joint witness point `[src dims…, dst dims…, params…]` in the
+    /// (supernode-augmented) transformed spaces of the two endpoints.
+    pub point: Vec<Int>,
+}
+
+/// Builds the dependence-distance row `δ_k` of dependence `dep` at
+/// scattering row `k`, over the joint space
+/// `[src dims (nd_s), dst dims (nd_t), params, 1]`.
+fn distance_row(t: &Transformation, dep: &Dependence, k: usize, np: usize) -> Vec<Int> {
+    let nd_s = t.domains[dep.src].num_vars() - np;
+    let nd_t = t.domains[dep.dst].num_vars() - np;
+    let src_row = &t.stmts[dep.src].rows[k];
+    let dst_row = &t.stmts[dep.dst].rows[k];
+    debug_assert_eq!(src_row.len(), nd_s + np + 1);
+    debug_assert_eq!(dst_row.len(), nd_t + np + 1);
+    let mut out = vec![0; nd_s + nd_t + np + 1];
+    for i in 0..nd_s {
+        out[i] = -src_row[i];
+    }
+    out[nd_s..nd_s + nd_t].copy_from_slice(&dst_row[..nd_t]);
+    for p in 0..np {
+        out[nd_s + nd_t + p] = dst_row[nd_t + p] - src_row[nd_s + p];
+    }
+    out[nd_s + nd_t + np] = dst_row[nd_t + np] - src_row[nd_s + np];
+    out
+}
+
+/// The joint polyhedron of dependence `dep` in transformed coordinates:
+/// both endpoint domains, the parameter context, and the dependence
+/// relation itself, with its original-iterator columns embedded into the
+/// *trailing* original dims of each endpoint's augmented space.
+fn joint_poly(
+    prog: &Program,
+    t: &Transformation,
+    dep: &Dependence,
+    param_ctx: &ConstraintSet,
+) -> ConstraintSet {
+    let np = prog.num_params();
+    let nd_s = t.domains[dep.src].num_vars() - np;
+    let nd_t = t.domains[dep.dst].num_vars() - np;
+    let ms = t.num_orig_dims[dep.src];
+    let mt = t.num_orig_dims[dep.dst];
+    let joint = nd_s + nd_t + np;
+
+    let mut set = t.domains[dep.src].insert_dims(nd_s, nd_t);
+    set = set.intersect(&t.domains[dep.dst].insert_dims(0, nd_s));
+    set = set.intersect(&param_ctx.insert_dims(0, nd_s + nd_t));
+
+    // Dependence rows are over [src orig (ms), dst orig (mt), params, 1];
+    // original dims sit at the tail of each endpoint's dim block.
+    let embed = |row: &[Int]| {
+        let mut out = vec![0; joint + 1];
+        for j in 0..ms {
+            out[nd_s - ms + j] = row[j];
+        }
+        for j in 0..mt {
+            out[nd_s + nd_t - mt + j] = row[ms + j];
+        }
+        for p in 0..np {
+            out[nd_s + nd_t + p] = row[ms + mt + p];
+        }
+        out[joint] = row[ms + mt + np];
+        out
+    };
+    for row in dep.poly.eqs() {
+        set.add_eq(embed(row));
+    }
+    for row in dep.poly.ineqs() {
+        set.add_ineq(embed(row));
+    }
+    set
+}
+
+/// Searches for an instance pair of `dep` that is carried at scattering
+/// row `level`: equal on every outer row, separated (in either direction)
+/// at `level`. Returns the joint witness point if one exists.
+pub fn carried_witness(
+    prog: &Program,
+    t: &Transformation,
+    dep: &Dependence,
+    level: usize,
+    param_ctx: &ConstraintSet,
+) -> Option<Vec<Int>> {
+    let np = prog.num_params();
+    let mut set = joint_poly(prog, t, dep, param_ctx);
+    for k in 0..level {
+        set.add_eq(distance_row(t, dep, k, np));
+    }
+    let joint = set.num_vars();
+    let delta = distance_row(t, dep, level, np);
+    // δ_level >= 1 (forward carried) …
+    let mut fwd = set.clone();
+    let mut row = delta.clone();
+    row[joint] -= 1;
+    fwd.add_ineq(row);
+    if let Some(p) = fwd.sample_point() {
+        return Some(p);
+    }
+    // … or δ_level <= -1 (the transformation *reversed* the pair — an
+    // outright legality violation, and still a race at this level).
+    let mut row: Vec<Int> = delta.iter().map(|&a| -a).collect();
+    row[joint] -= 1;
+    set.add_ineq(row);
+    set.sample_point()
+}
+
+/// Checks one `parallel` loop at scattering row `level` whose subtree
+/// contains exactly `active` statements. Returns every violated
+/// dependence with its witness.
+pub fn check_parallel_loop(
+    prog: &Program,
+    t: &Transformation,
+    deps: &[Dependence],
+    level: usize,
+    active: &[usize],
+    param_ctx: &ConstraintSet,
+) -> Vec<RaceWitness> {
+    let mut out = Vec::new();
+    for (di, dep) in deps.iter().enumerate() {
+        if !dep.kind.constrains_legality() {
+            continue;
+        }
+        if !active.contains(&dep.src) || !active.contains(&dep.dst) {
+            continue;
+        }
+        if let Some(point) = carried_witness(prog, t, dep, level, param_ctx) {
+            out.push(RaceWitness { dep: di, point });
+        }
+    }
+    out
+}
+
+/// Names a joint witness point for display: source dims, primed
+/// destination dims, parameters.
+fn name_witness(
+    prog: &Program,
+    t: &Transformation,
+    dep: &Dependence,
+    point: &[Int],
+) -> Vec<(String, Int)> {
+    let np = prog.num_params();
+    let nd_s = t.domains[dep.src].num_vars() - np;
+    let nd_t = t.domains[dep.dst].num_vars() - np;
+    let mut out = Vec::with_capacity(point.len());
+    for (i, name) in t.dim_names[dep.src].iter().enumerate() {
+        out.push((format!("{name}@{}", prog.stmts[dep.src].name), point[i]));
+    }
+    for (i, name) in t.dim_names[dep.dst].iter().enumerate() {
+        out.push((
+            format!("{name}'@{}", prog.stmts[dep.dst].name),
+            point[nd_s + i],
+        ));
+    }
+    for (p, name) in prog.params.iter().enumerate() {
+        out.push((name.clone(), point[nd_s + nd_t + p]));
+    }
+    out
+}
+
+/// Walks the AST and race-checks every `parallel` loop. Verdicts are
+/// cached per `(level, active set)` so split regions sharing a level are
+/// proved once.
+pub fn check(input: &AnalysisInput) -> Vec<Diagnostic> {
+    let param_ctx = param_context(input);
+    let mut cache: HashMap<(usize, Vec<usize>), Vec<RaceWitness>> = HashMap::new();
+    let mut diags = Vec::new();
+    walk(
+        input.ast,
+        &mut String::new(),
+        input,
+        &param_ctx,
+        &mut cache,
+        &mut diags,
+    );
+    diags
+}
+
+/// Statement ids at the `Stmt` leaves of a subtree, deduplicated, sorted.
+fn active_stmts(ast: &Ast) -> Vec<usize> {
+    let mut v = Vec::new();
+    fn go(a: &Ast, v: &mut Vec<usize>) {
+        match a {
+            Ast::Seq(xs) => xs.iter().for_each(|x| go(x, v)),
+            Ast::Loop(l) => go(&l.body, v),
+            Ast::Let { body, .. } | Ast::Guard { body, .. } | Ast::Filter { body, .. } => {
+                go(body, v)
+            }
+            Ast::Stmt { stmt, .. } => v.push(*stmt),
+        }
+    }
+    go(ast, &mut v);
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+fn walk(
+    ast: &Ast,
+    path: &mut String,
+    input: &AnalysisInput,
+    param_ctx: &ConstraintSet,
+    cache: &mut HashMap<(usize, Vec<usize>), Vec<RaceWitness>>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    match ast {
+        Ast::Seq(xs) => xs
+            .iter()
+            .for_each(|x| walk(x, path, input, param_ctx, cache, diags)),
+        Ast::Loop(l) => {
+            let saved = path.len();
+            if !path.is_empty() {
+                path.push('/');
+            }
+            path.push_str(&l.name);
+            if l.parallel {
+                path.push_str("[parallel]");
+                if let Some(level) = l.level {
+                    let active = active_stmts(&l.body);
+                    let races = cache
+                        .entry((level, active.clone()))
+                        .or_insert_with(|| {
+                            check_parallel_loop(
+                                input.program,
+                                input.transform,
+                                input.deps,
+                                level,
+                                &active,
+                                param_ctx,
+                            )
+                        })
+                        .clone();
+                    for r in races {
+                        let dep = &input.deps[r.dep];
+                        // Flow/output conflict on the source's written
+                        // array; anti on the destination's.
+                        let arr = if dep.kind == pluto_ir::DepKind::Anti {
+                            input.program.stmts[dep.dst].write.array
+                        } else {
+                            input.program.stmts[dep.src].write.array
+                        };
+                        let mut d = Diagnostic::new(
+                            Code::Race,
+                            path.clone(),
+                            format!(
+                                "loop marked parallel at scattering level {} carries a {} \
+                                 dependence {} -> {} on array {}",
+                                level + 1,
+                                dep.kind,
+                                input.program.stmts[dep.src].name,
+                                input.program.stmts[dep.dst].name,
+                                input.program.arrays[arr].name,
+                            ),
+                        );
+                        d.witness = name_witness(input.program, input.transform, dep, &r.point);
+                        diags.push(d);
+                    }
+                }
+            }
+            walk(&l.body, path, input, param_ctx, cache, diags);
+            path.truncate(saved);
+        }
+        Ast::Let { name, body, .. } => {
+            let saved = path.len();
+            if !path.is_empty() {
+                path.push('/');
+            }
+            path.push_str(name);
+            walk(body, path, input, param_ctx, cache, diags);
+            path.truncate(saved);
+        }
+        Ast::Guard { body, .. } | Ast::Filter { body, .. } => {
+            walk(body, path, input, param_ctx, cache, diags)
+        }
+        Ast::Stmt { .. } => {}
+    }
+}

@@ -2,19 +2,37 @@ use pluto::{carried_at, find_transformation, PlutoOptions};
 use pluto_frontend::kernels;
 use pluto_ir::analyze_dependences;
 fn main() {
-    let (_, k) = kernels::all().into_iter().find(|(n, _)| *n == "gemver").unwrap();
+    let (_, k) = kernels::all()
+        .into_iter()
+        .find(|(n, _)| *n == "gemver")
+        .unwrap();
     let prog = &k.program;
     let deps = analyze_dependences(prog, true);
     let res = find_transformation(prog, &deps, &PlutoOptions::default()).unwrap();
     let t = &res.transform;
     println!("{}", t.display(prog));
     for r in 0..t.num_rows() {
-        if t.rows[r].kind != pluto::RowKind::Loop { continue; }
+        if t.rows[r].kind != pluto::RowKind::Loop {
+            continue;
+        }
         for (di, d) in deps.iter().enumerate() {
-            if !d.kind.constrains_legality() { continue; }
-            if let Some(s) = res.satisfied_at[di] { if s < r { continue; } }
+            if !d.kind.constrains_legality() {
+                continue;
+            }
+            if let Some(s) = res.satisfied_at[di] {
+                if s < r {
+                    continue;
+                }
+            }
             if carried_at(d, prog, &t.stmts[d.src].rows, &t.stmts[d.dst].rows, r) {
-                println!("row {r}: dep {di} S{}->S{} {} lvl{} sat={:?} carried", d.src+1, d.dst+1, d.kind, d.level, res.satisfied_at[di]);
+                println!(
+                    "row {r}: dep {di} S{}->S{} {} lvl{} sat={:?} carried",
+                    d.src + 1,
+                    d.dst + 1,
+                    d.kind,
+                    d.level,
+                    res.satisfied_at[di]
+                );
             }
         }
     }

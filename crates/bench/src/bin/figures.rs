@@ -86,8 +86,10 @@ fn size_sweep(
     sizes: &[Vec<i64>],
     mk_pluto: &dyn Fn(&kernels::Kernel) -> Variant,
 ) {
-    println!("
-== {title} ==");
+    println!(
+        "
+== {title} =="
+    );
     println!(
         "{:<24} {:>12} {:>12} {:>8}",
         "params", "orig cyc", "pluto cyc", "speedup"
@@ -146,12 +148,7 @@ fn fig8() {
         variants::feautrier(&k.program),
         variants::pluto(&k.program, 8, 1),
     ];
-    perf_figure(
-        "Figure 8: 2-d FDTD (tmax=32, nx=ny=200)",
-        &k,
-        &params,
-        &vs,
-    );
+    perf_figure("Figure 8: 2-d FDTD (tmax=32, nx=ny=200)", &k, &params, &vs);
 }
 
 fn fig9() {
@@ -172,10 +169,12 @@ fn fig10() {
         &|k| variants::pluto(&k.program, 16, 1),
     );
     let params = [350i64]; // paper: up to 8000
-    let vs = [variants::orig(&k.program),
+    let vs = [
+        variants::orig(&k.program),
         variants::inner_parallel(&k.program),
         variants::lu_sched(&k.program),
-        variants::pluto(&k.program, 16, 1)];
+        variants::pluto(&k.program, 16, 1),
+    ];
     // LU's reuse distances are O(N) rows: at the scaled N the caches must
     // shrink further for the paper's memory-bound regime to appear.
     let mut rows = Vec::new();
@@ -208,9 +207,11 @@ fn fig12() {
 fn fig13() {
     let k = kernels::seidel_2d();
     let params = [32i64, 300]; // paper: T=1000, Nx=Ny=2000
-    let vs = [variants::orig(&k.program),
+    let vs = [
+        variants::orig(&k.program),
         variants::pluto(&k.program, 8, 1),
-        variants::pluto(&k.program, 8, 2)];
+        variants::pluto(&k.program, 8, 2),
+    ];
     let mut rows = Vec::new();
     rows.push(measure(&k, &vs[0], &params, 1));
     for v in &vs[1..] {

@@ -20,15 +20,19 @@ pub struct Runner {
 impl Runner {
     /// Builds a runner from `std::env::args`, skipping harness flags.
     pub fn from_args() -> Self {
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with("--"));
-        Runner { filter, samples: 10 }
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with("--"));
+        Runner {
+            filter,
+            samples: 10,
+        }
     }
 
     /// Starts a named group; benchmark ids are printed as `group/id`.
     pub fn group(&mut self, name: &str) -> Group<'_> {
-        Group { runner: self, name: name.to_string() }
+        Group {
+            runner: self,
+            name: name.to_string(),
+        }
     }
 }
 

@@ -67,14 +67,15 @@ pub fn inner_parallel(prog: &Program) -> Variant {
             }
         }
     }
-    Variant::new("inner-parallel (max par, no cost fn)", forced_search_result(prog, &deps, t))
+    Variant::new(
+        "inner-parallel (max par, no cost fn)",
+        forced_search_result(prog, &deps, t),
+    )
 }
 
 /// The full Pluto pipeline (tiling + wavefront + vector reorder).
 pub fn pluto(prog: &Program, tile: Int, degrees: usize) -> Variant {
-    let opt = Optimizer::new()
-        .tile_size(tile)
-        .wavefront_degrees(degrees);
+    let opt = Optimizer::new().tile_size(tile).wavefront_degrees(degrees);
     let o = opt.optimize(prog).expect("pluto pipeline");
     let mut v = Variant::new("pluto", o.result);
     v.collapse = degrees;
@@ -92,7 +93,10 @@ pub fn pluto_unrolled(prog: &Program, tile: Int, factor: usize) -> Variant {
 
 /// Pluto's transformation without tiling (locality-transform only).
 pub fn pluto_untiled(prog: &Program) -> Variant {
-    let opt = Optimizer::new().tiling(false).parallel(false).vectorization(false);
+    let opt = Optimizer::new()
+        .tiling(false)
+        .parallel(false)
+        .vectorization(false);
     let o = opt.optimize(prog).expect("pluto untiled");
     Variant::new("pluto (no tiling)", o.result)
 }
@@ -100,11 +104,13 @@ pub fn pluto_untiled(prog: &Program) -> Variant {
 /// Pluto with fusion disabled (every SCC distributed) — the "existing
 /// techniques" side of the MVT experiment.
 pub fn pluto_nofuse(prog: &Program, tile: Int) -> Variant {
-    let opt = Optimizer::new().tile_size(tile).search_options(PlutoOptions {
-        use_input_deps: false,
-        fuse: FusionPolicy::NoFuse,
-        ..PlutoOptions::default()
-    });
+    let opt = Optimizer::new()
+        .tile_size(tile)
+        .search_options(PlutoOptions {
+            use_input_deps: false,
+            fuse: FusionPolicy::NoFuse,
+            ..PlutoOptions::default()
+        });
     let o = opt.optimize(prog).expect("pluto nofuse");
     Variant::new("unfused (sync-free par)", o.result)
 }
@@ -207,11 +213,7 @@ pub fn mvt_fused_ij_ij(prog: &Program, tile: Int) -> Variant {
 /// out of a non-unimodular transformation").
 pub fn lu_sched(prog: &Program) -> Variant {
     // S1 over [k, j, N, 1]; S2 over [k, i, j, N, 1].
-    let rows_s1 = vec![
-        vec![2, 0, 0, 0],
-        vec![0, 1, 0, 0],
-        vec![0, 1, 0, 0],
-    ];
+    let rows_s1 = vec![vec![2, 0, 0, 0], vec![0, 1, 0, 0], vec![0, 1, 0, 0]];
     let rows_s2 = vec![
         vec![2, 0, 0, 0, 1],
         vec![0, 1, 0, 0, 0],
@@ -339,7 +341,10 @@ mod feautrier_tests {
     #[test]
     fn feautrier_variant_is_equivalent_on_kernels() {
         for name in ["fdtd-2d", "sor-2d", "seidel-2d"] {
-            let (_, k) = kernels::all().into_iter().find(|(n, _)| *n == name).unwrap();
+            let (_, k) = kernels::all()
+                .into_iter()
+                .find(|(n, _)| *n == name)
+                .unwrap();
             let v = feautrier(&k.program);
             let params: Vec<i64> = match name {
                 "fdtd-2d" => vec![3, 7, 8],

@@ -81,7 +81,12 @@ impl Bound {
     pub fn eval_lower(&self, vals: &[Int]) -> Int {
         self.groups
             .iter()
-            .map(|g| g.iter().map(|e| e.eval_ceil(vals)).max().expect("empty max"))
+            .map(|g| {
+                g.iter()
+                    .map(|e| e.eval_ceil(vals))
+                    .max()
+                    .expect("empty max")
+            })
             .min()
             .expect("unbounded lower bound")
     }
@@ -93,7 +98,12 @@ impl Bound {
     pub fn eval_upper(&self, vals: &[Int]) -> Int {
         self.groups
             .iter()
-            .map(|g| g.iter().map(|e| e.eval_floor(vals)).min().expect("empty min"))
+            .map(|g| {
+                g.iter()
+                    .map(|e| e.eval_floor(vals))
+                    .min()
+                    .expect("empty min")
+            })
             .max()
             .expect("unbounded upper bound")
     }
@@ -144,6 +154,11 @@ pub struct LoopNode {
     /// of paper Sec. 6; execution is unchanged, but each unrolled chunk
     /// pays loop overhead once.
     pub unroll: usize,
+    /// Scattering row this loop scans (`Some(r)` for loops over
+    /// transformation dimension `r`; `None` for leaf domain-recovery
+    /// loops over original iterators). Consumed by the static analyzer
+    /// to re-derive parallelism verdicts per scattering level.
+    pub level: Option<usize>,
     /// Loop body.
     pub body: Box<Ast>,
 }
@@ -227,16 +242,16 @@ impl Ast {
                 .max(bound_max(&l.lb))
                 .max(bound_max(&l.ub))
                 .max(l.body.num_vars()),
-            Ast::Let { var, expr, body, .. } => (var + 1).max(expr_max(expr)).max(body.num_vars()),
+            Ast::Let {
+                var, expr, body, ..
+            } => (var + 1).max(expr_max(expr)).max(body.num_vars()),
             Ast::Guard { conds, body } | Ast::Filter { conds, body, .. } => conds
                 .iter()
                 .flat_map(|c| c.terms.iter().map(|&(v, _)| v + 1))
                 .max()
                 .unwrap_or(0)
                 .max(body.num_vars()),
-            Ast::Stmt { orig_dims, .. } => {
-                orig_dims.iter().map(|&v| v + 1).max().unwrap_or(0)
-            }
+            Ast::Stmt { orig_dims, .. } => orig_dims.iter().map(|&v| v + 1).max().unwrap_or(0),
         }
     }
 }
@@ -316,6 +331,7 @@ mod tests {
             parallel: false,
             vector: false,
             unroll: 1,
+            level: Some(0),
             body: Box::new(Ast::Stmt {
                 stmt: 0,
                 orig_dims: vec![1],

@@ -22,7 +22,7 @@ pub fn emit_c(prog: &Program, ast: &Ast) -> String {
         let _ = writeln!(out, "#define S{}({args}) {{ {lhs} = {rhs}; }}", i + 1);
     }
     out.push('\n');
-    emit(prog, ast, &mut names, 0, &mut out);
+    emit(ast, &mut names, 0, &mut out);
     out
 }
 
@@ -145,12 +145,12 @@ fn cond_c(c: &CondRow, names: &[String]) -> String {
     }
 }
 
-fn emit(prog: &Program, ast: &Ast, names: &mut Vec<String>, indent: usize, out: &mut String) {
+fn emit(ast: &Ast, names: &mut Vec<String>, indent: usize, out: &mut String) {
     let pad = "  ".repeat(indent);
     match ast {
         Ast::Seq(v) => {
             for a in v {
-                emit(prog, a, names, indent, out);
+                emit(a, names, indent, out);
             }
         }
         Ast::Loop(LoopNode {
@@ -161,6 +161,7 @@ fn emit(prog: &Program, ast: &Ast, names: &mut Vec<String>, indent: usize, out: 
             parallel,
             vector,
             unroll,
+            level: _,
             body,
         }) => {
             names[*var] = name.clone();
@@ -179,7 +180,7 @@ fn emit(prog: &Program, ast: &Ast, names: &mut Vec<String>, indent: usize, out: 
                 bound_c(lb, names, true),
                 bound_c(ub, names, false)
             );
-            emit(prog, body, names, indent + 1, out);
+            emit(body, names, indent + 1, out);
             let _ = writeln!(out, "{pad}}}");
         }
         Ast::Let {
@@ -190,13 +191,13 @@ fn emit(prog: &Program, ast: &Ast, names: &mut Vec<String>, indent: usize, out: 
         } => {
             names[*var] = name.clone();
             let _ = writeln!(out, "{pad}{{ int {name} = {};", expr_c(expr, names, false));
-            emit(prog, body, names, indent + 1, out);
+            emit(body, names, indent + 1, out);
             let _ = writeln!(out, "{pad}}}");
         }
         Ast::Guard { conds, body } => {
             let cs: Vec<String> = conds.iter().map(|c| cond_c(c, names)).collect();
             let _ = writeln!(out, "{pad}if ({}) {{", cs.join(" && "));
-            emit(prog, body, names, indent + 1, out);
+            emit(body, names, indent + 1, out);
             let _ = writeln!(out, "{pad}}}");
         }
         Ast::Filter { stmt, conds, body } => {
@@ -209,7 +210,7 @@ fn emit(prog: &Program, ast: &Ast, names: &mut Vec<String>, indent: usize, out: 
                 stmt + 1,
                 cs.join(" && ")
             );
-            emit(prog, body, names, indent + 1, out);
+            emit(body, names, indent + 1, out);
             let _ = writeln!(out, "{pad}}}");
         }
         Ast::Stmt { stmt, orig_dims } => {
@@ -226,11 +227,7 @@ mod tests {
     #[test]
     fn affine_text_formats() {
         let row = vec![1, -2, 0, 3];
-        let t = affine_text(
-            &row,
-            &["i".into(), "j".into()],
-            &["N".into()],
-        );
+        let t = affine_text(&row, &["i".into(), "j".into()], &["N".into()]);
         assert_eq!(t, "i-2*j+3");
         assert_eq!(affine_text(&[0, 0], &[], &["N".into()]), "0");
     }

@@ -6,6 +6,10 @@ use pluto_ir::Program;
 use pluto_linalg::Int;
 use pluto_poly::ConstraintSet;
 
+/// A raw guard row at one scattering level:
+/// `(terms-without-var, konst, var coefficient, is-equality)`.
+type GuardRow = (Vec<(usize, Int)>, Int, Int, bool);
+
 /// Generates the loop AST scanning all statements of `prog` in the
 /// lexicographic order of their scatterings.
 ///
@@ -50,7 +54,11 @@ pub fn original_schedule(prog: &Program) -> Transformation {
     }
     let rows: Vec<RowInfo> = (0..nrows)
         .map(|r| RowInfo {
-            kind: if r % 2 == 0 { RowKind::Scalar } else { RowKind::Loop },
+            kind: if r % 2 == 0 {
+                RowKind::Scalar
+            } else {
+                RowKind::Loop
+            },
             par: Parallelism::Sequential,
             tile_level: 0,
         })
@@ -104,9 +112,7 @@ impl<'a> Gen<'a> {
             for (r, srow) in t.stmts[s].rows.iter().enumerate() {
                 let mut row = vec![0; width];
                 row[r] = -1;
-                for k in 0..d + np + 1 {
-                    row[nrows + k] = srow[k];
-                }
+                row[nrows..nrows + d + np + 1].copy_from_slice(&srow[..d + np + 1]);
                 e.add_eq(row);
             }
             ext.push(e);
@@ -154,9 +160,9 @@ impl<'a> Gen<'a> {
     /// Maps a projection row (over `[c_0..c_k, params, 1]`) into AST terms.
     fn row_terms(&self, row: &[Int], k: usize, skip: usize) -> (Vec<(usize, Int)>, Int) {
         let mut terms = Vec::new();
-        for j in 0..=k {
-            if j != skip && row[j] != 0 {
-                terms.push((self.c_vars[j], row[j]));
+        for (j, &coef) in row.iter().enumerate().take(k + 1) {
+            if j != skip && coef != 0 {
+                terms.push((self.c_vars[j], coef));
             }
         }
         for p in 0..self.np {
@@ -235,7 +241,7 @@ impl<'a> Gen<'a> {
         // Per-statement bound expressions and raw guard rows at this level.
         let mut lowers_per: Vec<Vec<AffExpr>> = Vec::with_capacity(active.len());
         let mut uppers_per: Vec<Vec<AffExpr>> = Vec::with_capacity(active.len());
-        let mut grows_per: Vec<Vec<(Vec<(usize, Int)>, Int, Int, bool)>> = Vec::new();
+        let mut grows_per: Vec<Vec<GuardRow>> = Vec::new();
         for &s in active {
             let proj = &self.projc[s][level];
             let mut lowers = Vec::new();
@@ -303,8 +309,10 @@ impl<'a> Gen<'a> {
         let parallel = active
             .iter()
             .all(|&s| self.t.par_for(s, level) != Parallelism::Sequential);
-        let vector =
-            parallel && active.iter().all(|&s| self.t.par_for(s, level) == Parallelism::Vector);
+        let vector = parallel
+            && active
+                .iter()
+                .all(|&s| self.t.par_for(s, level) == Parallelism::Vector);
         let name = format!("c{}", level + 1);
 
         // Single statement, or all statements with identical bounds: one
@@ -328,6 +336,7 @@ impl<'a> Gen<'a> {
                 parallel,
                 vector,
                 unroll: 1,
+                level: Some(level),
                 body: Box::new(body),
             });
         }
@@ -341,9 +350,7 @@ impl<'a> Gen<'a> {
         // guarded single instance (CLooG's `if (c1 == c2+c3)` structure in
         // the paper's Fig. 9(c)).
         if active.len() > 1 {
-            let degen = (0..active.len()).find(|&ai| {
-                grows_per[ai].iter().any(|(_, _, _, eq)| *eq)
-            });
+            let degen = (0..active.len()).find(|&ai| grows_per[ai].iter().any(|(_, _, _, eq)| *eq));
             if let Some(ai) = degen {
                 return self.split_on_point(level, active, ai, &grows_per, extra_lb, extra_ub);
             }
@@ -359,8 +366,7 @@ impl<'a> Gen<'a> {
         // level, where iterations (and thus guard evaluations) dominate;
         // outer levels use per-statement activity filters, evaluated once
         // per iteration of that loop.
-        let innermost = (level + 1..self.nrows)
-            .all(|r| self.t.rows[r].kind != RowKind::Loop);
+        let innermost = (level + 1..self.nrows).all(|r| self.t.rows[r].kind != RowKind::Loop);
         if !innermost || !shifted_uniform(&lowers_per) || !shifted_uniform(&uppers_per) {
             let var = self.alloc();
             self.c_vars.push(var);
@@ -398,6 +404,7 @@ impl<'a> Gen<'a> {
                 parallel,
                 vector,
                 unroll: 1,
+                level: Some(level),
                 body: Box::new(body),
             });
         }
@@ -493,9 +500,12 @@ impl<'a> Gen<'a> {
                         groups: vec![all_uppers.clone()],
                     },
                 ),
-                _ => (epilogue_lb.clone(), Bound {
-                    groups: uppers_per.clone(),
-                }),
+                _ => (
+                    epilogue_lb.clone(),
+                    Bound {
+                        groups: uppers_per.clone(),
+                    },
+                ),
             };
             if region == 2 {
                 // Guard against re-executing the overlap when the kernel is
@@ -528,6 +538,7 @@ impl<'a> Gen<'a> {
                 parallel,
                 vector,
                 unroll: 1,
+                level: Some(level),
                 body: Box::new(body),
             }));
         }
@@ -545,16 +556,12 @@ impl<'a> Gen<'a> {
         level: usize,
         active: &[usize],
         d_ai: usize,
-        grows_per: &[Vec<(Vec<(usize, Int)>, Int, Int, bool)>],
+        grows_per: &[Vec<GuardRow>],
         extra_lb: &[AffExpr],
         extra_ub: &[AffExpr],
     ) -> Ast {
         let d = active[d_ai];
-        let rest: Vec<usize> = active
-            .iter()
-            .copied()
-            .filter(|&s| s != d)
-            .collect();
+        let rest: Vec<usize> = active.iter().copied().filter(|&s| s != d).collect();
         let (terms, konst, a, _) = grows_per[d_ai]
             .iter()
             .find(|(_, _, _, eq)| *eq)
@@ -680,8 +687,17 @@ impl<'a> Gen<'a> {
         let mut dim_var: Vec<Option<usize>> = vec![None; nd];
         // (wrapping order: lets/loops created first are outermost)
         enum Wrap {
-            Let { var: usize, name: String, expr: AffExpr },
-            Loop { var: usize, name: String, lb: Bound, ub: Bound },
+            Let {
+                var: usize,
+                name: String,
+                expr: AffExpr,
+            },
+            Loop {
+                var: usize,
+                name: String,
+                lb: Bound,
+                ub: Bound,
+            },
         }
         let mut wraps: Vec<Wrap> = Vec::new();
         let mut conds: Vec<CondRow> = self.guards[s].clone();
@@ -694,7 +710,7 @@ impl<'a> Gen<'a> {
                              dim_var: &[Option<usize>],
                              c_vars: &[usize],
                              skip_dim: Option<usize>|
-         -> Option<(Vec<(usize, Int)>, Int)> {
+              -> Option<(Vec<(usize, Int)>, Int)> {
             let mut terms = Vec::new();
             for j in 0..nrows {
                 if row[j] != 0 {
@@ -732,8 +748,7 @@ impl<'a> Gen<'a> {
                         if a == 0 {
                             continue;
                         }
-                        let Some((terms, konst)) =
-                            to_terms(row, &dim_var, &self.c_vars, Some(d))
+                        let Some((terms, konst)) = to_terms(row, &dim_var, &self.c_vars, Some(d))
                         else {
                             continue;
                         };
@@ -797,8 +812,7 @@ impl<'a> Gen<'a> {
                 for p in 0..=self.np {
                     full[self.nrows + nd + p] = row[col + 1 + p];
                 }
-                let Some((terms, konst)) = to_terms(&full, &dim_var, &self.c_vars, Some(d))
-                else {
+                let Some((terms, konst)) = to_terms(&full, &dim_var, &self.c_vars, Some(d)) else {
                     continue;
                 };
                 let aa = a.abs();
@@ -886,6 +900,7 @@ impl<'a> Gen<'a> {
                     parallel: false,
                     vector: false,
                     unroll: 1,
+                    level: None,
                     body: Box::new(node),
                 }),
             };

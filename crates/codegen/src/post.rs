@@ -59,6 +59,7 @@ mod tests {
             parallel: false,
             vector: false,
             unroll: 1,
+            level: Some(0),
             body: Box::new(body),
         })
     }
@@ -73,7 +74,9 @@ mod tests {
         unroll_innermost(&mut nest, 4);
         let Ast::Loop(outer) = &nest else { panic!() };
         assert_eq!(outer.unroll, 1);
-        let Ast::Loop(inner) = &*outer.body else { panic!() };
+        let Ast::Loop(inner) = &*outer.body else {
+            panic!()
+        };
         assert_eq!(inner.unroll, 4);
     }
 }

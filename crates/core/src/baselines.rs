@@ -28,7 +28,11 @@ pub fn forced_transformation(
     kinds: Vec<RowKind>,
     bands: Vec<Band>,
 ) -> Transformation {
-    assert_eq!(rows_per_stmt.len(), prog.stmts.len(), "one row set per statement");
+    assert_eq!(
+        rows_per_stmt.len(),
+        prog.stmts.len(),
+        "one row set per statement"
+    );
     let nrows = kinds.len();
     let np = prog.num_params();
     for (s, rows) in rows_per_stmt.iter().enumerate() {

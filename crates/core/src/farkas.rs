@@ -229,9 +229,7 @@ pub fn distance_row(
     for j in 0..ms {
         row[j] = -src_row[j];
     }
-    for j in 0..mt {
-        row[ms + j] = dst_row[j];
-    }
+    row[ms..ms + mt].copy_from_slice(&dst_row[..mt]);
     for k in 0..np {
         row[ms + mt + k] = dst_row[mt + k] - src_row[ms + k];
     }
@@ -261,12 +259,7 @@ pub fn satisfies_strictly(
 /// Whether the dependence has a non-negative component on the given rows
 /// everywhere (weak satisfaction / legality of the row as a tiling
 /// hyperplane, Eq. 2): tests emptiness of `P_e ∧ δ <= −1`.
-pub fn respects_weakly(
-    dep: &Dependence,
-    prog: &Program,
-    src_row: &[Int],
-    dst_row: &[Int],
-) -> bool {
+pub fn respects_weakly(dep: &Dependence, prog: &Program, src_row: &[Int], dst_row: &[Int]) -> bool {
     let mut p = dep.poly.clone();
     let mut row = distance_row(dep, prog, src_row, dst_row);
     for v in row.iter_mut() {

@@ -37,10 +37,7 @@ use pluto_linalg::Int;
 /// Returns [`PlutoError::NoSolution`] if no progress can be made (should
 /// not happen for valid dependence graphs — Feautrier's theorem guarantees
 /// schedules exist).
-pub fn feautrier_schedule(
-    prog: &Program,
-    deps: &[Dependence],
-) -> Result<SearchResult, PlutoError> {
+pub fn feautrier_schedule(prog: &Program, deps: &[Dependence]) -> Result<SearchResult, PlutoError> {
     let vm = VarMap::new(prog);
     let nstmts = prog.stmts.len();
     let legality: Vec<usize> = (0..deps.len())
@@ -126,12 +123,12 @@ pub fn feautrier_schedule(
             });
         }
         let r = row_infos.len();
-        for s in 0..nstmts {
+        for (s, stmt_rows) in rows.iter_mut().enumerate().take(nstmts) {
             let (coeffs, c0) = vm.stmt_solution(s, &sol[ne..]);
             let mut row = coeffs;
             row.extend(std::iter::repeat_n(0, np));
             row.push(c0);
-            rows[s].push(row);
+            stmt_rows.push(row);
         }
         row_infos.push(RowInfo::loop_row());
         for &di in &legality {

@@ -51,8 +51,8 @@
 
 pub mod baselines;
 mod explain;
-mod feautrier;
 mod farkas;
+mod feautrier;
 mod pipeline;
 mod search;
 mod tiling;
@@ -60,11 +60,11 @@ mod types;
 mod wavefront;
 
 pub use explain::explain;
-pub use feautrier::feautrier_schedule;
 pub use farkas::{
     bounding_form, carried_at, delta_form, distance_row, farkas_eliminate, respects_weakly,
     satisfies_strictly, VarMap,
 };
+pub use feautrier::feautrier_schedule;
 pub use pipeline::{Optimized, Optimizer};
 pub use search::{find_transformation, FusionPolicy, PlutoError, PlutoOptions, SearchResult};
 pub use tiling::tile_band;

@@ -151,8 +151,7 @@ impl Optimizer {
                         .rev()
                         .find(|&r| res.transform.rows[r].par == Parallelism::Parallel)
                     {
-                        sizes[j - b.start] =
-                            self.tile_size * self.vector_tile_boost.max(1);
+                        sizes[j - b.start] = self.tile_size * self.vector_tile_boost.max(1);
                     }
                 }
                 tile_band(&mut res, prog, &deps, bi, &sizes);
@@ -161,7 +160,11 @@ impl Optimizer {
                     tile_band(&mut res, prog, &deps, bi, &l2);
                 }
                 // Skip the band(s) we just inserted plus the point band.
-                bi += 1 + if self.second_level_factor.is_some() { 2 } else { 1 };
+                bi += 1 + if self.second_level_factor.is_some() {
+                    2
+                } else {
+                    1
+                };
             }
         }
 
@@ -341,7 +344,9 @@ mod tests {
         assert_eq!(t.rows[last].par, Parallelism::Vector);
         assert_eq!(t.rows[last].kind, RowKind::Loop);
         // The reduction row k stays sequential inside the band.
-        assert!(t.rows[3..last].iter().any(|r| r.par == Parallelism::Sequential));
+        assert!(t.rows[3..last]
+            .iter()
+            .any(|r| r.par == Parallelism::Sequential));
     }
 
     #[test]

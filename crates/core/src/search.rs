@@ -198,11 +198,12 @@ impl<'a> Search<'a> {
         }
         self.close_band();
         let stmt_par = self.compute_parallelism();
-        for r in 0..self.row_infos.len() {
-            if self.row_infos[r].kind == crate::types::RowKind::Loop
-                && (0..self.prog.stmts.len()).all(|s| stmt_par[s][r] == Parallelism::Parallel)
+        let nstmts = self.prog.stmts.len();
+        for (r, info) in self.row_infos.iter_mut().enumerate() {
+            if info.kind == crate::types::RowKind::Loop
+                && (0..nstmts).all(|s| stmt_par[s][r] == Parallelism::Parallel)
             {
-                self.row_infos[r].par = Parallelism::Parallel;
+                info.par = Parallelism::Parallel;
             }
         }
         let transform = Transformation {
@@ -345,8 +346,12 @@ impl<'a> Search<'a> {
                 continue;
             }
             let dep = &self.deps[di];
-            if satisfies_strictly(dep, self.prog, &self.rows[dep.src][r], &self.rows[dep.dst][r])
-            {
+            if satisfies_strictly(
+                dep,
+                self.prog,
+                &self.rows[dep.src][r],
+                &self.rows[dep.dst][r],
+            ) {
                 self.satisfied_at[di] = Some(r);
             }
         }
@@ -386,10 +391,10 @@ impl<'a> Search<'a> {
         self.close_band();
         let r = self.row_infos.len();
         let np = self.prog.num_params();
-        for s in 0..n {
+        for (s, &c) in comp.iter().enumerate().take(n) {
             let m = self.prog.stmts[s].num_iters();
             let mut row = vec![0; m + np + 1];
-            row[m + np] = comp[s] as Int;
+            row[m + np] = c as Int;
             self.rows[s].push(row);
         }
         self.row_infos.push(RowInfo::scalar_row());
@@ -434,8 +439,8 @@ impl<'a> Search<'a> {
                 .collect()
         };
         let mut out = vec![vec![Parallelism::Sequential; nrows]; nstmts];
-        for r in 0..nrows {
-            if self.row_infos[r].kind != crate::types::RowKind::Loop {
+        for (r, info) in self.row_infos.iter().enumerate().take(nrows) {
+            if info.kind != crate::types::RowKind::Loop {
                 continue;
             }
             let mut group_seq: Vec<Vec<Int>> = Vec::new();
@@ -453,10 +458,9 @@ impl<'a> Search<'a> {
                     group_seq.push(key(dep.src, r));
                 }
             }
-            for s in 0..nstmts {
-                let k = key(s, r);
-                if !group_seq.contains(&k) {
-                    out[s][r] = Parallelism::Parallel;
+            for (s, stmt_out) in out.iter_mut().enumerate() {
+                if !group_seq.contains(&key(s, r)) {
+                    stmt_out[r] = Parallelism::Parallel;
                 }
             }
         }

@@ -79,8 +79,8 @@ pub fn tile_band(
                 continue; // settled outside the band
             }
         }
-        for j in 0..w {
-            if seq_groups[j].contains(&group_key(dep.src, start)) {
+        for (j, group) in seq_groups.iter_mut().enumerate().take(w) {
+            if group.contains(&group_key(dep.src, start)) {
                 continue;
             }
             let r = point_start + j;
@@ -103,7 +103,7 @@ pub fn tile_band(
             row[n - 1] -= 1; // δ >= 1 reachable?
             p.add_ineq(row);
             if !p.is_empty() {
-                seq_groups[j].push(group_key(dep.src, start));
+                group.push(group_key(dep.src, start));
             }
         }
     }
@@ -242,8 +242,8 @@ pub fn tile_band(
                 tile_level,
             },
         );
-        for s in 0..nstmts {
-            let p = if seq_groups[j].contains(&keys[s]) {
+        for (s, key) in keys.iter().enumerate().take(nstmts) {
+            let p = if seq_groups[j].contains(key) {
                 Parallelism::Sequential
             } else {
                 Parallelism::Parallel

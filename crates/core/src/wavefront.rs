@@ -24,11 +24,10 @@ pub fn wavefront(t: &mut Transformation, band: Band, m: usize) {
     );
     let s = band.start;
     for st in t.stmts.iter_mut() {
-        let width = st.rows[s].len();
         let mut sum = st.rows[s].clone();
         for j in 1..=m {
-            for k in 0..width {
-                sum[k] += st.rows[s + j][k];
+            for (acc, &x) in sum.iter_mut().zip(&st.rows[s + j]) {
+                *acc += x;
             }
         }
         st.rows[s] = sum;
@@ -62,7 +61,8 @@ pub fn wavefront(t: &mut Transformation, band: Band, m: usize) {
 pub fn reorder_for_vectorization(t: &mut Transformation, band: Band) -> Option<usize> {
     let rows: Vec<usize> = band.rows().collect();
     let vec_row = *rows
-        .iter().rfind(|&&r| t.rows[r].kind == RowKind::Loop && t.rows[r].par == Parallelism::Parallel)?;
+        .iter()
+        .rfind(|&&r| t.rows[r].kind == RowKind::Loop && t.rows[r].par == Parallelism::Parallel)?;
     let last = *rows.last().expect("non-empty band");
     if vec_row != last {
         for st in t.stmts.iter_mut() {

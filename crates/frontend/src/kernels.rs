@@ -96,7 +96,7 @@ pub fn fdtd_2d() -> Kernel {
     b.add_array("ex", 2); // nx x (ny+1)
     b.add_array("ey", 2); // (nx+1) x ny
     b.add_array("hz", 2); // nx x ny
-    // S1 columns: [t, j, tmax, nx, ny, 1].
+                          // S1 columns: [t, j, tmax, nx, ny, 1].
     b.add_statement(StatementSpec {
         name: "S1".into(),
         iters: vec!["t".into(), "j".into()],
@@ -220,18 +220,13 @@ pub fn fdtd_2d() -> Kernel {
             ),
         ],
         body: Expr::Read(0)
-            - Expr::Lit(0.7)
-                * (Expr::Read(1) - Expr::Read(2) + Expr::Read(3) - Expr::Read(4)),
+            - Expr::Lit(0.7) * (Expr::Read(1) - Expr::Read(2) + Expr::Read(3) - Expr::Read(4)),
     });
     Kernel {
         program: b.build(),
         extents: |p| {
             let (nx, ny) = (p[1] as usize, p[2] as usize);
-            vec![
-                vec![nx, ny + 1],
-                vec![nx + 1, ny],
-                vec![nx, ny],
-            ]
+            vec![vec![nx, ny + 1], vec![nx + 1, ny], vec![nx, ny]]
         },
     }
 }
@@ -282,23 +277,11 @@ pub fn lu() -> Kernel {
             vec![0, 0, -1, 1, -1],
         ],
         beta: vec![0, 1, 0, 0],
-        write: (
-            "a".into(),
-            vec![vec![0, 1, 0, 0, 0], vec![0, 0, 1, 0, 0]],
-        ),
+        write: ("a".into(), vec![vec![0, 1, 0, 0, 0], vec![0, 0, 1, 0, 0]]),
         reads: vec![
-            (
-                "a".into(),
-                vec![vec![0, 1, 0, 0, 0], vec![0, 0, 1, 0, 0]],
-            ),
-            (
-                "a".into(),
-                vec![vec![0, 1, 0, 0, 0], vec![1, 0, 0, 0, 0]],
-            ),
-            (
-                "a".into(),
-                vec![vec![1, 0, 0, 0, 0], vec![0, 0, 1, 0, 0]],
-            ),
+            ("a".into(), vec![vec![0, 1, 0, 0, 0], vec![0, 0, 1, 0, 0]]),
+            ("a".into(), vec![vec![0, 1, 0, 0, 0], vec![1, 0, 0, 0, 0]]),
+            ("a".into(), vec![vec![1, 0, 0, 0, 0], vec![0, 0, 1, 0, 0]]),
         ],
         body: Expr::Read(0) - Expr::Read(1) * Expr::Read(2),
     });
@@ -461,23 +444,11 @@ pub fn matmul() -> Kernel {
             vec![0, 0, -1, 1, -1],
         ],
         beta: vec![0, 0, 0, 0],
-        write: (
-            "C".into(),
-            vec![vec![1, 0, 0, 0, 0], vec![0, 1, 0, 0, 0]],
-        ),
+        write: ("C".into(), vec![vec![1, 0, 0, 0, 0], vec![0, 1, 0, 0, 0]]),
         reads: vec![
-            (
-                "C".into(),
-                vec![vec![1, 0, 0, 0, 0], vec![0, 1, 0, 0, 0]],
-            ),
-            (
-                "A".into(),
-                vec![vec![1, 0, 0, 0, 0], vec![0, 0, 1, 0, 0]],
-            ),
-            (
-                "B".into(),
-                vec![vec![0, 0, 1, 0, 0], vec![0, 1, 0, 0, 0]],
-            ),
+            ("C".into(), vec![vec![1, 0, 0, 0, 0], vec![0, 1, 0, 0, 0]]),
+            ("A".into(), vec![vec![1, 0, 0, 0, 0], vec![0, 0, 1, 0, 0]]),
+            ("B".into(), vec![vec![0, 0, 1, 0, 0], vec![0, 1, 0, 0, 0]]),
         ],
         body: Expr::Read(0) + Expr::Read(1) * Expr::Read(2),
     });
@@ -513,19 +484,10 @@ pub fn sor_2d() -> Kernel {
             vec![0, -1, 1, -1],
         ],
         beta: vec![0, 0, 0],
-        write: (
-            "a".into(),
-            vec![vec![1, 0, 0, 0], vec![0, 1, 0, 0]],
-        ),
+        write: ("a".into(), vec![vec![1, 0, 0, 0], vec![0, 1, 0, 0]]),
         reads: vec![
-            (
-                "a".into(),
-                vec![vec![1, 0, 0, -1], vec![0, 1, 0, 0]],
-            ),
-            (
-                "a".into(),
-                vec![vec![1, 0, 0, 0], vec![0, 1, 0, -1]],
-            ),
+            ("a".into(), vec![vec![1, 0, 0, -1], vec![0, 1, 0, 0]]),
+            ("a".into(), vec![vec![1, 0, 0, 0], vec![0, 1, 0, -1]]),
         ],
         body: Expr::Read(0) + Expr::Read(1),
     });
@@ -579,7 +541,9 @@ pub fn instance_count(name: &str, p: &[Int]) -> Int {
         "lu" => {
             let n = p[0];
             // Σ_k (N-1-k) + (N-1-k)^2
-            (0..n).map(|k| (n - 1 - k) + (n - 1 - k) * (n - 1 - k)).sum()
+            (0..n)
+                .map(|k| (n - 1 - k) + (n - 1 - k) * (n - 1 - k))
+                .sum()
         }
         "mvt" => 2 * p[0] * p[0],
         "seidel-2d" => p[0] * (p[1] - 2) * (p[1] - 2),
@@ -601,64 +565,6 @@ pub fn instance_count(name: &str, p: &[Int]) -> Int {
             n * n * n + n * n * n * n + n * n * n
         }
         _ => panic!("unknown kernel `{name}`"),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use pluto_ir::analyze_dependences;
-
-    #[test]
-    fn kernels_build_and_have_dependences() {
-        for (name, k) in all() {
-            assert!(!k.program.stmts.is_empty(), "{name}");
-            let deps = analyze_dependences(&k.program, true);
-            assert!(!deps.is_empty(), "{name}: no dependences found");
-        }
-    }
-
-    #[test]
-    fn jacobi_has_interstatement_flow() {
-        let k = jacobi_1d_imperfect();
-        let deps = analyze_dependences(&k.program, false);
-        assert!(deps
-            .iter()
-            .any(|d| d.src == 0 && d.dst == 1 && d.kind == pluto_ir::DepKind::Flow));
-        assert!(deps
-            .iter()
-            .any(|d| d.src == 1 && d.dst == 0 && d.kind == pluto_ir::DepKind::Flow));
-    }
-
-    #[test]
-    fn mvt_inter_statement_is_input_only() {
-        let k = mvt();
-        let deps = analyze_dependences(&k.program, true);
-        for d in deps.iter().filter(|d| d.src != d.dst) {
-            assert_eq!(d.kind, pluto_ir::DepKind::Input, "only RAR across MVs");
-        }
-    }
-
-    #[test]
-    fn extents_match_arrays() {
-        for (name, k) in all() {
-            let np = k.program.num_params();
-            let params: Vec<i64> = vec![10; np];
-            let e = (k.extents)(&params);
-            assert_eq!(e.len(), k.program.arrays.len(), "{name}");
-            for (a, ext) in k.program.arrays.iter().zip(&e) {
-                assert_eq!(a.ndim, ext.len(), "{name}/{}", a.name);
-            }
-        }
-    }
-
-    #[test]
-    fn instance_counts_positive() {
-        for (name, k) in all() {
-            let np = k.program.num_params();
-            let p: Vec<Int> = vec![8; np];
-            assert!(instance_count(name, &p) > 0, "{name}");
-        }
     }
 }
 
@@ -849,23 +755,11 @@ pub fn trmm() -> Kernel {
             vec![1, 0, -1, 0, -1], // k <= i-1
         ],
         beta: vec![0, 0, 0, 0],
-        write: (
-            "B".into(),
-            vec![vec![1, 0, 0, 0, 0], vec![0, 1, 0, 0, 0]],
-        ),
+        write: ("B".into(), vec![vec![1, 0, 0, 0, 0], vec![0, 1, 0, 0, 0]]),
         reads: vec![
-            (
-                "B".into(),
-                vec![vec![1, 0, 0, 0, 0], vec![0, 1, 0, 0, 0]],
-            ),
-            (
-                "A".into(),
-                vec![vec![1, 0, 0, 0, 0], vec![0, 0, 1, 0, 0]],
-            ),
-            (
-                "B".into(),
-                vec![vec![0, 0, 1, 0, 0], vec![0, 1, 0, 0, 0]],
-            ),
+            ("B".into(), vec![vec![1, 0, 0, 0, 0], vec![0, 1, 0, 0, 0]]),
+            ("A".into(), vec![vec![1, 0, 0, 0, 0], vec![0, 0, 1, 0, 0]]),
+            ("B".into(), vec![vec![0, 0, 1, 0, 0], vec![0, 1, 0, 0, 0]]),
         ],
         body: Expr::Read(0) + Expr::Read(1) * Expr::Read(2),
     });
@@ -895,23 +789,11 @@ pub fn syrk() -> Kernel {
             vec![0, 0, -1, 1, -1],
         ],
         beta: vec![0, 0, 0, 0],
-        write: (
-            "C".into(),
-            vec![vec![1, 0, 0, 0, 0], vec![0, 1, 0, 0, 0]],
-        ),
+        write: ("C".into(), vec![vec![1, 0, 0, 0, 0], vec![0, 1, 0, 0, 0]]),
         reads: vec![
-            (
-                "C".into(),
-                vec![vec![1, 0, 0, 0, 0], vec![0, 1, 0, 0, 0]],
-            ),
-            (
-                "A".into(),
-                vec![vec![1, 0, 0, 0, 0], vec![0, 0, 1, 0, 0]],
-            ),
-            (
-                "A".into(),
-                vec![vec![0, 1, 0, 0, 0], vec![0, 0, 1, 0, 0]],
-            ),
+            ("C".into(), vec![vec![1, 0, 0, 0, 0], vec![0, 1, 0, 0, 0]]),
+            ("A".into(), vec![vec![1, 0, 0, 0, 0], vec![0, 0, 1, 0, 0]]),
+            ("A".into(), vec![vec![0, 1, 0, 0, 0], vec![0, 0, 1, 0, 0]]),
         ],
         body: Expr::Read(0) + Expr::Read(1) * Expr::Read(2),
     });
@@ -1080,5 +962,63 @@ pub fn doitgen() -> Kernel {
             let n = p[0] as usize;
             vec![vec![n, n, n], vec![n, n], vec![n]]
         },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pluto_ir::analyze_dependences;
+
+    #[test]
+    fn kernels_build_and_have_dependences() {
+        for (name, k) in all() {
+            assert!(!k.program.stmts.is_empty(), "{name}");
+            let deps = analyze_dependences(&k.program, true);
+            assert!(!deps.is_empty(), "{name}: no dependences found");
+        }
+    }
+
+    #[test]
+    fn jacobi_has_interstatement_flow() {
+        let k = jacobi_1d_imperfect();
+        let deps = analyze_dependences(&k.program, false);
+        assert!(deps
+            .iter()
+            .any(|d| d.src == 0 && d.dst == 1 && d.kind == pluto_ir::DepKind::Flow));
+        assert!(deps
+            .iter()
+            .any(|d| d.src == 1 && d.dst == 0 && d.kind == pluto_ir::DepKind::Flow));
+    }
+
+    #[test]
+    fn mvt_inter_statement_is_input_only() {
+        let k = mvt();
+        let deps = analyze_dependences(&k.program, true);
+        for d in deps.iter().filter(|d| d.src != d.dst) {
+            assert_eq!(d.kind, pluto_ir::DepKind::Input, "only RAR across MVs");
+        }
+    }
+
+    #[test]
+    fn extents_match_arrays() {
+        for (name, k) in all() {
+            let np = k.program.num_params();
+            let params: Vec<i64> = vec![10; np];
+            let e = (k.extents)(&params);
+            assert_eq!(e.len(), k.program.arrays.len(), "{name}");
+            for (a, ext) in k.program.arrays.iter().zip(&e) {
+                assert_eq!(a.ndim, ext.len(), "{name}/{}", a.name);
+            }
+        }
+    }
+
+    #[test]
+    fn instance_counts_positive() {
+        for (name, k) in all() {
+            let np = k.program.num_params();
+            let p: Vec<Int> = vec![8; np];
+            assert!(instance_count(name, &p) > 0, "{name}");
+        }
     }
 }

@@ -80,26 +80,54 @@ pub struct ParsedUnit {
 }
 
 impl ParsedUnit {
+    /// The declared symbolic extents: `extent_rows()[a][d]` is an affine
+    /// row over `[params…, 1]` giving the size of dimension `d` of array
+    /// `a` (consumed by the static analyzer's bounds prover).
+    pub fn extent_rows(&self) -> &[Vec<Vec<Int>>] {
+        &self.extent_rows
+    }
+
     /// Evaluates the declared array extents at concrete parameter values.
     ///
-    /// # Panics
-    /// Panics if an extent evaluates non-positive.
-    pub fn extents(&self, params: &[i64]) -> Vec<Vec<usize>> {
+    /// # Errors
+    /// Fails when an extent evaluates non-positive, naming the array and
+    /// dimension (e.g. an `array a[N-8]` executed with `N = 4`).
+    pub fn try_extents(&self, params: &[i64]) -> Result<Vec<Vec<usize>>, String> {
         self.extent_rows
             .iter()
-            .map(|dims| {
+            .enumerate()
+            .map(|(a, dims)| {
                 dims.iter()
-                    .map(|row| {
+                    .enumerate()
+                    .map(|(d, row)| {
                         let mut v = row[params.len()];
                         for (k, &p) in params.iter().enumerate() {
                             v += row[k] * p as Int;
                         }
-                        assert!(v > 0, "array extent must be positive, got {v}");
-                        v as usize
+                        if v <= 0 {
+                            return Err(format!(
+                                "array `{}` dimension {} has non-positive extent {} at the \
+                                 given parameters",
+                                self.program.arrays[a].name, d, v
+                            ));
+                        }
+                        Ok(v as usize)
                     })
                     .collect()
             })
             .collect()
+    }
+
+    /// Evaluates the declared array extents at concrete parameter values.
+    ///
+    /// # Panics
+    /// Panics if an extent evaluates non-positive; use
+    /// [`try_extents`](ParsedUnit::try_extents) to handle that case.
+    pub fn extents(&self, params: &[i64]) -> Vec<Vec<usize>> {
+        match self.try_extents(params) {
+            Ok(e) => e,
+            Err(m) => panic!("array extent must be positive: {m}"),
+        }
     }
 }
 
@@ -420,7 +448,10 @@ impl<'s> Parser<'s> {
             self.item()?;
         }
         // Materialize the program.
-        let mut b = ProgramBuilder::new("parsed", &self.params.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+        let mut b = ProgramBuilder::new(
+            "parsed",
+            &self.params.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        );
         // Parameters are assumed large enough for every loop to run.
         for k in 0..self.params.len() {
             let mut row = vec![0; self.params.len() + 1];
@@ -460,12 +491,8 @@ impl<'s> Parser<'s> {
                 hi[d] -= 1;
                 domain.push(hi);
             }
-            let write_rows: Vec<Vec<Int>> = ps
-                .write
-                .1
-                .iter()
-                .map(&mk_row)
-                .collect::<Result<_, _>>()?;
+            let write_rows: Vec<Vec<Int>> =
+                ps.write.1.iter().map(&mk_row).collect::<Result<_, _>>()?;
             let mut reads = Vec::new();
             for (arr, subs) in &ps.reads {
                 let rows: Vec<Vec<Int>> = subs.iter().map(&mk_row).collect::<Result<_, _>>()?;
@@ -599,7 +626,11 @@ impl<'s> Parser<'s> {
         self.counters[depth] += 1;
         self.stmts.push(PendingStmt {
             iters: self.loops.iter().map(|l| l.iter.clone()).collect(),
-            bounds: self.loops.iter().map(|l| (l.lb.clone(), l.ub.clone())).collect(),
+            bounds: self
+                .loops
+                .iter()
+                .map(|l| (l.lb.clone(), l.ub.clone()))
+                .collect(),
             beta,
             write: (array, subs),
             reads,
@@ -952,5 +983,19 @@ mod unit_tests {
         ";
         let u = parse_unit(src).unwrap();
         let _ = u.extents(&[0]);
+    }
+
+    #[test]
+    fn nonpositive_extent_is_an_error() {
+        let src = "
+          params N;
+          array a[N];
+          for (i = 0; i < N; i++)
+            a[i] = 1;
+        ";
+        let u = parse_unit(src).unwrap();
+        let err = u.try_extents(&[0]).unwrap_err();
+        assert!(err.contains("`a`"), "unhelpful message: {err}");
+        assert!(u.try_extents(&[4]).is_ok());
     }
 }

@@ -280,9 +280,8 @@ impl Tableau {
                 continue;
             }
             self.rows[v][1 + j] = Ratio::ZERO;
-            for k in 0..width {
-                let add = coeff * expr[k];
-                self.rows[v][k] += add;
+            for (cell, &e) in self.rows[v].iter_mut().zip(&expr) {
+                *cell += coeff * e;
             }
         }
         // The leaving variable v_r is now non-basic: unit row on column j.
@@ -301,8 +300,8 @@ impl Tableau {
         let width = self.rows[v].len();
         let mut cut = vec![Ratio::ZERO; width];
         cut[0] = self.rows[v][0].fract() - Ratio::ONE;
-        for k in 1..width {
-            cut[k] = self.rows[v][k].fract();
+        for (c, x) in cut[1..].iter_mut().zip(&self.rows[v][1..]) {
+            *c = x.fract();
         }
         debug_assert!(cut[0].signum() < 0);
         self.rows.push(cut);

@@ -218,9 +218,7 @@ fn refine_to_chain(p: &mut ConstraintSet, ms: usize, level: usize) {
         for k in 0..ms {
             sm[k] = r[k] + r[ms + k];
         }
-        for k in 2 * ms..cols {
-            sm[k] = r[k];
-        }
+        sm[(2 * ms)..cols].copy_from_slice(&r[(2 * ms)..cols]);
         sm[cols - 1] += r[ms + l];
         // (m, t): source vars := s + e_l.
         let mut mt = r.clone();
@@ -314,9 +312,7 @@ mod tests {
         let deps = analyze_dependences(&p, false);
         // Expect flow (write a[i][j] -> read a[i-1][j]) and anti carried at
         // level 1; no level-2 carried dependence (distance (1, 0)).
-        assert!(deps
-            .iter()
-            .any(|d| d.kind == DepKind::Flow && d.level == 1));
+        assert!(deps.iter().any(|d| d.kind == DepKind::Flow && d.level == 1));
         assert!(!deps.iter().any(|d| d.level == 2));
         // Output deps of a non-rewriting statement: none (write is
         // injective per iteration).

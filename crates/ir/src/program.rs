@@ -290,7 +290,12 @@ impl ProgramBuilder {
 
 impl fmt::Display for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "program {} (params: {})", self.name, self.params.join(", "))?;
+        writeln!(
+            f,
+            "program {} (params: {})",
+            self.name,
+            self.params.join(", ")
+        )?;
         for s in &self.stmts {
             let mut names: Vec<&str> = s.iters.iter().map(|x| x.as_str()).collect();
             names.extend(self.params.iter().map(|x| x.as_str()));

@@ -36,7 +36,10 @@ impl IntMatrix {
 
     /// An empty matrix (zero rows) over `cols` columns.
     pub fn empty(cols: usize) -> IntMatrix {
-        IntMatrix { rows: Vec::new(), cols }
+        IntMatrix {
+            rows: Vec::new(),
+            cols,
+        }
     }
 
     /// The `n`-by-`n` identity.
@@ -105,14 +108,13 @@ impl IntMatrix {
         assert_eq!(self.cols, rhs.num_rows(), "matrix product shape mismatch");
         let mut out = vec![vec![0 as Int; rhs.cols]; self.rows.len()];
         for (i, r) in self.rows.iter().enumerate() {
-            for k in 0..self.cols {
-                let a = r[k];
+            for (k, &a) in r.iter().enumerate() {
                 if a == 0 {
                     continue;
                 }
-                for j in 0..rhs.cols {
-                    out[i][j] = out[i][j]
-                        .checked_add(a.checked_mul(rhs.rows[k][j]).expect("matmul overflow"))
+                for (o, &b) in out[i].iter_mut().zip(&rhs.rows[k]) {
+                    *o = o
+                        .checked_add(a.checked_mul(b).expect("matmul overflow"))
                         .expect("matmul overflow");
                 }
             }
@@ -254,13 +256,12 @@ impl RatMatrix {
         assert_eq!(self.cols, rhs.num_rows(), "matrix product shape mismatch");
         let mut out = vec![vec![Ratio::ZERO; rhs.cols]; self.rows.len()];
         for (i, r) in self.rows.iter().enumerate() {
-            for k in 0..self.cols {
-                let a = r[k];
+            for (k, &a) in r.iter().enumerate() {
                 if a.is_zero() {
                     continue;
                 }
-                for j in 0..rhs.cols {
-                    out[i][j] += a * rhs.rows[k][j];
+                for (o, &b) in out[i].iter_mut().zip(&rhs.rows[k]) {
+                    *o += a * b;
                 }
             }
         }

@@ -157,7 +157,11 @@ impl Add for Ratio {
         let n = self
             .num
             .checked_mul(rhs.den / g)
-            .and_then(|a| rhs.num.checked_mul(self.den / g).and_then(|b| a.checked_add(b)))
+            .and_then(|a| {
+                rhs.num
+                    .checked_mul(self.den / g)
+                    .and_then(|b| a.checked_add(b))
+            })
             .expect("rational add overflow");
         Ratio::new(n, l)
     }
@@ -204,6 +208,8 @@ impl Mul for Ratio {
 
 impl Div for Ratio {
     type Output = Ratio;
+    // Division by the reciprocal is the intended exact-rational identity.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Ratio) -> Ratio {
         self * rhs.recip()
     }

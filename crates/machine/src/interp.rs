@@ -94,7 +94,6 @@ impl Ctx {
             params: params.iter().map(|&p| p as Int).collect(),
         }
     }
-
 }
 
 /// Abstraction over the different memory backends.
@@ -313,7 +312,14 @@ pub fn run_sequential(prog: &Program, ast: &Ast, params: &[i64], arrays: &mut Ar
     }
     let mut stats = ExecStats::default();
     let mut sc = Scratch::with_stmts(prog.stmts.len());
-    exec(ast, &mut vals, &ctx, &mut Direct(arrays), &mut sc, &mut stats);
+    exec(
+        ast,
+        &mut vals,
+        &ctx,
+        &mut Direct(arrays),
+        &mut sc,
+        &mut stats,
+    );
     stats
 }
 
@@ -518,6 +524,212 @@ fn run_team(
     }
 }
 
+/// Access history of one cell inside a parallel region:
+/// `(last writer iteration, one reader iteration, multiple-distinct-reader
+/// flag)`.
+type CellHistory = (Option<Int>, Option<Int>, bool);
+
+/// One parallel loop currently being executed by the sanitizer.
+struct SanFrame {
+    /// Display name of the loop (for reports).
+    name: String,
+    /// Iteration value currently executing.
+    current: Int,
+    /// Per-cell access history within this parallel region, keyed by
+    /// `(array, offset)`.
+    cells: std::collections::HashMap<(usize, usize), CellHistory>,
+}
+
+/// Sanitizing memory backend: every access is checked against the access
+/// history of every *active* parallel loop before reaching the arrays.
+struct SanMem<'a> {
+    arrays: &'a mut Arrays,
+    frames: &'a mut Vec<SanFrame>,
+    violations: &'a mut Vec<String>,
+}
+
+impl SanMem<'_> {
+    fn record(&mut self, a: usize, off: usize, is_write: bool) {
+        for f in self.frames.iter_mut() {
+            let cell = f.cells.entry((a, off)).or_insert((None, None, false));
+            let x = f.current;
+            if is_write {
+                if let Some(w) = cell.0 {
+                    if w != x && self.violations.len() < 8 {
+                        self.violations.push(format!(
+                            "write-write race on array {a} offset {off}: iterations {w} and \
+                             {x} of parallel loop `{}` both write it",
+                            f.name
+                        ));
+                    }
+                }
+                let reader_conflict = match (cell.1, cell.2) {
+                    (_, true) => true,
+                    (Some(r), _) => r != x,
+                    (None, _) => false,
+                };
+                if reader_conflict && self.violations.len() < 8 {
+                    self.violations.push(format!(
+                        "read-write race on array {a} offset {off}: iteration {x} of parallel \
+                         loop `{}` writes a cell another iteration reads",
+                        f.name
+                    ));
+                }
+                cell.0 = Some(x);
+            } else {
+                if let Some(w) = cell.0 {
+                    if w != x && self.violations.len() < 8 {
+                        self.violations.push(format!(
+                            "read-write race on array {a} offset {off}: iteration {x} of \
+                             parallel loop `{}` reads a cell iteration {w} writes",
+                            f.name
+                        ));
+                    }
+                }
+                match cell.1 {
+                    None => cell.1 = Some(x),
+                    Some(r) if r != x => cell.2 = true,
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+}
+
+impl Mem for SanMem<'_> {
+    #[inline]
+    fn load(&mut self, a: usize, off: usize, _addr: u64) -> f64 {
+        self.record(a, off, false);
+        self.arrays.load(a, off)
+    }
+    #[inline]
+    fn store(&mut self, a: usize, off: usize, _addr: u64, v: f64) {
+        self.record(a, off, true);
+        self.arrays.store(a, off, v);
+    }
+}
+
+/// Sanitizer walker: sequential program order, but every loop marked
+/// `parallel` opens a fresh access-history frame, and every memory access
+/// is checked for cross-iteration conflicts against all open frames.
+#[allow(clippy::too_many_arguments)]
+fn exec_san(
+    ast: &Ast,
+    vals: &mut [Int],
+    ctx: &Ctx,
+    arrays: &mut Arrays,
+    frames: &mut Vec<SanFrame>,
+    violations: &mut Vec<String>,
+    sc: &mut Scratch,
+    stats: &mut ExecStats,
+) {
+    match ast {
+        Ast::Seq(v) => {
+            for a in v {
+                exec_san(a, vals, ctx, arrays, frames, violations, sc, stats);
+            }
+        }
+        Ast::Loop(l) => {
+            let lb = l.lb.eval_lower(vals);
+            let ub = l.ub.eval_upper(vals);
+            if l.parallel {
+                stats.parallel_regions += 1;
+                frames.push(SanFrame {
+                    name: l.name.clone(),
+                    current: lb,
+                    cells: std::collections::HashMap::new(),
+                });
+            }
+            let depth = frames.len();
+            let mut x = lb;
+            while x <= ub {
+                vals[l.var] = x;
+                if l.parallel {
+                    frames[depth - 1].current = x;
+                }
+                exec_san(&l.body, vals, ctx, arrays, frames, violations, sc, stats);
+                x += 1;
+            }
+            if l.parallel {
+                frames.pop();
+            }
+        }
+        Ast::Let {
+            var, expr, body, ..
+        } => {
+            vals[*var] = expr.eval_floor(vals);
+            exec_san(body, vals, ctx, arrays, frames, violations, sc, stats);
+        }
+        Ast::Guard { conds, body } => {
+            if conds.iter().all(|c| c.holds(vals)) {
+                exec_san(body, vals, ctx, arrays, frames, violations, sc, stats);
+            }
+        }
+        Ast::Filter { stmt, conds, body } => {
+            let pass = conds.iter().all(|c| c.holds(vals));
+            if !pass {
+                sc.suppressed[*stmt] += 1;
+            }
+            exec_san(body, vals, ctx, arrays, frames, violations, sc, stats);
+            if !pass {
+                sc.suppressed[*stmt] -= 1;
+            }
+        }
+        Ast::Stmt { stmt, orig_dims } => {
+            if sc.suppressed[*stmt] == 0 {
+                let mut mem = SanMem {
+                    arrays,
+                    frames,
+                    violations,
+                };
+                run_stmt(*stmt, orig_dims, vals, ctx, &mut mem, sc, stats);
+            }
+        }
+    }
+}
+
+/// Runs the AST sequentially while *sanitizing* its parallel markers:
+/// inside every loop marked `parallel`, per-iteration read and write sets
+/// are recorded and checked for cross-iteration write-write and
+/// read-write overlap — the dynamic counterpart of the static `PL001`
+/// race check. Results in the arrays are identical to
+/// [`run_sequential`].
+///
+/// # Errors
+/// Returns the recorded race reports (capped at 8) if any loop marked
+/// parallel has conflicting iterations at the executed parameters.
+pub fn run_sanitized(
+    prog: &Program,
+    ast: &Ast,
+    params: &[i64],
+    arrays: &mut Arrays,
+) -> Result<ExecStats, Vec<String>> {
+    let ctx = Ctx::new(prog, params, arrays);
+    let mut vals = vec![0; ast.num_vars().max(params.len())];
+    for (k, &p) in params.iter().enumerate() {
+        vals[k] = p as Int;
+    }
+    let mut stats = ExecStats::default();
+    let mut sc = Scratch::with_stmts(prog.stmts.len());
+    let mut frames = Vec::new();
+    let mut violations = Vec::new();
+    exec_san(
+        ast,
+        &mut vals,
+        &ctx,
+        arrays,
+        &mut frames,
+        &mut violations,
+        &mut sc,
+        &mut stats,
+    );
+    if violations.is_empty() {
+        Ok(stats)
+    } else {
+        Err(violations)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -593,5 +805,60 @@ mod tests {
         assert!(seq.bitwise_eq(&par));
         assert_eq!(stats.parallel_regions, 1);
         assert_eq!(stats.instances, 100);
+    }
+
+    #[test]
+    fn sanitizer_accepts_truly_parallel_loop() {
+        let prog = scale_program();
+        let mut t = original_schedule(&prog);
+        t.rows[1].par = pluto::Parallelism::Parallel;
+        for sp in t.stmt_par.iter_mut() {
+            sp[1] = pluto::Parallelism::Parallel;
+        }
+        let ast = generate(&prog, &t);
+        let mut arrays = Arrays::new(vec![vec![32], vec![32]]);
+        arrays.seed_with(|a, o| (a + o) as f64);
+        let mut reference = arrays.clone();
+        let stats = run_sanitized(&prog, &ast, &[32], &mut arrays).expect("no races");
+        assert_eq!(stats.instances, 32);
+        assert_eq!(stats.parallel_regions, 1);
+        run_sequential(&prog, &ast, &[32], &mut reference);
+        assert!(arrays.bitwise_eq(&reference));
+    }
+
+    /// `for i in 0..N { b[0] = b[0] + a[i] }` — a reduction; marking the
+    /// i-loop parallel is a race the sanitizer must report.
+    #[test]
+    fn sanitizer_flags_forced_parallel_reduction() {
+        let mut b = ProgramBuilder::new("reduce", &["N"]);
+        b.add_context_ineq(vec![1, -1]);
+        b.add_array("a", 1);
+        b.add_array("b", 1);
+        b.add_statement(StatementSpec {
+            name: "S1".into(),
+            iters: vec!["i".into()],
+            domain_ineqs: vec![vec![1, 0, 0], vec![-1, 1, -1]],
+            beta: vec![0, 0],
+            write: ("b".into(), vec![vec![0, 0, 0]]),
+            reads: vec![
+                ("b".into(), vec![vec![0, 0, 0]]),
+                ("a".into(), vec![vec![1, 0, 0]]),
+            ],
+            body: Expr::Read(0) + Expr::Read(1),
+        });
+        let prog = b.build();
+        let mut t = original_schedule(&prog);
+        t.rows[1].par = pluto::Parallelism::Parallel;
+        for sp in t.stmt_par.iter_mut() {
+            sp[1] = pluto::Parallelism::Parallel;
+        }
+        let ast = generate(&prog, &t);
+        let mut arrays = Arrays::new(vec![vec![16], vec![1]]);
+        arrays.seed_with(|_, o| o as f64);
+        let violations = run_sanitized(&prog, &ast, &[16], &mut arrays).unwrap_err();
+        assert!(
+            violations.iter().any(|v| v.contains("race")),
+            "expected race reports, got {violations:?}"
+        );
     }
 }

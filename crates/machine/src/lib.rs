@@ -28,5 +28,7 @@ mod simulate;
 
 pub use arrays::Arrays;
 pub use cache::{CacheConfig, CacheSim, CacheStats};
-pub use interp::{run_parallel, run_sequential, run_with_cache, ExecStats, ParallelConfig};
+pub use interp::{
+    run_parallel, run_sanitized, run_sequential, run_with_cache, ExecStats, ParallelConfig,
+};
 pub use simulate::{simulate, MachineConfig, SimStats};

@@ -273,7 +273,9 @@ impl<'p> Machine<'p> {
                     }
                 }
             }
-            Ast::Let { var, expr, body, .. } => {
+            Ast::Let {
+                var, expr, body, ..
+            } => {
                 self.cores[core].cycles += self.cfg.let_overhead;
                 vals[*var] = expr.eval_floor(vals);
                 self.exec_on(core, body, vals, arrays);
@@ -341,7 +343,9 @@ impl<'p> Machine<'p> {
                     x += 1;
                 }
             }
-            Ast::Let { var, expr, body, .. } => {
+            Ast::Let {
+                var, expr, body, ..
+            } => {
                 self.cores[0].cycles += self.cfg.let_overhead;
                 vals[*var] = expr.eval_floor(vals);
                 self.exec_top(body, vals, arrays, regions);
@@ -440,8 +444,12 @@ impl<'p> Machine<'p> {
         }
         // The region takes the slowest core's time, but no less than the
         // shared bus needs to transfer every line missed in the region.
-        let miss_total: u64 =
-            self.cores.iter().map(|c| c.sim.stats.l2_misses).sum::<u64>() - miss_start;
+        let miss_total: u64 = self
+            .cores
+            .iter()
+            .map(|c| c.sim.stats.l2_misses)
+            .sum::<u64>()
+            - miss_start;
         let crit = deltas.iter().copied().max().unwrap_or(0);
         let max = crit.max(miss_total * self.cfg.bus) + self.cfg.barrier;
         for (t, c) in self.cores.iter_mut().enumerate() {
@@ -525,7 +533,7 @@ mod tests {
         assert_eq!(st.exec.instances, 1000);
         assert_eq!(st.cache.accesses, 2000);
         assert!(st.cycles > 2000); // misses cost extra
-        // Results are still computed.
+                                   // Results are still computed.
         assert_eq!(arrays.load(1, 7), 0.0 * 2.0);
     }
 
@@ -609,7 +617,10 @@ mod model_tests {
         let c1 = mk(1, 200);
         let c4 = mk(4, 200);
         let speedup = c1.cycles as f64 / c4.cycles as f64;
-        assert!(speedup < 3.0, "bus must cap streaming speedup, got {speedup}");
+        assert!(
+            speedup < 3.0,
+            "bus must cap streaming speedup, got {speedup}"
+        );
         // With a free bus the same kernel scales ~4x.
         let f1 = mk(1, 0);
         let f4 = mk(4, 0);

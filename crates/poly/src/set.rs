@@ -188,7 +188,10 @@ impl ConstraintSet {
     /// # Panics
     /// Panics if the range is out of bounds.
     pub fn project_out(&self, first: usize, count: usize) -> ConstraintSet {
-        assert!(first + count <= self.num_vars, "projection range out of bounds");
+        assert!(
+            first + count <= self.num_vars,
+            "projection range out of bounds"
+        );
         let mut cur = self.clone();
         // Columns still to eliminate, as indices into `cur`.
         let mut cols: Vec<usize> = (first..first + count).collect();
@@ -327,10 +330,8 @@ impl ConstraintSet {
                 .and_modify(|c| *c = (*c).min(r[n]))
                 .or_insert(r[n]);
         }
-        let mut keep: BTreeMap<Vec<Int>, Int> = tightest
-            .into_iter()
-            .map(|(k, c)| (k.to_vec(), c))
-            .collect();
+        let mut keep: BTreeMap<Vec<Int>, Int> =
+            tightest.into_iter().map(|(k, c)| (k.to_vec(), c)).collect();
         self.ineqs.retain(|r| {
             if keep.get(&r[..n]) == Some(&r[n]) {
                 keep.remove(&r[..n]); // drop later duplicates of this row
@@ -598,19 +599,92 @@ mod tests {
 
 impl ConstraintSet {
     /// An integer point of the set, or `None` when empty.
+    ///
+    /// Equality rows with a ±1 coefficient are eliminated by exact
+    /// substitution first (each removes one variable and one equality
+    /// from the ILP), which keeps large equality-heavy systems — e.g. the
+    /// analyzer's carried-dependence queries over two tiled iteration
+    /// spaces — inside the solver's pivot budget.
     pub fn sample_point(&self) -> Option<Vec<Int>> {
         if self.infeasible {
             return None;
         }
-        let mut rows: Vec<Vec<Int>> = self.ineqs.clone();
-        for e in &self.eqs {
-            rows.push(e.clone());
-            rows.push(e.iter().map(|&v| -v).collect());
+        let n = self.num_vars;
+        let mut eqs = self.eqs.clone();
+        let mut ineqs = self.ineqs.clone();
+        // Elimination stack: `(var, expr)` with `var = expr · [x…, 1]`
+        // and `expr[var] == 0`. Later entries may only reference vars
+        // never eliminated, so back-substitution runs in reverse.
+        let mut elim: Vec<(usize, Vec<Int>)> = Vec::new();
+        let mut gone = vec![false; n];
+        loop {
+            let found = eqs.iter().enumerate().find_map(|(ei, e)| {
+                (0..n)
+                    .find(|&v| !gone[v] && e[v].abs() == 1)
+                    .map(|v| (ei, v))
+            });
+            let Some((ei, v)) = found else { break };
+            let e = eqs.swap_remove(ei);
+            let s = e[v]; // ±1: v = -s·(e − e[v]·v)
+            let mut expr = vec![0; n + 1];
+            for (j, x) in expr.iter_mut().enumerate() {
+                if j != v {
+                    *x = -s * e[j];
+                }
+            }
+            for r in eqs.iter_mut().chain(ineqs.iter_mut()) {
+                let c = r[v];
+                if c != 0 {
+                    r[v] = 0;
+                    for j in 0..=n {
+                        r[j] += c * expr[j];
+                    }
+                }
+            }
+            gone[v] = true;
+            elim.push((v, expr));
         }
-        if rows.is_empty() {
-            return Some(vec![0; self.num_vars]);
+        let kept: Vec<usize> = (0..n).filter(|&v| !gone[v]).collect();
+        let mut rows: Vec<Vec<Int>> = Vec::with_capacity(ineqs.len() + 2 * eqs.len());
+        let compress = |r: &[Int]| -> Vec<Int> {
+            let mut out: Vec<Int> = kept.iter().map(|&v| r[v]).collect();
+            out.push(r[n]);
+            out
+        };
+        for r in &ineqs {
+            rows.push(compress(r));
         }
-        IlpProblem::sample_with_free_vars(self.num_vars, &rows)
+        for e in &eqs {
+            let c = compress(e);
+            rows.push(c.iter().map(|&v| -v).collect());
+            rows.push(c);
+        }
+        // Constant rows decide themselves (this also covers the
+        // all-vars-eliminated case).
+        if rows
+            .iter()
+            .any(|r| r[..kept.len()].iter().all(|&a| a == 0) && r[kept.len()] < 0)
+        {
+            return None;
+        }
+        rows.retain(|r| r[..kept.len()].iter().any(|&a| a != 0));
+        let sol_kept = if kept.is_empty() || rows.is_empty() {
+            vec![0; kept.len()]
+        } else {
+            IlpProblem::sample_with_free_vars(kept.len(), &rows)?
+        };
+        let mut x = vec![0; n];
+        for (i, &v) in kept.iter().enumerate() {
+            x[v] = sol_kept[i];
+        }
+        for (v, expr) in elim.iter().rev() {
+            let mut val = expr[n];
+            for (j, &c) in expr[..n].iter().enumerate() {
+                val += c * x[j];
+            }
+            x[*v] = val;
+        }
+        Some(x)
     }
 
     /// Exact integer-set inclusion: every integer point of `self` satisfies
@@ -643,8 +717,7 @@ impl ConstraintSet {
             }
             true
         };
-        other.ineqs.iter().all(|r| implies(r, false))
-            && other.eqs.iter().all(|r| implies(r, true))
+        other.ineqs.iter().all(|r| implies(r, false)) && other.eqs.iter().all(|r| implies(r, true))
     }
 
     /// Detects implicit equalities: inequality rows whose opposite

@@ -256,11 +256,7 @@ pub fn build(spec: &KernelSpec) -> BuiltKernel {
     for (a, &nd) in spec.arrays.iter().enumerate() {
         b.add_array(&format!("A{a}"), nd);
     }
-    let share = spec.shared_outer
-        && spec
-            .stmts
-            .iter()
-            .all(|s| s.depth == spec.stmts[0].depth);
+    let share = spec.shared_outer && spec.stmts.iter().all(|s| s.depth == spec.stmts[0].depth);
     for (si, s) in spec.stmts.iter().enumerate() {
         let d = s.depth;
         let cols = d + 2; // [iters…, N, 1]
@@ -304,7 +300,8 @@ pub fn build(spec: &KernelSpec) -> BuiltKernel {
             (format!("A{a}"), rows)
         };
         let nreads = s.reads.len();
-        let coef_at = |r: usize| COEFS[s.coefs.get(r).map(|&c| c as usize).unwrap_or(0) % COEFS.len()];
+        let coef_at =
+            |r: usize| COEFS[s.coefs.get(r).map(|&c| c as usize).unwrap_or(0) % COEFS.len()];
         let mut body = Expr::Lit(coef_at(0)) * Expr::Read(0);
         for r in 1..nreads {
             let c = coef_at(r);

@@ -11,13 +11,21 @@
 //! Bit-exactness is the right bar because legality preserves each
 //! statement instance's inputs and the per-instance flop order; any
 //! divergence at all is a transformation or codegen bug.
+//!
+//! On top of the dynamic checks, the fully-optimized variant is pushed
+//! through the `pluto_analyze` static verifier (race detector, bounds
+//! prover, lints) and the interpreter's parallel-marker sanitizer — a
+//! static-vs-dynamic differential: the static prover and the runtime
+//! recorder must *both* find every parallel loop race-free.
 
 use crate::kernelgen::{build, BuiltKernel, KernelSpec};
 use pluto::baselines::validate_legality;
 use pluto::{Optimizer, Transformation};
+use pluto_analyze::{AnalysisInput, Severity};
 use pluto_codegen::{generate, original_schedule};
 use pluto_ir::analyze_dependences;
-use pluto_machine::{run_parallel, run_sequential, Arrays, ParallelConfig};
+use pluto_linalg::Int;
+use pluto_machine::{run_parallel, run_sanitized, run_sequential, Arrays, ParallelConfig};
 
 /// Which optimizer configurations the oracle exercises.
 #[derive(Debug, Clone)]
@@ -146,6 +154,62 @@ pub fn check_kernel(k: &BuiltKernel, cfg: &OracleConfig) -> Result<(), String> {
             "full: parallel execution diverges from original\n{}",
             full.result.transform.display(prog)
         ));
+    }
+
+    // Static gate: the independent analyzer must find the fully-optimized
+    // program clean — no carried dependence under any parallel loop, no
+    // out-of-bounds access against the concrete extents at the executed
+    // parameter values.
+    let extent_rows: Vec<Vec<Vec<Int>>> = k
+        .extents
+        .iter()
+        .map(|dims| {
+            dims.iter()
+                .map(|&e| {
+                    let mut row = vec![0 as Int; prog.num_params() + 1];
+                    row[prog.num_params()] = e as Int;
+                    row
+                })
+                .collect()
+        })
+        .collect();
+    let param_values: Vec<Int> = k.params.iter().map(|&p| p as Int).collect();
+    let diags = pluto_analyze::analyze(&AnalysisInput {
+        program: prog,
+        deps: &deps,
+        transform: &full.result.transform,
+        ast: &ast,
+        extents: Some(&extent_rows),
+        param_values: Some(&param_values),
+    });
+    if diags.iter().any(|d| d.severity == Severity::Error) {
+        return Err(format!(
+            "full: static analyzer found errors:\n{}{}",
+            pluto_analyze::render_text(&diags),
+            full.result.transform.display(prog)
+        ));
+    }
+
+    // Dynamic gate: the sanitizer re-executes the same AST recording
+    // per-iteration read/write sets inside every parallel loop; it must
+    // agree with the static verdict (and still produce bit-exact state).
+    let mut san = fresh_arrays(k);
+    match run_sanitized(prog, &ast, &k.params, &mut san) {
+        Ok(_) => {
+            if !san.bitwise_eq(&reference) {
+                return Err(format!(
+                    "full: sanitized execution diverges from original\n{}",
+                    full.result.transform.display(prog)
+                ));
+            }
+        }
+        Err(violations) => {
+            return Err(format!(
+                "full: interpreter sanitizer found races:\n  {}\n{}",
+                violations.join("\n  "),
+                full.result.transform.display(prog)
+            ));
+        }
     }
     Ok(())
 }

@@ -147,7 +147,7 @@ fn shrink_loop<T, S, P>(
     prop: &P,
     mut input: T,
     mut err: String,
-    ) -> (T, String, u32)
+) -> (T, String, u32)
 where
     T: Clone + std::fmt::Debug,
     S: Fn(&T) -> Vec<T>,

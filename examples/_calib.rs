@@ -1,6 +1,8 @@
 use pluto_codegen::{generate, original_schedule};
 use pluto_frontend::kernels;
-use pluto_machine::{run_sequential, run_parallel, run_with_cache, Arrays, CacheConfig, ParallelConfig};
+use pluto_machine::{
+    run_parallel, run_sequential, run_with_cache, Arrays, CacheConfig, ParallelConfig,
+};
 use std::time::Instant;
 fn main() {
     let k = kernels::jacobi_1d_imperfect();
@@ -11,28 +13,61 @@ fn main() {
     let t0 = Instant::now();
     let st = run_sequential(&k.program, &ast, &params, &mut arrays);
     let dt = t0.elapsed();
-    println!("orig seq: {} instances in {:?} = {:.1} M/s", st.instances, dt, st.instances as f64 / dt.as_secs_f64() / 1e6);
+    println!(
+        "orig seq: {} instances in {:?} = {:.1} M/s",
+        st.instances,
+        dt,
+        st.instances as f64 / dt.as_secs_f64() / 1e6
+    );
 
     // Pluto tiled
-    let o = pluto::Optimizer::new().tile_size(32).optimize(&k.program).unwrap();
+    let o = pluto::Optimizer::new()
+        .tile_size(32)
+        .optimize(&k.program)
+        .unwrap();
     let past = generate(&k.program, &o.result.transform);
     let mut a2 = Arrays::new((k.extents)(&params));
     a2.seed_with(kernels::seed_value);
     let t0 = Instant::now();
     let st = run_sequential(&k.program, &past, &params, &mut a2);
-    println!("pluto seq: {} in {:?} = {:.1} M/s", st.instances, t0.elapsed(), st.instances as f64 / t0.elapsed().as_secs_f64() / 1e6);
+    println!(
+        "pluto seq: {} in {:?} = {:.1} M/s",
+        st.instances,
+        t0.elapsed(),
+        st.instances as f64 / t0.elapsed().as_secs_f64() / 1e6
+    );
     assert!(arrays.bitwise_eq(&a2));
     let mut a3 = Arrays::new((k.extents)(&params));
     a3.seed_with(kernels::seed_value);
     let t0 = Instant::now();
-    let st = run_parallel(&k.program, &past, &params, &mut a3, ParallelConfig { threads: 4, collapse: 1 });
-    println!("pluto par4: {} in {:?}, regions {}", st.instances, t0.elapsed(), st.parallel_regions);
+    let st = run_parallel(
+        &k.program,
+        &past,
+        &params,
+        &mut a3,
+        ParallelConfig {
+            threads: 4,
+            collapse: 1,
+        },
+    );
+    println!(
+        "pluto par4: {} in {:?}, regions {}",
+        st.instances,
+        t0.elapsed(),
+        st.parallel_regions
+    );
     assert!(arrays.bitwise_eq(&a3));
     // cache sim speed
     let small = [20i64, 5000];
     let mut a4 = Arrays::new((k.extents)(&small));
     let t0 = Instant::now();
     let (st, cs) = run_with_cache(&k.program, &ast, &small, &mut a4, CacheConfig::default());
-    println!("cache sim: {} inst in {:?}; L1miss {} L2miss {}", st.instances, t0.elapsed(), cs.l1_misses, cs.l2_misses);
+    println!(
+        "cache sim: {} inst in {:?}; L1miss {} L2miss {}",
+        st.instances,
+        t0.elapsed(),
+        cs.l1_misses,
+        cs.l2_misses
+    );
     println!("ncores={}", std::thread::available_parallelism().unwrap());
 }

@@ -23,7 +23,10 @@ fn main() {
         .tile_size(32)
         .optimize(prog)
         .expect("jacobi transforms");
-    println!("transformation found:\n{}", optimized.result.transform.display(prog));
+    println!(
+        "transformation found:\n{}",
+        optimized.result.transform.display(prog)
+    );
 
     // Generate and show the OpenMP C (cf. the paper's Fig. 3(d)).
     let ast = generate(prog, &optimized.result.transform);

@@ -54,7 +54,10 @@ fn main() {
     );
     println!("  smart fuse (ij/ji): {smart:>12} cycles");
     println!("  no fuse:            {nofuse:>12} cycles");
-    println!("  fusion wins by {:.2}x (reuse on A)", nofuse as f64 / smart as f64);
+    println!(
+        "  fusion wins by {:.2}x (reuse on A)",
+        nofuse as f64 / smart as f64
+    );
 
     // 3. Wavefront degree on seidel (Fig. 13's 1-d vs 2-d pipelined).
     let k = kernels::seidel_2d();

@@ -13,6 +13,11 @@
 //!   --wavefront <m>   degrees of pipelined parallelism (default 1)
 //!   --unroll <f>      unroll-jam innermost loops by f (post-pass)
 //!   --show-transform  print the statement-wise transformation too
+//!   --analyze         run the static verifier on the generated code and
+//!                     print its report to stderr; exit non-zero if it
+//!                     finds an error (race, out-of-bounds access)
+//!   --analyze-json    like --analyze, but print the diagnostics as a
+//!                     JSON array on stdout *instead of* the C code
 //!   --verify <vals>   execute original and transformed code at the given
 //!                     comma-separated parameter values (arrays allocated
 //!                     from the source's declared extents) and check the
@@ -20,12 +25,23 @@
 //! ```
 
 use pluto::{FusionPolicy, Optimizer, PlutoOptions};
+use pluto_analyze::{analyze, is_clean, render_json, render_text, AnalysisInput};
 use pluto_codegen::{emit_c, generate, original_schedule, unroll_innermost};
 use pluto_machine::{run_sequential, Arrays};
 use std::io::Read;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("plutoc: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut tile: i128 = 32;
     let mut l2: Option<i128> = None;
@@ -36,70 +52,61 @@ fn main() -> ExitCode {
     let mut wavefront = 1usize;
     let mut unroll = 1usize;
     let mut show_transform = false;
+    let mut do_analyze = false;
+    let mut analyze_json = false;
     let mut verify: Option<Vec<i64>> = None;
     let mut path: Option<String> = None;
 
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--tile" => tile = parse_num(it.next()),
-            "--l2" => l2 = Some(parse_num(it.next())),
+            "--tile" => tile = parse_num(&a, it.next())?,
+            "--l2" => l2 = Some(parse_num(&a, it.next())?),
             "--notile" => do_tile = false,
             "--noparallel" => do_parallel = false,
             "--nofuse" => fuse = FusionPolicy::NoFuse,
             "--noinputdeps" => input_deps = false,
-            "--wavefront" => wavefront = parse_num(it.next()) as usize,
-            "--unroll" => unroll = parse_num(it.next()) as usize,
+            "--wavefront" => wavefront = parse_num(&a, it.next())? as usize,
+            "--unroll" => unroll = parse_num(&a, it.next())? as usize,
             "--show-transform" => show_transform = true,
+            "--analyze" => do_analyze = true,
+            "--analyze-json" => {
+                do_analyze = true;
+                analyze_json = true;
+            }
             "--verify" => {
                 let vals = it.next().unwrap_or_default();
-                match vals.split(',').map(|v| v.trim().parse()).collect() {
-                    Ok(v) => verify = Some(v),
-                    Err(_) => {
-                        eprintln!("plutoc: --verify expects comma-separated integers");
-                        return ExitCode::FAILURE;
-                    }
-                }
+                verify = Some(
+                    vals.split(',')
+                        .map(|v| v.trim().parse())
+                        .collect::<Result<_, _>>()
+                        .map_err(|_| "--verify expects comma-separated integers".to_string())?,
+                );
             }
             "--help" | "-h" => {
                 eprintln!("usage: plutoc [--tile n] [--l2 f] [--notile] [--noparallel]");
                 eprintln!("              [--nofuse] [--noinputdeps] [--wavefront m]");
-                eprintln!("              [--unroll f] [--show-transform] <file.c | ->");
-                return ExitCode::SUCCESS;
+                eprintln!("              [--unroll f] [--show-transform] [--analyze]");
+                eprintln!("              [--analyze-json] [--verify v1,v2,…] <file.c | ->");
+                return Ok(ExitCode::SUCCESS);
             }
             other if path.is_none() => path = Some(other.to_string()),
-            other => {
-                eprintln!("plutoc: unexpected argument `{other}`");
-                return ExitCode::FAILURE;
-            }
+            other => return Err(format!("unexpected argument `{other}`")),
         }
     }
 
     let source = match path.as_deref() {
         None | Some("-") => {
             let mut buf = String::new();
-            if std::io::stdin().read_to_string(&mut buf).is_err() {
-                eprintln!("plutoc: failed to read stdin");
-                return ExitCode::FAILURE;
-            }
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("failed to read stdin: {e}"))?;
             buf
         }
-        Some(p) => match std::fs::read_to_string(p) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("plutoc: cannot read `{p}`: {e}");
-                return ExitCode::FAILURE;
-            }
-        },
+        Some(p) => std::fs::read_to_string(p).map_err(|e| format!("cannot read `{p}`: {e}"))?,
     };
 
-    let unit = match pluto_frontend::parse_unit(&source) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("plutoc: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let unit = pluto_frontend::parse_unit(&source).map_err(|e| e.to_string())?;
     let prog = unit.program.clone();
 
     let mut opt = Optimizer::new()
@@ -116,13 +123,9 @@ fn main() -> ExitCode {
         opt = opt.second_level(f);
     }
 
-    let optimized = match opt.optimize(&prog) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("plutoc: transformation failed: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let optimized = opt
+        .optimize(&prog)
+        .map_err(|e| format!("transformation failed: {e}"))?;
     if show_transform {
         eprintln!("{}", optimized.result.transform.display(&prog));
     }
@@ -130,17 +133,39 @@ fn main() -> ExitCode {
     if unroll > 1 {
         unroll_innermost(&mut ast, unroll);
     }
-    print!("{}", emit_c(&prog, &ast));
+
+    let mut analyzer_failed = false;
+    if do_analyze {
+        let diags = analyze(&AnalysisInput {
+            program: &prog,
+            deps: &optimized.deps,
+            transform: &optimized.result.transform,
+            ast: &ast,
+            extents: Some(unit.extent_rows()),
+            param_values: None,
+        });
+        if analyze_json {
+            print!("{}", render_json(&diags));
+        } else {
+            eprint!("{}", render_text(&diags));
+        }
+        analyzer_failed = !is_clean(&diags);
+    }
+    if !analyze_json {
+        print!("{}", emit_c(&prog, &ast));
+    }
+
     if let Some(params) = verify {
         if params.len() != prog.num_params() {
-            eprintln!(
-                "plutoc: --verify expects {} value(s) for ({})",
+            return Err(format!(
+                "--verify expects {} value(s) for ({})",
                 prog.num_params(),
                 prog.params.join(", ")
-            );
-            return ExitCode::FAILURE;
+            ));
         }
-        let extents = unit.extents(&params);
+        let extents = unit
+            .try_extents(&params)
+            .map_err(|m| format!("--verify: {m}"))?;
         let mut reference = Arrays::new(extents.clone());
         reference.seed_with(pluto_frontend::kernels::seed_value);
         let orig = generate(&prog, &original_schedule(&prog));
@@ -154,19 +179,18 @@ fn main() -> ExitCode {
                 st.instances
             );
         } else {
-            eprintln!("plutoc: VERIFICATION FAILED — transformed output diverges");
-            return ExitCode::FAILURE;
+            return Err("VERIFICATION FAILED — transformed output diverges".to_string());
         }
     }
-    ExitCode::SUCCESS
+    Ok(if analyzer_failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
-fn parse_num(v: Option<String>) -> i128 {
-    match v.and_then(|s| s.parse().ok()) {
-        Some(n) => n,
-        None => {
-            eprintln!("plutoc: expected a number");
-            std::process::exit(2);
-        }
-    }
+fn parse_num(flag: &str, v: Option<String>) -> Result<i128, String> {
+    let s = v.ok_or_else(|| format!("{flag} expects a number"))?;
+    s.parse()
+        .map_err(|_| format!("{flag} expects a number, got `{s}`"))
 }

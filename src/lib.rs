@@ -10,6 +10,9 @@
 //!   tiling, wavefronting) — the paper's contribution;
 //! * [`codegen`] scans the transformed polyhedra into an executable loop
 //!   AST and OpenMP C;
+//! * [`analyze`] independently audits the generated program — race
+//!   detection for `parallel` loops, array-bounds proofs, AST lints —
+//!   (see [`pipeline::compile_audited`] for the wired-up flow);
 //! * [`machine`] executes and measures (threads, caches, simulated
 //!   quad-core);
 //! * [`poly`], [`ilp`] and [`linalg`] are the exact-arithmetic substrates
@@ -41,7 +44,10 @@
 //! # Ok::<(), pluto::PlutoError>(())
 //! ```
 
+pub mod pipeline;
+
 pub use pluto;
+pub use pluto_analyze as analyze;
 pub use pluto_codegen as codegen;
 pub use pluto_frontend as frontend;
 pub use pluto_ilp as ilp;

@@ -1,0 +1,66 @@
+//! The audited end-to-end pipeline: optimize → generate → **verify**.
+//!
+//! The core `pluto::Optimizer` stops at the transformation and `codegen`
+//! stops at the AST; neither can depend on the other's products to audit
+//! the final program (the crate graph is `codegen → pluto`, and the
+//! analyzer needs both). This umbrella-crate module is where the three
+//! meet: it runs the whole pipeline and hands the generated AST to
+//! `pluto_analyze` for an independent post-codegen audit — the race
+//! detector, the bounds prover and the AST lints — returning the
+//! diagnostics alongside the artifacts.
+
+use pluto::{Optimized, Optimizer, PlutoError};
+use pluto_analyze::{analyze, AnalysisInput, Diagnostic};
+use pluto_codegen::{generate, Ast};
+use pluto_ir::Program;
+use pluto_linalg::Int;
+
+/// Every product of one audited compilation.
+pub struct Compiled {
+    /// Dependence graph + search result (transformation, satisfaction map).
+    pub optimized: Optimized,
+    /// The generated loop AST.
+    pub ast: Ast,
+    /// The analyzer's findings on the generated program (sorted, errors
+    /// first; empty for a clean compile).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Compiled {
+    /// Whether the audit found no `Error`-severity diagnostics.
+    pub fn is_clean(&self) -> bool {
+        pluto_analyze::is_clean(&self.diagnostics)
+    }
+}
+
+/// Runs the full pipeline on `prog` with the given optimizer
+/// configuration, then audits the generated AST.
+///
+/// `extents[a][d]`, when given, is an affine row over `[params…, 1]`
+/// declaring the size of dimension `d` of array `a`, enabling the PL002
+/// bounds prover; without it only the race check and lints run.
+///
+/// # Errors
+/// Propagates [`PlutoError`] from the transformation search; analysis
+/// itself cannot fail (its findings are data, not errors).
+pub fn compile_audited(
+    prog: &Program,
+    optimizer: Optimizer,
+    extents: Option<&[Vec<Vec<Int>>]>,
+) -> Result<Compiled, PlutoError> {
+    let optimized = optimizer.optimize(prog)?;
+    let ast = generate(prog, &optimized.result.transform);
+    let diagnostics = analyze(&AnalysisInput {
+        program: prog,
+        deps: &optimized.deps,
+        transform: &optimized.result.transform,
+        ast: &ast,
+        extents,
+        param_values: None,
+    });
+    Ok(Compiled {
+        optimized,
+        ast,
+        diagnostics,
+    })
+}

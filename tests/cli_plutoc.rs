@@ -80,3 +80,61 @@ fn notile_noparallel_emit_plain_loops() {
     assert!(ok);
     assert!(!stdout.contains("#pragma omp"));
 }
+
+#[test]
+fn analyze_reports_clean_pipeline() {
+    let (stdout, stderr, ok) = plutoc(&["--tile", "8", "--analyze", "-"], SRC);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("0 error(s)"), "{stderr}");
+    // The C output still goes to stdout alongside the report.
+    assert!(stdout.contains("#define S1(t,i)"));
+}
+
+#[test]
+fn analyze_json_emits_diagnostics_array() {
+    let (stdout, stderr, ok) = plutoc(&["--tile", "8", "--analyze-json", "-"], SRC);
+    assert!(ok, "{stderr}");
+    let trimmed = stdout.trim();
+    assert!(
+        trimmed.starts_with('[') && trimmed.ends_with(']'),
+        "expected a JSON array on stdout, got: {stdout}"
+    );
+    // JSON mode replaces the C output.
+    assert!(!stdout.contains("#define"));
+}
+
+#[test]
+fn analyze_flags_out_of_bounds_source() {
+    // a[i+1] with i <= N-2 needs extent N, but only N-1 is declared.
+    let bad = "
+params N;
+array a[N - 1]; array b[N];
+for (i = 0; i <= N - 2; i++)
+  b[i] = a[i + 1];
+";
+    let (_, stderr, ok) = plutoc(&["--notile", "--analyze", "-"], bad);
+    assert!(!ok, "analyzer must fail the exit code on PL002");
+    assert!(stderr.contains("PL002-oob"), "{stderr}");
+    assert!(stderr.contains("witness"), "{stderr}");
+    // Without --analyze the same source still compiles (the analyzer is
+    // opt-in at the CLI).
+    let (_, _, ok2) = plutoc(&["--notile", "-"], bad);
+    assert!(ok2);
+}
+
+#[test]
+fn nonpositive_extent_is_a_clean_error() {
+    let src = "
+params N;
+array a[N - 16]; array b[N];
+for (i = 0; i < N - 16; i++)
+  b[i] = a[i];
+";
+    let (_, stderr, ok) = plutoc(&["--verify", "10", "-"], src);
+    assert!(!ok);
+    assert!(
+        stderr.contains("non-positive extent"),
+        "expected a proper error, not a panic: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}

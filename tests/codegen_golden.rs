@@ -77,7 +77,7 @@ fn fig13_sor_wavefront_tile_space_code() {
         .tile_size(32)
         .optimize(&k.program)
         .expect("optimizes");
-    let t = format!("{}", o.result.transform.display(&k.program));
+    let t = o.result.transform.display(&k.program).to_string();
     assert!(t.contains("iT + jT"), "wavefront row is the tile sum:\n{t}");
     let c = emit_c(&k.program, &generate(&k.program, &o.result.transform));
     // The wavefront loop itself carries no pragma…
@@ -92,13 +92,19 @@ fn fig13_sor_wavefront_tile_space_code() {
     let c2_pos = c.find("for (int c2").expect("inner tile loop");
     assert!(pragma < c2_pos, "pragma annotates the inner tile loop");
     let c2 = loop_header(&c, "c2");
-    assert!(c2.contains("c1"), "inner tile bounds depend on wavefront: {c2}");
+    assert!(
+        c2.contains("c1"),
+        "inner tile bounds depend on wavefront: {c2}"
+    );
     assert!(
         c2.contains("ceild(") && c2.contains("floord("),
         "Fig. 13 floord/ceild wavefront bounds: {c2}"
     );
     // Point loops scan 32-sized tiles.
-    assert!(c.contains("32*c1") || c.contains("32*c2"), "tile origin bounds");
+    assert!(
+        c.contains("32*c1") || c.contains("32*c2"),
+        "tile origin bounds"
+    );
 }
 
 #[test]
@@ -155,10 +161,7 @@ fn original_schedule_emits_plain_nest() {
 #[test]
 fn unrolled_code_has_pragma() {
     let k = kernels::matmul();
-    let o = Optimizer::new()
-        .tile_size(16)
-        .optimize(&k.program)
-        .unwrap();
+    let o = Optimizer::new().tile_size(16).optimize(&k.program).unwrap();
     let mut ast = generate(&k.program, &o.result.transform);
     pluto_codegen::unroll_innermost(&mut ast, 4);
     let c = emit_c(&k.program, &ast);

@@ -31,7 +31,7 @@ fn fuzz_200_kernels_bit_exact() {
         .from_env(),
         "fuzz_200_kernels_bit_exact",
         |rng| gen_spec(rng, &gcfg),
-        |spec| shrink_spec(spec),
+        shrink_spec,
         |spec| testkit::check_spec(spec, &ocfg),
     );
 }

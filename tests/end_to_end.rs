@@ -12,19 +12,19 @@ use pluto_machine::{run_parallel, run_sequential, Arrays, ParallelConfig};
 /// Small parameter values per kernel (order matches `program.params`).
 fn small_params(name: &str) -> Vec<i64> {
     match name {
-        "jacobi-1d-imper" => vec![9, 23],   // T, N
-        "fdtd-2d" => vec![6, 11, 13],       // tmax, nx, ny
-        "lu" => vec![17],                   // N
-        "mvt" => vec![19],                  // N
-        "seidel-2d" => vec![7, 14],         // T, N
-        "matmul" => vec![13],               // N
-        "sor-2d" => vec![21],               // N
-        "jacobi-2d-imper" => vec![4, 10],   // T, N
-        "gemver" => vec![13],               // N
-        "trmm" => vec![11],                 // N
-        "syrk" => vec![9],                  // N
-        "trisolv" => vec![12],              // N
-        "doitgen" => vec![6],               // N
+        "jacobi-1d-imper" => vec![9, 23], // T, N
+        "fdtd-2d" => vec![6, 11, 13],     // tmax, nx, ny
+        "lu" => vec![17],                 // N
+        "mvt" => vec![19],                // N
+        "seidel-2d" => vec![7, 14],       // T, N
+        "matmul" => vec![13],             // N
+        "sor-2d" => vec![21],             // N
+        "jacobi-2d-imper" => vec![4, 10], // T, N
+        "gemver" => vec![13],             // N
+        "trmm" => vec![11],               // N
+        "syrk" => vec![9],                // N
+        "trisolv" => vec![12],            // N
+        "doitgen" => vec![6],             // N
         other => panic!("unknown kernel {other}"),
     }
 }
@@ -46,11 +46,10 @@ fn check_kernel(k: &Kernel, opt: &Optimizer, params: &[i64], threads: usize, lab
     let ast = generate(&k.program, &optimized.result.transform);
     let mut arrays = Arrays::new((k.extents)(params));
     arrays.seed_with(kernels::seed_value);
-    let ref_stats;
-    if threads <= 1 {
-        ref_stats = run_sequential(&k.program, &ast, params, &mut arrays);
+    let ref_stats = if threads <= 1 {
+        run_sequential(&k.program, &ast, params, &mut arrays)
     } else {
-        ref_stats = run_parallel(
+        run_parallel(
             &k.program,
             &ast,
             params,
@@ -59,19 +58,25 @@ fn check_kernel(k: &Kernel, opt: &Optimizer, params: &[i64], threads: usize, lab
                 threads,
                 collapse: 1,
             },
-        );
-    }
+        )
+    };
     assert!(
         arrays.bitwise_eq(&reference),
         "{name} [{label}]: transformed execution diverges from original\n{}",
         optimized.result.transform.display(&k.program)
     );
-    assert!(ref_stats.instances > 0, "{name} [{label}]: nothing executed");
+    assert!(
+        ref_stats.instances > 0,
+        "{name} [{label}]: nothing executed"
+    );
 }
 
 #[test]
 fn tiled_sequential_equivalence() {
-    let opt = Optimizer::new().tile_size(4).parallel(false).vectorization(false);
+    let opt = Optimizer::new()
+        .tile_size(4)
+        .parallel(false)
+        .vectorization(false);
     for (name, k) in kernels::all() {
         check_kernel(&k, &opt, &small_params(name), 1, "tiled seq");
     }
@@ -79,7 +84,10 @@ fn tiled_sequential_equivalence() {
 
 #[test]
 fn untiled_equivalence() {
-    let opt = Optimizer::new().tiling(false).parallel(false).vectorization(false);
+    let opt = Optimizer::new()
+        .tiling(false)
+        .parallel(false)
+        .vectorization(false);
     for (name, k) in kernels::all() {
         check_kernel(&k, &opt, &small_params(name), 1, "untiled");
     }
@@ -96,7 +104,10 @@ fn full_pipeline_parallel_equivalence() {
 
 #[test]
 fn two_level_tiling_equivalence() {
-    let opt = Optimizer::new().tile_size(3).second_level(2).parallel(false);
+    let opt = Optimizer::new()
+        .tile_size(3)
+        .second_level(2)
+        .parallel(false);
     for (name, k) in kernels::all() {
         check_kernel(&k, &opt, &small_params(name), 1, "L2 tiled");
     }

@@ -4,10 +4,10 @@
 
 use pluto::baselines::validate_legality;
 use pluto::{find_transformation, Optimizer, PlutoOptions};
-#[allow(unused_imports)]
-use pluto_ir::Program;
 use pluto_codegen::{generate, original_schedule};
 use pluto_frontend::kernels::{self, Kernel};
+#[allow(unused_imports)]
+use pluto_ir::Program;
 use pluto_machine::{run_sequential, Arrays};
 
 fn params_for(name: &str) -> Vec<i64> {
@@ -164,14 +164,16 @@ fn gemver_per_group_parallelism() {
         })
     };
     for s in [0usize, 2, 3] {
-        assert!(has_parallel(s), "S{} has no parallel loop:\n{}", s + 1, t.display(&k.program));
+        assert!(
+            has_parallel(s),
+            "S{} has no parallel loop:\n{}",
+            s + 1,
+            t.display(&k.program)
+        );
     }
     // And no row is globally parallel (the old all-statement marking
     // would have produced a fully sequential program here).
-    assert!(t
-        .rows
-        .iter()
-        .all(|r| r.par != pluto::Parallelism::Parallel));
+    assert!(t.rows.iter().all(|r| r.par != pluto::Parallelism::Parallel));
 }
 
 #[test]

@@ -46,13 +46,22 @@ fn gen_stencil(rng: &mut Rng) -> StencilSpec {
 fn shrink_stencil(sp: &StencilSpec) -> Vec<StencilSpec> {
     let mut out = Vec::new();
     for o in shrink_i64(sp.o1) {
-        out.push(StencilSpec { o1: o, ..sp.clone() });
+        out.push(StencilSpec {
+            o1: o,
+            ..sp.clone()
+        });
     }
     for o in shrink_i64(sp.o2) {
-        out.push(StencilSpec { o2: o, ..sp.clone() });
+        out.push(StencilSpec {
+            o2: o,
+            ..sp.clone()
+        });
     }
     for o in shrink_i64(sp.o3) {
-        out.push(StencilSpec { o3: o, ..sp.clone() });
+        out.push(StencilSpec {
+            o3: o,
+            ..sp.clone()
+        });
     }
     if sp.scale {
         out.push(StencilSpec {
@@ -174,10 +183,8 @@ fn any_tile_size_preserves_semantics() {
         "any_tile_size_preserves_semantics",
         |rng| (gen_stencil(rng), rng.range_i64(2, 8)),
         |(sp, tile)| {
-            let mut out: Vec<(StencilSpec, i64)> = shrink_stencil(sp)
-                .into_iter()
-                .map(|s| (s, *tile))
-                .collect();
+            let mut out: Vec<(StencilSpec, i64)> =
+                shrink_stencil(sp).into_iter().map(|s| (s, *tile)).collect();
             if *tile > 2 {
                 out.push((sp.clone(), tile - 1));
             }

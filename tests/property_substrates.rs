@@ -23,6 +23,9 @@ fn gen_rows(rng: &mut Rng, dims: usize, max_rows: i64) -> Vec<Vec<i64>> {
         .collect()
 }
 
+// `&Vec` (not `&[_]`) is required: `check` infers its case type from this
+// parameter, and the generator produces owned `Vec<Vec<i64>>` cases.
+#[allow(clippy::ptr_arg)]
 fn shrink_rows(rows: &Vec<Vec<i64>>) -> Vec<Vec<Vec<i64>>> {
     shrink_vec(rows, |row| {
         shrink_vec(row, |&c| testkit::prop::shrink_i64(c))
@@ -191,7 +194,7 @@ fn emptiness_matches_enumeration() {
                 s.add_ineq(hi);
             }
             let any = (-4..=4i128).any(|x| (-4..=4i128).any(|y| s.contains(&[x, y])));
-            if !s.is_empty() == any {
+            if s.is_empty() != any {
                 Ok(())
             } else {
                 Err(format!(

@@ -10,7 +10,13 @@ use pluto::{find_transformation, Parallelism, PlutoOptions, RowKind};
 use pluto_frontend::kernels;
 use pluto_ir::analyze_dependences;
 
-fn search(k: &kernels::Kernel) -> (pluto_ir::Program, Vec<pluto_ir::Dependence>, pluto::SearchResult) {
+fn search(
+    k: &kernels::Kernel,
+) -> (
+    pluto_ir::Program,
+    Vec<pluto_ir::Dependence>,
+    pluto::SearchResult,
+) {
     let prog = k.program.clone();
     let deps = analyze_dependences(&prog, true);
     let res = find_transformation(&prog, &deps, &PlutoOptions::default())
@@ -169,9 +175,7 @@ fn matmul_all_parallel_space_loops() {
     // i and j loops parallel, k (reduction) sequential.
     let pars: Vec<_> = t.rows.iter().map(|r| r.par).collect();
     assert_eq!(
-        pars.iter()
-            .filter(|p| **p == Parallelism::Parallel)
-            .count(),
+        pars.iter().filter(|p| **p == Parallelism::Parallel).count(),
         2,
         "{pars:?}"
     );
