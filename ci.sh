@@ -1,6 +1,7 @@
 #!/bin/sh
-# Hermetic CI gate: lint + format checks, offline release build, full
-# offline test suite, and the 200-kernel fixed-seed differential fuzz run.
+# Hermetic CI gate: lint + format + rustdoc checks, offline release
+# build, full offline test suite, the 200-kernel fixed-seed differential
+# fuzz run, and a bench_json smoke run with BENCH_*.json schema checks.
 #
 # The workspace has zero external dependencies (path deps only), so every
 # step runs with --offline against an empty crate registry. Randomized
@@ -16,6 +17,9 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "== rustfmt (check only) =="
 cargo fmt --check
 
+echo "== rustdoc (no-deps, warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace
+
 echo "== build (release, all targets, offline) =="
 cargo build --release --offline --workspace --all-targets
 
@@ -25,5 +29,14 @@ cargo test --release --offline --workspace
 echo "== differential fuzz: 200 random kernels, fixed seed =="
 TESTKIT_CASES=200 cargo test --release --offline --test differential_fuzz \
     -- --nocapture
+
+echo "== bench smoke: BENCH_*.json emission + well-formedness =="
+# bench_json validates its own output with the in-tree pluto_obs::json
+# parser before writing; here we re-check the files exist, parse, and
+# carry the expected schema tags, keeping the gate hermetic (no python,
+# no jq).
+cargo run --release --offline -p pluto-bench
+grep -q '"schema": "pluto-bench-pipeline/1"' BENCH_pipeline.json
+grep -q '"schema": "pluto-bench-kernels/1"' BENCH_kernels.json
 
 echo "== ci.sh: all gates passed =="

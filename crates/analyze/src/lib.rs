@@ -21,6 +21,8 @@
 //! Every finding is a [`Diagnostic`] with a stable code (`PL001`…), a
 //! severity, the AST path it anchors to, and — where the underlying proof
 //! is an ILP feasibility certificate — the witness point itself.
+//!
+//! DESIGN.md §6c is the full specification, including the stable diagnostic-code table.
 
 use pluto::Transformation;
 use pluto_codegen::Ast;

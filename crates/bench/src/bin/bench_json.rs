@@ -1,0 +1,180 @@
+//! `bench_json` — emits the machine-readable perf trajectory at the repo
+//! root: `BENCH_pipeline.json` (per-kernel compile-phase breakdown and
+//! solver counters, schema `pluto-bench-pipeline/1`) and
+//! `BENCH_kernels.json` (original-sequential vs pluto-sequential vs
+//! pluto-wavefront interpreter run times from the in-tree sampler,
+//! schema `pluto-bench-kernels/1`).
+//!
+//! `cargo run -p pluto-bench --release` runs it (the crate's default
+//! binary). Both files are re-validated through `pluto_obs::json` before
+//! the process exits, so a malformed emitter fails loudly here rather
+//! than in a consumer. Schemas, kernel set and sampler policy are
+//! documented in PERFORMANCE.md; EXPERIMENTS.md records the trajectory
+//! across PRs.
+
+use pluto::Optimizer;
+use pluto_bench::timing::{sample, Stats};
+use pluto_bench::variants;
+use pluto_codegen::generate;
+use pluto_frontend::kernels::{self, Kernel};
+use pluto_machine::{run_parallel, run_sequential, Arrays, ParallelConfig};
+use pluto_obs::{json, Session};
+
+/// Timed samples per variant (after one warm-up); small because the
+/// emitter runs inside the CI smoke gate.
+const SAMPLES: usize = 5;
+/// Tile size for the transformed variants: the bench-scale default used
+/// throughout `benches/figures.rs`.
+const TILE: i128 = 8;
+/// Thread-team width for the wavefront variant (the paper's 4 cores).
+const THREADS: usize = 4;
+
+/// The measured kernel set: name, kernel, bench-scale parameter values.
+fn bench_set() -> Vec<(&'static str, Kernel, Vec<i64>)> {
+    vec![
+        (
+            "jacobi-1d-imper",
+            kernels::jacobi_1d_imperfect(),
+            vec![16, 6000],
+        ),
+        ("seidel-2d", kernels::seidel_2d(), vec![12, 100]),
+        ("mvt", kernels::mvt(), vec![300]),
+        ("lu", kernels::lu(), vec![100]),
+    ]
+}
+
+fn main() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let set = bench_set();
+
+    let pipeline = emit_pipeline(&set);
+    let kernels_doc = emit_kernels(&set);
+
+    for (name, text) in [
+        ("BENCH_pipeline.json", &pipeline),
+        ("BENCH_kernels.json", &kernels_doc),
+    ] {
+        json::parse(text).unwrap_or_else(|e| panic!("emitted {name} is malformed: {e}"));
+        let path = root.join(name);
+        std::fs::write(&path, text).unwrap_or_else(|e| panic!("cannot write {name}: {e}"));
+        println!("wrote {}", path.display());
+    }
+}
+
+/// Compiles every kernel under an observability session and serializes
+/// each profile (phases + full counter registry).
+fn emit_pipeline(set: &[(&'static str, Kernel, Vec<i64>)]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"pluto-bench-pipeline/1\",\n  \"kernels\": [");
+    for (i, (name, k, _)) in set.iter().enumerate() {
+        let session = Session::start();
+        let optimized = Optimizer::new()
+            .tile_size(TILE)
+            .optimize(&k.program)
+            .unwrap_or_else(|e| panic!("{name}: transformation failed: {e}"));
+        let _ast = generate(&k.program, &optimized.result.transform);
+        let profile = session.finish();
+
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\n      \"kernel\": {},\n      \"total_ns\": {},\n      \"phases\": [",
+            json::escape(name),
+            profile.total_ns
+        ));
+        for (j, p) in profile.phases.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n        {{\"path\": {}, \"calls\": {}, \"wall_ns\": {}}}",
+                json::escape(&p.path),
+                p.calls,
+                p.wall_ns
+            ));
+        }
+        out.push_str("\n      ],\n      \"counters\": [");
+        for (j, c) in profile.counters.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n        {{\"name\": {}, \"value\": {}}}",
+                json::escape(c.name),
+                c.value
+            ));
+        }
+        out.push_str("\n      ]\n    }");
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Samples original-sequential, pluto-sequential and pluto-wavefront
+/// interpreter runs for every kernel.
+fn emit_kernels(set: &[(&'static str, Kernel, Vec<i64>)]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"pluto-bench-kernels/1\",\n");
+    out.push_str(&format!("  \"samples\": {SAMPLES},\n  \"kernels\": ["));
+    for (i, (name, k, params)) in set.iter().enumerate() {
+        let orig = variants::orig(&k.program);
+        let pluto = variants::pluto(&k.program, TILE, 1);
+        let orig_ast = generate(&k.program, &orig.result.transform);
+        let pluto_ast = generate(&k.program, &pluto.result.transform);
+
+        let fresh = || {
+            let mut a = Arrays::new((k.extents)(params));
+            a.seed_with(kernels::seed_value);
+            a
+        };
+        let seq = sample(SAMPLES, || {
+            run_sequential(&k.program, &orig_ast, params, &mut fresh());
+        });
+        let tra = sample(SAMPLES, || {
+            run_sequential(&k.program, &pluto_ast, params, &mut fresh());
+        });
+        let cfg = ParallelConfig {
+            threads: THREADS,
+            collapse: pluto.collapse,
+        };
+        let par = sample(SAMPLES, || {
+            run_parallel(&k.program, &pluto_ast, params, &mut fresh(), cfg);
+        });
+
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\n      \"kernel\": {},\n      \"params\": [{}],\n      \"variants\": [",
+            json::escape(name),
+            params
+                .iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        let rows = [
+            ("original-sequential", seq),
+            ("pluto-sequential", tra),
+            ("pluto-wavefront", par),
+        ];
+        for (j, (vname, st)) in rows.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&variant_json(vname, st));
+        }
+        out.push_str("\n      ]\n    }");
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+fn variant_json(name: &str, st: &Stats) -> String {
+    format!(
+        "\n        {{\"name\": {}, \"min_ns\": {}, \"median_ns\": {}, \"max_ns\": {}}}",
+        json::escape(name),
+        st.min_ns,
+        st.median_ns,
+        st.max_ns
+    )
+}

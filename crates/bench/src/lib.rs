@@ -25,6 +25,8 @@
 //! caches the same way the paper's 2000²-element arrays overflowed the
 //! Q6600's. Shapes (who wins, crossover behaviour), not absolute GFLOP/s,
 //! are the reproduction target.
+//!
+//! DESIGN.md §4 indexes every figure to its bench target; PERFORMANCE.md documents the BENCH_*.json trajectory files this crate emits.
 
 pub mod harness;
 pub mod timing;

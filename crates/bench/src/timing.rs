@@ -10,6 +10,52 @@
 
 use std::time::{Duration, Instant};
 
+/// Wall-clock statistics over a fixed number of samples of one closure,
+/// as produced by [`sample`].
+///
+/// Minimum, median and maximum are reported instead of a mean: the
+/// distribution of interpreter runs is skewed by scheduler noise, and
+/// min/median are the stable statistics (variance policy in
+/// PERFORMANCE.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stats {
+    /// Fastest sample, in nanoseconds.
+    pub min_ns: u128,
+    /// Median sample, in nanoseconds.
+    pub median_ns: u128,
+    /// Slowest sample, in nanoseconds.
+    pub max_ns: u128,
+    /// Number of timed samples (excludes the warm-up run).
+    pub samples: usize,
+}
+
+/// Times `f` for `samples` runs after one untimed warm-up run and
+/// returns min / median / max wall times.
+///
+/// This is the programmatic core of the sampler: [`Group::bench`] prints
+/// it, the `bench_json` binary serializes it into `BENCH_kernels.json`.
+///
+/// # Panics
+/// Panics if `samples` is zero.
+pub fn sample(samples: usize, mut f: impl FnMut()) -> Stats {
+    assert!(samples > 0, "at least one sample required");
+    f(); // warm-up
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed()
+        })
+        .collect();
+    times.sort();
+    Stats {
+        min_ns: times[0].as_nanos(),
+        median_ns: times[times.len() / 2].as_nanos(),
+        max_ns: times[times.len() - 1].as_nanos(),
+        samples,
+    }
+}
+
 /// Top-level runner: parses CLI args (an optional substring filter;
 /// cargo's `--bench` flag is ignored) and prints one line per benchmark.
 pub struct Runner {
@@ -51,21 +97,13 @@ impl Group<'_> {
                 return;
             }
         }
-        f(); // warm-up
-        let mut times: Vec<Duration> = (0..self.runner.samples)
-            .map(|_| {
-                let t0 = Instant::now();
-                f();
-                t0.elapsed()
-            })
-            .collect();
-        times.sort();
+        let st = sample(self.runner.samples, &mut f);
         println!(
             "{full:<44} min {:>9}  median {:>9}  max {:>9}  ({} samples)",
-            fmt(times[0]),
-            fmt(times[times.len() / 2]),
-            fmt(times[times.len() - 1]),
-            times.len()
+            fmt(Duration::from_nanos(st.min_ns as u64)),
+            fmt(Duration::from_nanos(st.median_ns as u64)),
+            fmt(Duration::from_nanos(st.max_ns as u64)),
+            st.samples
         );
     }
 }

@@ -17,7 +17,12 @@ type GuardRow = (Vec<(usize, Int)>, Int, Int, bool);
 /// Panics if a scattering dimension is unbounded (the parameter context
 /// must bound every domain) — indicates a malformed transformation.
 pub fn generate(prog: &Program, t: &Transformation) -> Ast {
-    Gen::new(prog, t).run()
+    let _span = pluto_obs::span("codegen");
+    let ast = Gen::new(prog, t).run();
+    if pluto_obs::enabled() {
+        pluto_obs::counters::CODEGEN_LOOPS.add(ast.stats().loops as u64);
+    }
+    ast
 }
 
 /// Builds the identity transformation reproducing the *original* program

@@ -20,6 +20,8 @@
 //! The same AST both executes (see `pluto-machine`) and pretty-prints as
 //! OpenMP-annotated C ([`emit_c`]), reproducing the paper's source-to-
 //! source behaviour (Figs. 3, 4, 9).
+//!
+//! DESIGN.md §6 ("Codegen") specifies the scanning and separation mechanisms.
 
 mod ast;
 mod emit;

@@ -48,6 +48,8 @@
 //! assert_eq!(result.transform.num_rows(), 1);
 //! # Ok::<(), pluto::PlutoError>(())
 //! ```
+//!
+//! DESIGN.md §6 ("Transformation search", "Tiling", "Wavefront") is the algorithmic specification this crate implements.
 
 pub mod baselines;
 mod explain;

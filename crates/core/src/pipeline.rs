@@ -114,8 +114,15 @@ impl Optimizer {
     /// # Errors
     /// Propagates [`PlutoError`] from the search.
     pub fn optimize(&self, prog: &Program) -> Result<Optimized, PlutoError> {
-        let deps = analyze_dependences(prog, self.options.use_input_deps);
-        let res = find_transformation(prog, &deps, &self.options)?;
+        let _span = pluto_obs::span("optimize");
+        let deps = {
+            let _s = pluto_obs::span("deps");
+            analyze_dependences(prog, self.options.use_input_deps)
+        };
+        let res = {
+            let _s = pluto_obs::span("search");
+            find_transformation(prog, &deps, &self.options)?
+        };
         Ok(self.apply(prog, deps, res))
     }
 
@@ -130,6 +137,7 @@ impl Optimizer {
     /// [`optimize`]: Optimizer::optimize
     pub fn apply(&self, prog: &Program, deps: Vec<Dependence>, mut res: SearchResult) -> Optimized {
         if self.tile {
+            let _s = pluto_obs::span("tiling");
             // Tile every point-level band of width >= 2, innermost-index
             // first is unnecessary — indices shift as bands are inserted,
             // so walk by index and skip bands we created.
@@ -169,6 +177,7 @@ impl Optimizer {
         }
 
         if self.parallelize {
+            let _s = pluto_obs::span("wavefront");
             // Pipelined parallelism on the outermost tiled band whose
             // leading row still carries dependences.
             if let Some(&band) = res
@@ -187,6 +196,7 @@ impl Optimizer {
         }
 
         if self.vectorize {
+            let _s = pluto_obs::span("vectorize");
             // Reorder the innermost point band (largest start).
             if let Some(&band) = res
                 .transform

@@ -10,6 +10,7 @@ use crate::types::{Band, Parallelism, RowInfo, StmtScattering, Transformation};
 use pluto_ilp::IlpProblem;
 use pluto_ir::{DepKind, Dependence, Program};
 use pluto_linalg::{Int, IntMatrix};
+use pluto_obs::counters;
 use pluto_poly::ConstraintSet;
 use std::fmt;
 
@@ -250,6 +251,7 @@ impl<'a> Search<'a> {
     }
 
     fn solve_for_row(&mut self) -> Option<Vec<Int>> {
+        counters::SEARCH_ROW_SOLVES.bump();
         let mut ilp = IlpProblem::new(self.vm.total());
         for di in 0..self.deps.len() {
             if !self.live_in_band(di) {
@@ -258,6 +260,7 @@ impl<'a> Search<'a> {
             let dep = &self.deps[di];
             if dep.kind.constrains_legality() {
                 let sys = self.legality_cache[di].get_or_insert_with(|| {
+                    counters::LEGALITY_SYSTEMS.bump();
                     let form = delta_form(dep, self.prog, &self.vm);
                     farkas_eliminate(&dep.poly, &form, self.vm.total())
                 });
@@ -267,12 +270,14 @@ impl<'a> Search<'a> {
                 continue;
             }
             let bsys = self.bounding_cache[di].get_or_insert_with(|| {
+                counters::BOUNDING_SYSTEMS.bump();
                 let form = bounding_form(dep, self.prog, &self.vm, false);
                 farkas_eliminate(&dep.poly, &form, self.vm.total())
             });
             add_system(&mut ilp, bsys);
             if dep.kind == DepKind::Input {
                 let rsys = self.reverse_cache[di].get_or_insert_with(|| {
+                    counters::BOUNDING_SYSTEMS.bump();
                     let form = bounding_form(dep, self.prog, &self.vm, true);
                     farkas_eliminate(&dep.poly, &form, self.vm.total())
                 });
@@ -387,6 +392,7 @@ impl<'a> Search<'a> {
         {
             return false;
         }
+        counters::SCC_CUTS.bump();
         // Close any open band: a scalar dimension separates bands.
         self.close_band();
         let r = self.row_infos.len();

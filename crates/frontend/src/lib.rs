@@ -17,6 +17,8 @@
 //!   for (j = 1; j <= N - 2; j++)
 //!     a[i][j] = a[i-1][j] + a[i][j-1];
 //! ```
+//!
+//! DESIGN.md §3.3 covers the LooPo-scanner substitution; the accepted input class is the same.
 
 pub mod kernels;
 mod parser;

@@ -136,6 +136,7 @@ impl ParsedUnit {
 /// # Errors
 /// Returns [`ParseError`] like [`parse`].
 pub fn parse_unit(src: &str) -> Result<ParsedUnit, ParseError> {
+    let _span = pluto_obs::span("parse");
     let tokens = lex(src)?;
     Parser::new(src, tokens).program()
 }

@@ -32,6 +32,8 @@
 //! p.add_ineq(vec![-1, 0, 2]); // -x + 2 >= 0
 //! assert_eq!(p.lexmin(), Some(vec![0, 3]));
 //! ```
+//!
+//! DESIGN.md §3.4 explains the PipLib substitution; §5 maps the crate; counters it feeds are in PERFORMANCE.md §4.
 
 mod solver;
 

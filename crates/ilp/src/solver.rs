@@ -18,6 +18,7 @@
 //! rational lexicographic minimum of the objective vector.
 
 use pluto_linalg::{Int, Ratio};
+use pluto_obs::counters;
 use std::fmt;
 
 /// Error raised when the solver exceeds its iteration budget.
@@ -184,6 +185,23 @@ impl Tableau {
     fn solve(mut self) -> Result<Option<Vec<Int>>, SolveError> {
         let mut pivots = 0;
         let mut cuts = 0;
+        let result = self.solve_inner(&mut pivots, &mut cuts);
+        // Flush per-solve work into the observability registry once, not
+        // per pivot: the hot loop stays free of atomics.
+        counters::ILP_SOLVES.bump();
+        counters::ILP_PIVOTS.add(pivots as u64);
+        counters::ILP_CUTS.add(cuts as u64);
+        if matches!(result, Ok(None)) {
+            counters::ILP_INFEASIBLE.bump();
+        }
+        result
+    }
+
+    fn solve_inner(
+        &mut self,
+        pivots: &mut usize,
+        cuts: &mut usize,
+    ) -> Result<Option<Vec<Int>>, SolveError> {
         loop {
             // Find a violated row (negative value at the current vertex).
             match (0..self.rows.len()).find(|&v| self.rows[v][0].signum() < 0) {
@@ -192,9 +210,12 @@ impl Tableau {
                         return Ok(None); // no way to repair: infeasible
                     };
                     self.pivot(r, j);
-                    pivots += 1;
-                    if pivots > MAX_PIVOTS {
-                        return Err(SolveError { pivots, cuts });
+                    *pivots += 1;
+                    if *pivots > MAX_PIVOTS {
+                        return Err(SolveError {
+                            pivots: *pivots,
+                            cuts: *cuts,
+                        });
                     }
                 }
                 None => {
@@ -207,9 +228,12 @@ impl Tableau {
                         }
                         Some(v) => {
                             self.add_gomory_cut(v);
-                            cuts += 1;
-                            if cuts > MAX_CUTS {
-                                return Err(SolveError { pivots, cuts });
+                            *cuts += 1;
+                            if *cuts > MAX_CUTS {
+                                return Err(SolveError {
+                                    pivots: *pivots,
+                                    cuts: *cuts,
+                                });
                             }
                         }
                     }

@@ -13,6 +13,7 @@
 
 use crate::program::{lift_context, Program, Statement};
 use pluto_linalg::Int;
+use pluto_obs::counters;
 use pluto_poly::ConstraintSet;
 use std::fmt;
 
@@ -143,7 +144,11 @@ fn collect_pair(
         if si.id == sj.id {
             refine_to_chain(&mut p, ms, level);
         }
-        if !p.is_empty() {
+        counters::DEP_CANDIDATES.bump();
+        if p.is_empty() {
+            counters::DEPS_EMPTY.bump();
+        } else {
+            counters::DEPS_BUILT.bump();
             out.push(Dependence {
                 src: si.id,
                 dst: sj.id,
@@ -162,7 +167,11 @@ fn collect_pair(
             row[ms + k] = 1;
             p.add_eq(row);
         }
-        if !p.is_empty() {
+        counters::DEP_CANDIDATES.bump();
+        if p.is_empty() {
+            counters::DEPS_EMPTY.bump();
+        } else {
+            counters::DEPS_BUILT.bump();
             out.push(Dependence {
                 src: si.id,
                 dst: sj.id,

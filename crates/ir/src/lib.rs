@@ -18,6 +18,8 @@
 //! paper's use of PIP inside the LooPo dependence tester). Flow, anti,
 //! output **and input** (read-after-read) dependences are all produced —
 //! input dependences drive Pluto's locality cost function (Sec. 4.1).
+//!
+//! DESIGN.md §6 ("Dependence analysis") specifies the dependence model, including the last-conflicting-access refinement.
 
 mod deps;
 mod expr;

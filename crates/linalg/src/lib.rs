@@ -23,6 +23,8 @@
 //! // The orthogonal complement of span{e1} in R^3 is span{e2, e3}.
 //! assert_eq!(perp.rank(), 2);
 //! ```
+//!
+//! DESIGN.md §1 and §5 (repo root) place this crate in the tool-chain inventory.
 
 pub mod int;
 pub mod matrix;

@@ -305,6 +305,7 @@ fn run_stmt<M: Mem>(
 
 /// Runs the AST sequentially (parallel markers ignored).
 pub fn run_sequential(prog: &Program, ast: &Ast, params: &[i64], arrays: &mut Arrays) -> ExecStats {
+    let _span = pluto_obs::span("execute/sequential");
     let ctx = Ctx::new(prog, params, arrays);
     let mut vals = vec![0; ast.num_vars().max(params.len())];
     for (k, &p) in params.iter().enumerate() {
@@ -320,6 +321,7 @@ pub fn run_sequential(prog: &Program, ast: &Ast, params: &[i64], arrays: &mut Ar
         &mut sc,
         &mut stats,
     );
+    pluto_obs::counters::MACHINE_INSTANCES.add(stats.instances);
     stats
 }
 
@@ -332,6 +334,7 @@ pub fn run_with_cache(
     arrays: &mut Arrays,
     cfg: CacheConfig,
 ) -> (ExecStats, CacheStats) {
+    let _span = pluto_obs::span("execute/cached");
     let ctx = Ctx::new(prog, params, arrays);
     let mut vals = vec![0; ast.num_vars().max(params.len())];
     for (k, &p) in params.iter().enumerate() {
@@ -347,6 +350,7 @@ pub fn run_with_cache(
         };
         exec(ast, &mut vals, &ctx, &mut mem, &mut sc, &mut stats);
     }
+    pluto_obs::counters::MACHINE_INSTANCES.add(stats.instances);
     (stats, sim.stats)
 }
 
@@ -362,6 +366,7 @@ pub fn run_parallel(
     arrays: &mut Arrays,
     cfg: ParallelConfig,
 ) -> ExecStats {
+    let _span = pluto_obs::span("execute/parallel");
     let ctx = Ctx::new(prog, params, arrays);
     let mut vals = vec![0; ast.num_vars().max(params.len())];
     for (k, &p) in params.iter().enumerate() {
@@ -371,6 +376,7 @@ pub fn run_parallel(
     let ptrs: Vec<SendPtr> = arrays.raw().into_iter().map(SendPtr).collect();
     let mut sc = Scratch::with_stmts(prog.stmts.len());
     exec_outer(ast, &mut vals, &ctx, &ptrs, cfg, &mut sc, &mut stats);
+    pluto_obs::counters::MACHINE_INSTANCES.add(stats.instances);
     stats
 }
 
@@ -704,6 +710,7 @@ pub fn run_sanitized(
     params: &[i64],
     arrays: &mut Arrays,
 ) -> Result<ExecStats, Vec<String>> {
+    let _span = pluto_obs::span("execute/sanitized");
     let ctx = Ctx::new(prog, params, arrays);
     let mut vals = vec![0; ast.num_vars().max(params.len())];
     for (k, &p) in params.iter().enumerate() {
@@ -723,6 +730,7 @@ pub fn run_sanitized(
         &mut sc,
         &mut stats,
     );
+    pluto_obs::counters::MACHINE_INSTANCES.add(stats.instances);
     if violations.is_empty() {
         Ok(stats)
     } else {

@@ -20,6 +20,8 @@
 //!   (default geometry mirrors the paper's machine: 32 KB 8-way L1,
 //!   4 MB 16-way L2, 64-byte lines), producing the locality metrics behind
 //!   the single-core speedups of Figs. 6, 8, 10.
+//!
+//! DESIGN.md §3.1 justifies this substitution for the paper's hardware testbed.
 
 mod arrays;
 mod cache;

@@ -473,6 +473,7 @@ pub fn simulate(
     arrays: &mut Arrays,
     cfg: MachineConfig,
 ) -> SimStats {
+    let _span = pluto_obs::span("execute/simulate");
     let mut m = Machine::new(prog, params, arrays, cfg);
     let mut vals = vec![0; ast.num_vars().max(params.len())];
     for (k, &p) in params.iter().enumerate() {
@@ -492,6 +493,7 @@ pub fn simulate(
         cycles = cycles.max(c.cycles);
     }
     exec.parallel_regions = regions;
+    pluto_obs::counters::MACHINE_INSTANCES.add(exec.instances);
     SimStats {
         cycles,
         exec,

@@ -1,0 +1,164 @@
+//! The central counter registry: one named [`Counter`] static per
+//! measured effect, declared here rather than in the crates that bump
+//! them.
+//!
+//! Centralising the declarations keeps registration trivial (no
+//! life-before-main tricks, no lock on the hot path): [`all`] is a plain
+//! slice of statics, so a [`Session`](crate::Session) can reset and
+//! snapshot the complete registry by construction. Hot crates depend on
+//! `pluto-obs` and bump e.g. [`ILP_PIVOTS`] directly; the full glossary —
+//! what each counter means and which code path feeds it — lives in
+//! PERFORMANCE.md.
+//!
+//! Counter names are namespaced `crate.effect` (`ilp.pivots`,
+//! `poly.fm_eliminations`) and are part of the stable
+//! `pluto-profile/1` schema: renaming or removing one is a
+//! schema-breaking change.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A named monotonic counter with relaxed-atomic updates, inert while no
+/// [`Session`](crate::Session) is recording.
+///
+/// All mutating methods first check [`enabled`](crate::enabled) (one
+/// relaxed `AtomicBool` load) and return without touching the cell when
+/// profiling is off, so instrumentation can stay in hot loops
+/// permanently.
+///
+/// ```
+/// // Without a session, bumps are discarded:
+/// pluto_obs::counters::ILP_PIVOTS.add(10);
+/// assert_eq!(pluto_obs::counters::ILP_PIVOTS.get(), 0);
+/// ```
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter. Only used by this module's registry; external
+    /// counters would be invisible to [`all`] and thus never snapshotted.
+    const fn new(name: &'static str) -> Counter {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// The registry name, e.g. `"ilp.pivots"`.
+    #[inline]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `n` to the counter if a session is recording; no-op (and no
+    /// touch of the counter cell) otherwise.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1; see [`add`](Counter::add).
+    #[inline]
+    pub fn bump(&self) {
+        self.add(1);
+    }
+
+    /// Raises the counter to `n` if `n` is larger (high-water mark, e.g.
+    /// peak Fourier–Motzkin row count); inert while disabled.
+    #[inline]
+    pub fn record_max(&self, n: u64) {
+        if crate::enabled() {
+            self.value.fetch_max(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value. Reads are not gated: tests and
+    /// [`Session::finish`](crate::Session::finish) read regardless of
+    /// the enabled flag.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (used by [`Session::start`](crate::Session::start)).
+    #[inline]
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+macro_rules! registry {
+    ($($(#[$doc:meta])* $ident:ident => $name:literal;)*) => {
+        $( $(#[$doc])* pub static $ident: Counter = Counter::new($name); )*
+
+        /// Every registered counter, in declaration order — the order
+        /// counters appear in profiles and `BENCH_pipeline.json`.
+        pub fn all() -> &'static [&'static Counter] {
+            static ALL: &[&Counter] = &[ $( &$ident, )* ];
+            ALL
+        }
+    };
+}
+
+registry! {
+    /// Dual-simplex tableaux solved to completion or infeasibility
+    /// (`ilp::Tableau::solve`) — every legality check, bounding-function
+    /// lexmin, and analyzer witness search lands here.
+    ILP_SOLVES => "ilp.solves";
+    /// Dual-simplex pivot steps across all solves: the innermost unit of
+    /// ILP work (DESIGN.md §5).
+    ILP_PIVOTS => "ilp.pivots";
+    /// Gomory fractional cuts added to enforce integrality.
+    ILP_CUTS => "ilp.gomory_cuts";
+    /// Solves that ended infeasible (empty polyhedra, refuted witnesses).
+    ILP_INFEASIBLE => "ilp.infeasible";
+    /// Fourier–Motzkin variable eliminations
+    /// (`poly::ConstraintSet::eliminate_var`), the engine under
+    /// `project_out` and Farkas elimination (DESIGN.md §3).
+    FM_ELIMINATIONS => "poly.fm_eliminations";
+    /// Peak inequality-row count observed mid-elimination — the FM
+    /// intermediate blowup the paper's Sec. 7 practicality claim hinges
+    /// on keeping small.
+    FM_ROWS_PEAK => "poly.fm_rows_peak";
+    /// Calls to `ConstraintSet::remove_redundant` (pairwise implied-row
+    /// elimination).
+    REDUNDANCY_CALLS => "poly.redundancy_calls";
+    /// Polyhedron emptiness checks (`ConstraintSet::is_empty`), each one
+    /// an ILP feasibility probe.
+    EMPTINESS_CHECKS => "poly.emptiness_checks";
+    /// Candidate dependence polyhedra constructed during dependence
+    /// analysis, before the emptiness filter (`ir::deps`).
+    DEP_CANDIDATES => "ir.dep_candidates";
+    /// Dependence polyhedra kept (non-empty): the edges the search must
+    /// respect.
+    DEPS_BUILT => "ir.deps_built";
+    /// Candidates discarded as empty at some dependence level.
+    DEPS_EMPTY => "ir.deps_empty";
+    /// Farkas-eliminated legality systems built (one per dependence,
+    /// cached across rows — `core::search`).
+    LEGALITY_SYSTEMS => "core.legality_systems";
+    /// Farkas-eliminated bounding systems built (cost-bounding `u·n + w`,
+    /// paper Sec. 4).
+    BOUNDING_SYSTEMS => "core.bounding_systems";
+    /// Per-row lexmin ILP calls made by the hyperplane search, including
+    /// retries after cuts and orthogonality restarts.
+    SEARCH_ROW_SOLVES => "core.search_row_solves";
+    /// SCC cuts taken when no common legal hyperplane exists
+    /// (paper Sec. 5.2.2 fusion/cutting).
+    SCC_CUTS => "core.scc_cuts";
+    /// Loop nests emitted by codegen (`codegen::generate`).
+    CODEGEN_LOOPS => "codegen.loops";
+    /// Statement instances executed by the machine substrate's
+    /// interpreter (sequential, parallel, and sanitized runs).
+    MACHINE_INSTANCES => "machine.instances";
+}
+
+/// Resets every registered counter to zero.
+pub fn reset_all() {
+    for c in all() {
+        c.reset();
+    }
+}

@@ -1,0 +1,372 @@
+//! A minimal JSON reader/escaper so profile and bench output can be
+//! validated in-tree without external crates (the workspace is hermetic —
+//! DESIGN.md §8).
+//!
+//! This is a *validator*, not a general-purpose JSON library: it accepts
+//! strict RFC 8259 JSON (no comments, no trailing commas), parses numbers
+//! as `f64`, and exposes just enough accessors for the golden tests and
+//! the bench harness to check the documents this workspace emits
+//! (`pluto-profile/1`, `pluto-bench-pipeline/1`, `pluto-bench-kernels/1`;
+//! schemas in PERFORMANCE.md).
+//!
+//! ```
+//! let v = pluto_obs::json::parse(r#"{"schema": "pluto-profile/1", "n": 3}"#).unwrap();
+//! assert_eq!(v.get("schema").unwrap().as_str(), Some("pluto-profile/1"));
+//! assert_eq!(v.get("n").unwrap().as_u64(), Some(3));
+//! ```
+
+use std::fmt;
+
+/// A parsed JSON value. Objects preserve key order and allow duplicate
+/// keys ([`get`](Json::get) returns the first match).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, held as `f64` (exact for integers up to 2^53 —
+    /// ample for nanosecond wall times and counter values in practice).
+    Number(f64),
+    /// A string, unescaped.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object as ordered key/value pairs.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup (first match); `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// `Some(&str)` for strings, else `None`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// `Some(f64)` for numbers, else `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as a `u64` if it is one exactly (integral, in range).
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        if n >= 0.0 && n <= u64::MAX as f64 && n.fract() == 0.0 {
+            Some(n as u64)
+        } else {
+            None
+        }
+    }
+
+    /// `Some(&[Json])` for arrays, else `None`.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// `true` only for JSON `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+}
+
+/// A parse failure: byte offset plus a short description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// What was expected or found.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a complete JSON document; trailing content (other than
+/// whitespace) is an error.
+pub fn parse(text: &str) -> Result<Json, ParseError> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(err(pos, "trailing content after document"));
+    }
+    Ok(value)
+}
+
+/// Escapes a string as a JSON string literal, including the surrounding
+/// quotes (used by [`Profile::to_json`](crate::Profile::to_json) and the
+/// bench emitter).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn err(offset: usize, message: &str) -> ParseError {
+    ParseError {
+        offset,
+        message: message.to_string(),
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::String(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        Some(_) => Err(err(*pos, "unexpected character")),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &str,
+    value: Json,
+) -> Result<Json, ParseError> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(err(*pos, "invalid literal"))
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+    *pos += 1; // consume '{'
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Object(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(err(*pos, "expected object key"));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(err(*pos, "expected ':' after object key"));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Object(fields));
+            }
+            _ => return Err(err(*pos, "expected ',' or '}' in object")),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            _ => return Err(err(*pos, "expected ',' or ']' in array")),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
+    *pos += 1; // consume opening '"'
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| err(*pos, "invalid \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| err(*pos, "invalid \\u escape"))?;
+                        // Surrogates are rejected rather than paired: the
+                        // in-tree emitters never produce them.
+                        let c = char::from_u32(code)
+                            .ok_or_else(|| err(*pos, "\\u escape is not a scalar value"))?;
+                        out.push(c);
+                        *pos += 4;
+                    }
+                    _ => return Err(err(*pos, "invalid escape")),
+                }
+                *pos += 1;
+            }
+            Some(&c) if c < 0x20 => return Err(err(*pos, "control character in string")),
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so slicing
+                // at char boundaries is safe).
+                let start = *pos;
+                *pos += 1;
+                while *pos < bytes.len() && bytes[*pos] & 0xC0 == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&bytes[start..*pos]).expect("input was UTF-8"));
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && (bytes[*pos].is_ascii_digit() || matches!(bytes[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII slice");
+    text.parse::<f64>()
+        .map(Json::Number)
+        .map_err(|_| err(start, "invalid number"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_document() {
+        let v = parse(r#" {"a": [1, -2.5, true, null], "b": {"c": "x\ny"}} "#).unwrap();
+        let a = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(a[0].as_u64(), Some(1));
+        assert_eq!(a[1].as_f64(), Some(-2.5));
+        assert_eq!(a[2], Json::Bool(true));
+        assert!(a[3].is_null());
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x\ny"));
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        let original = "quote \" slash \\ newline \n tab \t bell \u{7} unicode µ";
+        let v = parse(&escape(original)).unwrap();
+        assert_eq!(v.as_str(), Some(original));
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        assert_eq!(parse(r#""µ""#).unwrap().as_str(), Some("µ"));
+        assert!(parse(r#""\ud800""#).is_err()); // lone surrogate
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "1 2",
+            "\"abc",
+            "{,}",
+            "nul",
+            "\u{1}",
+            "[1 2]",
+        ] {
+            assert!(parse(bad).is_err(), "accepted malformed input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn number_edge_cases() {
+        assert_eq!(parse("0").unwrap().as_u64(), Some(0));
+        assert_eq!(parse("1e3").unwrap().as_f64(), Some(1000.0));
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+        assert_eq!(parse("2.5").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn duplicate_keys_first_wins() {
+        let v = parse(r#"{"k": 1, "k": 2}"#).unwrap();
+        assert_eq!(v.get("k").unwrap().as_u64(), Some(1));
+    }
+}

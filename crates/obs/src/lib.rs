@@ -1,0 +1,483 @@
+//! Observability layer for the `pluto-rs` tool-chain: hierarchical phase
+//! spans, solver counters, and machine-readable compile profiles.
+//!
+//! The paper's headline claim is *practicality* — the transformation
+//! framework "runs quite fast — within a fraction of a second" (Sec. 7) —
+//! yet a polyhedral compiler's running time hides in places no wall clock
+//! can see from the outside: simplex pivots, Gomory cuts, Fourier–Motzkin
+//! row blowup, Farkas-system construction, search restarts. This crate
+//! gives every layer of the workspace a shared, zero-dependency way to
+//! name and measure those effects (see DESIGN.md §9 and PERFORMANCE.md
+//! for the full vocabulary):
+//!
+//! * [`span`] — hierarchical wall-time phases (`parse` → `deps` →
+//!   `search` → `tiling` → `wavefront` → `codegen` → `analyze`), built
+//!   from RAII guards and a thread-local path stack;
+//! * [`counters`] — a central registry of cheap atomic counters bumped
+//!   by the hot crates (`ilp.pivots`, `poly.fm_eliminations`,
+//!   `ir.deps_built`, `core.scc_cuts`, …);
+//! * [`Session`] / [`Profile`] — collection and rendering: a session
+//!   enables recording, a profile snapshots everything as a human table
+//!   ([`Profile::render_table`]) or stable JSON ([`Profile::to_json`],
+//!   schema `pluto-profile/1`, documented in PERFORMANCE.md);
+//! * [`json`] — a minimal JSON parser so tests and the bench harness can
+//!   validate emitted profiles without external crates.
+//!
+//! # Zero cost when disabled
+//!
+//! Recording is off by default. Every counter method and [`span`] checks
+//! one process-global `AtomicBool` (a single relaxed load) and returns
+//! immediately when no [`Session`] is active: the counter cells are never
+//! touched and no clock is read. The disabled path is cheap enough to
+//! leave instrumentation in release builds permanently; the test-suite
+//! asserts the counters stay untouched (see `disabled_path_is_inert`).
+//!
+//! # Example
+//!
+//! ```
+//! let session = pluto_obs::Session::start();
+//! {
+//!     let _outer = pluto_obs::span("search");
+//!     let _inner = pluto_obs::span("ilp");
+//!     pluto_obs::counters::ILP_PIVOTS.add(3);
+//! }
+//! let profile = session.finish();
+//! assert_eq!(profile.counter("ilp.pivots"), Some(3));
+//! assert_eq!(profile.phase("search/ilp").unwrap().calls, 1);
+//! // Machine-readable form, stable schema "pluto-profile/1":
+//! let j = pluto_obs::json::parse(&profile.to_json(Some("demo"))).unwrap();
+//! assert_eq!(j.get("schema").unwrap().as_str(), Some("pluto-profile/1"));
+//! ```
+//!
+//! # Concurrency model
+//!
+//! The recorder is process-global: spans recorded on worker threads (the
+//! machine substrate's thread teams) land in the same buffer as the
+//! coordinating thread's, each rooted at its own thread's path stack.
+//! Sessions are not reference-counted — concurrent sessions in one
+//! process merge their events; the in-tree users (`plutoc`,
+//! `compile_audited`, the bench harness) are sequential, and profiles are
+//! diagnostic data, never inputs to compilation decisions.
+
+pub mod counters;
+pub mod json;
+
+pub use counters::Counter;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Process-global recording switch. Off (`false`) unless a [`Session`] is
+/// active; all instrumentation is gated on it.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether a [`Session`] is currently recording.
+///
+/// One relaxed atomic load — this is the whole cost of every counter
+/// bump and span entry while profiling is off.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Completed-span buffer: `(path, wall_ns)` pairs drained by
+/// [`Session::finish`]. A `Mutex<Vec>` is plenty: spans are pushed once
+/// per *phase*, not per iteration.
+static SPANS: Mutex<Vec<(String, u128)>> = Mutex::new(Vec::new());
+
+thread_local! {
+    /// Names of the spans currently open on this thread, outermost first.
+    static STACK: std::cell::RefCell<Vec<&'static str>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Opens a named phase span; the span closes (and its wall time is
+/// recorded) when the returned guard drops.
+///
+/// Spans nest: a span opened while another is active on the same thread
+/// records under the joined path (`"optimize/search"`). When no session
+/// is recording, the guard is inert — no clock read, no allocation.
+///
+/// ```
+/// let session = pluto_obs::Session::start();
+/// {
+///     let _a = pluto_obs::span("outer");
+///     let _b = pluto_obs::span("inner");
+/// }
+/// let profile = session.finish();
+/// assert!(profile.phase("outer").is_some());
+/// assert!(profile.phase("outer/inner").is_some());
+/// ```
+#[must_use = "the span is recorded when the guard drops"]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { live: None };
+    }
+    let path = STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        let mut path = String::new();
+        for part in s.iter() {
+            path.push_str(part);
+            path.push('/');
+        }
+        path.push_str(name);
+        s.push(name);
+        path
+    });
+    SpanGuard {
+        live: Some((path, Instant::now())),
+    }
+}
+
+/// RAII guard returned by [`span`]; records the elapsed wall time of the
+/// phase when dropped.
+pub struct SpanGuard {
+    /// `(full path, start)` when recording; `None` for the inert guard
+    /// handed out while no session is active.
+    live: Option<(String, Instant)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some((path, start)) = self.live.take() else {
+            return;
+        };
+        let ns = start.elapsed().as_nanos();
+        STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+        if let Ok(mut buf) = SPANS.lock() {
+            buf.push((path, ns));
+        }
+    }
+}
+
+/// A recording session: resets all counters and the span buffer, turns
+/// recording on, and produces a [`Profile`] when finished.
+///
+/// Constructing a session is how *everything* in this crate becomes
+/// active; without one, spans and counters cost a single flag check.
+/// In-tree entry points that start one: `plutoc --profile[-json]`,
+/// `pluto_repro::pipeline::compile_audited`, and the bench harness's
+/// `BENCH_pipeline.json` emission.
+pub struct Session {
+    start: Instant,
+}
+
+impl Session {
+    /// Starts recording: clears the counter registry and span buffer,
+    /// then enables the global switch.
+    #[must_use = "finish() the session to obtain the profile"]
+    #[allow(clippy::new_without_default)] // `start` names the side effect
+    pub fn start() -> Session {
+        {
+            let mut buf = SPANS.lock().expect("span buffer poisoned");
+            buf.clear();
+        }
+        counters::reset_all();
+        let s = Session {
+            start: Instant::now(),
+        };
+        ENABLED.store(true, Ordering::Relaxed);
+        s
+    }
+
+    /// Stops recording and returns the collected [`Profile`]: every
+    /// completed span aggregated by path, plus a snapshot of every
+    /// registered counter (zero-valued counters included, so the profile
+    /// shape is stable).
+    pub fn finish(self) -> Profile {
+        ENABLED.store(false, Ordering::Relaxed);
+        let total_ns = self.start.elapsed().as_nanos();
+        let raw: Vec<(String, u128)> = {
+            let mut buf = SPANS.lock().expect("span buffer poisoned");
+            std::mem::take(&mut *buf)
+        };
+        // Aggregate by path, then order parents before children.
+        let mut phases: Vec<Phase> = Vec::new();
+        for (path, ns) in raw {
+            match phases.iter_mut().find(|p| p.path == path) {
+                Some(p) => {
+                    p.calls += 1;
+                    p.wall_ns += ns;
+                }
+                None => phases.push(Phase {
+                    path,
+                    calls: 1,
+                    wall_ns: ns,
+                }),
+            }
+        }
+        phases.sort_by(|a, b| a.path.cmp(&b.path));
+        let counters = counters::all()
+            .iter()
+            .map(|c| CounterSnapshot {
+                name: c.name(),
+                value: c.get(),
+            })
+            .collect();
+        Profile {
+            total_ns,
+            phases,
+            counters,
+        }
+    }
+}
+
+/// Aggregated wall time of one phase path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Phase {
+    /// Slash-joined span path, e.g. `"optimize/search"`.
+    pub path: String,
+    /// Number of completed spans recorded under this path.
+    pub calls: u64,
+    /// Total wall time across those spans, in nanoseconds.
+    pub wall_ns: u128,
+}
+
+/// One counter's value at [`Session::finish`] time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Registry name, e.g. `"ilp.pivots"` (glossary in PERFORMANCE.md).
+    pub name: &'static str,
+    /// Accumulated value over the session.
+    pub value: u64,
+}
+
+/// Everything one session observed: total wall time, per-phase spans, and
+/// the full counter registry snapshot.
+///
+/// Render with [`render_table`](Profile::render_table) (human) or
+/// [`to_json`](Profile::to_json) (machine, schema `pluto-profile/1` —
+/// field-by-field documentation in PERFORMANCE.md).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Profile {
+    /// Wall time from `Session::start` to `finish`, in nanoseconds.
+    pub total_ns: u128,
+    /// Completed spans aggregated by path, parents before children.
+    pub phases: Vec<Phase>,
+    /// Snapshot of every registered counter, in registry order.
+    pub counters: Vec<CounterSnapshot>,
+}
+
+impl Profile {
+    /// Looks up a phase by its full path (e.g. `"optimize/search"`).
+    pub fn phase(&self, path: &str) -> Option<&Phase> {
+        self.phases.iter().find(|p| p.path == path)
+    }
+
+    /// Looks up a counter value by registry name (e.g. `"ilp.pivots"`).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Renders the profile as an aligned human-readable table: one row
+    /// per phase (indented by nesting depth), then every non-zero
+    /// counter.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:<44} {:>7} {:>12}\n", "phase", "calls", "wall"));
+        out.push_str(&format!(
+            "{:<44} {:>7} {:>12}\n",
+            "total",
+            "",
+            fmt_ns(self.total_ns)
+        ));
+        for p in &self.phases {
+            let depth = p.path.matches('/').count();
+            let name = p.path.rsplit('/').next().unwrap_or(&p.path);
+            let label = format!("{}{}", "  ".repeat(depth + 1), name);
+            out.push_str(&format!(
+                "{:<44} {:>7} {:>12}\n",
+                label,
+                p.calls,
+                fmt_ns(p.wall_ns)
+            ));
+        }
+        out.push_str(&format!("\n{:<44} {:>20}\n", "counter", "value"));
+        for c in &self.counters {
+            if c.value != 0 {
+                out.push_str(&format!("{:<44} {:>20}\n", c.name, c.value));
+            }
+        }
+        out
+    }
+
+    /// Serializes the profile as JSON under the stable `pluto-profile/1`
+    /// schema (see PERFORMANCE.md). `kernel` names the compiled program
+    /// when known; `null` otherwise. Phases are sorted by path, counters
+    /// appear in registry order with zero values included — consumers can
+    /// rely on the full counter set being present.
+    pub fn to_json(&self, kernel: Option<&str>) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"pluto-profile/1\",\n");
+        match kernel {
+            Some(k) => out.push_str(&format!("  \"kernel\": {},\n", json::escape(k))),
+            None => out.push_str("  \"kernel\": null,\n"),
+        }
+        out.push_str(&format!("  \"total_ns\": {},\n", self.total_ns));
+        out.push_str("  \"phases\": [");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"path\": {}, \"calls\": {}, \"wall_ns\": {}}}",
+                json::escape(&p.path),
+                p.calls,
+                p.wall_ns
+            ));
+        }
+        out.push_str("\n  ],\n  \"counters\": [");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"name\": {}, \"value\": {}}}",
+                json::escape(c.name),
+                c.value
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit (`ns`, `µs`, `ms`, `s`).
+fn fmt_ns(ns: u128) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes the crate's tests: sessions share process-global state.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_path_is_inert() {
+        let _g = SERIAL.lock().unwrap();
+        counters::reset_all();
+        assert!(!enabled());
+        // Bump every registered counter through the public API while no
+        // session is active: the cells must stay untouched.
+        for c in counters::all() {
+            c.bump();
+            c.add(41);
+            c.record_max(97);
+        }
+        for c in counters::all() {
+            assert_eq!(c.get(), 0, "counter {} touched while disabled", c.name());
+        }
+        // Spans are inert too: nothing lands in the buffer.
+        {
+            let _s = span("never-recorded");
+        }
+        let profile = Session::start().finish();
+        assert!(profile.phases.is_empty());
+    }
+
+    #[test]
+    fn session_records_counters_and_spans() {
+        let _g = SERIAL.lock().unwrap();
+        let session = Session::start();
+        counters::ILP_PIVOTS.add(7);
+        counters::FM_ROWS_PEAK.record_max(12);
+        counters::FM_ROWS_PEAK.record_max(5); // lower: must not shrink
+        {
+            let _outer = span("a");
+            let _inner = span("b");
+        }
+        {
+            let _again = span("a");
+        }
+        let profile = session.finish();
+        assert_eq!(profile.counter("ilp.pivots"), Some(7));
+        assert_eq!(profile.counter("poly.fm_rows_peak"), Some(12));
+        assert_eq!(profile.phase("a").unwrap().calls, 2);
+        assert_eq!(profile.phase("a/b").unwrap().calls, 1);
+        // Parents sort before children.
+        let ia = profile.phases.iter().position(|p| p.path == "a").unwrap();
+        let ib = profile.phases.iter().position(|p| p.path == "a/b").unwrap();
+        assert!(ia < ib);
+        // Counters include zero-valued entries (stable shape).
+        assert_eq!(profile.counters.len(), counters::all().len());
+    }
+
+    #[test]
+    fn finish_disables_recording() {
+        let _g = SERIAL.lock().unwrap();
+        let session = Session::start();
+        counters::SCC_CUTS.bump();
+        let p = session.finish();
+        assert_eq!(p.counter("core.scc_cuts"), Some(1));
+        counters::SCC_CUTS.bump(); // after finish: ignored
+        assert_eq!(counters::SCC_CUTS.get(), 1);
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn json_round_trips_through_parser() {
+        let _g = SERIAL.lock().unwrap();
+        let session = Session::start();
+        {
+            let _s = span("phase-\"quoted\"");
+            counters::ILP_SOLVES.bump();
+        }
+        let profile = session.finish();
+        let text = profile.to_json(Some("kernel \"x\"\n"));
+        let v = json::parse(&text).expect("emitted profile must be valid JSON");
+        assert_eq!(v.get("schema").unwrap().as_str(), Some("pluto-profile/1"));
+        assert_eq!(v.get("kernel").unwrap().as_str(), Some("kernel \"x\"\n"));
+        let phases = v.get("phases").unwrap().as_array().unwrap();
+        assert_eq!(phases.len(), 1);
+        assert_eq!(
+            phases[0].get("path").unwrap().as_str(),
+            Some("phase-\"quoted\"")
+        );
+        let counters_j = v.get("counters").unwrap().as_array().unwrap();
+        assert_eq!(counters_j.len(), counters::all().len());
+        // to_json(None) emits a JSON null kernel.
+        let v2 = json::parse(&profile.to_json(None)).unwrap();
+        assert!(v2.get("kernel").unwrap().is_null());
+    }
+
+    #[test]
+    fn table_renders_phases_and_nonzero_counters() {
+        let _g = SERIAL.lock().unwrap();
+        let session = Session::start();
+        {
+            let _s = span("render-me");
+        }
+        counters::ILP_CUTS.add(3);
+        let t = session.finish().render_table();
+        assert!(t.contains("render-me"));
+        assert!(t.contains("ilp.gomory_cuts"));
+        assert!(
+            !t.contains("machine.instances"),
+            "zero counters hidden:\n{t}"
+        );
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(17), "17ns");
+        assert_eq!(fmt_ns(1_500), "1.5µs");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_210_000_000), "3.21s");
+    }
+}

@@ -28,6 +28,8 @@
 //! assert!(p.contains(&[10]));
 //! assert!(!p.contains(&[11]));
 //! ```
+//!
+//! DESIGN.md §1 and §5 place this crate; the FM counters it feeds are in PERFORMANCE.md §4.
 
 mod set;
 

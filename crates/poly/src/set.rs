@@ -3,6 +3,7 @@
 use pluto_ilp::IlpProblem;
 use pluto_linalg::int::{normalize_ineq, normalize_row};
 use pluto_linalg::{gcd, Int};
+use pluto_obs::counters;
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -142,6 +143,7 @@ impl ConstraintSet {
 
     /// Exact integer emptiness (ILP-backed).
     pub fn is_empty(&self) -> bool {
+        counters::EMPTINESS_CHECKS.bump();
         if self.infeasible {
             return true;
         }
@@ -184,6 +186,21 @@ impl ConstraintSet {
     /// The result is the *rational shadow* strengthened to integers row-wise
     /// (constants floored); this is the standard sound over-approximation of
     /// the integer projection used by polyhedral code generators.
+    ///
+    /// ```
+    /// use pluto_poly::ConstraintSet;
+    ///
+    /// // { (i, j) : 0 <= i <= j <= 9 } — project out j (column 1):
+    /// let mut s = ConstraintSet::new(2);
+    /// s.add_ineq(vec![1, 0, 0]);   //  i      >= 0
+    /// s.add_ineq(vec![-1, 1, 0]);  //  j - i  >= 0
+    /// s.add_ineq(vec![0, -1, 9]);  //  9 - j  >= 0
+    /// let shadow = s.project_out(1, 1);
+    /// // The shadow is { i : 0 <= i <= 9 }:
+    /// assert_eq!(shadow.num_vars(), 1);
+    /// assert!(shadow.contains(&[0]) && shadow.contains(&[9]));
+    /// assert!(!shadow.contains(&[10]) && !shadow.contains(&[-1]));
+    /// ```
     ///
     /// # Panics
     /// Panics if the range is out of bounds.
@@ -252,6 +269,7 @@ impl ConstraintSet {
 
     /// Eliminates a single variable, dropping its column.
     fn eliminate_var(&self, v: usize) -> ConstraintSet {
+        counters::FM_ELIMINATIONS.bump();
         let n = self.num_vars;
         let drop_col = |row: &[Int]| -> Vec<Int> {
             let mut r = Vec::with_capacity(row.len() - 1);
@@ -311,6 +329,9 @@ impl ConstraintSet {
                 out.add_ineq(drop_col(&row));
             }
         }
+        // Peak is measured before dedup: it is the blowup the dedup pass
+        // has to absorb.
+        counters::FM_ROWS_PEAK.record_max(out.ineqs.len() as u64);
         out.dedup();
         out
     }
@@ -359,6 +380,7 @@ impl ConstraintSet {
     /// Quadratic in the number of rows with an ILP per row — use on the
     /// small systems handed to the code generator, not inside FM loops.
     pub fn remove_redundant(&mut self) {
+        counters::REDUNDANCY_CALLS.bump();
         self.dedup();
         let mut i = 0;
         while i < self.ineqs.len() {

@@ -19,6 +19,8 @@
 //! illegal skew produces code that compiles, runs, and is wrong only on
 //! particular dependence patterns. The oracle exists to fuzz hundreds of
 //! such patterns per CI run, offline, in seconds.
+//!
+//! DESIGN.md §7 describes the testing strategy this crate underpins.
 
 pub mod kernelgen;
 pub mod oracle;

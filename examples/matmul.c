@@ -1,0 +1,6 @@
+params N;
+array A[N][N]; array B[N][N]; array C[N][N];
+for (i = 0; i <= N - 1; i++)
+  for (j = 0; j <= N - 1; j++)
+    for (k = 0; k <= N - 1; k++)
+      C[i][j] = C[i][j] + A[i][k] * B[k][j];

@@ -1,0 +1,6 @@
+params N, T;
+array a[N][N];
+for (t = 0; t <= T - 1; t++)
+  for (i = 1; i <= N - 2; i++)
+    for (j = 1; j <= N - 2; j++)
+      a[i][j] = 0.2 * (a[i][j] + a[i-1][j] + a[i+1][j] + a[i][j-1] + a[i][j+1]);

@@ -18,6 +18,12 @@
 //!                     finds an error (race, out-of-bounds access)
 //!   --analyze-json    like --analyze, but print the diagnostics as a
 //!                     JSON array on stdout *instead of* the C code
+//!   --profile         record phase spans + solver counters while
+//!                     compiling and print the profile table to stderr
+//!                     (glossary in PERFORMANCE.md)
+//!   --profile-json    like --profile, but print the profile as
+//!                     `pluto-profile/1` JSON on stdout *instead of* the
+//!                     C code
 //!   --verify <vals>   execute original and transformed code at the given
 //!                     comma-separated parameter values (arrays allocated
 //!                     from the source's declared extents) and check the
@@ -54,6 +60,8 @@ fn run() -> Result<ExitCode, String> {
     let mut show_transform = false;
     let mut do_analyze = false;
     let mut analyze_json = false;
+    let mut do_profile = false;
+    let mut profile_json = false;
     let mut verify: Option<Vec<i64>> = None;
     let mut path: Option<String> = None;
 
@@ -74,6 +82,11 @@ fn run() -> Result<ExitCode, String> {
                 do_analyze = true;
                 analyze_json = true;
             }
+            "--profile" => do_profile = true,
+            "--profile-json" => {
+                do_profile = true;
+                profile_json = true;
+            }
             "--verify" => {
                 let vals = it.next().unwrap_or_default();
                 verify = Some(
@@ -87,12 +100,17 @@ fn run() -> Result<ExitCode, String> {
                 eprintln!("usage: plutoc [--tile n] [--l2 f] [--notile] [--noparallel]");
                 eprintln!("              [--nofuse] [--noinputdeps] [--wavefront m]");
                 eprintln!("              [--unroll f] [--show-transform] [--analyze]");
-                eprintln!("              [--analyze-json] [--verify v1,v2,…] <file.c | ->");
+                eprintln!("              [--analyze-json] [--profile] [--profile-json]");
+                eprintln!("              [--verify v1,v2,…] <file.c | ->");
                 return Ok(ExitCode::SUCCESS);
             }
             other if path.is_none() => path = Some(other.to_string()),
             other => return Err(format!("unexpected argument `{other}`")),
         }
+    }
+
+    if analyze_json && profile_json {
+        return Err("--analyze-json and --profile-json both claim stdout; pick one".to_string());
     }
 
     let source = match path.as_deref() {
@@ -105,6 +123,9 @@ fn run() -> Result<ExitCode, String> {
         }
         Some(p) => std::fs::read_to_string(p).map_err(|e| format!("cannot read `{p}`: {e}"))?,
     };
+
+    // The session starts before parsing so the "parse" span is captured.
+    let session = do_profile.then(pluto_obs::Session::start);
 
     let unit = pluto_frontend::parse_unit(&source).map_err(|e| e.to_string())?;
     let prog = unit.program.clone();
@@ -136,6 +157,7 @@ fn run() -> Result<ExitCode, String> {
 
     let mut analyzer_failed = false;
     if do_analyze {
+        let _s = pluto_obs::span("analyze");
         let diags = analyze(&AnalysisInput {
             program: &prog,
             deps: &optimized.deps,
@@ -151,7 +173,21 @@ fn run() -> Result<ExitCode, String> {
         }
         analyzer_failed = !is_clean(&diags);
     }
-    if !analyze_json {
+    if let Some(session) = session {
+        let profile = session.finish();
+        let kernel = match path.as_deref() {
+            None | Some("-") => "stdin".to_string(),
+            Some(p) => std::path::Path::new(p)
+                .file_stem()
+                .map_or_else(|| p.to_string(), |s| s.to_string_lossy().into_owned()),
+        };
+        if profile_json {
+            print!("{}", profile.to_json(Some(&kernel)));
+        } else {
+            eprint!("{}", profile.render_table());
+        }
+    }
+    if !analyze_json && !profile_json {
         print!("{}", emit_c(&prog, &ast));
     }
 

@@ -16,7 +16,13 @@
 //! * [`machine`] executes and measures (threads, caches, simulated
 //!   quad-core);
 //! * [`poly`], [`ilp`] and [`linalg`] are the exact-arithmetic substrates
-//!   standing in for PolyLib and PIP.
+//!   standing in for PolyLib and PIP;
+//! * [`obs`] observes it all — phase spans and solver counters surfaced
+//!   as compile profiles (`plutoc --profile`, PERFORMANCE.md).
+//!
+//! DESIGN.md (repo root) is the full inventory: §1 maps every paper
+//! component to its crate, §6 holds the algorithmic notes, §9 the
+//! observability layer.
 //!
 //! # Example: end-to-end
 //!
@@ -54,4 +60,5 @@ pub use pluto_ilp as ilp;
 pub use pluto_ir as ir;
 pub use pluto_linalg as linalg;
 pub use pluto_machine as machine;
+pub use pluto_obs as obs;
 pub use pluto_poly as poly;

@@ -14,6 +14,7 @@ use pluto_analyze::{analyze, AnalysisInput, Diagnostic};
 use pluto_codegen::{generate, Ast};
 use pluto_ir::Program;
 use pluto_linalg::Int;
+use pluto_obs::Profile;
 
 /// Every product of one audited compilation.
 pub struct Compiled {
@@ -24,6 +25,9 @@ pub struct Compiled {
     /// The analyzer's findings on the generated program (sorted, errors
     /// first; empty for a clean compile).
     pub diagnostics: Vec<Diagnostic>,
+    /// Phase spans + solver counters observed while compiling (schema and
+    /// glossary in PERFORMANCE.md).
+    pub profile: Profile,
 }
 
 impl Compiled {
@@ -48,19 +52,30 @@ pub fn compile_audited(
     optimizer: Optimizer,
     extents: Option<&[Vec<Vec<Int>>]>,
 ) -> Result<Compiled, PlutoError> {
-    let optimized = optimizer.optimize(prog)?;
+    let session = pluto_obs::Session::start();
+    let optimized = match optimizer.optimize(prog) {
+        Ok(o) => o,
+        Err(e) => {
+            session.finish(); // recording must not outlive the compile
+            return Err(e);
+        }
+    };
     let ast = generate(prog, &optimized.result.transform);
-    let diagnostics = analyze(&AnalysisInput {
-        program: prog,
-        deps: &optimized.deps,
-        transform: &optimized.result.transform,
-        ast: &ast,
-        extents,
-        param_values: None,
-    });
+    let diagnostics = {
+        let _s = pluto_obs::span("analyze");
+        analyze(&AnalysisInput {
+            program: prog,
+            deps: &optimized.deps,
+            transform: &optimized.result.transform,
+            ast: &ast,
+            extents,
+            param_values: None,
+        })
+    };
     Ok(Compiled {
         optimized,
         ast,
         diagnostics,
+        profile: session.finish(),
     })
 }

@@ -1,0 +1,177 @@
+//! Golden tests pinning the `pluto-profile/1` schema emitted by
+//! `plutoc --profile-json` and the profile returned by
+//! `compile_audited` — the machine-readable surface PERFORMANCE.md
+//! documents and downstream tooling parses. A failure here means the
+//! schema changed: bump the schema string and PERFORMANCE.md together,
+//! never silently.
+
+use pluto_repro::obs::{counters, json};
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+/// The jacobi-like library kernel used across the CLI tests.
+const SRC: &str = "
+params N, T;
+array a[N]; array b[N];
+for (t = 0; t < T; t++) {
+  for (i = 2; i <= N - 2; i++)
+    b[i] = 0.333 * (a[i-1] + a[i] + a[i+1]);
+  for (j = 2; j <= N - 2; j++)
+    a[j] = b[j];
+}
+";
+
+fn plutoc(args: &[&str], stdin: &str) -> (String, String, bool) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_plutoc"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn plutoc");
+    // A child that rejects its flags exits before reading stdin, so a
+    // broken pipe here is expected, not an error.
+    let _ = child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(stdin.as_bytes());
+    let out = child.wait_with_output().expect("plutoc runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+/// Asserts one parsed `pluto-profile/1` document against the schema
+/// contract: field names, phase paths, and the exact counter registry.
+fn assert_profile_shape(doc: &json::Json, expect_kernel: &str) {
+    assert_eq!(
+        doc.get("schema").expect("schema field").as_str(),
+        Some("pluto-profile/1")
+    );
+    assert_eq!(
+        doc.get("kernel").expect("kernel field").as_str(),
+        Some(expect_kernel)
+    );
+    assert!(
+        doc.get("total_ns")
+            .expect("total_ns field")
+            .as_u64()
+            .unwrap()
+            > 0
+    );
+
+    let phases = doc.get("phases").expect("phases field").as_array().unwrap();
+    let paths: Vec<&str> = phases
+        .iter()
+        .map(|p| p.get("path").expect("phase.path").as_str().unwrap())
+        .collect();
+    // The pipeline phases every compile goes through (sorted by path,
+    // parents before children).
+    for expected in [
+        "codegen",
+        "optimize",
+        "optimize/deps",
+        "optimize/search",
+        "optimize/tiling",
+        "parse",
+    ] {
+        assert!(
+            paths.contains(&expected),
+            "missing phase {expected}: {paths:?}"
+        );
+    }
+    let mut sorted = paths.clone();
+    sorted.sort_unstable();
+    assert_eq!(paths, sorted, "phases must be sorted by path");
+    for p in phases {
+        assert!(p.get("calls").expect("phase.calls").as_u64().unwrap() >= 1);
+        assert!(p.get("wall_ns").expect("phase.wall_ns").as_u64().is_some());
+    }
+
+    // Counters: the full registry, in registry order, zeros included —
+    // consumers may index by position.
+    let cs = doc
+        .get("counters")
+        .expect("counters field")
+        .as_array()
+        .unwrap();
+    let names: Vec<&str> = cs
+        .iter()
+        .map(|c| c.get("name").expect("counter.name").as_str().unwrap())
+        .collect();
+    let registry: Vec<&str> = counters::all().iter().map(|c| c.name()).collect();
+    assert_eq!(names, registry, "counter set drifted from the registry");
+    for c in cs {
+        assert!(c.get("value").expect("counter.value").as_u64().is_some());
+    }
+    // A compile cannot happen without ILP solves and dependence tests.
+    let value = |n: &str| {
+        cs.iter()
+            .find(|c| c.get("name").unwrap().as_str() == Some(n))
+            .and_then(|c| c.get("value").unwrap().as_u64())
+            .unwrap()
+    };
+    assert!(value("ilp.solves") > 0);
+    assert!(value("ilp.pivots") > 0);
+    assert!(value("ir.dep_candidates") > 0);
+    assert!(value("codegen.loops") > 0);
+}
+
+#[test]
+fn profile_json_schema_is_stable_on_stdin() {
+    let (stdout, _stderr, ok) = plutoc(&["--profile-json"], SRC);
+    assert!(ok);
+    let doc = json::parse(&stdout).expect("stdout must be exactly one JSON document");
+    assert_profile_shape(&doc, "stdin");
+}
+
+#[test]
+fn profile_json_works_on_the_shipped_examples() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/jacobi-1d.c");
+    let (stdout, _stderr, ok) = plutoc(&["--profile-json", path], "");
+    assert!(ok);
+    let doc = json::parse(&stdout).expect("valid JSON");
+    assert_profile_shape(&doc, "jacobi-1d");
+}
+
+#[test]
+fn profile_table_goes_to_stderr_and_c_to_stdout() {
+    let (stdout, stderr, ok) = plutoc(&["--profile"], SRC);
+    assert!(ok);
+    assert!(
+        stdout.contains("#pragma omp parallel for"),
+        "C still emitted"
+    );
+    assert!(stderr.contains("ilp.pivots"), "table on stderr:\n{stderr}");
+    assert!(stderr.contains("optimize"), "phase rows on stderr");
+}
+
+#[test]
+fn profile_and_analyze_json_conflict_is_rejected() {
+    let (_stdout, stderr, ok) = plutoc(&["--profile-json", "--analyze-json"], SRC);
+    assert!(!ok);
+    assert!(stderr.contains("stdout"));
+}
+
+#[test]
+fn compile_audited_returns_a_populated_profile() {
+    let prog = pluto_repro::frontend::parse(SRC).expect("parses");
+    let compiled = pluto_repro::pipeline::compile_audited(
+        &prog,
+        pluto_repro::pluto::Optimizer::new().tile_size(8),
+        None,
+    )
+    .expect("compiles");
+    assert!(compiled.is_clean());
+    let p = &compiled.profile;
+    assert!(p.total_ns > 0);
+    assert!(p.phase("optimize/search").is_some());
+    assert!(p.phase("analyze").is_some());
+    assert!(p.counter("ilp.solves").unwrap() > 0);
+    assert_eq!(p.counters.len(), counters::all().len());
+    // The JSON round-trips through the in-tree parser.
+    assert!(json::parse(&p.to_json(None)).is_ok());
+}
