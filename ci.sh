@@ -1,7 +1,9 @@
 #!/bin/sh
 # Hermetic CI gate: lint + format + rustdoc checks, offline release
 # build, full offline test suite, the 200-kernel fixed-seed differential
-# fuzz run, and a bench_json smoke run with BENCH_*.json schema checks.
+# fuzz run, a bench_json smoke run with BENCH_*.json schema checks, a
+# bench_diff perf-regression gate against the committed baselines, and a
+# trace-schema smoke run of `plutoc --trace`.
 #
 # The workspace has zero external dependencies (path deps only), so every
 # step runs with --offline against an empty crate registry. Randomized
@@ -34,9 +36,34 @@ echo "== bench smoke: BENCH_*.json emission + well-formedness =="
 # bench_json validates its own output with the in-tree pluto_obs::json
 # parser before writing; here we re-check the files exist, parse, and
 # carry the expected schema tags, keeping the gate hermetic (no python,
-# no jq).
+# no jq). Committed baselines are set aside first so bench_diff below
+# can compare the fresh run against them.
+cp BENCH_pipeline.json /tmp/pluto-ci-baseline-pipeline.json
+cp BENCH_kernels.json /tmp/pluto-ci-baseline-kernels.json
 cargo run --release --offline -p pluto-bench
-grep -q '"schema": "pluto-bench-pipeline/1"' BENCH_pipeline.json
-grep -q '"schema": "pluto-bench-kernels/1"' BENCH_kernels.json
+grep -q '"schema": "pluto-bench-pipeline/2"' BENCH_pipeline.json
+grep -q '"schema": "pluto-bench-kernels/2"' BENCH_kernels.json
+
+echo "== bench_diff: fresh run vs committed baselines (soft wall-time gate) =="
+# Counter-based metrics are deterministic and gate hard (fail >= 50 %
+# growth); wall-time metrics only warn — this machine is not the
+# machine that produced the committed numbers. PERFORMANCE.md §6.
+./target/release/bench_diff /tmp/pluto-ci-baseline-pipeline.json BENCH_pipeline.json
+./target/release/bench_diff /tmp/pluto-ci-baseline-kernels.json BENCH_kernels.json
+
+echo "== bench_diff: gate sanity (self-compare clean, fixture regression trips) =="
+./target/release/bench_diff BENCH_pipeline.json BENCH_pipeline.json
+if ./target/release/bench_diff \
+    crates/bench/tests/fixtures/pipeline_base.json \
+    crates/bench/tests/fixtures/pipeline_regressed.json; then
+    echo "bench_diff failed to flag the fixture regression" >&2
+    exit 1
+fi
+
+echo "== trace smoke: plutoc --trace emits a valid trace_event/1 document =="
+./target/release/plutoc --tile 8 --trace /tmp/pluto-ci-trace.json \
+    examples/seidel-2d.c > /dev/null
+grep -q '"schema": "trace_event/1"' /tmp/pluto-ci-trace.json
+grep -q '"ph": "B"' /tmp/pluto-ci-trace.json
 
 echo "== ci.sh: all gates passed =="

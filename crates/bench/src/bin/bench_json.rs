@@ -1,9 +1,14 @@
 //! `bench_json` — emits the machine-readable perf trajectory at the repo
 //! root: `BENCH_pipeline.json` (per-kernel compile-phase breakdown and
-//! solver counters, schema `pluto-bench-pipeline/1`) and
+//! solver counters, schema `pluto-bench-pipeline/2`) and
 //! `BENCH_kernels.json` (original-sequential vs pluto-sequential vs
-//! pluto-wavefront interpreter run times from the in-tree sampler,
-//! schema `pluto-bench-kernels/1`).
+//! pluto-wavefront interpreter run times from the in-tree sampler, plus
+//! the per-kernel runtime-execution section — load imbalance, barrier
+//! wait, per-array cache attribution — schema `pluto-bench-kernels/2`).
+//!
+//! Both documents carry a `meta` object (kernel-set hash, thread count,
+//! sample count, tile size) so `bench_diff` can refuse to compare
+//! incompatible runs instead of silently diffing apples to oranges.
 //!
 //! `cargo run -p pluto-bench --release` runs it (the crate's default
 //! binary). Both files are re-validated through `pluto_obs::json` before
@@ -17,8 +22,11 @@ use pluto_bench::timing::{sample, Stats};
 use pluto_bench::variants;
 use pluto_codegen::generate;
 use pluto_frontend::kernels::{self, Kernel};
-use pluto_machine::{run_parallel, run_sequential, Arrays, ParallelConfig};
-use pluto_obs::{json, Session};
+use pluto_machine::{
+    run_parallel, run_parallel_profiled, run_sequential, run_with_cache_attributed, Arrays,
+    CacheConfig, ParallelConfig,
+};
+use pluto_obs::{exec_json, json, Session};
 
 /// Timed samples per variant (after one warm-up); small because the
 /// emitter runs inside the CI smoke gate.
@@ -28,6 +36,17 @@ const SAMPLES: usize = 5;
 const TILE: i128 = 8;
 /// Thread-team width for the wavefront variant (the paper's 4 cores).
 const THREADS: usize = 4;
+
+/// Bench-scale cache geometry for the per-array attribution: shrunk with
+/// the problem sizes (see the crate docs) so interpreter-scale working
+/// sets overflow it the way the paper's arrays overflowed the Q6600's.
+const BENCH_CACHE: CacheConfig = CacheConfig {
+    line: 64,
+    l1_size: 8 * 1024,
+    l1_assoc: 8,
+    l2_size: 256 * 1024,
+    l2_assoc: 16,
+};
 
 /// The measured kernel set: name, kernel, bench-scale parameter values.
 fn bench_set() -> Vec<(&'static str, Kernel, Vec<i64>)> {
@@ -41,6 +60,43 @@ fn bench_set() -> Vec<(&'static str, Kernel, Vec<i64>)> {
         ("mvt", kernels::mvt(), vec![300]),
         ("lu", kernels::lu(), vec![100]),
     ]
+}
+
+/// FNV-1a, the workspace's hermetic stand-in for a real digest.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// Identity of the measured configuration: kernel names + parameter
+/// values + tile size. Two documents with different hashes measured
+/// different things and must not be diffed.
+fn kernel_set_hash(set: &[(&'static str, Kernel, Vec<i64>)]) -> String {
+    let mut desc = String::new();
+    for (name, _, params) in set {
+        desc.push_str(name);
+        desc.push(':');
+        for p in params {
+            desc.push_str(&p.to_string());
+            desc.push(',');
+        }
+        desc.push(';');
+    }
+    desc.push_str(&format!("tile={TILE}"));
+    format!("{:016x}", fnv1a(desc.as_bytes()))
+}
+
+/// The shared `meta` object (identical in both documents).
+fn meta_json(set: &[(&'static str, Kernel, Vec<i64>)]) -> String {
+    format!(
+        "  \"meta\": {{\n    \"kernel_set_hash\": \"{}\",\n    \"tile\": {TILE},\n    \
+         \"threads\": {THREADS},\n    \"samples\": {SAMPLES}\n  }},\n",
+        kernel_set_hash(set)
+    )
 }
 
 fn main() {
@@ -64,7 +120,9 @@ fn main() {
 /// Compiles every kernel under an observability session and serializes
 /// each profile (phases + full counter registry).
 fn emit_pipeline(set: &[(&'static str, Kernel, Vec<i64>)]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"pluto-bench-pipeline/1\",\n  \"kernels\": [");
+    let mut out = String::from("{\n  \"schema\": \"pluto-bench-pipeline/2\",\n");
+    out.push_str(&meta_json(set));
+    out.push_str("  \"kernels\": [");
     for (i, (name, k, _)) in set.iter().enumerate() {
         let session = Session::start();
         let optimized = Optimizer::new()
@@ -111,9 +169,12 @@ fn emit_pipeline(set: &[(&'static str, Kernel, Vec<i64>)]) -> String {
 }
 
 /// Samples original-sequential, pluto-sequential and pluto-wavefront
-/// interpreter runs for every kernel.
+/// interpreter runs for every kernel, then measures the wavefront
+/// variant's execution profile (imbalance, barrier wait, per-array
+/// attribution) in one additional instrumented run per kernel.
 fn emit_kernels(set: &[(&'static str, Kernel, Vec<i64>)]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"pluto-bench-kernels/1\",\n");
+    let mut out = String::from("{\n  \"schema\": \"pluto-bench-kernels/2\",\n");
+    out.push_str(&meta_json(set));
     out.push_str(&format!("  \"samples\": {SAMPLES},\n  \"kernels\": ["));
     for (i, (name, k, params)) in set.iter().enumerate() {
         let orig = variants::orig(&k.program);
@@ -139,6 +200,22 @@ fn emit_kernels(set: &[(&'static str, Kernel, Vec<i64>)]) -> String {
         let par = sample(SAMPLES, || {
             run_parallel(&k.program, &pluto_ast, params, &mut fresh(), cfg);
         });
+        // One instrumented run each for the execution profile: dispatch
+        // metrics from the thread team, cache attribution from the
+        // (sequential-interleaving) simulator at bench geometry.
+        let (_, mut eprof) =
+            run_parallel_profiled(&k.program, &pluto_ast, params, &mut fresh(), cfg);
+        let (_, _, per) =
+            run_with_cache_attributed(&k.program, &pluto_ast, params, &mut fresh(), BENCH_CACHE);
+        eprof.arrays = per
+            .iter()
+            .map(|(aname, s)| pluto_obs::exec::ArrayCache {
+                name: aname.clone(),
+                accesses: s.accesses,
+                l1_misses: s.l1_misses,
+                l2_misses: s.l2_misses,
+            })
+            .collect();
 
         if i > 0 {
             out.push(',');
@@ -163,7 +240,9 @@ fn emit_kernels(set: &[(&'static str, Kernel, Vec<i64>)]) -> String {
             }
             out.push_str(&variant_json(vname, st));
         }
-        out.push_str("\n      ]\n    }");
+        out.push_str("\n      ],\n      \"exec\": ");
+        out.push_str(&exec_json(&eprof, "      "));
+        out.push_str("\n    }");
     }
     out.push_str("\n  ]\n}\n");
     out

@@ -4,19 +4,38 @@
 //! ```text
 //! cargo run -p pluto-bench --release --bin figures -- all
 //! cargo run -p pluto-bench --release --bin figures -- fig6
+//! cargo run -p pluto-bench --release --bin figures -- fig13 --trace wf.json
 //! ```
 //!
 //! Code figures (3, 4, 9) print generated OpenMP C; performance figures
 //! (6, 8, 10, 12, 13) print one table each with modelled GFLOP/s, cache
-//! misses, barrier counts and speedups.
+//! misses, barrier counts and speedups. `--trace <out.json>`
+//! additionally executes the Fig. 13 wavefront kernel (seidel-2d,
+//! 2-d pipelined) on the real thread team and writes a Chrome Trace
+//! Event Format document (`trace_event/1`) for Perfetto (walkthrough in
+//! PERFORMANCE.md).
 
 use pluto_bench::variants::{self, Variant};
 use pluto_bench::{harness, measure};
 use pluto_codegen::{emit_c, generate};
 use pluto_frontend::kernels::{self, Kernel};
+use pluto_machine::{run_parallel, Arrays, ParallelConfig};
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let mut arg = "all".to_string();
+    let mut trace_out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace" => {
+                trace_out = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("figures: --trace expects an output path");
+                    std::process::exit(2);
+                }));
+            }
+            other => arg = other.to_string(),
+        }
+    }
     let all = arg == "all";
     if all || arg == "fig3" {
         fig3();
@@ -42,6 +61,42 @@ fn main() {
     if all || arg == "fig13" {
         fig13();
     }
+    if let Some(path) = trace_out {
+        trace_wavefront(&path);
+    }
+}
+
+/// Executes the Fig. 13 wavefront kernel (seidel-2d, 2-d pipelined
+/// parallelism) on the 4-thread team with tracing on and writes the
+/// Chrome-trace document. Small parameters: the point is the wavefront
+/// shape (ramp-up, full width, ramp-down), not the run time.
+fn trace_wavefront(path: &str) {
+    let k = kernels::seidel_2d();
+    let params = [8i64, 64]; // T, N
+    let v = variants::pluto(&k.program, 8, 2);
+    let ast = generate(&k.program, &v.result.transform);
+    let mut arrays = Arrays::new((k.extents)(&params));
+    arrays.seed_with(kernels::seed_value);
+    pluto_obs::trace::start();
+    run_parallel(
+        &k.program,
+        &ast,
+        &params,
+        &mut arrays,
+        ParallelConfig {
+            threads: 4,
+            collapse: v.collapse,
+        },
+    );
+    let trace = pluto_obs::trace::finish();
+    let doc = trace.to_chrome_json();
+    pluto_obs::json::parse(&doc).expect("emitted trace must be valid JSON");
+    std::fs::write(path, &doc).unwrap_or_else(|e| panic!("figures: cannot write `{path}`: {e}"));
+    println!(
+        "wrote {} trace events on {} timelines to {path} (seidel-2d wavefront, T=8 N=64)",
+        trace.events.len(),
+        trace.distinct_tids()
+    );
 }
 
 /// Runs a figure's variant list at 1..=4 cores (sequential baseline first)

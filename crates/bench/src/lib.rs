@@ -11,6 +11,10 @@
 //! * the `figures` binary (`cargo run -p pluto-bench --release --bin
 //!   figures -- all`) prints one table per paper figure (6, 8, 10, 12, 13)
 //!   and the generated-code listings for Figs. 3, 4 and 9;
+//! * [`diff`] compares two `BENCH_*.json` trajectory documents with the
+//!   PERFORMANCE.md §6 gating policy (counters gate, wall times warn);
+//!   the `bench_diff` binary wires it into `ci.sh` as the
+//!   perf-regression gate;
 //! * `benches/figures.rs` and `benches/toolchain.rs` hold the
 //!   `cargo bench` targets (on the hermetic [`timing`] sampler — no
 //!   external benchmark framework): per-figure simulated-machine runs at
@@ -28,9 +32,11 @@
 //!
 //! DESIGN.md §4 indexes every figure to its bench target; PERFORMANCE.md documents the BENCH_*.json trajectory files this crate emits.
 
+pub mod diff;
 pub mod harness;
 pub mod timing;
 pub mod variants;
 
+pub use diff::{diff_documents, render_report, DiffError, DiffReport};
 pub use harness::{bench_machine, measure, measure_on, Measurement};
 pub use variants::Variant;

@@ -1,0 +1,68 @@
+//! End-to-end exercise of the `bench_diff` binary against the committed
+//! fixtures: self-compare exits 0, a fabricated 50 % counter regression
+//! exits 1, incompatible documents exit 2. `ci.sh` runs the same three
+//! paths against the live `BENCH_*.json` baselines.
+
+use std::process::Command;
+
+fn fixture(name: &str) -> String {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn bench_diff(args: &[&str]) -> (Option<i32>, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_diff"))
+        .args(args)
+        .output()
+        .expect("bench_diff runs");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn self_compare_exits_zero() {
+    let base = fixture("pipeline_base.json");
+    let (code, stdout, stderr) = bench_diff(&[&base, &base]);
+    assert_eq!(code, Some(0), "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("0 failure(s)"), "stdout: {stdout}");
+}
+
+#[test]
+fn fabricated_counter_regression_exits_nonzero() {
+    let (code, stdout, _) = bench_diff(&[
+        &fixture("pipeline_base.json"),
+        &fixture("pipeline_regressed.json"),
+    ]);
+    assert_eq!(code, Some(1), "stdout: {stdout}");
+    assert!(
+        stdout.contains("lu/counters/ilp.pivots"),
+        "the regressed counter must be named: {stdout}"
+    );
+    assert!(stdout.contains("FAIL"), "stdout: {stdout}");
+}
+
+#[test]
+fn raised_fail_threshold_downgrades_to_warning() {
+    let (code, stdout, _) = bench_diff(&[
+        "--fail",
+        "0.9",
+        &fixture("pipeline_base.json"),
+        &fixture("pipeline_regressed.json"),
+    ]);
+    assert_eq!(code, Some(0), "stdout: {stdout}");
+    assert!(stdout.contains("0 failure(s)"), "stdout: {stdout}");
+}
+
+#[test]
+fn missing_file_and_bad_usage_exit_two() {
+    let (code, _, stderr) = bench_diff(&[&fixture("pipeline_base.json"), "/nonexistent.json"]);
+    assert_eq!(code, Some(2), "stderr: {stderr}");
+    let (code, _, _) = bench_diff(&[&fixture("pipeline_base.json")]);
+    assert_eq!(code, Some(2));
+}

@@ -104,6 +104,9 @@ pub struct CacheSim {
     line: u64,
     /// Accumulated statistics.
     pub stats: CacheStats,
+    /// Per-array attribution, indexed by IR array index; empty unless
+    /// built with [`CacheSim::with_arrays`].
+    per_array: Vec<CacheStats>,
 }
 
 impl CacheSim {
@@ -114,7 +117,19 @@ impl CacheSim {
             l2: Level::new(cfg.l2_size, cfg.l2_assoc, cfg.line),
             line: cfg.line,
             stats: CacheStats::default(),
+            per_array: Vec::new(),
         }
+    }
+
+    /// Builds a simulator that additionally attributes every access to
+    /// one of `arrays` program arrays (index = IR array index). Use
+    /// [`access_for`](CacheSim::access_for) to issue attributed
+    /// accesses and [`per_array`](CacheSim::per_array) to read them
+    /// back.
+    pub fn with_arrays(cfg: CacheConfig, arrays: usize) -> CacheSim {
+        let mut sim = CacheSim::new(cfg);
+        sim.per_array = vec![CacheStats::default(); arrays];
+        sim
     }
 
     /// Issues one byte-address access.
@@ -128,6 +143,37 @@ impl CacheSim {
                 self.stats.l2_misses += 1;
             }
         }
+    }
+
+    /// Issues one access attributed to array `array`. Equivalent to
+    /// [`access`](CacheSim::access) for the global totals; additionally
+    /// bumps that array's slot when the simulator was built with
+    /// [`with_arrays`](CacheSim::with_arrays) (out-of-range indices
+    /// fall back to unattributed counting).
+    #[inline]
+    pub fn access_for(&mut self, array: usize, addr: u64) {
+        let line = addr / self.line;
+        self.stats.accesses += 1;
+        let (mut l1_miss, mut l2_miss) = (0u64, 0u64);
+        if !self.l1.access(line) {
+            l1_miss = 1;
+            if !self.l2.access(line) {
+                l2_miss = 1;
+            }
+        }
+        self.stats.l1_misses += l1_miss;
+        self.stats.l2_misses += l2_miss;
+        if let Some(slot) = self.per_array.get_mut(array) {
+            slot.accesses += 1;
+            slot.l1_misses += l1_miss;
+            slot.l2_misses += l2_miss;
+        }
+    }
+
+    /// Per-array stats recorded via [`access_for`](CacheSim::access_for);
+    /// empty for simulators built with [`new`](CacheSim::new).
+    pub fn per_array(&self) -> &[CacheStats] {
+        &self.per_array
     }
 }
 
@@ -215,6 +261,34 @@ mod assoc_tests {
             }
         }
         assert_eq!(c.stats.l1_misses, 8); // cold misses only
+    }
+
+    #[test]
+    fn per_array_attribution_partitions_totals() {
+        let cfg = CacheConfig::default();
+        let mut plain = CacheSim::new(cfg);
+        let mut attr = CacheSim::with_arrays(cfg, 2);
+        // Two interleaved streams in disjoint address ranges.
+        for i in 0..512u64 {
+            plain.access(i * 8);
+            plain.access((1 << 24) | (i * 8));
+            attr.access_for(0, i * 8);
+            attr.access_for(1, (1 << 24) | (i * 8));
+        }
+        // Attribution must not change the simulated totals...
+        assert_eq!(attr.stats, plain.stats);
+        // ...and the per-array slots must partition them exactly.
+        let per = attr.per_array();
+        assert_eq!(per.len(), 2);
+        assert_eq!(per[0].accesses + per[1].accesses, attr.stats.accesses);
+        assert_eq!(per[0].l1_misses + per[1].l1_misses, attr.stats.l1_misses);
+        assert_eq!(per[0].l2_misses + per[1].l2_misses, attr.stats.l2_misses);
+        assert_eq!(per[0].accesses, 512);
+        // `new` keeps the unattributed fast path: no slots at all, and
+        // out-of-range indices on an attributed sim still count globally.
+        assert!(plain.per_array().is_empty());
+        attr.access_for(99, 0);
+        assert_eq!(attr.stats.accesses, 1025);
     }
 
     #[test]

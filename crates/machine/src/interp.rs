@@ -123,12 +123,12 @@ struct Cached<'a> {
 impl Mem for Cached<'_> {
     #[inline]
     fn load(&mut self, a: usize, off: usize, addr: u64) -> f64 {
-        self.sim.access(addr);
+        self.sim.access_for(a, addr);
         self.arrays.load(a, off)
     }
     #[inline]
     fn store(&mut self, a: usize, off: usize, addr: u64, v: f64) {
-        self.sim.access(addr);
+        self.sim.access_for(a, addr);
         self.arrays.store(a, off, v);
     }
 }
@@ -326,14 +326,15 @@ pub fn run_sequential(prog: &Program, ast: &Ast, params: &[i64], arrays: &mut Ar
 }
 
 /// Runs the AST sequentially with every access driven through the cache
-/// simulator.
-pub fn run_with_cache(
+/// simulator, attributing accesses per array. Shared by
+/// [`run_with_cache`] and [`run_with_cache_attributed`].
+fn run_cached_impl(
     prog: &Program,
     ast: &Ast,
     params: &[i64],
     arrays: &mut Arrays,
     cfg: CacheConfig,
-) -> (ExecStats, CacheStats) {
+) -> (ExecStats, CacheSim) {
     let _span = pluto_obs::span("execute/cached");
     let ctx = Ctx::new(prog, params, arrays);
     let mut vals = vec![0; ast.num_vars().max(params.len())];
@@ -341,7 +342,7 @@ pub fn run_with_cache(
         vals[k] = p as Int;
     }
     let mut stats = ExecStats::default();
-    let mut sim = CacheSim::new(cfg);
+    let mut sim = CacheSim::with_arrays(cfg, prog.arrays.len());
     let mut sc = Scratch::with_stmts(prog.stmts.len());
     {
         let mut mem = Cached {
@@ -351,7 +352,69 @@ pub fn run_with_cache(
         exec(ast, &mut vals, &ctx, &mut mem, &mut sc, &mut stats);
     }
     pluto_obs::counters::MACHINE_INSTANCES.add(stats.instances);
+    // Feed any active profile session the per-array attribution (inert
+    // one-load check otherwise), keyed by the IR array names.
+    if pluto_obs::enabled() {
+        for (i, s) in sim.per_array().iter().enumerate() {
+            if s.accesses > 0 {
+                pluto_obs::exec::record_array(
+                    &prog.arrays[i].name,
+                    s.accesses,
+                    s.l1_misses,
+                    s.l2_misses,
+                );
+            }
+        }
+    }
+    (stats, sim)
+}
+
+/// Runs the AST sequentially with every access driven through the cache
+/// simulator.
+pub fn run_with_cache(
+    prog: &Program,
+    ast: &Ast,
+    params: &[i64],
+    arrays: &mut Arrays,
+    cfg: CacheConfig,
+) -> (ExecStats, CacheStats) {
+    let (stats, sim) = run_cached_impl(prog, ast, params, arrays, cfg);
     (stats, sim.stats)
+}
+
+/// Like [`run_with_cache`], additionally returning the per-array
+/// attribution as `(array name, stats)` pairs in IR declaration order
+/// (arrays the run never touched are included with zero counts).
+pub fn run_with_cache_attributed(
+    prog: &Program,
+    ast: &Ast,
+    params: &[i64],
+    arrays: &mut Arrays,
+    cfg: CacheConfig,
+) -> (ExecStats, CacheStats, Vec<(String, CacheStats)>) {
+    let (stats, sim) = run_cached_impl(prog, ast, params, arrays, cfg);
+    let per = sim
+        .per_array()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (prog.arrays[i].name.clone(), *s))
+        .collect();
+    (stats, sim.stats, per)
+}
+
+/// Per-run telemetry state threaded through the parallel walker.
+struct Telemetry<'a> {
+    /// Measure chunk wall times and per-thread instance counts at all.
+    /// Off (no clock reads) unless a profile session or a trace is
+    /// active, or a caller asked for a local [`ExecProfile`]
+    /// (pluto_obs::ExecProfile).
+    measure: bool,
+    /// Local dispatch collector for [`run_parallel_profiled`].
+    dispatches: Option<&'a mut Vec<pluto_obs::exec::Dispatch>>,
+    /// Instances already flushed to `machine.instances` by per-dispatch
+    /// team flushes; the run's epilogue adds only the remainder the
+    /// coordinator executed outside any team.
+    flushed: u64,
 }
 
 /// Runs the AST with a thread team: every loop marked parallel distributes
@@ -359,12 +422,48 @@ pub fn run_with_cache(
 /// and the next loop in is parallel too) over `cfg.threads` scoped
 /// threads, with an implicit barrier at loop exit — the paper's OpenMP
 /// `parallel for` semantics.
+///
+/// When a [`pluto_obs`] profile session or trace is active, each
+/// dispatch additionally records per-thread chunk times, load-imbalance
+/// inputs, and (for traces) per-thread begin/end events; with both off
+/// the walker takes no clock reads and allocates no trace buffers.
 pub fn run_parallel(
     prog: &Program,
     ast: &Ast,
     params: &[i64],
     arrays: &mut Arrays,
     cfg: ParallelConfig,
+) -> ExecStats {
+    run_parallel_impl(prog, ast, params, arrays, cfg, None)
+}
+
+/// Like [`run_parallel`], additionally measuring every dispatch and
+/// returning the aggregated [`ExecProfile`](pluto_obs::ExecProfile)
+/// (load imbalance, barrier wait, per-thread instances) without
+/// requiring a global [`Session`](pluto_obs::Session). The profile's
+/// `arrays` section is empty — cache attribution comes from
+/// [`run_with_cache_attributed`], which simulates a sequential
+/// interleaving.
+pub fn run_parallel_profiled(
+    prog: &Program,
+    ast: &Ast,
+    params: &[i64],
+    arrays: &mut Arrays,
+    cfg: ParallelConfig,
+) -> (ExecStats, pluto_obs::ExecProfile) {
+    let mut dispatches = Vec::new();
+    let stats = run_parallel_impl(prog, ast, params, arrays, cfg, Some(&mut dispatches));
+    let profile = pluto_obs::ExecProfile::build(&dispatches, Vec::new());
+    (stats, profile)
+}
+
+fn run_parallel_impl(
+    prog: &Program,
+    ast: &Ast,
+    params: &[i64],
+    arrays: &mut Arrays,
+    cfg: ParallelConfig,
+    dispatches: Option<&mut Vec<pluto_obs::exec::Dispatch>>,
 ) -> ExecStats {
     let _span = pluto_obs::span("execute/parallel");
     let ctx = Ctx::new(prog, params, arrays);
@@ -375,12 +474,22 @@ pub fn run_parallel(
     let mut stats = ExecStats::default();
     let ptrs: Vec<SendPtr> = arrays.raw().into_iter().map(SendPtr).collect();
     let mut sc = Scratch::with_stmts(prog.stmts.len());
-    exec_outer(ast, &mut vals, &ctx, &ptrs, cfg, &mut sc, &mut stats);
-    pluto_obs::counters::MACHINE_INSTANCES.add(stats.instances);
+    let mut tel = Telemetry {
+        measure: dispatches.is_some() || pluto_obs::exec_metrics_enabled(),
+        dispatches,
+        flushed: 0,
+    };
+    exec_outer(
+        ast, &mut vals, &ctx, &ptrs, cfg, &mut sc, &mut stats, &mut tel,
+    );
+    // Teams flushed their instances per dispatch; count only what the
+    // coordinator executed outside any team (no double counting).
+    pluto_obs::counters::MACHINE_INSTANCES.add(stats.instances - tel.flushed);
     stats
 }
 
 /// Sequential walker that dispatches parallel loops onto the thread team.
+#[allow(clippy::too_many_arguments)]
 fn exec_outer(
     ast: &Ast,
     vals: &mut [Int],
@@ -389,15 +498,16 @@ fn exec_outer(
     cfg: ParallelConfig,
     sc: &mut Scratch,
     stats: &mut ExecStats,
+    tel: &mut Telemetry,
 ) {
     match ast {
         Ast::Seq(v) => {
             for a in v {
-                exec_outer(a, vals, ctx, ptrs, cfg, sc, stats);
+                exec_outer(a, vals, ctx, ptrs, cfg, sc, stats, tel);
             }
         }
         Ast::Loop(l) if l.parallel && cfg.threads > 1 => {
-            run_team(l, vals, ctx, ptrs, cfg, sc, stats);
+            run_team(l, vals, ctx, ptrs, cfg, sc, stats, tel);
         }
         Ast::Loop(l) => {
             let lb = l.lb.eval_lower(vals);
@@ -405,7 +515,7 @@ fn exec_outer(
             let mut x = lb;
             while x <= ub {
                 vals[l.var] = x;
-                exec_outer(&l.body, vals, ctx, ptrs, cfg, sc, stats);
+                exec_outer(&l.body, vals, ctx, ptrs, cfg, sc, stats, tel);
                 x += 1;
             }
         }
@@ -413,11 +523,11 @@ fn exec_outer(
             var, expr, body, ..
         } => {
             vals[*var] = expr.eval_floor(vals);
-            exec_outer(body, vals, ctx, ptrs, cfg, sc, stats);
+            exec_outer(body, vals, ctx, ptrs, cfg, sc, stats, tel);
         }
         Ast::Guard { conds, body } => {
             if conds.iter().all(|c| c.holds(vals)) {
-                exec_outer(body, vals, ctx, ptrs, cfg, sc, stats);
+                exec_outer(body, vals, ctx, ptrs, cfg, sc, stats, tel);
             }
         }
         Ast::Filter { stmt, conds, body } => {
@@ -425,7 +535,7 @@ fn exec_outer(
             if !pass {
                 sc.suppressed[*stmt] += 1;
             }
-            exec_outer(body, vals, ctx, ptrs, cfg, sc, stats);
+            exec_outer(body, vals, ctx, ptrs, cfg, sc, stats, tel);
             if !pass {
                 sc.suppressed[*stmt] -= 1;
             }
@@ -441,6 +551,7 @@ fn exec_outer(
 
 /// One parallel region: distribute the loop (or a 2-deep collapsed work
 /// list) over the team and join (barrier).
+#[allow(clippy::too_many_arguments)]
 fn run_team(
     l: &pluto_codegen::LoopNode,
     vals: &mut [Int],
@@ -449,6 +560,7 @@ fn run_team(
     cfg: ParallelConfig,
     sc: &Scratch,
     stats: &mut ExecStats,
+    tel: &mut Telemetry,
 ) {
     stats.parallel_regions += 1;
     let lb = l.lb.eval_lower(vals);
@@ -495,6 +607,17 @@ fn run_team(
         Some(i) => &i.body,
         None => &l.body,
     };
+    let measure = tel.measure;
+    let name: &str = &l.name;
+    // Coordinator dispatch span (tid 0): brackets fork to join. `None`
+    // (no allocation) whenever tracing is off.
+    let mut coord = pluto_obs::trace::RingBuf::for_thread(0);
+    if let Some(b) = coord.as_mut() {
+        b.begin(
+            name,
+            &[("items", items.len() as u64), ("threads", nthreads as u64)],
+        );
+    }
     let results = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(nthreads);
         for t in 0..nthreads {
@@ -506,6 +629,14 @@ fn run_team(
             let inner_var = inner.map(|i| i.var);
             let suppressed = sc.suppressed.clone();
             handles.push(scope.spawn(move || {
+                // Worker slot t owns timeline tid t+1 (0 = coordinator).
+                let mut buf = pluto_obs::trace::RingBuf::for_thread(t as u32 + 1);
+                if let Some(b) = buf.as_mut() {
+                    b.begin(name, &[("items", my_items.len() as u64)]);
+                }
+                // Chunk timing is gated with tracing/profiling: the
+                // disabled path never reads the clock.
+                let started = measure.then(std::time::Instant::now);
                 let mut mem = RawMem { ptrs };
                 let mut st = ExecStats::default();
                 let mut sc = Scratch::new();
@@ -517,7 +648,12 @@ fn run_team(
                     }
                     exec(body, &mut my_vals, ctx, &mut mem, &mut sc, &mut st);
                 }
-                st
+                let chunk_ns = started.map_or(0, |s| s.elapsed().as_nanos());
+                if let Some(mut b) = buf {
+                    b.end(name, &[("instances", st.instances)]);
+                    b.submit();
+                }
+                (st, chunk_ns)
             }));
         }
         handles
@@ -525,8 +661,37 @@ fn run_team(
             .map(|h| h.join().expect("worker panicked"))
             .collect::<Vec<_>>()
     });
-    for r in results {
+    let mut chunk_ns = Vec::new();
+    let mut instances = Vec::new();
+    let mut team_total = 0u64;
+    for (r, ns) in results {
+        team_total += r.instances;
+        if measure {
+            chunk_ns.push(ns);
+            instances.push(r.instances);
+        }
         stats.merge(r);
+    }
+    // Workers counted into locals; flush the team's total to the global
+    // counter once per dispatch — same discipline as the simplex hot
+    // loop — and remember it so the run's epilogue doesn't recount.
+    pluto_obs::counters::MACHINE_INSTANCES.add(team_total);
+    tel.flushed += team_total;
+    if let Some(mut b) = coord {
+        b.end(name, &[("instances", team_total)]);
+        b.submit();
+    }
+    if measure {
+        let d = pluto_obs::exec::Dispatch {
+            name: l.name.clone(),
+            items: items.len() as u64,
+            chunk_ns,
+            instances,
+        };
+        if let Some(v) = tel.dispatches.as_deref_mut() {
+            v.push(d.clone());
+        }
+        pluto_obs::exec::record_dispatch(d);
     }
 }
 

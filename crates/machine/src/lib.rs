@@ -21,6 +21,16 @@
 //!   4 MB 16-way L2, 64-byte lines), producing the locality metrics behind
 //!   the single-core speedups of Figs. 6, 8, 10.
 //!
+//! The substrate is also the *producer* side of the runtime-telemetry
+//! story (`pluto_obs::trace` / `pluto_obs::exec`): when a profile
+//! session or trace is active, [`run_parallel`] records per-thread
+//! chunk times and begin/end events per dispatch,
+//! [`run_with_cache_attributed`] attributes cache misses to the IR
+//! arrays, and [`run_parallel_profiled`] returns the derived
+//! load-imbalance/barrier-wait aggregate without a global session. With
+//! both switches off the instrumentation reduces to one relaxed atomic
+//! load per dispatch — no clock reads, no buffers.
+//!
 //! DESIGN.md §3.1 justifies this substitution for the paper's hardware testbed.
 
 mod arrays;
@@ -31,6 +41,7 @@ mod simulate;
 pub use arrays::Arrays;
 pub use cache::{CacheConfig, CacheSim, CacheStats};
 pub use interp::{
-    run_parallel, run_sanitized, run_sequential, run_with_cache, ExecStats, ParallelConfig,
+    run_parallel, run_parallel_profiled, run_sanitized, run_sequential, run_with_cache,
+    run_with_cache_attributed, ExecStats, ParallelConfig,
 };
 pub use simulate::{simulate, MachineConfig, SimStats};

@@ -1,0 +1,153 @@
+//! Runtime-telemetry integration: the `machine.instances` flush
+//! discipline (parallel total == sequential total), trace-event
+//! emission from `run_parallel`, and the session-free
+//! `run_parallel_profiled` aggregate.
+//!
+//! Sessions and traces are process-global, so this lives in its own
+//! test binary and serializes the tests that touch them.
+
+use pluto_codegen::{generate, original_schedule};
+use pluto_ir::{Expr, Program, ProgramBuilder, StatementSpec};
+use pluto_machine::{
+    run_parallel, run_parallel_profiled, run_sequential, run_with_cache_attributed, Arrays,
+    CacheConfig, ParallelConfig,
+};
+use std::sync::Mutex;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// `for i in 0..N { b[i] = 2 * a[i] }`, i-loop marked parallel.
+fn parallel_scale() -> (Program, pluto_codegen::Ast) {
+    let mut b = ProgramBuilder::new("scale", &["N"]);
+    b.add_context_ineq(vec![1, -1]);
+    b.add_array("a", 1);
+    b.add_array("b", 1);
+    b.add_statement(StatementSpec {
+        name: "S1".into(),
+        iters: vec!["i".into()],
+        domain_ineqs: vec![vec![1, 0, 0], vec![-1, 1, -1]],
+        beta: vec![0, 0],
+        write: ("b".into(), vec![vec![1, 0, 0]]),
+        reads: vec![("a".into(), vec![vec![1, 0, 0]])],
+        body: Expr::Lit(2.0) * Expr::Read(0),
+    });
+    let prog = b.build();
+    let mut t = original_schedule(&prog);
+    t.rows[1].par = pluto::Parallelism::Parallel;
+    for sp in t.stmt_par.iter_mut() {
+        sp[1] = pluto::Parallelism::Parallel;
+    }
+    let ast = generate(&prog, &t);
+    (prog, ast)
+}
+
+fn fresh_arrays() -> Arrays {
+    let mut a = Arrays::new(vec![vec![100], vec![100]]);
+    a.seed_with(|ar, o| (ar * 3 + o) as f64);
+    a
+}
+
+const CFG: ParallelConfig = ParallelConfig {
+    threads: 4,
+    collapse: 1,
+};
+
+/// Satellite: workers count instances into locals and the team flushes
+/// once per dispatch — the global counter total must equal the
+/// sequential run's, with no double counting from the run epilogue.
+#[test]
+fn parallel_counter_total_matches_sequential() {
+    let _g = SERIAL.lock().unwrap();
+    let (prog, ast) = parallel_scale();
+
+    let session = pluto_obs::Session::start();
+    let seq_stats = run_sequential(&prog, &ast, &[100], &mut fresh_arrays());
+    let seq = session.finish().counter("machine.instances").unwrap();
+
+    let session = pluto_obs::Session::start();
+    let par_stats = run_parallel(&prog, &ast, &[100], &mut fresh_arrays(), CFG);
+    let par = session.finish().counter("machine.instances").unwrap();
+
+    assert_eq!(seq_stats.instances, 100);
+    assert_eq!(par_stats.instances, 100);
+    assert_eq!(seq, 100);
+    assert_eq!(par, seq, "parallel counter total must match sequential");
+}
+
+/// Acceptance: a traced `run_parallel` produces one timeline per worker
+/// slot plus the coordinator, with paired B/E events.
+#[test]
+fn run_parallel_emits_trace_spans() {
+    let _g = SERIAL.lock().unwrap();
+    let (prog, ast) = parallel_scale();
+    pluto_obs::trace::start();
+    run_parallel(&prog, &ast, &[100], &mut fresh_arrays(), CFG);
+    let trace = pluto_obs::trace::finish();
+    // Coordinator + 4 worker slots.
+    assert_eq!(trace.distinct_tids(), 5);
+    for tid in 0..5u32 {
+        let begins = trace
+            .events
+            .iter()
+            .filter(|e| e.tid == tid && e.ph == pluto_obs::trace::Phase::Begin)
+            .count();
+        let ends = trace
+            .events
+            .iter()
+            .filter(|e| e.tid == tid && e.ph == pluto_obs::trace::Phase::End)
+            .count();
+        assert!(begins >= 1, "tid {tid} has no begin events");
+        assert_eq!(begins, ends, "tid {tid} has unpaired span events");
+    }
+    let doc = pluto_obs::json::parse(&trace.to_chrome_json()).expect("valid chrome trace");
+    assert_eq!(doc.get("schema").unwrap().as_str(), Some("trace_event/1"));
+}
+
+/// `run_parallel_profiled` returns the dispatch aggregate without any
+/// global session, and its per-thread instances partition the total.
+#[test]
+fn profiled_run_reports_dispatches() {
+    let _g = SERIAL.lock().unwrap();
+    let (prog, ast) = parallel_scale();
+    let (stats, profile) = run_parallel_profiled(&prog, &ast, &[100], &mut fresh_arrays(), CFG);
+    assert_eq!(stats.instances, 100);
+    assert_eq!(profile.dispatches, stats.parallel_regions);
+    assert_eq!(profile.threads, 4);
+    assert_eq!(profile.instances_per_thread.iter().sum::<u64>(), 100);
+    assert!(profile.imbalance_max >= 1.0);
+    assert!(profile.imbalance_mean >= 1.0);
+}
+
+/// A session spanning a parallel run and an attributed cache run gets
+/// the full `exec` section: dispatches and per-array attribution keyed
+/// by IR array names.
+#[test]
+fn session_collects_exec_section() {
+    let _g = SERIAL.lock().unwrap();
+    let (prog, ast) = parallel_scale();
+    let session = pluto_obs::Session::start();
+    run_parallel(&prog, &ast, &[100], &mut fresh_arrays(), CFG);
+    let (_, totals, per) = run_with_cache_attributed(
+        &prog,
+        &ast,
+        &[100],
+        &mut fresh_arrays(),
+        CacheConfig::default(),
+    );
+    let profile = session.finish();
+    let exec = profile.exec.expect("exec section recorded");
+    assert!(exec.dispatches >= 1);
+    assert_eq!(exec.threads, 4);
+    let names: Vec<&str> = exec.arrays.iter().map(|a| a.name.as_str()).collect();
+    assert_eq!(names, ["a", "b"]);
+    // Attributed totals partition the simulator totals, and the obs
+    // copy agrees with the returned one.
+    assert_eq!(
+        per.iter().map(|(_, s)| s.accesses).sum::<u64>(),
+        totals.accesses
+    );
+    assert_eq!(
+        exec.arrays.iter().map(|a| a.accesses).sum::<u64>(),
+        totals.accesses
+    );
+}

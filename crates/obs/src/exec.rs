@@ -1,0 +1,300 @@
+//! Runtime execution metrics: per-dispatch load balance, barrier wait,
+//! and per-array cache attribution, aggregated into an [`ExecProfile`].
+//!
+//! The compile-side profile (spans + counters) says what the compiler
+//! did; this module is where the machine substrate reports what the
+//! *generated program* did — the per-transformation performance
+//! attribution the paper's evaluation reads off its quad-core testbed
+//! (load balance of the tile-space wavefront, Figs. 10–13; cache
+//! behavior behind the single-core speedups, Figs. 6, 8).
+//!
+//! Two producers feed it, both in `pluto-machine`:
+//!
+//! * `run_parallel` records one [`Dispatch`] per parallel-loop entry
+//!   (per-thread chunk wall times and instance counts);
+//! * `run_with_cache` records per-array access/hit/miss totals, keyed
+//!   by the IR array names.
+//!
+//! Recording is gated on the profile session flag
+//! ([`enabled`](crate::enabled)) — while no session is active every
+//! call is a single relaxed load — and
+//! [`Session::finish`](crate::Session::finish) snapshots the
+//! accumulator into
+//! [`Profile::exec`](crate::Profile::exec), serialized as the `exec`
+//! section of the `pluto-profile/2` schema (PERFORMANCE.md §5.1).
+//!
+//! [`ExecProfile::build`] is also public so the machine substrate can
+//! compute the same derived metrics without a global session
+//! (`run_parallel_profiled`).
+
+use std::sync::Mutex;
+
+/// One parallel-loop dispatch: what each thread of the team did between
+/// entering the region and the implicit barrier at its exit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dispatch {
+    /// Display name of the dispatched loop (e.g. `c2`).
+    pub name: String,
+    /// Work items distributed over the team (collapsed pairs count
+    /// once each).
+    pub items: u64,
+    /// Per-thread chunk wall time, nanoseconds; length = team width.
+    pub chunk_ns: Vec<u128>,
+    /// Per-thread statement instances executed; same indexing.
+    pub instances: Vec<u64>,
+}
+
+impl Dispatch {
+    /// Load-imbalance ratio of this dispatch: slowest chunk over mean
+    /// chunk time (1.0 = perfectly balanced). Defined as 1.0 for an
+    /// empty team or when the clock resolution made every chunk 0.
+    pub fn imbalance(&self) -> f64 {
+        let n = self.chunk_ns.len();
+        if n == 0 {
+            return 1.0;
+        }
+        let sum: u128 = self.chunk_ns.iter().sum();
+        if sum == 0 {
+            return 1.0;
+        }
+        let max = *self.chunk_ns.iter().max().expect("non-empty") as f64;
+        max / (sum as f64 / n as f64)
+    }
+
+    /// Total time threads spent waiting at this dispatch's barrier:
+    /// `Σ (slowest chunk − own chunk)`.
+    pub fn barrier_wait_ns(&self) -> u128 {
+        let max = self.chunk_ns.iter().copied().max().unwrap_or(0);
+        self.chunk_ns.iter().map(|&c| max - c).sum()
+    }
+}
+
+/// Per-array cache counters (mirrors `pluto-machine`'s `CacheStats`
+/// plus a name; kept as plain fields so `obs` stays dependency-free).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ArrayCache {
+    /// IR array name (`Program::arrays[i].name`).
+    pub name: String,
+    /// Accesses issued to this array.
+    pub accesses: u64,
+    /// L1 misses attributed to this array.
+    pub l1_misses: u64,
+    /// L2 misses attributed to this array.
+    pub l2_misses: u64,
+}
+
+impl ArrayCache {
+    /// L1 miss ratio for this array (0.0 when never accessed).
+    pub fn l1_miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.l1_misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Aggregated runtime-execution section of a profile: what the thread
+/// teams and the cache simulator observed during the session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecProfile {
+    /// Parallel-loop dispatches (≈ barriers) observed.
+    pub dispatches: u64,
+    /// Widest thread team observed.
+    pub threads: usize,
+    /// Statement instances per worker slot (index 0 = worker 1),
+    /// summed over dispatches.
+    pub instances_per_thread: Vec<u64>,
+    /// Dispatch-duration-weighted mean of per-dispatch
+    /// [`imbalance`](Dispatch::imbalance) ratios (1.0 = balanced).
+    pub imbalance_mean: f64,
+    /// Worst per-dispatch imbalance ratio.
+    pub imbalance_max: f64,
+    /// Total barrier-wait nanoseconds across all threads and
+    /// dispatches.
+    pub barrier_wait_ns: u128,
+    /// Per-array cache attribution, in first-recorded order.
+    pub arrays: Vec<ArrayCache>,
+}
+
+impl ExecProfile {
+    /// Derives the aggregate profile from raw dispatch records and
+    /// per-array cache counters — the single definition of the derived
+    /// metrics, shared by [`Session::finish`](crate::Session::finish)
+    /// and the machine substrate's `run_parallel_profiled`.
+    pub fn build(dispatches: &[Dispatch], arrays: Vec<ArrayCache>) -> ExecProfile {
+        let threads = dispatches
+            .iter()
+            .map(|d| d.chunk_ns.len())
+            .max()
+            .unwrap_or(0);
+        let mut instances_per_thread = vec![0u64; threads];
+        let mut barrier_wait_ns = 0u128;
+        let mut imbalance_max = 1.0f64;
+        let mut weighted = 0.0f64;
+        let mut weight = 0.0f64;
+        for d in dispatches {
+            for (t, &n) in d.instances.iter().enumerate() {
+                instances_per_thread[t] += n;
+            }
+            barrier_wait_ns += d.barrier_wait_ns();
+            let r = d.imbalance();
+            imbalance_max = imbalance_max.max(r);
+            let w = d.chunk_ns.iter().copied().max().unwrap_or(0) as f64;
+            weighted += r * w;
+            weight += w;
+        }
+        let imbalance_mean = if dispatches.is_empty() {
+            1.0
+        } else if weight == 0.0 {
+            // Sub-resolution chunks: fall back to the unweighted mean.
+            dispatches.iter().map(Dispatch::imbalance).sum::<f64>() / dispatches.len() as f64
+        } else {
+            weighted / weight
+        };
+        ExecProfile {
+            dispatches: dispatches.len() as u64,
+            threads,
+            instances_per_thread,
+            imbalance_mean,
+            imbalance_max,
+            barrier_wait_ns,
+            arrays,
+        }
+    }
+}
+
+/// The session-scoped accumulator behind [`record_dispatch`] /
+/// [`record_array`].
+#[derive(Default)]
+struct Accum {
+    dispatches: Vec<Dispatch>,
+    arrays: Vec<ArrayCache>,
+}
+
+static ACCUM: Mutex<Option<Accum>> = Mutex::new(None);
+
+/// Reports one parallel-loop dispatch. Inert (one relaxed load) while
+/// no [`Session`](crate::Session) records. Called once per dispatch —
+/// never per item — so the mutex is off the hot path.
+pub fn record_dispatch(d: Dispatch) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut acc = ACCUM.lock().expect("exec accumulator poisoned");
+    acc.get_or_insert_with(Accum::default).dispatches.push(d);
+}
+
+/// Reports cache counters attributed to one named array; repeated
+/// reports for the same name accumulate. Inert while no session
+/// records.
+pub fn record_array(name: &str, accesses: u64, l1_misses: u64, l2_misses: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut acc = ACCUM.lock().expect("exec accumulator poisoned");
+    let arrays = &mut acc.get_or_insert_with(Accum::default).arrays;
+    match arrays.iter_mut().find(|a| a.name == name) {
+        Some(a) => {
+            a.accesses += accesses;
+            a.l1_misses += l1_misses;
+            a.l2_misses += l2_misses;
+        }
+        None => arrays.push(ArrayCache {
+            name: name.to_string(),
+            accesses,
+            l1_misses,
+            l2_misses,
+        }),
+    }
+}
+
+/// Clears the accumulator (on [`Session::start`](crate::Session::start)).
+pub(crate) fn reset() {
+    *ACCUM.lock().expect("exec accumulator poisoned") = None;
+}
+
+/// Drains the accumulator into an [`ExecProfile`], or `None` if the
+/// session observed no execution (the common compile-only case — the
+/// profile's `exec` field serializes as JSON `null`).
+pub(crate) fn take() -> Option<ExecProfile> {
+    let acc = ACCUM.lock().expect("exec accumulator poisoned").take()?;
+    if acc.dispatches.is_empty() && acc.arrays.is_empty() {
+        return None;
+    }
+    Some(ExecProfile::build(&acc.dispatches, acc.arrays))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_metrics() {
+        let d = Dispatch {
+            name: "c2".into(),
+            items: 8,
+            chunk_ns: vec![100, 50, 50, 0],
+            instances: vec![4, 2, 2, 0],
+        };
+        // mean = 50, max = 100 → ratio 2.0; waits: 0+50+50+100 = 200.
+        assert!((d.imbalance() - 2.0).abs() < 1e-12);
+        assert_eq!(d.barrier_wait_ns(), 200);
+    }
+
+    #[test]
+    fn degenerate_dispatches_are_balanced() {
+        let zero = Dispatch {
+            name: "c".into(),
+            items: 0,
+            chunk_ns: vec![0, 0],
+            instances: vec![0, 0],
+        };
+        assert_eq!(zero.imbalance(), 1.0);
+        assert_eq!(zero.barrier_wait_ns(), 0);
+        let empty = Dispatch {
+            name: "c".into(),
+            items: 0,
+            chunk_ns: vec![],
+            instances: vec![],
+        };
+        assert_eq!(empty.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn build_aggregates_across_dispatches() {
+        let ds = [
+            Dispatch {
+                name: "a".into(),
+                items: 4,
+                chunk_ns: vec![100, 100],
+                instances: vec![2, 2],
+            },
+            Dispatch {
+                name: "a".into(),
+                items: 4,
+                chunk_ns: vec![300, 100, 0],
+                instances: vec![3, 1, 0],
+            },
+        ];
+        let p = ExecProfile::build(
+            &ds,
+            vec![ArrayCache {
+                name: "x".into(),
+                accesses: 10,
+                l1_misses: 5,
+                l2_misses: 1,
+            }],
+        );
+        assert_eq!(p.dispatches, 2);
+        assert_eq!(p.threads, 3);
+        assert_eq!(p.instances_per_thread, vec![5, 3, 0]);
+        // d0: ratio 1.0 weight 100; d1: mean 400/3, max 300 → 2.25,
+        // weight 300 → mean = (100 + 675)/400 = 1.9375.
+        assert!((p.imbalance_mean - 1.9375).abs() < 1e-12);
+        assert!((p.imbalance_max - 2.25).abs() < 1e-12);
+        // waits: d0 0; d1 (0 + 200 + 300).
+        assert_eq!(p.barrier_wait_ns, 500);
+        assert!((p.arrays[0].l1_miss_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -6,8 +6,8 @@
 //! strict RFC 8259 JSON (no comments, no trailing commas), parses numbers
 //! as `f64`, and exposes just enough accessors for the golden tests and
 //! the bench harness to check the documents this workspace emits
-//! (`pluto-profile/1`, `pluto-bench-pipeline/1`, `pluto-bench-kernels/1`;
-//! schemas in PERFORMANCE.md).
+//! (`pluto-profile/2`, `pluto-bench-pipeline/2`, `pluto-bench-kernels/2`,
+//! `trace_event/1`; schemas in PERFORMANCE.md).
 //!
 //! ```
 //! let v = pluto_obs::json::parse(r#"{"schema": "pluto-profile/1", "n": 3}"#).unwrap();

@@ -19,7 +19,13 @@
 //! * [`Session`] / [`Profile`] — collection and rendering: a session
 //!   enables recording, a profile snapshots everything as a human table
 //!   ([`Profile::render_table`]) or stable JSON ([`Profile::to_json`],
-//!   schema `pluto-profile/1`, documented in PERFORMANCE.md);
+//!   schema `pluto-profile/2`, documented in PERFORMANCE.md);
+//! * [`trace`] — runtime execution tracing: per-thread event buffers
+//!   filled by the machine substrate's thread teams, exported as Chrome
+//!   Trace Event JSON (`trace_event/1`, loadable in Perfetto);
+//! * [`exec`] — runtime execution metrics (wavefront load balance,
+//!   barrier wait, per-array cache attribution) aggregated into the
+//!   [`Profile::exec`] section;
 //! * [`json`] — a minimal JSON parser so tests and the bench harness can
 //!   validate emitted profiles without external crates.
 //!
@@ -44,9 +50,9 @@
 //! let profile = session.finish();
 //! assert_eq!(profile.counter("ilp.pivots"), Some(3));
 //! assert_eq!(profile.phase("search/ilp").unwrap().calls, 1);
-//! // Machine-readable form, stable schema "pluto-profile/1":
+//! // Machine-readable form, stable schema "pluto-profile/2":
 //! let j = pluto_obs::json::parse(&profile.to_json(Some("demo"))).unwrap();
-//! assert_eq!(j.get("schema").unwrap().as_str(), Some("pluto-profile/1"));
+//! assert_eq!(j.get("schema").unwrap().as_str(), Some("pluto-profile/2"));
 //! ```
 //!
 //! # Concurrency model
@@ -60,9 +66,12 @@
 //! diagnostic data, never inputs to compilation decisions.
 
 pub mod counters;
+pub mod exec;
 pub mod json;
+pub mod trace;
 
 pub use counters::Counter;
+pub use exec::ExecProfile;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
@@ -79,6 +88,16 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 #[inline]
 pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
+}
+
+/// Whether the machine substrate should measure per-thread execution
+/// metrics: true while a profile [`Session`] records (the metrics land
+/// in [`Profile::exec`]) or while a [`trace`] records (they land on the
+/// event timelines). Two relaxed loads — the entire disabled-path cost
+/// of `run_parallel`'s instrumentation.
+#[inline]
+pub fn exec_metrics_enabled() -> bool {
+    enabled() || trace::enabled()
 }
 
 /// Completed-span buffer: `(path, wall_ns)` pairs drained by
@@ -176,6 +195,7 @@ impl Session {
             buf.clear();
         }
         counters::reset_all();
+        exec::reset();
         let s = Session {
             start: Instant::now(),
         };
@@ -221,6 +241,7 @@ impl Session {
             total_ns,
             phases,
             counters,
+            exec: exec::take(),
         }
     }
 }
@@ -249,9 +270,9 @@ pub struct CounterSnapshot {
 /// the full counter registry snapshot.
 ///
 /// Render with [`render_table`](Profile::render_table) (human) or
-/// [`to_json`](Profile::to_json) (machine, schema `pluto-profile/1` —
+/// [`to_json`](Profile::to_json) (machine, schema `pluto-profile/2` —
 /// field-by-field documentation in PERFORMANCE.md).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Profile {
     /// Wall time from `Session::start` to `finish`, in nanoseconds.
     pub total_ns: u128,
@@ -259,6 +280,11 @@ pub struct Profile {
     pub phases: Vec<Phase>,
     /// Snapshot of every registered counter, in registry order.
     pub counters: Vec<CounterSnapshot>,
+    /// Runtime execution metrics (thread-team load balance, barrier
+    /// wait, per-array cache attribution), when the session bracketed
+    /// an execution; `None` for compile-only sessions (the `exec`
+    /// schema field serializes as JSON `null`).
+    pub exec: Option<exec::ExecProfile>,
 }
 
 impl Profile {
@@ -304,17 +330,48 @@ impl Profile {
                 out.push_str(&format!("{:<44} {:>20}\n", c.name, c.value));
             }
         }
+        if let Some(e) = &self.exec {
+            out.push_str(&format!("\n{:<44} {:>20}\n", "execution", ""));
+            out.push_str(&format!("{:<44} {:>20}\n", "  dispatches", e.dispatches));
+            out.push_str(&format!("{:<44} {:>20}\n", "  threads", e.threads));
+            out.push_str(&format!(
+                "{:<44} {:>20.3}\n",
+                "  imbalance (mean)", e.imbalance_mean
+            ));
+            out.push_str(&format!(
+                "{:<44} {:>20.3}\n",
+                "  imbalance (max)", e.imbalance_max
+            ));
+            out.push_str(&format!(
+                "{:<44} {:>20}\n",
+                "  barrier wait",
+                fmt_ns(e.barrier_wait_ns)
+            ));
+            for a in &e.arrays {
+                out.push_str(&format!(
+                    "{:<44} {:>20}\n",
+                    format!("  array {} L1 miss rate", a.name),
+                    format!("{:.4}", a.l1_miss_rate())
+                ));
+            }
+        }
         out
     }
 
-    /// Serializes the profile as JSON under the stable `pluto-profile/1`
+    /// Serializes the profile as JSON under the stable `pluto-profile/2`
     /// schema (see PERFORMANCE.md). `kernel` names the compiled program
     /// when known; `null` otherwise. Phases are sorted by path, counters
     /// appear in registry order with zero values included — consumers can
     /// rely on the full counter set being present.
+    ///
+    /// `pluto-profile/2` is a strict superset of `/1`: every v1 field is
+    /// emitted unchanged and the new `exec` section (JSON `null` for
+    /// compile-only sessions) is purely additive, so v1 consumers that
+    /// ignore unknown fields keep working (`tests/profile_golden.rs`
+    /// pins this compatibility).
     pub fn to_json(&self, kernel: Option<&str>) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"pluto-profile/1\",\n");
+        out.push_str("  \"schema\": \"pluto-profile/2\",\n");
         match kernel {
             Some(k) => out.push_str(&format!("  \"kernel\": {},\n", json::escape(k))),
             None => out.push_str("  \"kernel\": null,\n"),
@@ -343,9 +400,81 @@ impl Profile {
                 c.value
             ));
         }
-        out.push_str("\n  ]\n}\n");
+        out.push_str("\n  ],\n  \"exec\": ");
+        match &self.exec {
+            None => out.push_str("null"),
+            Some(e) => out.push_str(&exec_json(e, "  ")),
+        }
+        out.push_str("\n}\n");
         out
     }
+}
+
+/// Serializes an [`ExecProfile`] as the `exec` object shared by
+/// `pluto-profile/2` and `pluto-bench-kernels/2` (PERFORMANCE.md §5).
+/// `indent` is the base indentation of the object's closing brace.
+pub fn exec_json(e: &exec::ExecProfile, indent: &str) -> String {
+    let mut out = String::from("{\n");
+    let field = |out: &mut String, last: bool, line: String| {
+        out.push_str(indent);
+        out.push_str("  ");
+        out.push_str(&line);
+        out.push_str(if last { "\n" } else { ",\n" });
+    };
+    field(&mut out, false, format!("\"dispatches\": {}", e.dispatches));
+    field(&mut out, false, format!("\"threads\": {}", e.threads));
+    field(
+        &mut out,
+        false,
+        format!(
+            "\"instances_per_thread\": [{}]",
+            e.instances_per_thread
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+    );
+    field(
+        &mut out,
+        false,
+        format!("\"imbalance_mean\": {:.4}", e.imbalance_mean),
+    );
+    field(
+        &mut out,
+        false,
+        format!("\"imbalance_max\": {:.4}", e.imbalance_max),
+    );
+    field(
+        &mut out,
+        false,
+        format!("\"barrier_wait_ns\": {}", e.barrier_wait_ns),
+    );
+    let mut arrays = String::from("\"arrays\": [");
+    for (i, a) in e.arrays.iter().enumerate() {
+        if i > 0 {
+            arrays.push(',');
+        }
+        arrays.push_str(&format!(
+            "\n{indent}    {{\"name\": {}, \"accesses\": {}, \"l1_misses\": {}, \
+             \"l2_misses\": {}, \"l1_miss_rate\": {:.4}}}",
+            json::escape(&a.name),
+            a.accesses,
+            a.l1_misses,
+            a.l2_misses,
+            a.l1_miss_rate()
+        ));
+    }
+    if !e.arrays.is_empty() {
+        arrays.push('\n');
+        arrays.push_str(indent);
+        arrays.push_str("  ");
+    }
+    arrays.push(']');
+    field(&mut out, true, arrays);
+    out.push_str(indent);
+    out.push('}');
+    out
 }
 
 /// Formats nanoseconds with an adaptive unit (`ns`, `µs`, `ms`, `s`).
@@ -387,8 +516,23 @@ mod tests {
         {
             let _s = span("never-recorded");
         }
+        // Runtime-execution metrics are equally inert: the machine
+        // substrate's gate reads false, dispatch/array reports are
+        // dropped, and no trace buffer is ever handed out — so
+        // `run_parallel` with everything off allocates no ring buffers
+        // and reads no clock.
+        assert!(!exec_metrics_enabled());
+        exec::record_dispatch(exec::Dispatch {
+            name: "never".into(),
+            items: 1,
+            chunk_ns: vec![1],
+            instances: vec![1],
+        });
+        exec::record_array("never", 1, 1, 1);
+        assert!(trace::RingBuf::for_thread(1).is_none());
         let profile = Session::start().finish();
         assert!(profile.phases.is_empty());
+        assert!(profile.exec.is_none(), "disabled exec reports recorded");
     }
 
     #[test]
@@ -441,8 +585,10 @@ mod tests {
         let profile = session.finish();
         let text = profile.to_json(Some("kernel \"x\"\n"));
         let v = json::parse(&text).expect("emitted profile must be valid JSON");
-        assert_eq!(v.get("schema").unwrap().as_str(), Some("pluto-profile/1"));
+        assert_eq!(v.get("schema").unwrap().as_str(), Some("pluto-profile/2"));
         assert_eq!(v.get("kernel").unwrap().as_str(), Some("kernel \"x\"\n"));
+        // Compile-only session: the v2 `exec` section is explicit null.
+        assert!(v.get("exec").unwrap().is_null());
         let phases = v.get("phases").unwrap().as_array().unwrap();
         assert_eq!(phases.len(), 1);
         assert_eq!(
@@ -454,6 +600,36 @@ mod tests {
         // to_json(None) emits a JSON null kernel.
         let v2 = json::parse(&profile.to_json(None)).unwrap();
         assert!(v2.get("kernel").unwrap().is_null());
+    }
+
+    #[test]
+    fn exec_reports_land_in_profile_and_json() {
+        let _g = SERIAL.lock().unwrap();
+        let session = Session::start();
+        exec::record_dispatch(exec::Dispatch {
+            name: "c2".into(),
+            items: 4,
+            chunk_ns: vec![200, 100],
+            instances: vec![3, 1],
+        });
+        exec::record_array("a", 10, 4, 1);
+        exec::record_array("a", 10, 2, 0); // same name: accumulates
+        let profile = session.finish();
+        let e = profile.exec.as_ref().expect("exec section recorded");
+        assert_eq!(e.dispatches, 1);
+        assert_eq!(e.threads, 2);
+        assert_eq!(e.instances_per_thread, vec![3, 1]);
+        assert_eq!(e.arrays.len(), 1);
+        assert_eq!(e.arrays[0].accesses, 20);
+        assert_eq!(e.arrays[0].l1_misses, 6);
+        let v = json::parse(&profile.to_json(None)).unwrap();
+        let ej = v.get("exec").unwrap();
+        assert_eq!(ej.get("dispatches").unwrap().as_u64(), Some(1));
+        let arrays = ej.get("arrays").unwrap().as_array().unwrap();
+        assert_eq!(arrays[0].get("name").unwrap().as_str(), Some("a"));
+        assert_eq!(arrays[0].get("l1_miss_rate").unwrap().as_f64(), Some(0.3));
+        // A fresh session clears the accumulator.
+        assert!(Session::start().finish().exec.is_none());
     }
 
     #[test]

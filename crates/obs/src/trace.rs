@@ -1,0 +1,390 @@
+//! Runtime execution tracing: per-thread event buffers and a Chrome
+//! Trace Event Format exporter.
+//!
+//! Where [`span`](crate::span)/[`counters`](crate::counters) answer
+//! "what did the *compiler* do", this module answers "what did the
+//! *generated program* do, per thread": the machine substrate's thread
+//! teams record timestamped begin/end events into thread-owned buffers
+//! while a trace is active, and [`Trace::to_chrome_json`] serializes
+//! them under the `trace_event/1` schema — a Chrome Trace Event Format
+//! document (JSON Object Format) loadable in Perfetto or
+//! `chrome://tracing` (walkthrough in PERFORMANCE.md).
+//!
+//! # Recording model
+//!
+//! Tracing is off by default and costs one relaxed atomic load per
+//! check ([`enabled`]). When on, each participating thread creates its
+//! own [`RingBuf`] — a bounded, thread-owned event buffer written with
+//! no synchronization whatsoever (the owning thread is the only
+//! writer) — and [`RingBuf::submit`]s it into the global collector
+//! *once*, at the end of its chunk of work: one lock acquisition per
+//! thread per parallel-loop dispatch, never per event. A buffer that
+//! fills up drops further events and reports the drop count at submit
+//! time instead of reallocating, so tracing perturbs the traced run as
+//! little as possible.
+//!
+//! Thread ids are small integers assigned by the instrumented code:
+//! tid 0 is the coordinating thread, tids 1..=N are worker slots of the
+//! thread team (stable across dispatches, so one Perfetto track per
+//! worker slot).
+//!
+//! ```
+//! pluto_obs::trace::start();
+//! let mut buf = pluto_obs::trace::RingBuf::for_thread(1).expect("tracing is on");
+//! buf.begin("chunk", &[("items", 8)]);
+//! buf.end("chunk", &[("instances", 8)]);
+//! buf.submit();
+//! let trace = pluto_obs::trace::finish();
+//! assert_eq!(trace.events.len(), 2);
+//! let doc = pluto_obs::json::parse(&trace.to_chrome_json()).unwrap();
+//! assert_eq!(doc.get("schema").unwrap().as_str(), Some("trace_event/1"));
+//! ```
+
+use crate::json;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Process-global tracing switch, independent of the profile
+/// [`Session`](crate::Session) flag: profiles can be collected without
+/// paying for event streams and vice versa.
+static TRACING: AtomicBool = AtomicBool::new(false);
+
+/// Submitted events, drained by [`finish`].
+static EVENTS: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
+
+/// Clock origin for all trace timestamps. Set once per process on the
+/// first [`start`]; [`Trace`] normalizes to the earliest event on
+/// export, so the epoch never needs resetting (which keeps
+/// [`now_ns`] a lock-free read).
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Default per-thread buffer capacity, in events. A wavefront dispatch
+/// records two events per worker, so this bounds even pathological
+/// loop-per-point traces; overflow drops events (counted) rather than
+/// reallocating mid-measurement.
+pub const RING_CAPACITY: usize = 1 << 16;
+
+/// Whether a trace is currently recording (one relaxed atomic load —
+/// the entire disabled-path cost, as with
+/// [`enabled`](crate::enabled)).
+#[inline]
+pub fn enabled() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+/// Starts recording a trace: clears the event collector and enables the
+/// switch. Concurrent traces are not reference-counted (same model as
+/// [`Session`](crate::Session)); in-tree users are sequential.
+pub fn start() {
+    EPOCH.get_or_init(Instant::now);
+    EVENTS.lock().expect("trace buffer poisoned").clear();
+    TRACING.store(true, Ordering::Relaxed);
+}
+
+/// Stops recording and returns everything submitted since [`start`].
+/// Safe to call when no trace is active (returns an empty [`Trace`]).
+pub fn finish() -> Trace {
+    TRACING.store(false, Ordering::Relaxed);
+    let mut events = std::mem::take(&mut *EVENTS.lock().expect("trace buffer poisoned"));
+    events.sort_by_key(|e| (e.ts_ns, e.tid));
+    Trace { events }
+}
+
+/// Nanoseconds since the process trace epoch (0 before the first
+/// [`start`]). Lock-free: one `OnceLock` load plus the monotonic-clock
+/// read.
+#[inline]
+pub fn now_ns() -> u128 {
+    EPOCH.get().map_or(0, |e| e.elapsed().as_nanos())
+}
+
+/// Event phase, mirroring the Chrome Trace Event `ph` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Span begin (`"B"`).
+    Begin,
+    /// Span end (`"E"`).
+    End,
+    /// Instant event (`"i"`).
+    Instant,
+}
+
+impl Phase {
+    /// The Chrome Trace Event `ph` string.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Phase::Begin => "B",
+            Phase::End => "E",
+            Phase::Instant => "i",
+        }
+    }
+}
+
+/// One timestamped event on one thread's timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name (the Perfetto slice label), e.g. the parallel loop's
+    /// display name.
+    pub name: String,
+    /// Begin / end / instant.
+    pub ph: Phase,
+    /// Timeline this event belongs to: 0 = coordinator, 1..=N = worker
+    /// slots.
+    pub tid: u32,
+    /// Nanoseconds since the trace epoch.
+    pub ts_ns: u128,
+    /// Numeric payload rendered into the Chrome `args` object
+    /// (item counts, instance counts, milli-ratios …).
+    pub args: Vec<(&'static str, u64)>,
+}
+
+/// A bounded, thread-owned event buffer: the only writer is the owning
+/// thread, so recording is synchronization-free; the single lock is
+/// taken once, in [`submit`](RingBuf::submit).
+#[derive(Debug)]
+pub struct RingBuf {
+    tid: u32,
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    /// Events discarded because the buffer was full.
+    dropped: u64,
+}
+
+impl RingBuf {
+    /// Creates a buffer for worker slot `tid` if a trace is recording;
+    /// `None` (no allocation) otherwise — callers hold the `Option` and
+    /// stay zero-cost when tracing is off.
+    pub fn for_thread(tid: u32) -> Option<RingBuf> {
+        enabled().then(|| RingBuf {
+            tid,
+            events: Vec::with_capacity(64),
+            capacity: RING_CAPACITY,
+            dropped: 0,
+        })
+    }
+
+    fn push(&mut self, name: &str, ph: Phase, args: &[(&'static str, u64)]) {
+        if self.events.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.events.push(TraceEvent {
+            name: name.to_string(),
+            ph,
+            tid: self.tid,
+            ts_ns: now_ns(),
+            args: args.to_vec(),
+        });
+    }
+
+    /// Records a span-begin event, timestamped now.
+    pub fn begin(&mut self, name: &str, args: &[(&'static str, u64)]) {
+        self.push(name, Phase::Begin, args);
+    }
+
+    /// Records a span-end event, timestamped now.
+    pub fn end(&mut self, name: &str, args: &[(&'static str, u64)]) {
+        self.push(name, Phase::End, args);
+    }
+
+    /// Records an instant event, timestamped now.
+    pub fn instant(&mut self, name: &str, args: &[(&'static str, u64)]) {
+        self.push(name, Phase::Instant, args);
+    }
+
+    /// Moves the buffered events into the global collector — the one
+    /// lock acquisition of this buffer's lifetime. Overflow is reported
+    /// as a final `trace.dropped` instant event rather than lost
+    /// silently.
+    pub fn submit(mut self) {
+        if self.dropped > 0 {
+            // Bypasses the capacity check: the report must not be
+            // dropped by the very condition it reports.
+            self.events.push(TraceEvent {
+                name: "trace.dropped".to_string(),
+                ph: Phase::Instant,
+                tid: self.tid,
+                ts_ns: now_ns(),
+                args: vec![("events", self.dropped)],
+            });
+        }
+        if self.events.is_empty() {
+            return;
+        }
+        EVENTS
+            .lock()
+            .expect("trace buffer poisoned")
+            .append(&mut self.events);
+    }
+}
+
+/// A finished trace: every submitted event, sorted by timestamp.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    /// All events, sorted by `(ts_ns, tid)`.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Number of distinct thread timelines in the trace.
+    pub fn distinct_tids(&self) -> usize {
+        let mut tids: Vec<u32> = self.events.iter().map(|e| e.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        tids.len()
+    }
+
+    /// Serializes the trace as a Chrome Trace Event Format document
+    /// (JSON Object Format), schema `trace_event/1`:
+    ///
+    /// * `schema` — `"trace_event/1"` (a pluto-rs extension field;
+    ///   Chrome/Perfetto ignore unknown top-level keys);
+    /// * `displayTimeUnit` — `"ns"`;
+    /// * `traceEvents` — one object per event with the standard
+    ///   `name`/`ph`/`pid`/`tid`/`ts`/`args` fields (`ts` in
+    ///   microseconds as the format requires, 3 decimal places, and
+    ///   timestamps normalized so the earliest event is `t = 0`), plus
+    ///   one `M`-phase `thread_name` metadata record per timeline so
+    ///   Perfetto labels the tracks (`coordinator`, `worker-1`, …).
+    ///
+    /// The output is strict RFC 8259 and round-trips through
+    /// [`json::parse`]; `tests/trace_golden.rs` pins the shape.
+    pub fn to_chrome_json(&self) -> String {
+        let t0 = self.events.iter().map(|e| e.ts_ns).min().unwrap_or(0);
+        let mut out = String::from(
+            "{\n  \"schema\": \"trace_event/1\",\n  \"displayTimeUnit\": \"ns\",\n  \
+             \"traceEvents\": [",
+        );
+        let mut first = true;
+        let mut sep = |out: &mut String| {
+            if first {
+                first = false;
+            } else {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+        };
+        let mut tids: Vec<u32> = self.events.iter().map(|e| e.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        for tid in &tids {
+            let label = if *tid == 0 {
+                "coordinator".to_string()
+            } else {
+                format!("worker-{tid}")
+            };
+            sep(&mut out);
+            out.push_str(&format!(
+                "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {tid}, \
+                 \"args\": {{\"name\": {}}}}}",
+                json::escape(&label)
+            ));
+        }
+        for e in &self.events {
+            sep(&mut out);
+            // Chrome wants microseconds; keep ns resolution in the
+            // fraction.
+            let us_int = (e.ts_ns - t0) / 1_000;
+            let us_frac = (e.ts_ns - t0) % 1_000;
+            out.push_str(&format!(
+                "{{\"name\": {}, \"ph\": \"{}\", \"pid\": 1, \"tid\": {}, \"ts\": {}.{:03}",
+                json::escape(&e.name),
+                e.ph.as_str(),
+                e.tid,
+                us_int,
+                us_frac
+            ));
+            if e.ph == Phase::Instant {
+                out.push_str(", \"s\": \"t\"");
+            }
+            out.push_str(", \"args\": {");
+            for (i, (k, v)) in e.args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{}: {}", json::escape(k), v));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Trace state is process-global; serialize the tests touching it.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_tracing_allocates_nothing() {
+        let _g = SERIAL.lock().unwrap();
+        assert!(!enabled());
+        // No trace active: no buffer is handed out, nothing recorded.
+        assert!(RingBuf::for_thread(3).is_none());
+        let t = finish();
+        assert!(t.events.is_empty());
+    }
+
+    #[test]
+    fn events_round_trip_through_buffers() {
+        let _g = SERIAL.lock().unwrap();
+        start();
+        let mut b1 = RingBuf::for_thread(1).expect("tracing on");
+        let mut b2 = RingBuf::for_thread(2).expect("tracing on");
+        b1.begin("chunk", &[("items", 4)]);
+        b1.end("chunk", &[("instances", 4)]);
+        b2.begin("chunk", &[("items", 3)]);
+        b2.end("chunk", &[]);
+        b1.submit();
+        b2.submit();
+        let t = finish();
+        assert_eq!(t.events.len(), 4);
+        assert_eq!(t.distinct_tids(), 2);
+        // Timestamps are sorted and monotone per thread.
+        for pair in t.events.windows(2) {
+            assert!(pair[0].ts_ns <= pair[1].ts_ns);
+        }
+        let doc = json::parse(&t.to_chrome_json()).expect("valid chrome trace");
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some("trace_event/1"));
+        let evs = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // 4 events + 2 thread_name metadata records.
+        assert_eq!(evs.len(), 6);
+    }
+
+    #[test]
+    fn overflow_drops_and_reports() {
+        let _g = SERIAL.lock().unwrap();
+        start();
+        let mut b = RingBuf::for_thread(1).expect("tracing on");
+        b.capacity = 4;
+        for _ in 0..6 {
+            b.begin("e", &[]);
+        }
+        b.submit();
+        let t = finish();
+        // 4 kept, capacity freed by the drop report replacing nothing:
+        // the report itself needs a slot, so it is appended above cap.
+        let dropped = t
+            .events
+            .iter()
+            .find(|e| e.name == "trace.dropped")
+            .expect("drop report present");
+        assert_eq!(dropped.args, vec![("events", 2)]);
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_clears() {
+        let _g = SERIAL.lock().unwrap();
+        start();
+        let mut b = RingBuf::for_thread(0).unwrap();
+        b.instant("mark", &[]);
+        b.submit();
+        assert_eq!(finish().events.len(), 1);
+        assert!(finish().events.is_empty());
+        assert!(!enabled());
+    }
+}

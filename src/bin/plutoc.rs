@@ -22,18 +22,24 @@
 //!                     compiling and print the profile table to stderr
 //!                     (glossary in PERFORMANCE.md)
 //!   --profile-json    like --profile, but print the profile as
-//!                     `pluto-profile/1` JSON on stdout *instead of* the
+//!                     `pluto-profile/2` JSON on stdout *instead of* the
 //!                     C code
 //!   --verify <vals>   execute original and transformed code at the given
 //!                     comma-separated parameter values (arrays allocated
 //!                     from the source's declared extents) and check the
 //!                     results are bitwise identical
+//!   --trace <out>     execute the transformed code on the thread team
+//!                     and write a Chrome Trace Event Format document
+//!                     (`trace_event/1`, loadable in Perfetto) to <out>;
+//!                     parameter values come from --verify when given,
+//!                     else default to 64 each
+//!   --threads <n>     thread-team width for --trace runs (default 4)
 //! ```
 
 use pluto::{FusionPolicy, Optimizer, PlutoOptions};
 use pluto_analyze::{analyze, is_clean, render_json, render_text, AnalysisInput};
 use pluto_codegen::{emit_c, generate, original_schedule, unroll_innermost};
-use pluto_machine::{run_sequential, Arrays};
+use pluto_machine::{run_parallel, run_sequential, Arrays, ParallelConfig};
 use std::io::Read;
 use std::process::ExitCode;
 
@@ -63,6 +69,8 @@ fn run() -> Result<ExitCode, String> {
     let mut do_profile = false;
     let mut profile_json = false;
     let mut verify: Option<Vec<i64>> = None;
+    let mut trace_out: Option<String> = None;
+    let mut threads = 4usize;
     let mut path: Option<String> = None;
 
     let mut it = args.into_iter();
@@ -96,12 +104,17 @@ fn run() -> Result<ExitCode, String> {
                         .map_err(|_| "--verify expects comma-separated integers".to_string())?,
                 );
             }
+            "--trace" => {
+                trace_out = Some(it.next().ok_or("--trace expects an output path")?);
+            }
+            "--threads" => threads = parse_num(&a, it.next())? as usize,
             "--help" | "-h" => {
                 eprintln!("usage: plutoc [--tile n] [--l2 f] [--notile] [--noparallel]");
                 eprintln!("              [--nofuse] [--noinputdeps] [--wavefront m]");
                 eprintln!("              [--unroll f] [--show-transform] [--analyze]");
                 eprintln!("              [--analyze-json] [--profile] [--profile-json]");
-                eprintln!("              [--verify v1,v2,…] <file.c | ->");
+                eprintln!("              [--verify v1,v2,…] [--trace out.json]");
+                eprintln!("              [--threads n] <file.c | ->");
                 return Ok(ExitCode::SUCCESS);
             }
             other if path.is_none() => path = Some(other.to_string()),
@@ -172,6 +185,48 @@ fn run() -> Result<ExitCode, String> {
             eprint!("{}", render_text(&diags));
         }
         analyzer_failed = !is_clean(&diags);
+    }
+    // The traced execution runs before the session finishes so a
+    // combined --profile --trace invocation gets the `exec` section of
+    // `pluto-profile/2` filled in from the same run.
+    if let Some(out_path) = &trace_out {
+        let params: Vec<i64> = match &verify {
+            Some(v) => v.clone(),
+            None => vec![64; prog.num_params()],
+        };
+        if params.len() != prog.num_params() {
+            return Err(format!(
+                "--trace expects {} --verify value(s) for ({})",
+                prog.num_params(),
+                prog.params.join(", ")
+            ));
+        }
+        let extents = unit
+            .try_extents(&params)
+            .map_err(|m| format!("--trace: {m}"))?;
+        let mut arrays = Arrays::new(extents);
+        arrays.seed_with(pluto_frontend::kernels::seed_value);
+        pluto_obs::trace::start();
+        run_parallel(
+            &prog,
+            &ast,
+            &params,
+            &mut arrays,
+            ParallelConfig {
+                threads,
+                collapse: wavefront.max(1),
+            },
+        );
+        let trace = pluto_obs::trace::finish();
+        let doc = trace.to_chrome_json();
+        pluto_obs::json::parse(&doc)
+            .map_err(|e| format!("--trace: emitted trace is not valid JSON: {e}"))?;
+        std::fs::write(out_path, &doc).map_err(|e| format!("cannot write `{out_path}`: {e}"))?;
+        eprintln!(
+            "plutoc: wrote {} trace events on {} timelines to {out_path}",
+            trace.events.len(),
+            trace.distinct_tids()
+        );
     }
     if let Some(session) = session {
         let profile = session.finish();

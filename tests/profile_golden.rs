@@ -1,9 +1,10 @@
-//! Golden tests pinning the `pluto-profile/1` schema emitted by
+//! Golden tests pinning the `pluto-profile/2` schema emitted by
 //! `plutoc --profile-json` and the profile returned by
 //! `compile_audited` — the machine-readable surface PERFORMANCE.md
 //! documents and downstream tooling parses. A failure here means the
 //! schema changed: bump the schema string and PERFORMANCE.md together,
-//! never silently.
+//! never silently. v2 is a strict superset of v1 (one added `exec`
+//! field); the v1-consumer compat test pins that.
 
 use pluto_repro::obs::{counters, json};
 use std::io::Write as _;
@@ -44,13 +45,15 @@ fn plutoc(args: &[&str], stdin: &str) -> (String, String, bool) {
     )
 }
 
-/// Asserts one parsed `pluto-profile/1` document against the schema
+/// Asserts one parsed `pluto-profile/2` document against the schema
 /// contract: field names, phase paths, and the exact counter registry.
 fn assert_profile_shape(doc: &json::Json, expect_kernel: &str) {
     assert_eq!(
         doc.get("schema").expect("schema field").as_str(),
-        Some("pluto-profile/1")
+        Some("pluto-profile/2")
     );
+    // Compile-only profile: the exec section is present but null.
+    assert!(doc.get("exec").expect("exec field").is_null());
     assert_eq!(
         doc.get("kernel").expect("kernel field").as_str(),
         Some(expect_kernel)
@@ -154,6 +157,26 @@ fn profile_and_analyze_json_conflict_is_rejected() {
     let (_stdout, stderr, ok) = plutoc(&["--profile-json", "--analyze-json"], SRC);
     assert!(!ok);
     assert!(stderr.contains("stdout"));
+}
+
+/// A consumer written against `pluto-profile/1` — one that reads only
+/// the v1 fields and ignores keys it does not know — still works on a
+/// v2 document: v2 only *adds* the `exec` field.
+#[test]
+fn v1_consumers_can_read_v2_documents() {
+    let (stdout, _stderr, ok) = plutoc(&["--profile-json"], SRC);
+    assert!(ok);
+    let doc = json::parse(&stdout).expect("valid JSON");
+    // Exactly the access pattern of a v1 consumer:
+    assert!(doc.get("kernel").unwrap().as_str().is_some());
+    assert!(doc.get("total_ns").unwrap().as_u64().unwrap() > 0);
+    let phases = doc.get("phases").unwrap().as_array().unwrap();
+    assert!(!phases.is_empty());
+    let counters_j = doc.get("counters").unwrap().as_array().unwrap();
+    assert_eq!(counters_j.len(), counters::all().len());
+    // The only versioned gate a v1 consumer has is the schema prefix.
+    let schema = doc.get("schema").unwrap().as_str().unwrap();
+    assert!(schema.starts_with("pluto-profile/"));
 }
 
 #[test]
