@@ -66,4 +66,16 @@ echo "== trace smoke: plutoc --trace emits a valid trace_event/1 document =="
 grep -q '"schema": "trace_event/1"' /tmp/pluto-ci-trace.json
 grep -q '"ph": "B"' /tmp/pluto-ci-trace.json
 
+echo "== explain smoke: pluto-explain/1 + PL007 ledger cross-check per example =="
+# --explain-json self-validates the emitted document with the in-tree
+# RFC-8259 parser before printing; --analyze re-proves every decision-log
+# satisfaction claim independently (PL007), so a clean exit per kernel
+# means the telemetry and the static verifier agree. (The fuzz run above
+# applies the same ledger gate to all 200 random kernels via the oracle.)
+for example in examples/*.c; do
+    ./target/release/plutoc --explain-json --analyze "$example" \
+        > /tmp/pluto-ci-explain.json
+    grep -q '"schema": "pluto-explain/1"' /tmp/pluto-ci-explain.json
+done
+
 echo "== ci.sh: all gates passed =="

@@ -1,0 +1,119 @@
+//! PL007: static/static differential of the optimizer's satisfaction
+//! ledger against independently re-derived dependence satisfaction.
+//!
+//! The decision log (`pluto_obs::decision`) claims, per dependence, the
+//! first row of the final transformation that strictly satisfies it —
+//! replayed through tiling row-shifts and the vectorization reorder by
+//! `pluto_obs::decision::DecisionLog::ledger` (a crate this one does
+//! not depend on — the caller hands us the already-replayed vector).
+//! This module re-proves each claim from first principles, exactly as
+//! the race check does: compose the dependence polyhedron with both
+//! endpoint scatterings in the (possibly supernode-augmented)
+//! transformed space and ask the ILP core whether a point with
+//! `δ_r <= 0` exists at the claimed row. Any such point contradicts the
+//! optimizer's bookkeeping — either the event stream, the replay, or
+//! the satisfaction test is wrong — and is reported verbatim as the
+//! diagnostic's witness.
+//!
+//! Claims of `None` (never strictly satisfied) are not checked: the
+//! search only relies on positive claims, and proving a universal
+//! negative per row adds cost without catching a miscompile class the
+//! race and legality checks don't already cover.
+
+use crate::race::{distance_row, joint_poly};
+use crate::{param_context, AnalysisInput, Code, Diagnostic};
+use pluto_linalg::Int;
+
+/// Checks every positive ledger claim against an independent strict
+/// satisfaction proof. No-op when the input carries no ledger.
+pub fn check(input: &AnalysisInput) -> Vec<Diagnostic> {
+    let Some(ledger) = input.ledger else {
+        return Vec::new();
+    };
+    let param_ctx = param_context(input);
+    let np = input.program.num_params();
+    let t = input.transform;
+    let mut diags = Vec::new();
+    for (di, claim) in ledger.iter().enumerate() {
+        let Some(r) = *claim else { continue };
+        let Some(dep) = input.deps.get(di) else {
+            let mut d = Diagnostic::new(
+                Code::LedgerDivergence,
+                format!("dep[{di}]"),
+                format!(
+                    "decision log claims satisfaction for dependence {di}, but only {} \
+                     dependences exist",
+                    input.deps.len()
+                ),
+            );
+            d.witness = Vec::new();
+            diags.push(d);
+            continue;
+        };
+        if r >= t.num_rows() {
+            diags.push(Diagnostic::new(
+                Code::LedgerDivergence,
+                format!("dep[{di}]"),
+                format!(
+                    "decision log claims dependence {di} is satisfied at row c{}, but the \
+                     transformation has only {} rows",
+                    r + 1,
+                    t.num_rows()
+                ),
+            ));
+            continue;
+        }
+        // Strict satisfaction is a global property (`δ_r >= 1` on the
+        // whole dependence polyhedron): refute by finding δ_r <= 0.
+        let mut set = joint_poly(input.program, t, dep, &param_ctx);
+        let delta = distance_row(t, dep, r, np);
+        let row: Vec<Int> = delta.iter().map(|&a| -a).collect(); // −δ >= 0
+        set.add_ineq(row);
+        if let Some(point) = set.sample_point() {
+            let mut d = Diagnostic::new(
+                Code::LedgerDivergence,
+                format!("dep[{di}]"),
+                format!(
+                    "decision log claims the {} dependence {} -> {} is first strictly \
+                     satisfied at row c{}, but an instance pair with distance <= 0 at that \
+                     row exists",
+                    dep.kind,
+                    input.program.stmts[dep.src].name,
+                    input.program.stmts[dep.dst].name,
+                    r + 1,
+                ),
+            );
+            d.witness = name_witness(input, dep, &point);
+            diags.push(d);
+        }
+    }
+    diags
+}
+
+/// Names a joint witness point: source dims, primed destination dims,
+/// parameters (same convention as the race check).
+fn name_witness(
+    input: &AnalysisInput,
+    dep: &pluto_ir::Dependence,
+    point: &[Int],
+) -> Vec<(String, Int)> {
+    let prog = input.program;
+    let t = input.transform;
+    let np = prog.num_params();
+    let nd_s = t.domains[dep.src].num_vars() - np;
+    let nd_t = t.domains[dep.dst].num_vars() - np;
+    let mut out = Vec::with_capacity(point.len());
+    for (i, name) in t.dim_names[dep.src].iter().enumerate() {
+        out.push((format!("{name}@{}", prog.stmts[dep.src].name), point[i]));
+    }
+    for (i, name) in t.dim_names[dep.dst].iter().enumerate() {
+        out.push((
+            format!("{name}'@{}", prog.stmts[dep.dst].name),
+            point[nd_s + i],
+        ));
+    }
+    for (p, name) in prog.params.iter().enumerate() {
+        out.push((name.clone(), point[nd_s + nd_t + p]));
+    }
+    out
+}

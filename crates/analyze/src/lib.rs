@@ -17,6 +17,9 @@
 //! - [`lints`]: structural checks over the generated AST — provably empty
 //!   loops, guards implied by their accumulated context, one-trip
 //!   `parallel` loops, shadowed binding names.
+//! - [`ledger`]: static/static differential of the optimizer's decision-log
+//!   satisfaction ledger against independently re-proved strict
+//!   satisfaction at each claimed row.
 //!
 //! Every finding is a [`Diagnostic`] with a stable code (`PL001`…), a
 //! severity, the AST path it anchors to, and — where the underlying proof
@@ -30,6 +33,7 @@ use pluto_ir::{Dependence, Program};
 use pluto_linalg::Int;
 
 pub mod bounds;
+pub mod ledger;
 pub mod lints;
 pub mod race;
 
@@ -49,6 +53,9 @@ pub enum Code {
     OneTripParallel,
     /// A binding whose name shadows an enclosing binding.
     ShadowedBinding,
+    /// The optimizer's decision-log satisfaction ledger disagrees with
+    /// independently re-derived dependence satisfaction.
+    LedgerDivergence,
 }
 
 impl Code {
@@ -61,13 +68,14 @@ impl Code {
             Code::RedundantGuard => "PL004-redundant-guard",
             Code::OneTripParallel => "PL005-one-trip-parallel",
             Code::ShadowedBinding => "PL006-shadowed-binding",
+            Code::LedgerDivergence => "PL007-ledger-divergence",
         }
     }
 
     /// Default severity of the code.
     pub fn severity(self) -> Severity {
         match self {
-            Code::Race | Code::Oob => Severity::Error,
+            Code::Race | Code::Oob | Code::LedgerDivergence => Severity::Error,
             Code::EmptyLoop
             | Code::RedundantGuard
             | Code::OneTripParallel
@@ -174,6 +182,11 @@ pub struct AnalysisInput<'a> {
     /// execution configuration (e.g. the fuzz oracle); leave `None` for
     /// fully parameterized proofs.
     pub param_values: Option<&'a [Int]>,
+    /// The optimizer's satisfaction ledger replayed to final row
+    /// coordinates (`DecisionLog::ledger`): per dependence, the first row
+    /// claimed to strictly satisfy it. `None` (or a `None` entry) skips
+    /// the PL007 cross-check for that dependence.
+    pub ledger: Option<&'a [Option<usize>]>,
 }
 
 /// Runs every analysis and returns the findings, errors first, in a
@@ -182,6 +195,7 @@ pub fn analyze(input: &AnalysisInput) -> Vec<Diagnostic> {
     let mut diags = race::check(input);
     diags.extend(bounds::check(input));
     diags.extend(lints::check(input));
+    diags.extend(ledger::check(input));
     diags.sort_by(|a, b| {
         (a.severity, a.code, &a.path, &a.message).cmp(&(b.severity, b.code, &b.path, &b.message))
     });

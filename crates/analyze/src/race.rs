@@ -33,7 +33,7 @@ pub struct RaceWitness {
 /// Builds the dependence-distance row `δ_k` of dependence `dep` at
 /// scattering row `k`, over the joint space
 /// `[src dims (nd_s), dst dims (nd_t), params, 1]`.
-fn distance_row(t: &Transformation, dep: &Dependence, k: usize, np: usize) -> Vec<Int> {
+pub(crate) fn distance_row(t: &Transformation, dep: &Dependence, k: usize, np: usize) -> Vec<Int> {
     let nd_s = t.domains[dep.src].num_vars() - np;
     let nd_t = t.domains[dep.dst].num_vars() - np;
     let src_row = &t.stmts[dep.src].rows[k];
@@ -56,7 +56,7 @@ fn distance_row(t: &Transformation, dep: &Dependence, k: usize, np: usize) -> Ve
 /// both endpoint domains, the parameter context, and the dependence
 /// relation itself, with its original-iterator columns embedded into the
 /// *trailing* original dims of each endpoint's augmented space.
-fn joint_poly(
+pub(crate) fn joint_poly(
     prog: &Program,
     t: &Transformation,
     dep: &Dependence,

@@ -66,6 +66,7 @@ pub fn original_schedule(prog: &Program) -> Transformation {
             },
             par: Parallelism::Sequential,
             tile_level: 0,
+            skewed: false,
         })
         .collect();
     let stmt_par = Transformation::uniform_stmt_par(&rows, prog.stmts.len());

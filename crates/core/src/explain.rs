@@ -1,12 +1,81 @@
-//! Human-readable transformation reports: which dependence is satisfied
-//! where, what each band looks like, and why loops are (not) parallel —
-//! the information the paper's figures annotate by hand.
+//! Transformation reports: which dependence is satisfied where, what each
+//! band looks like, and why loops are (not) parallel — the information the
+//! paper's figures annotate by hand. [`explain`] renders the human
+//! report; [`explain_json`] emits the stable `pluto-explain/1` document
+//! (schema in PERFORMANCE.md, pinned by `tests/explain_golden.rs`).
 
-use crate::farkas::carried_at;
 use crate::search::SearchResult;
-use crate::types::{Parallelism, RowKind};
+use crate::types::{Parallelism, RowKind, Transformation};
 use pluto_ir::{Dependence, Program};
+use pluto_linalg::Int;
+use pluto_obs::decision::DecisionLog;
+use pluto_obs::json;
 use std::fmt::Write as _;
+
+/// The dependence-distance row `δ_k` over the joint space
+/// `[src dims, dst dims, params, 1]` of the (possibly supernode-augmented)
+/// transformed coordinates — unlike [`crate::farkas::distance_row`], which
+/// assumes untiled rows over the original iterators only.
+fn aug_distance_row(t: &Transformation, dep: &Dependence, k: usize, np: usize) -> Vec<Int> {
+    let nd_s = t.domains[dep.src].num_vars() - np;
+    let nd_t = t.domains[dep.dst].num_vars() - np;
+    let src_row = &t.stmts[dep.src].rows[k];
+    let dst_row = &t.stmts[dep.dst].rows[k];
+    let mut out = vec![0; nd_s + nd_t + np + 1];
+    for i in 0..nd_s {
+        out[i] = -src_row[i];
+    }
+    out[nd_s..nd_s + nd_t].copy_from_slice(&dst_row[..nd_t]);
+    for p in 0..np {
+        out[nd_s + nd_t + p] = dst_row[nd_t + p] - src_row[nd_s + p];
+    }
+    out[nd_s + nd_t + np] = dst_row[nd_t + np] - src_row[nd_s + np];
+    out
+}
+
+/// Whether `dep` is carried at row `r` of a possibly-tiled transformation:
+/// with all outer distances pinned to zero, `δ_r >= 1` is reachable on the
+/// joint polyhedron (endpoint domains ∧ parameter context ∧ dependence
+/// relation embedded into the trailing original dims).
+fn aug_carried_at(prog: &Program, t: &Transformation, dep: &Dependence, r: usize) -> bool {
+    let np = prog.num_params();
+    let nd_s = t.domains[dep.src].num_vars() - np;
+    let nd_t = t.domains[dep.dst].num_vars() - np;
+    let ms = t.num_orig_dims[dep.src];
+    let mt = t.num_orig_dims[dep.dst];
+    let joint = nd_s + nd_t + np;
+
+    let mut set = t.domains[dep.src].insert_dims(nd_s, nd_t);
+    set = set.intersect(&t.domains[dep.dst].insert_dims(0, nd_s));
+    set = set.intersect(&prog.context.insert_dims(0, nd_s + nd_t));
+    let embed = |row: &[Int]| {
+        let mut out = vec![0; joint + 1];
+        for j in 0..ms {
+            out[nd_s - ms + j] = row[j];
+        }
+        for j in 0..mt {
+            out[nd_s + nd_t - mt + j] = row[ms + j];
+        }
+        for p in 0..np {
+            out[nd_s + nd_t + p] = row[ms + mt + p];
+        }
+        out[joint] = row[ms + mt + np];
+        out
+    };
+    for row in dep.poly.eqs() {
+        set.add_eq(embed(row));
+    }
+    for row in dep.poly.ineqs() {
+        set.add_ineq(embed(row));
+    }
+    for k in 0..r {
+        set.add_eq(aug_distance_row(t, dep, k, np));
+    }
+    let mut row = aug_distance_row(t, dep, r, np);
+    row[joint] -= 1; // δ_r − 1 >= 0
+    set.add_ineq(row);
+    !set.is_empty()
+}
 
 /// Renders a full report for a transformation: per-row structure and the
 /// dependence satisfaction table (dependence, kind, level, satisfying
@@ -65,7 +134,22 @@ pub fn explain(prog: &Program, deps: &[Dependence], res: &SearchResult) -> Strin
             Parallelism::Vector => "vector",
             Parallelism::Sequential => "sequential",
         };
-        let _ = writeln!(out, "  c{}: {kind}, {par}", r + 1);
+        // DESIGN.md §6 terminology: tile-band rows (supernode loops from
+        // Algorithm 1) and the wavefront-skewed sum row (Algorithm 2) are
+        // distinct kinds of row and reported distinctly.
+        let tile = if info.tile_level > 0 {
+            format!(", tile band L{}", info.tile_level)
+        } else if info.kind == RowKind::Loop {
+            ", point loop".to_string()
+        } else {
+            String::new()
+        };
+        let wave = if info.skewed {
+            ", wavefront-skewed"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  c{}: {kind}, {par}{tile}{wave}", r + 1);
     }
 
     let _ = writeln!(out, "dependences ({}):", deps.len());
@@ -81,7 +165,7 @@ pub fn explain(prog: &Program, deps: &[Dependence], res: &SearchResult) -> Strin
             if t.rows[r].kind != RowKind::Loop {
                 continue;
             }
-            if carried_at(d, prog, &t.stmts[d.src].rows, &t.stmts[d.dst].rows, r) {
+            if aug_carried_at(prog, t, d, r) {
                 carries.push(format!("c{}", r + 1));
             }
         }
@@ -96,6 +180,111 @@ pub fn explain(prog: &Program, deps: &[Dependence], res: &SearchResult) -> Strin
             d.kind, d.level
         );
     }
+    out
+}
+
+/// Emits the stable `pluto-explain/1` JSON document: transformation rows
+/// (kind, parallelism, tile level, wavefront skew), permutable bands, the
+/// dependence satisfaction table, decision-log search statistics and the
+/// event stream itself. Top-level key order is part of the schema
+/// (pinned by `tests/explain_golden.rs`); renaming or reordering keys is
+/// a schema break and requires bumping to `pluto-explain/2`.
+pub fn explain_json(
+    prog: &Program,
+    deps: &[Dependence],
+    res: &SearchResult,
+    log: &DecisionLog,
+    kernel: Option<&str>,
+) -> String {
+    let t = &res.transform;
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"pluto-explain/1\",\n");
+    match kernel {
+        Some(k) => {
+            let _ = writeln!(out, "  \"kernel\": {},", json::escape(k));
+        }
+        None => out.push_str("  \"kernel\": null,\n"),
+    }
+    let _ = writeln!(out, "  \"program\": {},", json::escape(&prog.name));
+
+    out.push_str("  \"rows\": [");
+    for r in 0..t.num_rows() {
+        let info = t.rows[r];
+        let kind = match info.kind {
+            RowKind::Loop => "loop",
+            RowKind::Scalar => "scalar",
+        };
+        let par = match info.par {
+            Parallelism::Parallel => "parallel",
+            Parallelism::Vector => "vector",
+            Parallelism::Sequential => "sequential",
+        };
+        let _ = write!(
+            out,
+            "{}\n    {{\"index\": {r}, \"kind\": \"{kind}\", \"par\": \"{par}\", \
+             \"tile_level\": {}, \"skewed\": {}}}",
+            if r > 0 { "," } else { "" },
+            info.tile_level,
+            info.skewed
+        );
+    }
+    out.push_str(if t.num_rows() > 0 { "\n  ],\n" } else { "],\n" });
+
+    out.push_str("  \"bands\": [");
+    for (i, b) in t.bands.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}\n    {{\"start\": {}, \"width\": {}, \"tile_level\": {}}}",
+            if i > 0 { "," } else { "" },
+            b.start,
+            b.width,
+            t.rows[b.start].tile_level
+        );
+    }
+    out.push_str(if t.bands.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+
+    out.push_str("  \"dependences\": [");
+    for (di, d) in deps.iter().enumerate() {
+        let sat = match res.satisfied_at.get(di).copied().flatten() {
+            Some(r) => r.to_string(),
+            None => "null".to_string(),
+        };
+        let carries: Vec<String> = (0..t.num_rows())
+            .filter(|&r| t.rows[r].kind == RowKind::Loop && aug_carried_at(prog, t, d, r))
+            .map(|r| r.to_string())
+            .collect();
+        let _ = write!(
+            out,
+            "{}\n    {{\"index\": {di}, \"src\": {}, \"dst\": {}, \"kind\": \"{}\", \
+             \"orig_level\": {}, \"satisfied_at\": {sat}, \"carried_at\": [{}]}}",
+            if di > 0 { "," } else { "" },
+            json::escape(&prog.stmts[d.src].name),
+            json::escape(&prog.stmts[d.dst].name),
+            d.kind,
+            d.level,
+            carries.join(", ")
+        );
+    }
+    out.push_str(if deps.is_empty() { "],\n" } else { "\n  ],\n" });
+
+    let s = log.stats();
+    let _ = writeln!(
+        out,
+        "  \"stats\": {{\"rows_solved\": {}, \"candidates_rejected\": {}, \"scc_cuts\": {}, \
+         \"row_solve_failures\": {}, \"feautrier_fallbacks\": {}}},",
+        s.rows_solved,
+        s.candidates_rejected,
+        s.scc_cuts,
+        s.row_solve_failures,
+        s.feautrier_fallbacks
+    );
+    let _ = writeln!(out, "  \"dropped_events\": {},", log.dropped);
+    let _ = writeln!(out, "  \"events\": {}", log.events_json("  "));
+    out.push('}');
     out
 }
 
@@ -135,5 +324,75 @@ mod tests {
         assert!(report.contains("S1 -> S1"));
         assert!(report.contains("carried at"));
         assert!(report.contains("satisfied at"));
+        // Satellite: point rows are reported as such (no tiling ran here).
+        assert!(report.contains("point loop"));
+    }
+
+    #[test]
+    fn explain_reports_tile_and_wavefront_rows_distinctly() {
+        let mut b = ProgramBuilder::new("sor", &["N"]);
+        b.add_context_ineq(vec![1, -4]);
+        b.add_array("a", 2);
+        b.add_statement(StatementSpec {
+            name: "S1".into(),
+            iters: vec!["i".into(), "j".into()],
+            domain_ineqs: vec![
+                vec![1, 0, 0, -1],
+                vec![-1, 0, 1, -1],
+                vec![0, 1, 0, -1],
+                vec![0, -1, 1, -1],
+            ],
+            beta: vec![0, 0, 0],
+            write: ("a".into(), vec![vec![1, 0, 0, 0], vec![0, 1, 0, 0]]),
+            reads: vec![
+                ("a".into(), vec![vec![1, 0, 0, -1], vec![0, 1, 0, 0]]),
+                ("a".into(), vec![vec![1, 0, 0, 0], vec![0, 1, 0, -1]]),
+            ],
+            body: Expr::Read(0) + Expr::Read(1),
+        });
+        let prog = b.build();
+        let o = crate::Optimizer::new()
+            .tile_size(16)
+            .optimize(&prog)
+            .unwrap();
+        let report = explain(&prog, &o.deps, &o.result);
+        // SOR tiles into a 2-row tile band whose first row is then
+        // wavefront-skewed: both facts appear per-row.
+        assert!(report.contains("tile band L1"), "{report}");
+        assert!(report.contains("wavefront-skewed"), "{report}");
+        assert!(report.contains("point loop"), "{report}");
+    }
+
+    #[test]
+    fn explain_json_is_valid_and_complete() {
+        let mut b = ProgramBuilder::new("scan", &["N"]);
+        b.add_context_ineq(vec![1, -3]);
+        b.add_array("a", 1);
+        b.add_statement(StatementSpec {
+            name: "S1".into(),
+            iters: vec!["i".into()],
+            domain_ineqs: vec![vec![1, 0, -1], vec![-1, 1, -1]],
+            beta: vec![0, 0],
+            write: ("a".into(), vec![vec![1, 0, 0]]),
+            reads: vec![("a".into(), vec![vec![1, 0, -1]])],
+            body: Expr::Read(0),
+        });
+        let prog = b.build();
+        let deps = analyze_dependences(&prog, true);
+        let res = find_transformation(&prog, &deps, &PlutoOptions::default()).unwrap();
+        let doc = explain_json(&prog, &deps, &res, &DecisionLog::default(), Some("scan.c"));
+        let v = json::parse(&doc).expect("valid JSON");
+        assert_eq!(v.get("schema").unwrap().as_str(), Some("pluto-explain/1"));
+        assert_eq!(v.get("kernel").unwrap().as_str(), Some("scan.c"));
+        assert_eq!(
+            v.get("rows").unwrap().as_array().unwrap().len(),
+            res.transform.num_rows()
+        );
+        assert_eq!(
+            v.get("dependences").unwrap().as_array().unwrap().len(),
+            deps.len()
+        );
+        assert!(v.get("stats").unwrap().get("rows_solved").is_some());
+        assert!(v.get("events").unwrap().as_array().is_some());
     }
 }

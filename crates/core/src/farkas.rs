@@ -10,6 +10,7 @@
 
 use pluto_ir::{Dependence, Program};
 use pluto_linalg::Int;
+use pluto_obs::decision::{self, DecisionEvent};
 use pluto_poly::ConstraintSet;
 
 /// Layout of the global unknown vector
@@ -208,6 +209,14 @@ pub fn farkas_eliminate(
     // Eliminate every multiplier column.
     let mut out = sys.project_out(num_unknowns, n_lambda);
     out.dedup();
+    if decision::enabled() {
+        decision::record(DecisionEvent::FarkasEliminated {
+            multipliers: n_lambda,
+            rows_in: nx + 1,
+            eqs_out: out.eqs().len(),
+            ineqs_out: out.ineqs().len(),
+        });
+    }
     out
 }
 

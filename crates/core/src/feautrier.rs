@@ -23,6 +23,7 @@ use crate::types::{Parallelism, RowInfo, RowKind, StmtScattering, Transformation
 use pluto_ilp::IlpProblem;
 use pluto_ir::{Dependence, Program};
 use pluto_linalg::Int;
+use pluto_obs::decision::{self, DecisionEvent};
 
 /// Computes a Feautrier-style multidimensional schedule: one strictly
 /// ordering row per level until all legality dependences are satisfied,
@@ -40,6 +41,9 @@ use pluto_linalg::Int;
 pub fn feautrier_schedule(prog: &Program, deps: &[Dependence]) -> Result<SearchResult, PlutoError> {
     let vm = VarMap::new(prog);
     let nstmts = prog.stmts.len();
+    if decision::enabled() {
+        decision::record(DecisionEvent::FeautrierFallback { statements: nstmts });
+    }
     let legality: Vec<usize> = (0..deps.len())
         .filter(|&i| deps[i].kind.constrains_legality())
         .collect();
@@ -131,13 +135,21 @@ pub fn feautrier_schedule(prog: &Program, deps: &[Dependence]) -> Result<SearchR
             stmt_rows.push(row);
         }
         row_infos.push(RowInfo::loop_row());
+        let mut newly = Vec::new();
         for &di in &legality {
             if !satisfied[di] {
                 let dep = &deps[di];
                 if satisfies_strictly(dep, prog, &rows[dep.src][r], &rows[dep.dst][r]) {
                     satisfied[di] = true;
+                    newly.push(di);
                 }
             }
+        }
+        if decision::enabled() {
+            decision::record(DecisionEvent::FeautrierRow {
+                row: r,
+                satisfied: newly,
+            });
         }
     }
 
@@ -158,6 +170,7 @@ pub fn feautrier_schedule(prog: &Program, deps: &[Dependence]) -> Result<SearchR
             kind: RowKind::Loop,
             par: Parallelism::Parallel,
             tile_level: 0,
+            skewed: false,
         });
     }
     // Textual-order scalar row for coincident instances.

@@ -61,7 +61,7 @@ mod tiling;
 mod types;
 mod wavefront;
 
-pub use explain::explain;
+pub use explain::{explain, explain_json};
 pub use farkas::{
     bounding_form, carried_at, delta_form, distance_row, farkas_eliminate, respects_weakly,
     satisfies_strictly, VarMap,

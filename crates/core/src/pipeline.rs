@@ -205,7 +205,19 @@ impl Optimizer {
                 .filter(|b| res.transform.rows[b.start].tile_level == 0)
                 .max_by_key(|b| b.start)
             {
-                reorder_for_vectorization(&mut res.transform, band);
+                if let Some((from, to)) = reorder_for_vectorization(&mut res.transform, band) {
+                    // The reorder shifts rows (from..=to) — remap the
+                    // satisfaction map to the final row coordinates.
+                    if from != to {
+                        for e in res.satisfied_at.iter_mut().flatten() {
+                            if *e == from {
+                                *e = to;
+                            } else if *e > from && *e <= to {
+                                *e -= 1;
+                            }
+                        }
+                    }
+                }
             }
         }
 

@@ -11,6 +11,8 @@ use pluto_ilp::IlpProblem;
 use pluto_ir::{DepKind, Dependence, Program};
 use pluto_linalg::{Int, IntMatrix};
 use pluto_obs::counters;
+use pluto_obs::decision::{self, CutReason, DecisionEvent, RejectReason};
+use pluto_obs::hist;
 use pluto_poly::ConstraintSet;
 use std::fmt;
 
@@ -114,6 +116,10 @@ struct Search<'a> {
     legality_cache: Vec<Option<ConstraintSet>>,
     bounding_cache: Vec<Option<ConstraintSet>>,
     reverse_cache: Vec<Option<ConstraintSet>>,
+    /// Telemetry from the last assembled lexmin ILP (decision log only).
+    last_ilp_rows: usize,
+    last_ilp_cols: usize,
+    last_orth: usize,
 }
 
 impl<'a> Search<'a> {
@@ -138,6 +144,9 @@ impl<'a> Search<'a> {
             legality_cache: vec![None; deps.len()],
             bounding_cache: vec![None; deps.len()],
             reverse_cache: vec![None; deps.len()],
+            last_ilp_rows: 0,
+            last_ilp_cols: 0,
+            last_orth: 0,
         }
     }
 
@@ -260,6 +269,7 @@ impl<'a> Search<'a> {
             let dep = &self.deps[di];
             if dep.kind.constrains_legality() {
                 let sys = self.legality_cache[di].get_or_insert_with(|| {
+                    let _t = hist::LEGALITY.timer();
                     counters::LEGALITY_SYSTEMS.bump();
                     let form = delta_form(dep, self.prog, &self.vm);
                     farkas_eliminate(&dep.poly, &form, self.vm.total())
@@ -270,6 +280,7 @@ impl<'a> Search<'a> {
                 continue;
             }
             let bsys = self.bounding_cache[di].get_or_insert_with(|| {
+                let _t = hist::BOUNDING.timer();
                 counters::BOUNDING_SYSTEMS.bump();
                 let form = bounding_form(dep, self.prog, &self.vm, false);
                 farkas_eliminate(&dep.poly, &form, self.vm.total())
@@ -277,6 +288,7 @@ impl<'a> Search<'a> {
             add_system(&mut ilp, bsys);
             if dep.kind == DepKind::Input {
                 let rsys = self.reverse_cache[di].get_or_insert_with(|| {
+                    let _t = hist::BOUNDING.timer();
                     counters::BOUNDING_SYSTEMS.bump();
                     let form = bounding_form(dep, self.prog, &self.vm, true);
                     farkas_eliminate(&dep.poly, &form, self.vm.total())
@@ -285,6 +297,7 @@ impl<'a> Search<'a> {
             }
         }
         // Per-statement structure constraints.
+        let mut orth = 0usize;
         for s in 0..self.prog.stmts.len() {
             let m = self.vm.num_iters(s);
             if self.stmt_done(s) {
@@ -318,31 +331,87 @@ impl<'a> Search<'a> {
                         total[self.vm.c(s, i)] += v;
                     }
                     ilp.add_ineq(row); // h⊥_i · c >= 0
+                    orth += 1;
                 }
                 if any {
                     total[self.vm.total()] = -1;
                     ilp.add_ineq(total); // Σ h⊥_i · c >= 1
+                    orth += 1;
                 }
             }
         }
-        ilp.try_lexmin().ok().flatten()
+        self.last_ilp_rows = ilp.num_ineqs();
+        self.last_ilp_cols = ilp.num_vars();
+        self.last_orth = orth;
+        let sol = {
+            let _t = hist::SEARCH_ROW.timer();
+            ilp.try_lexmin().ok().flatten()
+        };
+        if sol.is_none() && decision::enabled() {
+            decision::record(DecisionEvent::RowSolveFailed {
+                row: self.row_infos.len(),
+            });
+        }
+        sol
     }
 
     fn commit_row(&mut self, sol: &[Int]) {
         let r = self.row_infos.len();
         let np = self.prog.num_params();
+        let rec = decision::enabled();
+        let mut hyperplanes: Vec<Vec<i64>> = Vec::new();
         for s in 0..self.prog.stmts.len() {
             let (coeffs, c0) = self.vm.stmt_solution(s, sol);
             let mut row = coeffs.clone();
             row.extend(std::iter::repeat_n(0, np));
             row.push(c0);
             self.rows[s].push(row);
-            if coeffs.iter().any(|&v| v != 0) && self.h[s].is_independent(&coeffs) {
+            let zero = coeffs.iter().all(|&v| v == 0);
+            let independent = !zero && self.h[s].is_independent(&coeffs);
+            if rec {
+                let mut hp: Vec<i64> = coeffs.iter().map(|&v| v as i64).collect();
+                hp.push(c0 as i64);
+                hyperplanes.push(hp);
+                if !independent {
+                    decision::record(DecisionEvent::CandidateRejected {
+                        row: r,
+                        stmt: s,
+                        reason: if zero {
+                            RejectReason::Zero
+                        } else {
+                            RejectReason::Duplicate
+                        },
+                    });
+                }
+            }
+            if independent {
                 self.h[s].push_row(coeffs);
             }
         }
         self.row_infos.push(RowInfo::loop_row());
+        let before = rec.then(|| self.satisfied_at.clone());
         self.mark_satisfied(r);
+        if let Some(before) = before {
+            let newly: Vec<usize> = (0..self.deps.len())
+                .filter(|&di| before[di].is_none() && self.satisfied_at[di].is_some())
+                .collect();
+            let still: Vec<usize> = (0..self.deps.len())
+                .filter(|&di| {
+                    self.deps[di].kind.constrains_legality() && self.satisfied_at[di].is_none()
+                })
+                .collect();
+            let objective: Vec<i64> = sol.iter().take(np + 1).map(|&v| v as i64).collect();
+            decision::record(DecisionEvent::RowSolved {
+                row: r,
+                ilp_rows: self.last_ilp_rows,
+                ilp_cols: self.last_ilp_cols,
+                objective,
+                hyperplanes,
+                newly_satisfied: newly,
+                still_carried: still,
+                orth_constraints: self.last_orth,
+            });
+        }
     }
 
     fn mark_satisfied(&mut self, r: usize) {
@@ -405,10 +474,24 @@ impl<'a> Search<'a> {
         }
         self.row_infos.push(RowInfo::scalar_row());
         // Inter-component dependences are now strictly satisfied.
+        let mut newly = Vec::new();
         for (di, d) in self.deps.iter().enumerate() {
             if self.satisfied_at[di].is_none() && comp[d.src] < comp[d.dst] {
                 self.satisfied_at[di] = Some(r);
+                newly.push(di);
             }
+        }
+        if decision::enabled() {
+            decision::record(DecisionEvent::SccCut {
+                row: r,
+                reason: if require_progress {
+                    CutReason::NoProgress
+                } else {
+                    CutReason::FusionPolicy
+                },
+                components: num_comps,
+                satisfied: newly,
+            });
         }
         self.band_start = self.row_infos.len();
         true
@@ -421,6 +504,12 @@ impl<'a> Search<'a> {
                 start: self.band_start,
                 width: end - self.band_start,
             });
+            if decision::enabled() {
+                decision::record(DecisionEvent::BandClosed {
+                    start: self.band_start,
+                    width: end - self.band_start,
+                });
+            }
         }
         self.band_start = end;
     }

@@ -240,6 +240,7 @@ pub fn tile_band(
                 kind: RowKind::Loop,
                 par: tile_par[j],
                 tile_level,
+                skewed: false,
             },
         );
         for (s, key) in keys.iter().enumerate().take(nstmts) {
@@ -262,6 +263,13 @@ pub fn tile_band(
         if *s >= start {
             *s += w;
         }
+    }
+    if pluto_obs::decision::enabled() {
+        pluto_obs::decision::record(pluto_obs::decision::DecisionEvent::RowsInserted {
+            at: start,
+            count: w,
+            tile_level,
+        });
     }
     tile_band
 }

@@ -41,6 +41,12 @@ pub struct RowInfo {
     /// Tiling level that produced this row: 0 = point (intra-tile or
     /// untiled) loop, 1 = first tile level (e.g. L1), 2 = second, …
     pub tile_level: u8,
+    /// Whether the row was skewed by the tile-space wavefront (the
+    /// Algorithm 2 sum row `φT¹ + … + φT^{m+1}` that carries every
+    /// dependence of its band so the rows below it run in parallel) —
+    /// DESIGN.md §6's "wavefront row", reported distinctly from plain
+    /// tile rows by `explain`.
+    pub skewed: bool,
 }
 
 impl RowInfo {
@@ -50,6 +56,7 @@ impl RowInfo {
             kind: RowKind::Loop,
             par: Parallelism::Sequential,
             tile_level: 0,
+            skewed: false,
         }
     }
 
@@ -59,6 +66,7 @@ impl RowInfo {
             kind: RowKind::Scalar,
             par: Parallelism::Sequential,
             tile_level: 0,
+            skewed: false,
         }
     }
 }
@@ -200,7 +208,8 @@ impl Transformation {
                 } else {
                     String::new()
                 };
-                out.push_str(&format!("  c{} = {terms}  [{tag}{tile}]\n", r + 1));
+                let wave = if info.skewed { " wave" } else { "" };
+                out.push_str(&format!("  c{} = {terms}  [{tag}{tile}{wave}]\n", r + 1));
             }
         }
         out

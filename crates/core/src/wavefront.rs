@@ -2,6 +2,7 @@
 //! intra-tile vectorization reorder (Sec. 5.4).
 
 use crate::types::{Band, Parallelism, RowKind, Transformation};
+use pluto_obs::decision::{self, DecisionEvent};
 
 /// Applies the unimodular tile-space wavefront of Algorithm 2 to extract
 /// `m` degrees of pipelined parallelism from a (tile) band:
@@ -32,6 +33,10 @@ pub fn wavefront(t: &mut Transformation, band: Band, m: usize) {
         }
         st.rows[s] = sum;
     }
+    t.rows[s].skewed = true;
+    if decision::enabled() {
+        decision::record(DecisionEvent::Wavefront { row: s, degrees: m });
+    }
     t.rows[s].par = Parallelism::Sequential;
     for j in 1..=m {
         t.rows[s + j].par = Parallelism::Parallel;
@@ -53,12 +58,14 @@ pub fn wavefront(t: &mut Transformation, band: Band, m: usize) {
 /// Intra-tile reordering for vectorization (Sec. 5.4): within the point
 /// (intra-tile) band, moves the *last parallel* loop row to the innermost
 /// position of the band and marks it [`Parallelism::Vector`]. Returns the
-/// final row index of the vector loop, or `None` if the band has no
-/// parallel row.
+/// `(original, final)` row indices of the vector loop (equal when it was
+/// already innermost), or `None` if the band has no parallel row. Rows
+/// strictly between the two indices shift down by one — callers holding
+/// row indices (e.g. a satisfaction map) must remap accordingly.
 ///
 /// Rows of a permutable band may be freely reordered, so tile shapes and
 /// the tile-space schedule are unaffected.
-pub fn reorder_for_vectorization(t: &mut Transformation, band: Band) -> Option<usize> {
+pub fn reorder_for_vectorization(t: &mut Transformation, band: Band) -> Option<(usize, usize)> {
     let rows: Vec<usize> = band.rows().collect();
     let vec_row = *rows
         .iter()
@@ -75,6 +82,12 @@ pub fn reorder_for_vectorization(t: &mut Transformation, band: Band) -> Option<u
             let p = sp.remove(vec_row);
             sp.insert(last, p);
         }
+        if decision::enabled() {
+            decision::record(DecisionEvent::RowMoved {
+                from: vec_row,
+                to: last,
+            });
+        }
     }
     t.rows[last].par = Parallelism::Vector;
     for sp in t.stmt_par.iter_mut() {
@@ -82,7 +95,7 @@ pub fn reorder_for_vectorization(t: &mut Transformation, band: Band) -> Option<u
             sp[last] = Parallelism::Vector;
         }
     }
-    Some(last)
+    Some((vec_row, last))
 }
 
 #[cfg(test)]
@@ -117,6 +130,7 @@ mod tests {
         assert_eq!(t.stmts[0].rows[1], vec![0, 1, 0]);
         assert_eq!(t.rows[0].par, Parallelism::Sequential);
         assert_eq!(t.rows[1].par, Parallelism::Parallel);
+        assert!(t.rows[0].skewed && !t.rows[1].skewed);
     }
 
     #[test]
@@ -134,7 +148,7 @@ mod tests {
         t.stmt_par[0][0] = Parallelism::Parallel;
         let band = t.bands[0];
         let v = reorder_for_vectorization(&mut t, band).unwrap();
-        assert_eq!(v, 1);
+        assert_eq!(v, (0, 1));
         // Row order swapped: former row 0 (i) now innermost.
         assert_eq!(t.stmts[0].rows[1], vec![1, 0, 0]);
         assert_eq!(t.rows[1].par, Parallelism::Vector);

@@ -1,0 +1,728 @@
+//! Optimizer decision telemetry: a structured, bounded event log of the
+//! hyperplane search.
+//!
+//! Where [`span`](crate::span)/[`counters`](crate::counters) say how
+//! *long* the optimizer ran and how *often* it solved, this module says
+//! *why* it chose what it chose: one event per committed scattering row
+//! (the assembled Farkas/ILP system size, the Eq. 6 lexmin objective
+//! `(u, w)`, the hyperplane found per statement, which dependences the
+//! row newly satisfies and which are still carried, how many H⊥
+//! orthogonality rows were in force), plus events for rejected
+//! zero/duplicate candidates, SCC cuts with their reason, closed bands,
+//! tiling row insertion, wavefront skewing, the vectorization reorder,
+//! and Feautrier fallback rows.
+//!
+//! # Recording model
+//!
+//! Same pinned pattern as [`trace`](crate::trace): an independent
+//! process-global switch ([`enabled`], one relaxed atomic load — the
+//! entire disabled-path cost), an explicit [`start`]/[`finish`] pair,
+//! and a bounded collector ([`LOG_CAPACITY`]) that drops excess events
+//! counted rather than reallocating without bound.
+//!
+//! The event stream is *replayable*: [`DecisionLog::ledger`] folds the
+//! events in order — applying the row-index shifts of
+//! [`RowsInserted`](DecisionEvent::RowsInserted) (tiling) and
+//! [`RowMoved`](DecisionEvent::RowMoved) (vectorization reorder) — to
+//! reconstruct, per dependence, the first row of the *final*
+//! transformation that strictly satisfies it. `crates/analyze` checks
+//! that ledger against its independently re-derived carried dependences
+//! (diagnostic `PL007-ledger-divergence`).
+//!
+//! ```
+//! use pluto_obs::decision::{self, DecisionEvent};
+//! decision::start();
+//! decision::record(DecisionEvent::RowSolved {
+//!     row: 0,
+//!     ilp_rows: 12,
+//!     ilp_cols: 5,
+//!     objective: vec![0, 1],
+//!     hyperplanes: vec![vec![1, 0, 0]],
+//!     newly_satisfied: vec![0],
+//!     still_carried: vec![1],
+//!     orth_constraints: 0,
+//! });
+//! let log = decision::finish();
+//! assert_eq!(log.events.len(), 1);
+//! assert_eq!(log.ledger(2), vec![Some(0), None]);
+//! ```
+
+use crate::json;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Process-global decision-recording switch, independent of the profile
+/// [`Session`](crate::Session) and [`trace`](crate::trace) flags.
+static RECORDING: AtomicBool = AtomicBool::new(false);
+
+/// Collected events plus the count of events dropped over capacity.
+static LOG: Mutex<(Vec<DecisionEvent>, u64)> = Mutex::new((Vec::new(), 0));
+
+/// Hard bound on the retained event count. The search emits a handful
+/// of events per scattering row, so even pathological programs stay far
+/// below this; overflow increments [`DecisionLog::dropped`] instead of
+/// growing without bound.
+pub const LOG_CAPACITY: usize = 1 << 14;
+
+/// Whether decision recording is active (one relaxed atomic load — the
+/// entire disabled-path cost, as with [`trace::enabled`](crate::trace::enabled)).
+#[inline]
+pub fn enabled() -> bool {
+    RECORDING.load(Ordering::Relaxed)
+}
+
+/// Serializes whole record–replay windows. Recording is process-global
+/// and not reference-counted, so two compiles recording concurrently
+/// (e.g. `#[test]` threads both calling an audited pipeline) would
+/// interleave their event streams and corrupt both ledgers. Callers
+/// that pair [`start`]/[`finish`] around a compile hold this guard for
+/// the whole window; single-compile processes (the CLI) may skip it.
+pub fn exclusive() -> std::sync::MutexGuard<'static, ()> {
+    static WINDOW: Mutex<()> = Mutex::new(());
+    WINDOW.lock().expect("decision window poisoned")
+}
+
+/// Starts recording: clears the collector and enables the switch.
+/// Concurrent recordings are not reference-counted (same model as
+/// [`Session`](crate::Session)); concurrent recording users hold
+/// [`exclusive`] around the whole `start`…`finish` window.
+pub fn start() {
+    let mut log = LOG.lock().expect("decision log poisoned");
+    log.0.clear();
+    log.1 = 0;
+    drop(log);
+    RECORDING.store(true, Ordering::Relaxed);
+}
+
+/// Stops recording and returns everything recorded since [`start`].
+/// Safe to call when no recording is active (returns an empty log).
+pub fn finish() -> DecisionLog {
+    RECORDING.store(false, Ordering::Relaxed);
+    let mut log = LOG.lock().expect("decision log poisoned");
+    let events = std::mem::take(&mut log.0);
+    let dropped = std::mem::replace(&mut log.1, 0);
+    DecisionLog { events, dropped }
+}
+
+/// Appends one event to the log; a no-op when recording is off, a drop
+/// count when the log is full. Emitters gate the (allocating) event
+/// construction on [`enabled`] themselves, so the disabled path never
+/// reaches this function.
+pub fn record(ev: DecisionEvent) {
+    if !enabled() {
+        return;
+    }
+    let mut log = LOG.lock().expect("decision log poisoned");
+    if log.0.len() >= LOG_CAPACITY {
+        log.1 += 1;
+    } else {
+        log.0.push(ev);
+    }
+}
+
+/// Why a candidate hyperplane was not added to a statement's
+/// independence basis H.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// All iterator coefficients were zero (a "sunk" completed statement
+    /// where lexmin picked the trivial row).
+    Zero,
+    /// The row is linearly dependent on the statement's existing rows.
+    Duplicate,
+}
+
+impl RejectReason {
+    /// Stable lower-snake name used in `pluto-explain/1`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RejectReason::Zero => "zero",
+            RejectReason::Duplicate => "duplicate",
+        }
+    }
+}
+
+/// Why the DDG was cut with a scalar dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CutReason {
+    /// The row search found no hyperplane (or only loop-independent
+    /// orderings remained): cutting is the only way to make progress.
+    NoProgress,
+    /// The `--nofuse` policy separates all SCCs up front.
+    FusionPolicy,
+}
+
+impl CutReason {
+    /// Stable lower-snake name used in `pluto-explain/1`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CutReason::NoProgress => "no_progress",
+            CutReason::FusionPolicy => "fusion_policy",
+        }
+    }
+}
+
+/// One optimizer decision. Row indices are *as of the moment of the
+/// event*; later [`RowsInserted`](DecisionEvent::RowsInserted) /
+/// [`RowMoved`](DecisionEvent::RowMoved) events shift them
+/// ([`DecisionLog::ledger`] replays the shifts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecisionEvent {
+    /// A Farkas system was built and its multipliers eliminated
+    /// (Fourier–Motzkin), yielding a constraint system over the
+    /// coefficient unknowns.
+    FarkasEliminated {
+        /// Farkas multipliers eliminated (one per dependence-polyhedron
+        /// constraint plus λ₀).
+        multipliers: usize,
+        /// Identity rows before elimination.
+        rows_in: usize,
+        /// Equality constraints in the eliminated system.
+        eqs_out: usize,
+        /// Inequality constraints in the eliminated system.
+        ineqs_out: usize,
+    },
+    /// The lexmin ILP found a legal hyperplane row.
+    RowSolved {
+        /// Global row index the solution was committed at.
+        row: usize,
+        /// Inequality rows of the assembled ILP (all cached Farkas
+        /// systems plus Σc ≥ 1 and H⊥ rows).
+        ilp_rows: usize,
+        /// Unknowns of the assembled ILP (`u…, w, per-statement c…, c0`).
+        ilp_cols: usize,
+        /// Leading objective values: the bounding-function coefficients
+        /// `u₁…u_p` then `w` of Eq. 6, as minimized.
+        objective: Vec<i64>,
+        /// Per-statement hyperplane `[c₁…c_m, c₀]` (iterator
+        /// coefficients then the constant).
+        hyperplanes: Vec<Vec<i64>>,
+        /// Dependences (indices into the input slice) first strictly
+        /// satisfied by this row.
+        newly_satisfied: Vec<usize>,
+        /// Legality dependences still unsatisfied after this row.
+        still_carried: Vec<usize>,
+        /// H⊥ orthogonality inequality rows in force (Eq. 5 linear
+        /// independence), summed over statements.
+        orth_constraints: usize,
+    },
+    /// The lexmin ILP was infeasible at this row (the search will cut
+    /// or close the band).
+    RowSolveFailed {
+        /// Row index the search was stuck at.
+        row: usize,
+    },
+    /// A candidate row was not entered into a statement's independence
+    /// basis.
+    CandidateRejected {
+        /// Row the candidate was found at.
+        row: usize,
+        /// Statement whose candidate was rejected.
+        stmt: usize,
+        /// Zero or duplicate.
+        reason: RejectReason,
+    },
+    /// The DDG was cut between SCCs with a scalar dimension.
+    SccCut {
+        /// Row index of the inserted scalar row.
+        row: usize,
+        /// No-progress or fusion policy.
+        reason: CutReason,
+        /// Number of strongly connected components separated.
+        components: usize,
+        /// Inter-component dependences satisfied by the cut.
+        satisfied: Vec<usize>,
+    },
+    /// A permutable band was closed.
+    BandClosed {
+        /// First row of the band.
+        start: usize,
+        /// Width of the band.
+        width: usize,
+    },
+    /// Tiling inserted tile-space rows, shifting every row index ≥ `at`
+    /// up by `count`.
+    RowsInserted {
+        /// Insertion point (the tiled band's start).
+        at: usize,
+        /// Number of rows inserted (the band width).
+        count: usize,
+        /// Tiling level of the new rows (1 = L1, 2 = L2, …).
+        tile_level: u8,
+    },
+    /// The tile-space wavefront summed `degrees + 1` band rows into row
+    /// `row` (Algorithm 2) — indices are unchanged, satisfaction claims
+    /// are preserved by band permutability.
+    Wavefront {
+        /// The skewed (sum) row.
+        row: usize,
+        /// Degrees of pipelined parallelism extracted.
+        degrees: usize,
+    },
+    /// The vectorization reorder moved row `from` to position `to`
+    /// (rows in between shift down by one).
+    RowMoved {
+        /// Original index of the moved (vector) row.
+        from: usize,
+        /// Final index (the band's innermost position).
+        to: usize,
+    },
+    /// The Feautrier scheduling baseline was entered.
+    FeautrierFallback {
+        /// Statements being scheduled.
+        statements: usize,
+    },
+    /// A Feautrier schedule row was committed.
+    FeautrierRow {
+        /// Global row index.
+        row: usize,
+        /// Dependences first strictly satisfied by this row.
+        satisfied: Vec<usize>,
+    },
+}
+
+impl DecisionEvent {
+    /// Stable lower-snake event name used as the `kind` field of
+    /// `pluto-explain/1` (pinned by `tests/explain_golden.rs`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DecisionEvent::FarkasEliminated { .. } => "farkas_eliminated",
+            DecisionEvent::RowSolved { .. } => "row_solved",
+            DecisionEvent::RowSolveFailed { .. } => "row_solve_failed",
+            DecisionEvent::CandidateRejected { .. } => "candidate_rejected",
+            DecisionEvent::SccCut { .. } => "scc_cut",
+            DecisionEvent::BandClosed { .. } => "band_closed",
+            DecisionEvent::RowsInserted { .. } => "rows_inserted",
+            DecisionEvent::Wavefront { .. } => "wavefront",
+            DecisionEvent::RowMoved { .. } => "row_moved",
+            DecisionEvent::FeautrierFallback { .. } => "feautrier_fallback",
+            DecisionEvent::FeautrierRow { .. } => "feautrier_row",
+        }
+    }
+
+    /// One human-readable line for the `--explain` report.
+    pub fn render(&self) -> String {
+        fn rows(v: &[usize]) -> String {
+            if v.is_empty() {
+                "none".to_string()
+            } else {
+                v.iter()
+                    .map(|d| format!("[{d}]"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            }
+        }
+        match self {
+            DecisionEvent::FarkasEliminated {
+                multipliers,
+                rows_in,
+                eqs_out,
+                ineqs_out,
+            } => format!(
+                "farkas system: {multipliers} multipliers eliminated from {rows_in} rows -> \
+                 {eqs_out} eqs + {ineqs_out} ineqs"
+            ),
+            DecisionEvent::RowSolved {
+                row,
+                ilp_rows,
+                ilp_cols,
+                objective,
+                hyperplanes,
+                newly_satisfied,
+                still_carried,
+                orth_constraints,
+            } => format!(
+                "row c{}: solved {ilp_rows}x{ilp_cols} ILP, objective (u,w) = {objective:?}, \
+                 hyperplanes {hyperplanes:?}, {orth_constraints} H-perp rows; newly satisfied {}; \
+                 still carried {}",
+                row + 1,
+                rows(newly_satisfied),
+                rows(still_carried)
+            ),
+            DecisionEvent::RowSolveFailed { row } => {
+                format!("row c{}: no legal hyperplane (ILP infeasible)", row + 1)
+            }
+            DecisionEvent::CandidateRejected { row, stmt, reason } => format!(
+                "row c{}: candidate for S{} rejected ({})",
+                row + 1,
+                stmt + 1,
+                reason.as_str()
+            ),
+            DecisionEvent::SccCut {
+                row,
+                reason,
+                components,
+                satisfied,
+            } => format!(
+                "row c{}: DDG cut into {components} components ({}); satisfied {}",
+                row + 1,
+                reason.as_str(),
+                rows(satisfied)
+            ),
+            DecisionEvent::BandClosed { start, width } => format!(
+                "band closed: rows c{}..c{} (width {width})",
+                start + 1,
+                start + width
+            ),
+            DecisionEvent::RowsInserted {
+                at,
+                count,
+                tile_level,
+            } => format!(
+                "tiling: {count} tile row(s) inserted at c{} (level {tile_level})",
+                at + 1
+            ),
+            DecisionEvent::Wavefront { row, degrees } => format!(
+                "wavefront: row c{} skewed for {degrees} degree(s) of pipelined parallelism",
+                row + 1
+            ),
+            DecisionEvent::RowMoved { from, to } => format!(
+                "vectorization: row c{} moved innermost to c{}",
+                from + 1,
+                to + 1
+            ),
+            DecisionEvent::FeautrierFallback { statements } => {
+                format!("feautrier fallback entered for {statements} statement(s)")
+            }
+            DecisionEvent::FeautrierRow { row, satisfied } => {
+                format!("feautrier row c{}: satisfied {}", row + 1, rows(satisfied))
+            }
+        }
+    }
+
+    /// Serializes the event as one `pluto-explain/1` JSON object.
+    pub fn to_json(&self) -> String {
+        fn usizes(v: &[usize]) -> String {
+            let items: Vec<String> = v.iter().map(|x| x.to_string()).collect();
+            format!("[{}]", items.join(", "))
+        }
+        fn i64s(v: &[i64]) -> String {
+            let items: Vec<String> = v.iter().map(|x| x.to_string()).collect();
+            format!("[{}]", items.join(", "))
+        }
+        let mut out = format!("{{\"kind\": {}", json::escape(self.kind()));
+        match self {
+            DecisionEvent::FarkasEliminated {
+                multipliers,
+                rows_in,
+                eqs_out,
+                ineqs_out,
+            } => out.push_str(&format!(
+                ", \"multipliers\": {multipliers}, \"rows_in\": {rows_in}, \
+                 \"eqs_out\": {eqs_out}, \"ineqs_out\": {ineqs_out}"
+            )),
+            DecisionEvent::RowSolved {
+                row,
+                ilp_rows,
+                ilp_cols,
+                objective,
+                hyperplanes,
+                newly_satisfied,
+                still_carried,
+                orth_constraints,
+            } => {
+                let hp: Vec<String> = hyperplanes.iter().map(|h| i64s(h)).collect();
+                out.push_str(&format!(
+                    ", \"row\": {row}, \"ilp_rows\": {ilp_rows}, \"ilp_cols\": {ilp_cols}, \
+                     \"objective\": {}, \"hyperplanes\": [{}], \"newly_satisfied\": {}, \
+                     \"still_carried\": {}, \"orth_constraints\": {orth_constraints}",
+                    i64s(objective),
+                    hp.join(", "),
+                    usizes(newly_satisfied),
+                    usizes(still_carried)
+                ));
+            }
+            DecisionEvent::RowSolveFailed { row } => out.push_str(&format!(", \"row\": {row}")),
+            DecisionEvent::CandidateRejected { row, stmt, reason } => out.push_str(&format!(
+                ", \"row\": {row}, \"stmt\": {stmt}, \"reason\": {}",
+                json::escape(reason.as_str())
+            )),
+            DecisionEvent::SccCut {
+                row,
+                reason,
+                components,
+                satisfied,
+            } => out.push_str(&format!(
+                ", \"row\": {row}, \"reason\": {}, \"components\": {components}, \
+                 \"satisfied\": {}",
+                json::escape(reason.as_str()),
+                usizes(satisfied)
+            )),
+            DecisionEvent::BandClosed { start, width } => {
+                out.push_str(&format!(", \"start\": {start}, \"width\": {width}"));
+            }
+            DecisionEvent::RowsInserted {
+                at,
+                count,
+                tile_level,
+            } => out.push_str(&format!(
+                ", \"at\": {at}, \"count\": {count}, \"tile_level\": {tile_level}"
+            )),
+            DecisionEvent::Wavefront { row, degrees } => {
+                out.push_str(&format!(", \"row\": {row}, \"degrees\": {degrees}"));
+            }
+            DecisionEvent::RowMoved { from, to } => {
+                out.push_str(&format!(", \"from\": {from}, \"to\": {to}"));
+            }
+            DecisionEvent::FeautrierFallback { statements } => {
+                out.push_str(&format!(", \"statements\": {statements}"));
+            }
+            DecisionEvent::FeautrierRow { row, satisfied } => {
+                out.push_str(&format!(
+                    ", \"row\": {row}, \"satisfied\": {}",
+                    usizes(satisfied)
+                ));
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Aggregate search statistics derived from a [`DecisionLog`] — the
+/// columns of the EXPERIMENTS.md per-kernel search-stats table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchStats {
+    /// `RowSolved` events (committed hyperplane rows).
+    pub rows_solved: u64,
+    /// `CandidateRejected` events (zero/duplicate candidates).
+    pub candidates_rejected: u64,
+    /// `SccCut` events.
+    pub scc_cuts: u64,
+    /// `RowSolveFailed` events (infeasible lexmin ILPs).
+    pub row_solve_failures: u64,
+    /// `FeautrierFallback` events.
+    pub feautrier_fallbacks: u64,
+}
+
+/// A finished decision log: every recorded event, in emission order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DecisionLog {
+    /// Events in the order the optimizer emitted them.
+    pub events: Vec<DecisionEvent>,
+    /// Events discarded because the log hit [`LOG_CAPACITY`].
+    pub dropped: u64,
+}
+
+impl DecisionLog {
+    /// Reconstructs the satisfaction ledger in *final* row coordinates:
+    /// for each of `num_deps` dependences, the first row of the final
+    /// transformation that strictly satisfies it (`None` if never).
+    ///
+    /// The fold applies, in order: satisfaction claims from
+    /// `RowSolved`/`SccCut`/`FeautrierRow`, the `+count` shift of every
+    /// claim at or below a `RowsInserted` point (tiling), and the
+    /// remapping of a `RowMoved` reorder. `Wavefront` changes no index
+    /// and preserves claims (every band row has non-negative dependence
+    /// components, so a sum containing a strictly positive row stays
+    /// strictly positive).
+    pub fn ledger(&self, num_deps: usize) -> Vec<Option<usize>> {
+        let mut ledger: Vec<Option<usize>> = vec![None; num_deps];
+        let claim = |ledger: &mut Vec<Option<usize>>, deps: &[usize], row: usize| {
+            for &d in deps {
+                if d < ledger.len() && ledger[d].is_none() {
+                    ledger[d] = Some(row);
+                }
+            }
+        };
+        for ev in &self.events {
+            match ev {
+                DecisionEvent::RowSolved {
+                    row,
+                    newly_satisfied,
+                    ..
+                } => claim(&mut ledger, newly_satisfied, *row),
+                DecisionEvent::SccCut { row, satisfied, .. } => {
+                    claim(&mut ledger, satisfied, *row);
+                }
+                DecisionEvent::FeautrierRow { row, satisfied } => {
+                    claim(&mut ledger, satisfied, *row);
+                }
+                DecisionEvent::RowsInserted { at, count, .. } => {
+                    for e in ledger.iter_mut().flatten() {
+                        if *e >= *at {
+                            *e += count;
+                        }
+                    }
+                }
+                DecisionEvent::RowMoved { from, to } => {
+                    for e in ledger.iter_mut().flatten() {
+                        if *e == *from {
+                            *e = *to;
+                        } else if *from < *to && *e > *from && *e <= *to {
+                            *e -= 1;
+                        } else if *to < *from && *e >= *to && *e < *from {
+                            *e += 1;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        ledger
+    }
+
+    /// Tallies the event kinds into [`SearchStats`].
+    pub fn stats(&self) -> SearchStats {
+        let mut s = SearchStats::default();
+        for ev in &self.events {
+            match ev {
+                DecisionEvent::RowSolved { .. } => s.rows_solved += 1,
+                DecisionEvent::CandidateRejected { .. } => s.candidates_rejected += 1,
+                DecisionEvent::SccCut { .. } => s.scc_cuts += 1,
+                DecisionEvent::RowSolveFailed { .. } => s.row_solve_failures += 1,
+                DecisionEvent::FeautrierFallback { .. } => s.feautrier_fallbacks += 1,
+                _ => {}
+            }
+        }
+        s
+    }
+
+    /// Renders the log as indented human-readable lines (the decision
+    /// section of `plutoc --explain`).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("decision log ({} events):\n", self.events.len()));
+        for ev in &self.events {
+            out.push_str("  ");
+            out.push_str(&ev.render());
+            out.push('\n');
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!(
+                "  ({} events dropped over capacity)\n",
+                self.dropped
+            ));
+        }
+        out
+    }
+
+    /// Serializes the events as a `pluto-explain/1` JSON array; each
+    /// element is one object with a `kind` discriminator. `indent` is
+    /// the base indentation of the array's closing bracket.
+    pub fn events_json(&self, indent: &str) -> String {
+        let mut out = String::from("[");
+        for (i, ev) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            out.push_str(indent);
+            out.push_str("  ");
+            out.push_str(&ev.to_json());
+        }
+        if !self.events.is_empty() {
+            out.push('\n');
+            out.push_str(indent);
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recording_is_inert() {
+        let _g = crate::TEST_SERIAL.lock().unwrap();
+        assert!(!enabled());
+        record(DecisionEvent::RowSolveFailed { row: 0 });
+        let log = finish();
+        assert!(log.events.is_empty());
+        assert_eq!(log.dropped, 0);
+    }
+
+    #[test]
+    fn events_round_trip_and_tally() {
+        let _g = crate::TEST_SERIAL.lock().unwrap();
+        start();
+        record(DecisionEvent::RowSolved {
+            row: 0,
+            ilp_rows: 9,
+            ilp_cols: 4,
+            objective: vec![0, 1],
+            hyperplanes: vec![vec![1, 0, 0]],
+            newly_satisfied: vec![1],
+            still_carried: vec![0],
+            orth_constraints: 0,
+        });
+        record(DecisionEvent::CandidateRejected {
+            row: 0,
+            stmt: 1,
+            reason: RejectReason::Zero,
+        });
+        record(DecisionEvent::SccCut {
+            row: 1,
+            reason: CutReason::NoProgress,
+            components: 2,
+            satisfied: vec![0],
+        });
+        let log = finish();
+        assert_eq!(log.events.len(), 3);
+        let s = log.stats();
+        assert_eq!(s.rows_solved, 1);
+        assert_eq!(s.candidates_rejected, 1);
+        assert_eq!(s.scc_cuts, 1);
+        assert_eq!(log.ledger(2), vec![Some(1), Some(0)]);
+        // The JSON array parses and carries the kind discriminators.
+        let doc = json::parse(&log.events_json("")).expect("valid events JSON");
+        let evs = doc.as_array().unwrap();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].get("kind").unwrap().as_str(), Some("row_solved"));
+        assert_eq!(evs[1].get("reason").unwrap().as_str(), Some("zero"));
+        assert!(log.render_text().contains("DDG cut into 2 components"));
+    }
+
+    #[test]
+    fn ledger_replays_row_shifts() {
+        let _g = crate::TEST_SERIAL.lock().unwrap();
+        start();
+        // Two rows solved, then tiling inserts 2 rows at 0, then the
+        // vectorization reorder moves (what is now) row 2 to row 3.
+        record(DecisionEvent::RowSolved {
+            row: 0,
+            ilp_rows: 1,
+            ilp_cols: 1,
+            objective: vec![],
+            hyperplanes: vec![],
+            newly_satisfied: vec![0],
+            still_carried: vec![1],
+            orth_constraints: 0,
+        });
+        record(DecisionEvent::RowSolved {
+            row: 1,
+            ilp_rows: 1,
+            ilp_cols: 1,
+            objective: vec![],
+            hyperplanes: vec![],
+            newly_satisfied: vec![1],
+            still_carried: vec![],
+            orth_constraints: 0,
+        });
+        record(DecisionEvent::RowsInserted {
+            at: 0,
+            count: 2,
+            tile_level: 1,
+        });
+        record(DecisionEvent::RowMoved { from: 2, to: 3 });
+        let log = finish();
+        // Dep 0: row 0 -> +2 -> 2 -> moved to 3. Dep 1: row 1 -> 3 -> 2
+        // (shifted down by the move passing over it).
+        assert_eq!(log.ledger(2), vec![Some(3), Some(2)]);
+    }
+
+    #[test]
+    fn overflow_drops_and_counts() {
+        let _g = crate::TEST_SERIAL.lock().unwrap();
+        start();
+        for i in 0..LOG_CAPACITY + 5 {
+            record(DecisionEvent::RowSolveFailed { row: i });
+        }
+        let log = finish();
+        assert_eq!(log.events.len(), LOG_CAPACITY);
+        assert_eq!(log.dropped, 5);
+        // finish() cleared: a fresh log is empty.
+        assert!(finish().events.is_empty());
+    }
+}

@@ -21,7 +21,7 @@
 //! [`Session::finish`](crate::Session::finish) snapshots the
 //! accumulator into
 //! [`Profile::exec`](crate::Profile::exec), serialized as the `exec`
-//! section of the `pluto-profile/2` schema (PERFORMANCE.md §5.1).
+//! section of the `pluto-profile/3` schema (PERFORMANCE.md §5.1).
 //!
 //! [`ExecProfile::build`] is also public so the machine substrate can
 //! compute the same derived metrics without a global session

@@ -1,0 +1,247 @@
+//! Log2-bucketed latency histograms for the optimizer's ILP call sites.
+//!
+//! The [`counters`](crate::counters) registry says *how many* ILPs the
+//! search solved; these histograms say how the *latency* of those solves
+//! is distributed, keyed by call site:
+//!
+//! * [`LEGALITY`] — building one dependence's legality system
+//!   (`delta_form` + Farkas elimination);
+//! * [`BOUNDING`] — building one bounding-function system (Eq. 6);
+//! * [`SEARCH_ROW`] — one lexmin ILP solve for a scattering row;
+//! * [`EMPTINESS`] — one polyhedron-emptiness ILP probe
+//!   (`ConstraintSet::is_empty`'s feasibility check).
+//!
+//! Buckets are powers of two in nanoseconds: bucket `i` counts samples
+//! with `2^i <= ns < 2^(i+1)` (bucket 0 also catches 0–1 ns, the last
+//! bucket is open-ended). Like the counters, recording is gated on the
+//! profile [`Session`](crate::Session) switch — one relaxed atomic load
+//! when disabled, and [`Hist::timer`] reads no clock then. Snapshots are
+//! rendered in `--profile` and serialized in the `hists` section of
+//! `pluto-profile/3` (bucket spec in PERFORMANCE.md).
+//!
+//! ```
+//! let session = pluto_obs::Session::start();
+//! {
+//!     let _t = pluto_obs::hist::SEARCH_ROW.timer();
+//!     // ... solve ...
+//! }
+//! pluto_obs::hist::EMPTINESS.record_ns(900);
+//! let profile = session.finish();
+//! let h = profile.hist("ilp.latency.emptiness").unwrap();
+//! assert_eq!(h.count, 1);
+//! assert_eq!(h.buckets[9], 1); // 2^9 = 512 <= 900 < 1024
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Number of log2 buckets; the last bucket (`2^31` ns ≈ 2.1 s and up)
+/// is open-ended.
+pub const NUM_BUCKETS: usize = 32;
+
+/// A log2-bucketed latency histogram with atomic cells, registered as a
+/// process-global static like a [`Counter`](crate::counters::Counter).
+#[derive(Debug)]
+pub struct Hist {
+    name: &'static str,
+    buckets: [AtomicU64; NUM_BUCKETS],
+    sum_ns: AtomicU64,
+}
+
+impl Hist {
+    /// Creates a histogram (used by this module's registry statics).
+    pub const fn new(name: &'static str) -> Hist {
+        Hist {
+            name,
+            buckets: [const { AtomicU64::new(0) }; NUM_BUCKETS],
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// The registry name, e.g. `"ilp.latency.search_row"`.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records one sample. When no session is recording this is a
+    /// single relaxed flag load.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Starts a latency measurement that records into this histogram
+    /// when the returned guard drops. Reads no clock while disabled.
+    #[must_use = "the sample is recorded when the guard drops"]
+    pub fn timer(&'static self) -> Timer {
+        Timer {
+            hist: self,
+            start: crate::enabled().then(Instant::now),
+        }
+    }
+
+    /// Snapshots the histogram.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistSnapshot {
+            name: self.name,
+            count: buckets.iter().sum(),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    /// Zeroes every cell (ungated, used by [`Session::start`](crate::Session::start)).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// RAII latency guard returned by [`Hist::timer`].
+pub struct Timer {
+    hist: &'static Hist,
+    /// `None` while disabled: no clock read on either end.
+    start: Option<Instant>,
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            self.hist
+                .record_ns(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+}
+
+/// Bucket index for a sample: `floor(log2(ns))`, clamped to the table.
+#[inline]
+fn bucket_index(ns: u64) -> usize {
+    if ns < 2 {
+        0
+    } else {
+        ((63 - ns.leading_zeros()) as usize).min(NUM_BUCKETS - 1)
+    }
+}
+
+/// Inclusive lower bound of bucket `i` in nanoseconds (`0` for bucket 0,
+/// else `2^i`).
+pub fn bucket_lo(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << i
+    }
+}
+
+/// One histogram's cells at [`Session::finish`](crate::Session::finish)
+/// time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Registry name, e.g. `"ilp.latency.legality"`.
+    pub name: &'static str,
+    /// Total samples (sum of the buckets).
+    pub count: u64,
+    /// Sum of all sample latencies, in nanoseconds.
+    pub sum_ns: u64,
+    /// All [`NUM_BUCKETS`] cells, index `i` counting samples in
+    /// `[2^i, 2^(i+1))` ns.
+    pub buckets: Vec<u64>,
+}
+
+impl HistSnapshot {
+    /// Mean sample latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Latency of building one dependence's legality (Farkas) system.
+pub static LEGALITY: Hist = Hist::new("ilp.latency.legality");
+/// Latency of building one bounding-function (Eq. 6) system.
+pub static BOUNDING: Hist = Hist::new("ilp.latency.bounding");
+/// Latency of one lexmin ILP solve for a scattering row.
+pub static SEARCH_ROW: Hist = Hist::new("ilp.latency.search_row");
+/// Latency of one polyhedron-emptiness ILP probe.
+pub static EMPTINESS: Hist = Hist::new("ilp.latency.emptiness");
+
+/// Every registered histogram, in the stable order `pluto-profile/3`
+/// serializes (renaming or reordering is a schema break, exactly as with
+/// [`counters::all`](crate::counters::all)).
+pub fn all() -> [&'static Hist; 4] {
+    [&LEGALITY, &BOUNDING, &SEARCH_ROW, &EMPTINESS]
+}
+
+/// Zeroes every registered histogram.
+pub fn reset_all() {
+    for h in all() {
+        h.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(bucket_lo(0), 0);
+        assert_eq!(bucket_lo(10), 1024);
+    }
+
+    #[test]
+    fn disabled_recording_is_inert() {
+        let _g = crate::TEST_SERIAL.lock().unwrap();
+        reset_all();
+        assert!(!crate::enabled());
+        SEARCH_ROW.record_ns(100);
+        {
+            let t = SEARCH_ROW.timer();
+            assert!(t.start.is_none(), "disabled timer read the clock");
+        }
+        let s = SEARCH_ROW.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.sum_ns, 0);
+    }
+
+    #[test]
+    fn samples_land_in_their_buckets() {
+        let _g = crate::TEST_SERIAL.lock().unwrap();
+        let session = crate::Session::start();
+        EMPTINESS.record_ns(3); // bucket 1
+        EMPTINESS.record_ns(900); // bucket 9
+        EMPTINESS.record_ns(900); // bucket 9
+        {
+            let _t = LEGALITY.timer(); // records something >= 0
+        }
+        let profile = session.finish();
+        let e = profile.hist("ilp.latency.emptiness").unwrap();
+        assert_eq!(e.count, 3);
+        assert_eq!(e.sum_ns, 1803);
+        assert_eq!(e.buckets[1], 1);
+        assert_eq!(e.buckets[9], 2);
+        assert_eq!(e.mean_ns(), 601);
+        assert_eq!(profile.hist("ilp.latency.legality").unwrap().count, 1);
+        // A fresh session resets the cells.
+        let p2 = crate::Session::start().finish();
+        assert_eq!(p2.hist("ilp.latency.emptiness").unwrap().count, 0);
+    }
+}

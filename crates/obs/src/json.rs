@@ -6,7 +6,7 @@
 //! strict RFC 8259 JSON (no comments, no trailing commas), parses numbers
 //! as `f64`, and exposes just enough accessors for the golden tests and
 //! the bench harness to check the documents this workspace emits
-//! (`pluto-profile/2`, `pluto-bench-pipeline/2`, `pluto-bench-kernels/2`,
+//! (`pluto-profile/3`, `pluto-bench-pipeline/2`, `pluto-bench-kernels/2`,
 //! `trace_event/1`; schemas in PERFORMANCE.md).
 //!
 //! ```

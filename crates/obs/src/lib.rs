@@ -16,13 +16,22 @@
 //! * [`counters`] — a central registry of cheap atomic counters bumped
 //!   by the hot crates (`ilp.pivots`, `poly.fm_eliminations`,
 //!   `ir.deps_built`, `core.scc_cuts`, …);
+//! * [`hist`] — log2-bucketed latency histograms keyed by ILP call site
+//!   (legality, bounding, search-row, emptiness), registered next to the
+//!   counters;
 //! * [`Session`] / [`Profile`] — collection and rendering: a session
 //!   enables recording, a profile snapshots everything as a human table
 //!   ([`Profile::render_table`]) or stable JSON ([`Profile::to_json`],
-//!   schema `pluto-profile/2`, documented in PERFORMANCE.md);
+//!   schema `pluto-profile/3`, documented in PERFORMANCE.md);
+//! * [`decision`] — the optimizer decision log: structured events for
+//!   every hyperplane the search commits, rejects, or cuts around,
+//!   surfaced by `plutoc --explain[-json]` (`pluto-explain/1`);
 //! * [`trace`] — runtime execution tracing: per-thread event buffers
 //!   filled by the machine substrate's thread teams, exported as Chrome
-//!   Trace Event JSON (`trace_event/1`, loadable in Perfetto);
+//!   Trace Event JSON (`trace_event/1`, loadable in Perfetto); while a
+//!   trace records, compile-time [`span`]s additionally land on the
+//!   coordinator timeline, so optimizer and runtime share one Perfetto
+//!   view;
 //! * [`exec`] — runtime execution metrics (wavefront load balance,
 //!   barrier wait, per-array cache attribution) aggregated into the
 //!   [`Profile::exec`] section;
@@ -50,9 +59,9 @@
 //! let profile = session.finish();
 //! assert_eq!(profile.counter("ilp.pivots"), Some(3));
 //! assert_eq!(profile.phase("search/ilp").unwrap().calls, 1);
-//! // Machine-readable form, stable schema "pluto-profile/2":
+//! // Machine-readable form, stable schema "pluto-profile/3":
 //! let j = pluto_obs::json::parse(&profile.to_json(Some("demo"))).unwrap();
-//! assert_eq!(j.get("schema").unwrap().as_str(), Some("pluto-profile/2"));
+//! assert_eq!(j.get("schema").unwrap().as_str(), Some("pluto-profile/3"));
 //! ```
 //!
 //! # Concurrency model
@@ -66,7 +75,9 @@
 //! diagnostic data, never inputs to compilation decisions.
 
 pub mod counters;
+pub mod decision;
 pub mod exec;
+pub mod hist;
 pub mod json;
 pub mod trace;
 
@@ -76,6 +87,12 @@ pub use exec::ExecProfile;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+
+/// Serializes tests across this crate's modules: sessions, traces, and
+/// decision logs all share process-global state, and each module's test
+/// set must not observe another's recording mid-flight.
+#[cfg(test)]
+pub(crate) static TEST_SERIAL: Mutex<()> = Mutex::new(());
 
 /// Process-global recording switch. Off (`false`) unless a [`Session`] is
 /// active; all instrumentation is gated on it.
@@ -115,8 +132,13 @@ thread_local! {
 /// recorded) when the returned guard drops.
 ///
 /// Spans nest: a span opened while another is active on the same thread
-/// records under the joined path (`"optimize/search"`). When no session
-/// is recording, the guard is inert — no clock read, no allocation.
+/// records under the joined path (`"optimize/search"`). A span records
+/// into the [`Session`] buffer while a session is active and *also*
+/// emits begin/end events on the coordinator timeline (tid 0) while a
+/// [`trace`] records, so compile-time phases appear on the same Perfetto
+/// view as the runtime's thread-team events. When neither is recording,
+/// the guard is inert — two relaxed flag loads, no clock read, no
+/// allocation.
 ///
 /// ```
 /// let session = pluto_obs::Session::start();
@@ -130,8 +152,13 @@ thread_local! {
 /// ```
 #[must_use = "the span is recorded when the guard drops"]
 pub fn span(name: &'static str) -> SpanGuard {
-    if !enabled() {
-        return SpanGuard { live: None };
+    let profiling = enabled();
+    let tracing = trace::enabled();
+    if !profiling && !tracing {
+        return SpanGuard {
+            live: None,
+            profiling: false,
+        };
     }
     let path = STACK.with(|s| {
         let mut s = s.borrow_mut();
@@ -144,8 +171,12 @@ pub fn span(name: &'static str) -> SpanGuard {
         s.push(name);
         path
     });
+    if tracing {
+        trace::record_compile_event(&path, trace::Phase::Begin);
+    }
     SpanGuard {
         live: Some((path, Instant::now())),
+        profiling,
     }
 }
 
@@ -153,8 +184,11 @@ pub fn span(name: &'static str) -> SpanGuard {
 /// phase when dropped.
 pub struct SpanGuard {
     /// `(full path, start)` when recording; `None` for the inert guard
-    /// handed out while no session is active.
+    /// handed out while neither a session nor a trace is active.
     live: Option<(String, Instant)>,
+    /// Whether a [`Session`] was recording when the span opened (a span
+    /// opened for tracing alone must not land in the session buffer).
+    profiling: bool,
 }
 
 impl Drop for SpanGuard {
@@ -166,8 +200,13 @@ impl Drop for SpanGuard {
         STACK.with(|s| {
             s.borrow_mut().pop();
         });
-        if let Ok(mut buf) = SPANS.lock() {
-            buf.push((path, ns));
+        if trace::enabled() {
+            trace::record_compile_event(&path, trace::Phase::End);
+        }
+        if self.profiling {
+            if let Ok(mut buf) = SPANS.lock() {
+                buf.push((path, ns));
+            }
         }
     }
 }
@@ -185,8 +224,8 @@ pub struct Session {
 }
 
 impl Session {
-    /// Starts recording: clears the counter registry and span buffer,
-    /// then enables the global switch.
+    /// Starts recording: clears the counter registry, latency
+    /// histograms and span buffer, then enables the global switch.
     #[must_use = "finish() the session to obtain the profile"]
     #[allow(clippy::new_without_default)] // `start` names the side effect
     pub fn start() -> Session {
@@ -195,6 +234,7 @@ impl Session {
             buf.clear();
         }
         counters::reset_all();
+        hist::reset_all();
         exec::reset();
         let s = Session {
             start: Instant::now(),
@@ -237,10 +277,12 @@ impl Session {
                 value: c.get(),
             })
             .collect();
+        let hists = hist::all().iter().map(|h| h.snapshot()).collect();
         Profile {
             total_ns,
             phases,
             counters,
+            hists,
             exec: exec::take(),
         }
     }
@@ -267,10 +309,10 @@ pub struct CounterSnapshot {
 }
 
 /// Everything one session observed: total wall time, per-phase spans, and
-/// the full counter registry snapshot.
+/// the full counter and histogram registry snapshots.
 ///
 /// Render with [`render_table`](Profile::render_table) (human) or
-/// [`to_json`](Profile::to_json) (machine, schema `pluto-profile/2` —
+/// [`to_json`](Profile::to_json) (machine, schema `pluto-profile/3` —
 /// field-by-field documentation in PERFORMANCE.md).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Profile {
@@ -280,6 +322,9 @@ pub struct Profile {
     pub phases: Vec<Phase>,
     /// Snapshot of every registered counter, in registry order.
     pub counters: Vec<CounterSnapshot>,
+    /// Snapshot of every registered latency histogram, in registry
+    /// order (empty histograms included, so the shape is stable).
+    pub hists: Vec<hist::HistSnapshot>,
     /// Runtime execution metrics (thread-team load balance, barrier
     /// wait, per-array cache attribution), when the session bracketed
     /// an execution; `None` for compile-only sessions (the `exec`
@@ -299,6 +344,12 @@ impl Profile {
             .iter()
             .find(|c| c.name == name)
             .map(|c| c.value)
+    }
+
+    /// Looks up a latency histogram by registry name (e.g.
+    /// `"ilp.latency.search_row"`).
+    pub fn hist(&self, name: &str) -> Option<&hist::HistSnapshot> {
+        self.hists.iter().find(|h| h.name == name)
     }
 
     /// Renders the profile as an aligned human-readable table: one row
@@ -330,6 +381,34 @@ impl Profile {
                 out.push_str(&format!("{:<44} {:>20}\n", c.name, c.value));
             }
         }
+        if self.hists.iter().any(|h| h.count > 0) {
+            out.push_str(&format!(
+                "\n{:<44} {:>9} {:>10} {:>16}\n",
+                "latency histogram", "samples", "mean", "modal bucket"
+            ));
+            for h in &self.hists {
+                if h.count == 0 {
+                    continue;
+                }
+                let modal = h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &n)| n)
+                    .map_or(0, |(i, _)| i);
+                out.push_str(&format!(
+                    "{:<44} {:>9} {:>10} {:>16}\n",
+                    h.name,
+                    h.count,
+                    fmt_ns(u128::from(h.mean_ns())),
+                    format!(
+                        "[{}, {})",
+                        fmt_ns(u128::from(hist::bucket_lo(modal))),
+                        fmt_ns(u128::from(hist::bucket_lo(modal + 1)))
+                    )
+                ));
+            }
+        }
         if let Some(e) = &self.exec {
             out.push_str(&format!("\n{:<44} {:>20}\n", "execution", ""));
             out.push_str(&format!("{:<44} {:>20}\n", "  dispatches", e.dispatches));
@@ -358,20 +437,21 @@ impl Profile {
         out
     }
 
-    /// Serializes the profile as JSON under the stable `pluto-profile/2`
+    /// Serializes the profile as JSON under the stable `pluto-profile/3`
     /// schema (see PERFORMANCE.md). `kernel` names the compiled program
     /// when known; `null` otherwise. Phases are sorted by path, counters
-    /// appear in registry order with zero values included — consumers can
-    /// rely on the full counter set being present.
+    /// and histograms appear in registry order with zero values included
+    /// — consumers can rely on the full registries being present.
     ///
-    /// `pluto-profile/2` is a strict superset of `/1`: every v1 field is
-    /// emitted unchanged and the new `exec` section (JSON `null` for
-    /// compile-only sessions) is purely additive, so v1 consumers that
-    /// ignore unknown fields keep working (`tests/profile_golden.rs`
-    /// pins this compatibility).
+    /// `pluto-profile/3` is a strict superset of `/2` (itself a superset
+    /// of `/1`): every v2 field is emitted unchanged and the new `hists`
+    /// section (one object per registered latency histogram, all
+    /// [`hist::NUM_BUCKETS`] log2 buckets) is purely additive, so v2
+    /// consumers that ignore unknown fields keep working
+    /// (`tests/profile_golden.rs` pins this compatibility).
     pub fn to_json(&self, kernel: Option<&str>) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"pluto-profile/2\",\n");
+        out.push_str("  \"schema\": \"pluto-profile/3\",\n");
         match kernel {
             Some(k) => out.push_str(&format!("  \"kernel\": {},\n", json::escape(k))),
             None => out.push_str("  \"kernel\": null,\n"),
@@ -400,6 +480,20 @@ impl Profile {
                 c.value
             ));
         }
+        out.push_str("\n  ],\n  \"hists\": [");
+        for (i, h) in self.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let buckets: Vec<String> = h.buckets.iter().map(|b| b.to_string()).collect();
+            out.push_str(&format!(
+                "\n    {{\"name\": {}, \"count\": {}, \"sum_ns\": {}, \"buckets\": [{}]}}",
+                json::escape(h.name),
+                h.count,
+                h.sum_ns,
+                buckets.join(", ")
+            ));
+        }
         out.push_str("\n  ],\n  \"exec\": ");
         match &self.exec {
             None => out.push_str("null"),
@@ -411,7 +505,7 @@ impl Profile {
 }
 
 /// Serializes an [`ExecProfile`] as the `exec` object shared by
-/// `pluto-profile/2` and `pluto-bench-kernels/2` (PERFORMANCE.md §5).
+/// `pluto-profile/3` and `pluto-bench-kernels/2` (PERFORMANCE.md §5).
 /// `indent` is the base indentation of the object's closing brace.
 pub fn exec_json(e: &exec::ExecProfile, indent: &str) -> String {
     let mut out = String::from("{\n");
@@ -495,12 +589,13 @@ mod tests {
     use super::*;
 
     /// Serializes the crate's tests: sessions share process-global state.
-    static SERIAL: Mutex<()> = Mutex::new(());
+    use crate::TEST_SERIAL as SERIAL;
 
     #[test]
     fn disabled_path_is_inert() {
         let _g = SERIAL.lock().unwrap();
         counters::reset_all();
+        hist::reset_all();
         assert!(!enabled());
         // Bump every registered counter through the public API while no
         // session is active: the cells must stay untouched.
@@ -512,6 +607,25 @@ mod tests {
         for c in counters::all() {
             assert_eq!(c.get(), 0, "counter {} touched while disabled", c.name());
         }
+        // Latency histograms are gated on the same switch: no cell moves
+        // and the timer guard reads no clock.
+        for h in hist::all() {
+            h.record_ns(123);
+            let _t = h.timer();
+        }
+        for h in hist::all() {
+            assert_eq!(
+                h.snapshot().count,
+                0,
+                "hist {} touched while disabled",
+                h.name()
+            );
+        }
+        // The decision log has its own switch (like tracing): with no
+        // recording started, record() is one relaxed load and a return.
+        assert!(!decision::enabled());
+        decision::record(decision::DecisionEvent::RowSolveFailed { row: 0 });
+        assert!(decision::finish().events.is_empty());
         // Spans are inert too: nothing lands in the buffer.
         {
             let _s = span("never-recorded");
@@ -585,10 +699,18 @@ mod tests {
         let profile = session.finish();
         let text = profile.to_json(Some("kernel \"x\"\n"));
         let v = json::parse(&text).expect("emitted profile must be valid JSON");
-        assert_eq!(v.get("schema").unwrap().as_str(), Some("pluto-profile/2"));
+        assert_eq!(v.get("schema").unwrap().as_str(), Some("pluto-profile/3"));
         assert_eq!(v.get("kernel").unwrap().as_str(), Some("kernel \"x\"\n"));
         // Compile-only session: the v2 `exec` section is explicit null.
         assert!(v.get("exec").unwrap().is_null());
+        // The v3 `hists` section carries the full registry with all
+        // buckets present, empty or not.
+        let hists = v.get("hists").unwrap().as_array().unwrap();
+        assert_eq!(hists.len(), hist::all().len());
+        assert_eq!(
+            hists[0].get("buckets").unwrap().as_array().unwrap().len(),
+            hist::NUM_BUCKETS
+        );
         let phases = v.get("phases").unwrap().as_array().unwrap();
         assert_eq!(phases.len(), 1);
         assert_eq!(

@@ -99,6 +99,30 @@ pub fn now_ns() -> u128 {
     EPOCH.get().map_or(0, |e| e.elapsed().as_nanos())
 }
 
+/// Records one compile-time span event straight into the collector on
+/// the coordinator timeline (tid 0). Called by
+/// [`span`](crate::span)/`SpanGuard` while a trace records, so optimizer
+/// phases (`parse`, `optimize/search`, `codegen`, …) appear on the same
+/// Perfetto view as the thread team's runtime events. One lock
+/// acquisition per event is fine here: spans fire per compiler *phase*,
+/// not per iteration (the per-iteration runtime path keeps using
+/// thread-owned [`RingBuf`]s).
+pub(crate) fn record_compile_event(name: &str, ph: Phase) {
+    if !enabled() {
+        return;
+    }
+    EVENTS
+        .lock()
+        .expect("trace buffer poisoned")
+        .push(TraceEvent {
+            name: name.to_string(),
+            ph,
+            tid: 0,
+            ts_ns: now_ns(),
+            args: Vec::new(),
+        });
+}
+
 /// Event phase, mirroring the Chrome Trace Event `ph` field.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Phase {
@@ -316,8 +340,10 @@ impl Trace {
 mod tests {
     use super::*;
 
-    /// Trace state is process-global; serialize the tests touching it.
-    static SERIAL: Mutex<()> = Mutex::new(());
+    /// Trace state is process-global; serialize the tests touching it
+    /// (shared with the other modules' tests — spans feed the trace
+    /// collector now, so cross-module isolation matters).
+    use crate::TEST_SERIAL as SERIAL;
 
     #[test]
     fn disabled_tracing_allocates_nothing() {
@@ -374,6 +400,29 @@ mod tests {
             .find(|e| e.name == "trace.dropped")
             .expect("drop report present");
         assert_eq!(dropped.args, vec![("events", 2)]);
+    }
+
+    #[test]
+    fn compile_spans_flow_into_the_trace() {
+        let _g = SERIAL.lock().unwrap();
+        start();
+        {
+            let _outer = crate::span("optimize");
+            let _inner = crate::span("search");
+        }
+        let t = finish();
+        // Two begin/end pairs, all on the coordinator timeline, with
+        // the nested span recorded under its joined path.
+        assert_eq!(t.events.len(), 4);
+        assert!(t.events.iter().all(|e| e.tid == 0));
+        assert!(t
+            .events
+            .iter()
+            .any(|e| e.name == "optimize/search" && e.ph == Phase::Begin));
+        assert!(t
+            .events
+            .iter()
+            .any(|e| e.name == "optimize" && e.ph == Phase::End));
     }
 
     #[test]

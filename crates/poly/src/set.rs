@@ -155,6 +155,7 @@ impl ConstraintSet {
             rows.push(e.clone());
             rows.push(e.iter().map(|&v| -v).collect());
         }
+        let _t = pluto_obs::hist::EMPTINESS.timer();
         !IlpProblem::feasible_with_free_vars(self.num_vars, &rows)
     }
 

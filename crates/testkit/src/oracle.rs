@@ -17,6 +17,13 @@
 //! prover, lints) and the interpreter's parallel-marker sanitizer — a
 //! static-vs-dynamic differential: the static prover and the runtime
 //! recorder must *both* find every parallel loop race-free.
+//!
+//! The search and the fully-optimized apply also run under decision
+//! recording: the replayed satisfaction ledger
+//! ([`DecisionLog::ledger`](pluto_obs::decision::DecisionLog::ledger))
+//! must equal the search's own `satisfied_at` map exactly, and is then
+//! handed to the analyzer's PL007 cross-check — so every fuzz kernel
+//! also differentially tests the telemetry replay.
 
 use crate::kernelgen::{build, BuiltKernel, KernelSpec};
 use pluto::baselines::validate_legality;
@@ -75,8 +82,42 @@ pub fn check_kernel(k: &BuiltKernel, cfg: &OracleConfig) -> Result<(), String> {
     let deps = analyze_dependences(prog, true);
     // One hyperplane search feeds every variant (`Optimizer::apply`); the
     // search dominates oracle cost and is identical across them anyway.
-    let searched = pluto::find_transformation(prog, &deps, &pluto::PlutoOptions::default())
-        .map_err(|e| format!("search failed: {e:?}"))?;
+    // The search and the fully-optimized apply run under decision
+    // recording (window guard held: recording is process-global and the
+    // fuzz harness runs kernels from several test threads), so the
+    // replayed satisfaction ledger can be differenced against the
+    // search's own bookkeeping and fed to the analyzer's PL007 check.
+    let window = pluto_obs::decision::exclusive();
+    pluto_obs::decision::start();
+    let searched = match pluto::find_transformation(prog, &deps, &pluto::PlutoOptions::default()) {
+        Ok(s) => s,
+        Err(e) => {
+            pluto_obs::decision::finish();
+            return Err(format!("search failed: {e:?}"));
+        }
+    };
+
+    // Variant 3 (built first so its tiling/wavefront/reorder events land
+    // in the same log): the full pipeline — tiling + wavefront
+    // parallelism + vectorization reorder.
+    let full = Optimizer::new()
+        .tile_size(cfg.tile_size)
+        .wavefront_degrees(2)
+        .apply(prog, deps.clone(), searched.clone());
+    let decision_log = pluto_obs::decision::finish();
+    drop(window);
+
+    // Replay differential: the event stream folded to final row
+    // coordinates must reproduce the search's satisfaction map exactly.
+    let ledger = decision_log.ledger(deps.len());
+    if ledger != full.result.satisfied_at {
+        return Err(format!(
+            "full: decision-log ledger diverges from the search's satisfaction map\n\
+             ledger:       {ledger:?}\nsatisfied_at: {:?}\n{}",
+            full.result.satisfied_at,
+            full.result.transform.display(prog)
+        ));
+    }
 
     // Reference: the original program order, interpreted sequentially.
     let ref_ast = generate(prog, &original_schedule(prog));
@@ -126,16 +167,12 @@ pub fn check_kernel(k: &BuiltKernel, cfg: &OracleConfig) -> Result<(), String> {
         .tile_size(cfg.tile_size)
         .parallel(false)
         .vectorization(false)
-        .apply(prog, deps.clone(), searched.clone());
+        .apply(prog, deps.clone(), searched);
     run_seq("tiled", &tiled.result.transform)?;
 
-    // Variant 3: the full pipeline — tiling + wavefront parallelism +
-    // vectorization reorder — executed sequentially and by the thread
-    // team (collapse 2 exercises two degrees of pipelined parallelism).
-    let full = Optimizer::new()
-        .tile_size(cfg.tile_size)
-        .wavefront_degrees(2)
-        .apply(prog, deps.clone(), searched);
+    // Variant 3 (`full`, built above under recording) executed
+    // sequentially and by the thread team (collapse 2 exercises two
+    // degrees of pipelined parallelism).
     run_seq("full", &full.result.transform)?;
     let ast = generate(prog, &full.result.transform);
     let mut par = fresh_arrays(k);
@@ -181,6 +218,7 @@ pub fn check_kernel(k: &BuiltKernel, cfg: &OracleConfig) -> Result<(), String> {
         ast: &ast,
         extents: Some(&extent_rows),
         param_values: Some(&param_values),
+        ledger: Some(&ledger),
     });
     if diags.iter().any(|d| d.severity == Severity::Error) {
         return Err(format!(

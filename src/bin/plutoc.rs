@@ -13,6 +13,11 @@
 //!   --wavefront <m>   degrees of pipelined parallelism (default 1)
 //!   --unroll <f>      unroll-jam innermost loops by f (post-pass)
 //!   --show-transform  print the statement-wise transformation too
+//!   --explain         print the transformation report (rows, bands,
+//!                     dependence satisfaction) plus the optimizer's
+//!                     decision log to stderr
+//!   --explain-json    print the report as a `pluto-explain/1` JSON
+//!                     document on stdout *instead of* the C code
 //!   --analyze         run the static verifier on the generated code and
 //!                     print its report to stderr; exit non-zero if it
 //!                     finds an error (race, out-of-bounds access)
@@ -22,7 +27,7 @@
 //!                     compiling and print the profile table to stderr
 //!                     (glossary in PERFORMANCE.md)
 //!   --profile-json    like --profile, but print the profile as
-//!                     `pluto-profile/2` JSON on stdout *instead of* the
+//!                     `pluto-profile/3` JSON on stdout *instead of* the
 //!                     C code
 //!   --verify <vals>   execute original and transformed code at the given
 //!                     comma-separated parameter values (arrays allocated
@@ -64,6 +69,8 @@ fn run() -> Result<ExitCode, String> {
     let mut wavefront = 1usize;
     let mut unroll = 1usize;
     let mut show_transform = false;
+    let mut do_explain = false;
+    let mut explain_json = false;
     let mut do_analyze = false;
     let mut analyze_json = false;
     let mut do_profile = false;
@@ -85,6 +92,11 @@ fn run() -> Result<ExitCode, String> {
             "--wavefront" => wavefront = parse_num(&a, it.next())? as usize,
             "--unroll" => unroll = parse_num(&a, it.next())? as usize,
             "--show-transform" => show_transform = true,
+            "--explain" => do_explain = true,
+            "--explain-json" => {
+                do_explain = true;
+                explain_json = true;
+            }
             "--analyze" => do_analyze = true,
             "--analyze-json" => {
                 do_analyze = true;
@@ -111,8 +123,9 @@ fn run() -> Result<ExitCode, String> {
             "--help" | "-h" => {
                 eprintln!("usage: plutoc [--tile n] [--l2 f] [--notile] [--noparallel]");
                 eprintln!("              [--nofuse] [--noinputdeps] [--wavefront m]");
-                eprintln!("              [--unroll f] [--show-transform] [--analyze]");
-                eprintln!("              [--analyze-json] [--profile] [--profile-json]");
+                eprintln!("              [--unroll f] [--show-transform] [--explain]");
+                eprintln!("              [--explain-json] [--analyze] [--analyze-json]");
+                eprintln!("              [--profile] [--profile-json]");
                 eprintln!("              [--verify v1,v2,…] [--trace out.json]");
                 eprintln!("              [--threads n] <file.c | ->");
                 return Ok(ExitCode::SUCCESS);
@@ -122,8 +135,20 @@ fn run() -> Result<ExitCode, String> {
         }
     }
 
-    if analyze_json && profile_json {
-        return Err("--analyze-json and --profile-json both claim stdout; pick one".to_string());
+    let claimed: Vec<&str> = [
+        ("--analyze-json", analyze_json),
+        ("--profile-json", profile_json),
+        ("--explain-json", explain_json),
+    ]
+    .iter()
+    .filter(|(_, on)| *on)
+    .map(|(f, _)| *f)
+    .collect();
+    if claimed.len() > 1 {
+        return Err(format!(
+            "{} both claim stdout; pick one",
+            claimed.join(" and ")
+        ));
     }
 
     let source = match path.as_deref() {
@@ -138,7 +163,17 @@ fn run() -> Result<ExitCode, String> {
     };
 
     // The session starts before parsing so the "parse" span is captured.
+    // Trace recording likewise starts here (not at the execution block):
+    // with it on, every compile phase span emits Begin/End events on
+    // tid 0, so the exported document shows the compile timeline next to
+    // the runtime wavefronts.
     let session = do_profile.then(pluto_obs::Session::start);
+    if trace_out.is_some() {
+        pluto_obs::trace::start();
+    }
+    if do_explain || do_analyze {
+        pluto_obs::decision::start();
+    }
 
     let unit = pluto_frontend::parse_unit(&source).map_err(|e| e.to_string())?;
     let prog = unit.program.clone();
@@ -160,12 +195,42 @@ fn run() -> Result<ExitCode, String> {
     let optimized = opt
         .optimize(&prog)
         .map_err(|e| format!("transformation failed: {e}"))?;
+    let decision_log = pluto_obs::decision::finish();
+    let ledger = decision_log.ledger(optimized.deps.len());
     if show_transform {
         eprintln!("{}", optimized.result.transform.display(&prog));
     }
     let mut ast = generate(&prog, &optimized.result.transform);
     if unroll > 1 {
         unroll_innermost(&mut ast, unroll);
+    }
+
+    let kernel = match path.as_deref() {
+        None | Some("-") => "stdin".to_string(),
+        Some(p) => std::path::Path::new(p)
+            .file_stem()
+            .map_or_else(|| p.to_string(), |s| s.to_string_lossy().into_owned()),
+    };
+
+    if do_explain {
+        if explain_json {
+            let doc = pluto::explain_json(
+                &prog,
+                &optimized.deps,
+                &optimized.result,
+                &decision_log,
+                Some(&kernel),
+            );
+            pluto_obs::json::parse(&doc)
+                .map_err(|e| format!("--explain-json: emitted document is not valid JSON: {e}"))?;
+            print!("{doc}");
+        } else {
+            eprint!(
+                "{}",
+                pluto::explain(&prog, &optimized.deps, &optimized.result)
+            );
+            eprint!("{}", decision_log.render_text());
+        }
     }
 
     let mut analyzer_failed = false;
@@ -178,6 +243,7 @@ fn run() -> Result<ExitCode, String> {
             ast: &ast,
             extents: Some(unit.extent_rows()),
             param_values: None,
+            ledger: Some(&ledger),
         });
         if analyze_json {
             print!("{}", render_json(&diags));
@@ -188,7 +254,7 @@ fn run() -> Result<ExitCode, String> {
     }
     // The traced execution runs before the session finishes so a
     // combined --profile --trace invocation gets the `exec` section of
-    // `pluto-profile/2` filled in from the same run.
+    // `pluto-profile/3` filled in from the same run.
     if let Some(out_path) = &trace_out {
         let params: Vec<i64> = match &verify {
             Some(v) => v.clone(),
@@ -206,7 +272,8 @@ fn run() -> Result<ExitCode, String> {
             .map_err(|m| format!("--trace: {m}"))?;
         let mut arrays = Arrays::new(extents);
         arrays.seed_with(pluto_frontend::kernels::seed_value);
-        pluto_obs::trace::start();
+        // trace::start() already ran before parsing: the document carries
+        // the compile-phase spans recorded since, plus this execution.
         run_parallel(
             &prog,
             &ast,
@@ -230,19 +297,13 @@ fn run() -> Result<ExitCode, String> {
     }
     if let Some(session) = session {
         let profile = session.finish();
-        let kernel = match path.as_deref() {
-            None | Some("-") => "stdin".to_string(),
-            Some(p) => std::path::Path::new(p)
-                .file_stem()
-                .map_or_else(|| p.to_string(), |s| s.to_string_lossy().into_owned()),
-        };
         if profile_json {
             print!("{}", profile.to_json(Some(&kernel)));
         } else {
             eprint!("{}", profile.render_table());
         }
     }
-    if !analyze_json && !profile_json {
+    if !analyze_json && !profile_json && !explain_json {
         print!("{}", emit_c(&prog, &ast));
     }
 

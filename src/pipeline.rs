@@ -14,6 +14,7 @@ use pluto_analyze::{analyze, AnalysisInput, Diagnostic};
 use pluto_codegen::{generate, Ast};
 use pluto_ir::Program;
 use pluto_linalg::Int;
+use pluto_obs::decision::DecisionLog;
 use pluto_obs::Profile;
 
 /// Every product of one audited compilation.
@@ -28,6 +29,9 @@ pub struct Compiled {
     /// Phase spans + solver counters observed while compiling (schema and
     /// glossary in PERFORMANCE.md).
     pub profile: Profile,
+    /// The optimizer's decision event log (search telemetry; feeds the
+    /// PL007 ledger cross-check and the `--explain` reports).
+    pub decision_log: DecisionLog,
 }
 
 impl Compiled {
@@ -53,13 +57,23 @@ pub fn compile_audited(
     extents: Option<&[Vec<Vec<Int>>]>,
 ) -> Result<Compiled, PlutoError> {
     let session = pluto_obs::Session::start();
+    // Decision recording is process-global: hold the window guard so
+    // concurrent audited compiles (test threads) don't interleave logs.
+    let window = pluto_obs::decision::exclusive();
+    pluto_obs::decision::start();
     let optimized = match optimizer.optimize(prog) {
         Ok(o) => o,
         Err(e) => {
-            session.finish(); // recording must not outlive the compile
+            // Recording must not outlive the compile.
+            pluto_obs::decision::finish();
+            drop(window);
+            session.finish();
             return Err(e);
         }
     };
+    let decision_log = pluto_obs::decision::finish();
+    drop(window);
+    let ledger = decision_log.ledger(optimized.deps.len());
     let ast = generate(prog, &optimized.result.transform);
     let diagnostics = {
         let _s = pluto_obs::span("analyze");
@@ -70,6 +84,7 @@ pub fn compile_audited(
             ast: &ast,
             extents,
             param_values: None,
+            ledger: Some(&ledger),
         })
     };
     Ok(Compiled {
@@ -77,5 +92,6 @@ pub fn compile_audited(
         ast,
         diagnostics,
         profile: session.finish(),
+        decision_log,
     })
 }

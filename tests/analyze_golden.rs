@@ -96,6 +96,7 @@ fn force_marked_reduction_loop_triggers_pl001() {
         ast: &ast,
         extents: None,
         param_values: None,
+        ledger: None,
     });
     assert!(
         error_codes(&diags).contains(&Code::Race),
@@ -120,6 +121,7 @@ fn force_marked_reduction_loop_triggers_pl001() {
         ast: &ast_ok,
         extents: None,
         param_values: None,
+        ledger: None,
     });
     assert!(
         !diags_ok.iter().any(|d| d.code == Code::Race),
@@ -162,6 +164,7 @@ fn flipped_wavefront_skew_triggers_pl001() {
         ast: &ast,
         extents: None,
         param_values: None,
+        ledger: None,
     });
     assert!(
         error_codes(&diags).contains(&Code::Race),
@@ -285,6 +288,7 @@ fn lints_report_warnings_not_errors() {
         ast: &ast,
         extents: None,
         param_values: None,
+        ledger: None,
     });
     let codes: Vec<Code> = diags.iter().map(|d| d.code).collect();
     assert!(

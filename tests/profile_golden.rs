@@ -1,12 +1,13 @@
-//! Golden tests pinning the `pluto-profile/2` schema emitted by
+//! Golden tests pinning the `pluto-profile/3` schema emitted by
 //! `plutoc --profile-json` and the profile returned by
 //! `compile_audited` — the machine-readable surface PERFORMANCE.md
 //! documents and downstream tooling parses. A failure here means the
 //! schema changed: bump the schema string and PERFORMANCE.md together,
-//! never silently. v2 is a strict superset of v1 (one added `exec`
-//! field); the v1-consumer compat test pins that.
+//! never silently. Each version is a strict superset of the previous
+//! (v2 added `exec`, v3 added `hists`); the v1/v2-consumer compat
+//! tests pin that.
 
-use pluto_repro::obs::{counters, json};
+use pluto_repro::obs::{counters, hist, json};
 use std::io::Write as _;
 use std::process::{Command, Stdio};
 
@@ -45,12 +46,13 @@ fn plutoc(args: &[&str], stdin: &str) -> (String, String, bool) {
     )
 }
 
-/// Asserts one parsed `pluto-profile/2` document against the schema
-/// contract: field names, phase paths, and the exact counter registry.
+/// Asserts one parsed `pluto-profile/3` document against the schema
+/// contract: field names, phase paths, the exact counter registry, and
+/// the latency-histogram registry.
 fn assert_profile_shape(doc: &json::Json, expect_kernel: &str) {
     assert_eq!(
         doc.get("schema").expect("schema field").as_str(),
-        Some("pluto-profile/2")
+        Some("pluto-profile/3")
     );
     // Compile-only profile: the exec section is present but null.
     assert!(doc.get("exec").expect("exec field").is_null());
@@ -121,6 +123,40 @@ fn assert_profile_shape(doc: &json::Json, expect_kernel: &str) {
     assert!(value("ilp.pivots") > 0);
     assert!(value("ir.dep_candidates") > 0);
     assert!(value("codegen.loops") > 0);
+
+    // Histograms (new in /3): the full registry in registry order, every
+    // document carrying all log2 buckets so the shape is position-stable.
+    let hs = doc.get("hists").expect("hists field").as_array().unwrap();
+    let hist_names: Vec<&str> = hs
+        .iter()
+        .map(|h| h.get("name").expect("hist.name").as_str().unwrap())
+        .collect();
+    let hist_registry: Vec<&str> = hist::all().iter().map(|h| h.name()).collect();
+    assert_eq!(
+        hist_names, hist_registry,
+        "hist set drifted from the registry"
+    );
+    for h in hs {
+        let buckets = h.get("buckets").expect("hist.buckets").as_array().unwrap();
+        assert_eq!(buckets.len(), hist::NUM_BUCKETS, "all log2 buckets present");
+        let total: u64 = buckets.iter().map(|b| b.as_u64().unwrap()).sum();
+        assert_eq!(
+            total,
+            h.get("count").expect("hist.count").as_u64().unwrap(),
+            "bucket sum must equal the sample count"
+        );
+        assert!(h.get("sum_ns").expect("hist.sum_ns").as_u64().is_some());
+    }
+    // A compile cannot happen without per-row lexmin solves or legality
+    // Farkas systems; their latency histograms must have samples.
+    let hist_count = |n: &str| {
+        hs.iter()
+            .find(|h| h.get("name").unwrap().as_str() == Some(n))
+            .and_then(|h| h.get("count").unwrap().as_u64())
+            .unwrap()
+    };
+    assert!(hist_count("ilp.latency.search_row") > 0);
+    assert!(hist_count("ilp.latency.legality") > 0);
 }
 
 #[test]
@@ -175,6 +211,28 @@ fn v1_consumers_can_read_v2_documents() {
     let counters_j = doc.get("counters").unwrap().as_array().unwrap();
     assert_eq!(counters_j.len(), counters::all().len());
     // The only versioned gate a v1 consumer has is the schema prefix.
+    let schema = doc.get("schema").unwrap().as_str().unwrap();
+    assert!(schema.starts_with("pluto-profile/"));
+}
+
+/// A consumer written against `pluto-profile/2` — reading the v2 fields
+/// including `exec`, ignoring keys it does not know — still works on a
+/// v3 document: v3 only *adds* the `hists` section.
+#[test]
+fn v2_consumers_can_read_v3_documents() {
+    let (stdout, _stderr, ok) = plutoc(&["--profile-json"], SRC);
+    assert!(ok);
+    let doc = json::parse(&stdout).expect("valid JSON");
+    // Exactly the access pattern of a v2 consumer:
+    assert!(doc.get("kernel").unwrap().as_str().is_some());
+    assert!(doc.get("total_ns").unwrap().as_u64().unwrap() > 0);
+    assert!(!doc.get("phases").unwrap().as_array().unwrap().is_empty());
+    assert_eq!(
+        doc.get("counters").unwrap().as_array().unwrap().len(),
+        counters::all().len()
+    );
+    // The v2 addition: exec is always present (null for compile-only).
+    assert!(doc.get("exec").unwrap().is_null());
     let schema = doc.get("schema").unwrap().as_str().unwrap();
     assert!(schema.starts_with("pluto-profile/"));
 }
