@@ -60,6 +60,17 @@ if ./target/release/bench_diff \
     exit 1
 fi
 
+echo "== pooled-executor smoke: plutoc --threads 4 --profile --trace on seidel-2d =="
+# --trace triggers a real execution through the persistent-pool compiled
+# engine; --profile-json must then carry the exec section (dispatches,
+# imbalance) and the trace must hold the stable worker-slot timelines.
+./target/release/plutoc --tile 8 --threads 4 --profile-json \
+    --trace /tmp/pluto-ci-pool-trace.json examples/seidel-2d.c \
+    > /tmp/pluto-ci-pool-profile.json
+grep -q '"schema": "pluto-profile/3"' /tmp/pluto-ci-pool-profile.json
+grep -q '"dispatches"' /tmp/pluto-ci-pool-profile.json
+grep -q '"schema": "trace_event/1"' /tmp/pluto-ci-pool-trace.json
+
 echo "== trace smoke: plutoc --trace emits a valid trace_event/1 document =="
 ./target/release/plutoc --tile 8 --trace /tmp/pluto-ci-trace.json \
     examples/seidel-2d.c > /dev/null

@@ -168,7 +168,13 @@ fn find_by<'a>(items: &'a [Json], key: &str, value: &str) -> Option<&'a Json> {
 fn check_meta(base: &Json, fresh: &Json) -> Result<(), DiffError> {
     let bm = field(base, "meta", "baseline document")?;
     let fm = field(fresh, "meta", "fresh document")?;
-    for key in ["kernel_set_hash", "tile", "threads", "samples"] {
+    for key in [
+        "kernel_set_hash",
+        "tile",
+        "threads",
+        "samples",
+        "pool_spawns",
+    ] {
         let bv = field(bm, key, "baseline meta")?;
         let fv = field(fm, key, "fresh meta")?;
         let same = match (bv.as_str(), fv.as_str()) {
@@ -363,7 +369,7 @@ mod tests {
         format!(
             r#"{{
   "schema": "pluto-bench-pipeline/2",
-  "meta": {{"kernel_set_hash": "abc", "tile": 8, "threads": 4, "samples": 5}},
+  "meta": {{"kernel_set_hash": "abc", "tile": 8, "threads": 4, "samples": 5, "pool_spawns": 3}},
   "kernels": [
     {{
       "kernel": "lu",

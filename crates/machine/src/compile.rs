@@ -1,0 +1,542 @@
+//! The kernel compiler: lowers a generated loop [`Ast`] once into flat
+//! bytecode so execution never re-walks the tree or re-evaluates access
+//! matrices per instance.
+//!
+//! Three things are precomputed at compile time, all per the paper's
+//! observation that transformed code must stay cheap at runtime:
+//!
+//! * **Control flow** becomes a flat `Vec<Instr>` interpreted with a
+//!   program counter and a loop-frame stack — no recursion, no
+//!   `match` on boxed children per node visit.
+//! * **Affine accesses** are folded into strided address polynomials:
+//!   the row-major offset `Σ_k row_k(iters, params) · Π_{j>k} extent_j`
+//!   is expanded once into `base + Σ_d stride_d · vals[slot_d]`, with
+//!   the parameter contribution folded into `base` (the executable
+//!   parameters are known at compile time). The inner loop is adds and
+//!   multiplies on `i64`, not matrix evaluation on `i128`.
+//! * **Statement bodies** become postfix op tapes evaluated on a small
+//!   stack. Postfix order is the post-order of the expression tree, so
+//!   the f64 operation order — and therefore the result bits — is
+//!   identical to the tree-walk interpreter's recursive evaluation.
+//!
+//! Bounds/guard/let expressions are mirrored into `i64` (`Int = i128`
+//! in the rest of the workspace); iteration coordinates and extents at
+//! executable sizes are far below `i64` range. Memory safety of the
+//! raw-pointer parallel backend is enforced by a per-access check of
+//! the *flattened* offset against the array length; the per-subscript
+//! range check (which distinguishes "wrapped into the neighboring row"
+//! from a true out-of-bounds) remains with the tree-walk interpreter
+//! and the static bounds prover, which the differential battery runs
+//! against this engine on every fuzz kernel.
+
+use crate::arrays::Arrays;
+use pluto_codegen::{AffExpr, Ast, Bound, CondRow};
+use pluto_ir::{Expr, Program};
+
+/// An affine expression over variable slots, in `i64`.
+#[derive(Debug, Clone)]
+pub(crate) struct CAff {
+    terms: Vec<(u32, i64)>,
+    konst: i64,
+    div: i64,
+}
+
+impl CAff {
+    fn from_ast(e: &AffExpr) -> CAff {
+        CAff {
+            terms: e
+                .terms
+                .iter()
+                .map(|&(v, c)| (v as u32, narrow(c)))
+                .collect(),
+            konst: narrow(e.konst),
+            div: narrow(e.div),
+        }
+    }
+
+    #[inline]
+    fn numer(&self, vals: &[i64]) -> i64 {
+        let mut v = self.konst;
+        for &(var, c) in &self.terms {
+            v += c * vals[var as usize];
+        }
+        v
+    }
+
+    /// `floord` evaluation (`div >= 1` by construction).
+    #[inline]
+    pub(crate) fn eval_floor(&self, vals: &[i64]) -> i64 {
+        let n = self.numer(vals);
+        if self.div == 1 {
+            n
+        } else {
+            n.div_euclid(self.div)
+        }
+    }
+
+    /// `ceild` evaluation.
+    #[inline]
+    fn eval_ceil(&self, vals: &[i64]) -> i64 {
+        let n = self.numer(vals);
+        if self.div == 1 {
+            n
+        } else {
+            -(-n).div_euclid(self.div)
+        }
+    }
+}
+
+/// A loop bound: min-of-max (`ceild`) lower, max-of-min (`floord`) upper.
+#[derive(Debug, Clone)]
+pub(crate) struct CBound {
+    groups: Vec<Vec<CAff>>,
+}
+
+impl CBound {
+    fn from_ast(b: &Bound) -> CBound {
+        CBound {
+            groups: b
+                .groups
+                .iter()
+                .map(|g| g.iter().map(CAff::from_ast).collect())
+                .collect(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn eval_lower(&self, vals: &[i64]) -> i64 {
+        self.groups
+            .iter()
+            .map(|g| {
+                g.iter()
+                    .map(|e| e.eval_ceil(vals))
+                    .max()
+                    .expect("empty max")
+            })
+            .min()
+            .expect("unbounded lower bound")
+    }
+
+    #[inline]
+    pub(crate) fn eval_upper(&self, vals: &[i64]) -> i64 {
+        self.groups
+            .iter()
+            .map(|g| {
+                g.iter()
+                    .map(|e| e.eval_floor(vals))
+                    .min()
+                    .expect("empty min")
+            })
+            .max()
+            .expect("unbounded upper bound")
+    }
+}
+
+/// A guard/filter condition row: `Σ terms + konst >= 0` (or `== 0`).
+#[derive(Debug, Clone)]
+pub(crate) struct CCond {
+    terms: Vec<(u32, i64)>,
+    konst: i64,
+    eq: bool,
+}
+
+impl CCond {
+    fn from_ast(c: &CondRow) -> CCond {
+        CCond {
+            terms: c
+                .terms
+                .iter()
+                .map(|&(v, k)| (v as u32, narrow(k)))
+                .collect(),
+            konst: narrow(c.konst),
+            eq: c.eq,
+        }
+    }
+
+    #[inline]
+    fn holds(&self, vals: &[i64]) -> bool {
+        let mut v = self.konst;
+        for &(var, c) in &self.terms {
+            v += c * vals[var as usize];
+        }
+        if self.eq {
+            v == 0
+        } else {
+            v >= 0
+        }
+    }
+
+    #[inline]
+    pub(crate) fn all_hold(conds: &[CCond], vals: &[i64]) -> bool {
+        conds.iter().all(|c| c.holds(vals))
+    }
+}
+
+/// One strided affine access: `off = base + Σ stride_d · vals[slot_d]`,
+/// valid iff `0 <= off < len` (checked by the executor before the raw
+/// load/store).
+#[derive(Debug, Clone)]
+pub(crate) struct CAccess {
+    pub array: u32,
+    pub base: i64,
+    pub strides: Vec<(u32, i64)>,
+    pub len: u32,
+}
+
+impl CAccess {
+    /// Flattened offset; panics (like the tree-walk interpreter's
+    /// subscript assert) when the access leaves the array.
+    #[inline]
+    pub(crate) fn offset(&self, vals: &[i64]) -> usize {
+        let mut off = self.base;
+        for &(slot, s) in &self.strides {
+            off += s * vals[slot as usize];
+        }
+        assert!(
+            off >= 0 && (off as u64) < self.len as u64,
+            "array {}: flattened offset {off} out of 0..{}",
+            self.array,
+            self.len
+        );
+        off as usize
+    }
+}
+
+/// One postfix statement-body operation.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum BodyOp {
+    /// Push the value loaded for read access `k`.
+    Read(u16),
+    /// Push a literal.
+    Lit(f64),
+    /// Push `vals[slot] as f64` (the iterator value, pre-resolved to
+    /// its variable slot).
+    Iter(u32),
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// One compiled statement leaf: strided accesses plus the body tape.
+#[derive(Debug, Clone)]
+pub(crate) struct CStmt {
+    /// Statement id (indexes the suppression counters).
+    pub stmt: u32,
+    pub write: CAccess,
+    pub reads: Vec<CAccess>,
+    pub body: Vec<BodyOp>,
+    pub flops: u64,
+}
+
+/// Flat bytecode instruction. `exit` indices point past the matching
+/// [`Instr::LoopEnd`] / guarded region, so a failed bound or guard is a
+/// single `pc` assignment.
+#[derive(Debug, Clone)]
+pub(crate) enum Instr {
+    /// Enter a loop: evaluate bounds, bind `var`, push the upper bound
+    /// on the frame stack — or jump to `exit` when empty.
+    Loop {
+        var: u32,
+        lb: u32,
+        ub: u32,
+        parallel: bool,
+        /// Display name id (for dispatch records and trace spans).
+        name: u32,
+        exit: u32,
+    },
+    /// Bottom of a loop body: increment and jump to `top + 1`, or pop
+    /// the frame and fall through.
+    LoopEnd {
+        var: u32,
+        top: u32,
+    },
+    /// Bind `var := floord(expr)`.
+    Let {
+        var: u32,
+        expr: u32,
+    },
+    /// Fall through when conds `[lo, hi)` all hold, else jump to `exit`.
+    Guard {
+        lo: u32,
+        hi: u32,
+        exit: u32,
+    },
+    /// Evaluate conds `[lo, hi)` once; suppress `stmt` in the region up
+    /// to the matching [`Instr::FilterExit`] when they fail.
+    FilterEnter {
+        stmt: u32,
+        lo: u32,
+        hi: u32,
+    },
+    FilterExit {
+        stmt: u32,
+    },
+    /// Execute statement leaf `leaf` unless its statement is suppressed.
+    Stmt {
+        leaf: u32,
+    },
+}
+
+/// A kernel lowered to bytecode for specific parameter values and array
+/// extents. Execute it with [`run_compiled_kernel`](crate::run_compiled_kernel)
+/// or [`run_compiled_parallel`](crate::run_compiled_parallel) against
+/// arrays of the same shape.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    pub(crate) code: Vec<Instr>,
+    pub(crate) lower: Vec<CBound>,
+    pub(crate) upper: Vec<CBound>,
+    pub(crate) exprs: Vec<CAff>,
+    pub(crate) conds: Vec<CCond>,
+    pub(crate) leaves: Vec<CStmt>,
+    pub(crate) names: Vec<String>,
+    /// Slot-vector size (variables incl. parameters).
+    pub(crate) num_slots: usize,
+    pub(crate) num_stmts: usize,
+    /// Parameter values baked into bases and the slot prefix.
+    pub(crate) params: Vec<i64>,
+    /// Array extents the strides were derived for (shape-checked at
+    /// execution time).
+    pub(crate) extents: Vec<Vec<usize>>,
+}
+
+fn narrow(x: pluto_linalg::Int) -> i64 {
+    i64::try_from(x).expect("coefficient exceeds i64 (not reachable at executable sizes)")
+}
+
+struct Lowerer<'p> {
+    prog: &'p Program,
+    params: Vec<i64>,
+    extents: Vec<Vec<usize>>,
+    code: Vec<Instr>,
+    lower: Vec<CBound>,
+    upper: Vec<CBound>,
+    exprs: Vec<CAff>,
+    conds: Vec<CCond>,
+    leaves: Vec<CStmt>,
+    names: Vec<String>,
+}
+
+impl Lowerer<'_> {
+    fn push_conds(&mut self, conds: &[CondRow]) -> (u32, u32) {
+        let lo = self.conds.len() as u32;
+        self.conds.extend(conds.iter().map(CCond::from_ast));
+        (lo, self.conds.len() as u32)
+    }
+
+    fn lower(&mut self, ast: &Ast) {
+        match ast {
+            Ast::Seq(v) => v.iter().for_each(|a| self.lower(a)),
+            Ast::Loop(l) => {
+                let lb = self.lower_bound_id(&l.lb);
+                let ub = self.upper_bound_id(&l.ub);
+                let name = self.names.len() as u32;
+                self.names.push(l.name.clone());
+                let at = self.code.len();
+                self.code.push(Instr::Loop {
+                    var: l.var as u32,
+                    lb,
+                    ub,
+                    parallel: l.parallel,
+                    name,
+                    exit: 0, // patched below
+                });
+                self.lower(&l.body);
+                self.code.push(Instr::LoopEnd {
+                    var: l.var as u32,
+                    top: at as u32,
+                });
+                let exit = self.code.len() as u32;
+                if let Instr::Loop { exit: e, .. } = &mut self.code[at] {
+                    *e = exit;
+                }
+            }
+            Ast::Let {
+                var, expr, body, ..
+            } => {
+                let id = self.exprs.len() as u32;
+                self.exprs.push(CAff::from_ast(expr));
+                self.code.push(Instr::Let {
+                    var: *var as u32,
+                    expr: id,
+                });
+                self.lower(body);
+            }
+            Ast::Guard { conds, body } => {
+                let (lo, hi) = self.push_conds(conds);
+                let at = self.code.len();
+                self.code.push(Instr::Guard { lo, hi, exit: 0 });
+                self.lower(body);
+                let exit = self.code.len() as u32;
+                if let Instr::Guard { exit: e, .. } = &mut self.code[at] {
+                    *e = exit;
+                }
+            }
+            Ast::Filter { stmt, conds, body } => {
+                let (lo, hi) = self.push_conds(conds);
+                self.code.push(Instr::FilterEnter {
+                    stmt: *stmt as u32,
+                    lo,
+                    hi,
+                });
+                self.lower(body);
+                self.code.push(Instr::FilterExit { stmt: *stmt as u32 });
+            }
+            Ast::Stmt { stmt, orig_dims } => {
+                let leaf = self.lower_stmt(*stmt, orig_dims);
+                self.code.push(Instr::Stmt { leaf });
+            }
+        }
+    }
+
+    fn lower_bound_id(&mut self, b: &Bound) -> u32 {
+        self.lower.push(CBound::from_ast(b));
+        (self.lower.len() - 1) as u32
+    }
+
+    fn upper_bound_id(&mut self, b: &Bound) -> u32 {
+        self.upper.push(CBound::from_ast(b));
+        (self.upper.len() - 1) as u32
+    }
+
+    /// Folds one access map (rows over `[iters..., params..., 1]`) into
+    /// a strided polynomial over variable slots, with the parameter and
+    /// constant contributions collapsed into `base`.
+    fn lower_access(
+        &self,
+        array: usize,
+        rows: &[Vec<pluto_linalg::Int>],
+        orig_dims: &[usize],
+    ) -> CAccess {
+        let ext = &self.extents[array];
+        assert_eq!(rows.len(), ext.len(), "access rank mismatch");
+        let n_iters = orig_dims.len();
+        let n_params = self.params.len();
+        // Row-major: row k is scaled by the product of trailing extents.
+        let mut rstride = vec![1i64; rows.len()];
+        for k in (0..rows.len().saturating_sub(1)).rev() {
+            rstride[k] = rstride[k + 1] * ext[k + 1] as i64;
+        }
+        let mut base = 0i64;
+        let mut per_dim = vec![0i64; n_iters];
+        for (k, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), n_iters + n_params + 1, "access row width");
+            base += narrow(row[n_iters + n_params]) * rstride[k];
+            for (p, &pv) in self.params.iter().enumerate() {
+                base += narrow(row[n_iters + p]) * pv * rstride[k];
+            }
+            for d in 0..n_iters {
+                per_dim[d] += narrow(row[d]) * rstride[k];
+            }
+        }
+        let strides = per_dim
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c != 0)
+            .map(|(d, &c)| (orig_dims[d] as u32, c))
+            .collect();
+        let len: usize = ext.iter().product::<usize>().max(1);
+        CAccess {
+            array: array as u32,
+            base,
+            strides,
+            len: u32::try_from(len).expect("array length exceeds u32"),
+        }
+    }
+
+    /// Emits the postfix tape for a statement body (post-order = the
+    /// tree-walk's recursive evaluation order, hence bit-exact f64).
+    fn lower_body(&self, e: &Expr, orig_dims: &[usize], out: &mut Vec<BodyOp>) {
+        match e {
+            Expr::Read(k) => out.push(BodyOp::Read(*k as u16)),
+            Expr::Lit(v) => out.push(BodyOp::Lit(*v)),
+            Expr::Iter(k) => out.push(BodyOp::Iter(orig_dims[*k] as u32)),
+            Expr::Add(a, b) => {
+                self.lower_body(a, orig_dims, out);
+                self.lower_body(b, orig_dims, out);
+                out.push(BodyOp::Add);
+            }
+            Expr::Sub(a, b) => {
+                self.lower_body(a, orig_dims, out);
+                self.lower_body(b, orig_dims, out);
+                out.push(BodyOp::Sub);
+            }
+            Expr::Mul(a, b) => {
+                self.lower_body(a, orig_dims, out);
+                self.lower_body(b, orig_dims, out);
+                out.push(BodyOp::Mul);
+            }
+            Expr::Div(a, b) => {
+                self.lower_body(a, orig_dims, out);
+                self.lower_body(b, orig_dims, out);
+                out.push(BodyOp::Div);
+            }
+        }
+    }
+
+    fn lower_stmt(&mut self, stmt: usize, orig_dims: &[usize]) -> u32 {
+        let s = &self.prog.stmts[stmt];
+        debug_assert_eq!(orig_dims.len(), s.num_iters());
+        let write = self.lower_access(s.write.array, &s.write.map, orig_dims);
+        let reads = s
+            .reads
+            .iter()
+            .map(|r| self.lower_access(r.array, &r.map, orig_dims))
+            .collect();
+        let mut body = Vec::new();
+        self.lower_body(&s.body, orig_dims, &mut body);
+        self.leaves.push(CStmt {
+            stmt: stmt as u32,
+            write,
+            reads,
+            body,
+            flops: s.body.num_ops() as u64,
+        });
+        (self.leaves.len() - 1) as u32
+    }
+}
+
+/// Lowers `ast` to bytecode for the given parameter values and the
+/// extents of `arrays`. One compile serves any number of executions
+/// against same-shaped arrays (the bench harness compiles once and
+/// samples many runs).
+pub fn compile_kernel(
+    prog: &Program,
+    ast: &Ast,
+    params: &[i64],
+    arrays: &Arrays,
+) -> CompiledKernel {
+    let _span = pluto_obs::span("execute/compile");
+    assert_eq!(params.len(), prog.num_params(), "parameter count mismatch");
+    let extents: Vec<Vec<usize>> = (0..arrays.num_arrays())
+        .map(|a| arrays.extents(a).to_vec())
+        .collect();
+    let mut lw = Lowerer {
+        prog,
+        params: params.to_vec(),
+        extents,
+        code: Vec::new(),
+        lower: Vec::new(),
+        upper: Vec::new(),
+        exprs: Vec::new(),
+        conds: Vec::new(),
+        leaves: Vec::new(),
+        names: Vec::new(),
+    };
+    lw.lower(ast);
+    let num_slots = ast.num_vars().max(params.len());
+    CompiledKernel {
+        code: lw.code,
+        lower: lw.lower,
+        upper: lw.upper,
+        exprs: lw.exprs,
+        conds: lw.conds,
+        leaves: lw.leaves,
+        names: lw.names,
+        num_slots,
+        num_stmts: prog.stmts.len(),
+        params: params.to_vec(),
+        extents: lw.extents,
+    }
+}

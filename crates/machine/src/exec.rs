@@ -1,0 +1,598 @@
+//! The compiled-kernel executor: runs [`CompiledKernel`] bytecode
+//! sequentially or over the persistent worker pool.
+//!
+//! This is the engine behind [`run_parallel`] / [`run_parallel_profiled`]
+//! since the pool/bytecode rework (DESIGN.md §9): one compile per run
+//! (or per bench kernel), then a pc/frame-stack interpretation whose
+//! inner loop is strided `i64` address arithmetic and a postfix f64
+//! tape — no AST recursion, no access-matrix evaluation per instance.
+//!
+//! Parallel loops dispatch chunked dynamic work lists onto the global
+//! [`pool`](crate::pool): members (the coordinator plus enlisted worker
+//! slots) grab chunks off a shared atomic counter, which is what erases
+//! the block-partition load imbalance the telemetry attributed on the
+//! wavefront benches. Small dispatches (fewer than
+//! [`MIN_ITEMS_TO_ENLIST`] items) run inline on the coordinator without
+//! waking anyone — on the bench kernels most wavefront fronts are tiny
+//! and the old engine paid a spawn round for each.
+//!
+//! Telemetry parity with the scoped engine: one `Dispatch` record per
+//! parallel-loop entry (same counting rule, so `bench_diff`'s hard
+//! `dispatches` gate is unaffected), per-member chunk times and
+//! instance counts, coordinator trace spans on tid 0 and stable
+//! worker-slot tids `1..=width`, and the same `machine.instances`
+//! flush discipline. All of it is gated exactly like the old path:
+//! with no profile session, no trace, and no local profile request the
+//! engine takes no clock reads and allocates no buffers.
+
+use crate::arrays::Arrays;
+use crate::compile::{compile_kernel, BodyOp, CCond, CompiledKernel, Instr};
+use crate::interp::{ExecStats, ParallelConfig};
+use crate::mem::{Direct, Mem, RawMem, SendPtr};
+use crate::pool;
+use pluto_codegen::Ast;
+use pluto_ir::Program;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Parallel loops with fewer work items than this run inline on the
+/// coordinator: waking a parked worker costs a futex round trip, which
+/// a 2-item wavefront front never amortizes.
+const MIN_ITEMS_TO_ENLIST: usize = 4;
+
+/// Chunks per member the dynamic scheduler aims for; more chunks mean
+/// finer balancing but more atomic traffic on the shared counter.
+const CHUNKS_PER_MEMBER: usize = 4;
+
+/// Per-member interpreter state (slot vector, loop frames, filter
+/// bookkeeping, scratch stacks, stats).
+struct State {
+    vals: Vec<i64>,
+    /// Upper bounds of open loop frames.
+    ubs: Vec<i64>,
+    /// Pass/fail of open filters (mirrors the suppression counters).
+    fstack: Vec<bool>,
+    /// Per-statement suppression depth from enclosing filters.
+    suppressed: Vec<u32>,
+    /// Loaded read values, indexed by read id.
+    reads: Vec<f64>,
+    /// Postfix evaluation stack.
+    stack: Vec<f64>,
+    stats: ExecStats,
+}
+
+impl State {
+    fn new(ck: &CompiledKernel) -> State {
+        let mut vals = vec![0i64; ck.num_slots];
+        vals[..ck.params.len()].copy_from_slice(&ck.params);
+        State {
+            vals,
+            ubs: Vec::new(),
+            fstack: Vec::new(),
+            suppressed: vec![0; ck.num_stmts],
+            reads: Vec::new(),
+            stack: Vec::new(),
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// A team member's state: same bindings and filter context as the
+    /// coordinator at the dispatch point, fresh counters.
+    fn fork(&self) -> State {
+        State {
+            vals: self.vals.clone(),
+            ubs: Vec::new(),
+            fstack: Vec::new(),
+            suppressed: self.suppressed.clone(),
+            reads: Vec::new(),
+            stack: Vec::new(),
+            stats: ExecStats::default(),
+        }
+    }
+}
+
+#[inline]
+fn eval_body(ops: &[BodyOp], reads: &[f64], vals: &[i64], stack: &mut Vec<f64>) -> f64 {
+    stack.clear();
+    for op in ops {
+        match *op {
+            BodyOp::Read(k) => stack.push(reads[k as usize]),
+            BodyOp::Lit(v) => stack.push(v),
+            BodyOp::Iter(slot) => stack.push(vals[slot as usize] as f64),
+            BodyOp::Add => bin(stack, |a, b| a + b),
+            BodyOp::Sub => bin(stack, |a, b| a - b),
+            BodyOp::Mul => bin(stack, |a, b| a * b),
+            BodyOp::Div => bin(stack, |a, b| a / b),
+        }
+    }
+    stack.pop().expect("body tape leaves one value")
+}
+
+#[inline]
+fn bin(stack: &mut Vec<f64>, f: impl Fn(f64, f64) -> f64) {
+    let b = stack.pop().expect("rhs");
+    let a = stack.pop().expect("lhs");
+    stack.push(f(a, b));
+}
+
+#[inline]
+fn run_leaf<M: Mem>(ck: &CompiledKernel, leaf: u32, st: &mut State, mem: &mut M) {
+    let l = &ck.leaves[leaf as usize];
+    if st.suppressed[l.stmt as usize] != 0 {
+        return;
+    }
+    st.reads.clear();
+    for r in &l.reads {
+        let off = r.offset(&st.vals);
+        st.reads.push(mem.load(r.array as usize, off, 0));
+    }
+    let v = eval_body(&l.body, &st.reads, &st.vals, &mut st.stack);
+    let off = l.write.offset(&st.vals);
+    mem.store(l.write.array as usize, off, 0, v);
+    st.stats.instances += 1;
+    st.stats.flops += l.flops;
+}
+
+/// Executes bytecode region `[lo, hi)` to completion, ignoring parallel
+/// markers (this is what team members and sequential runs execute).
+fn run_region<M: Mem>(ck: &CompiledKernel, lo: usize, hi: usize, st: &mut State, mem: &mut M) {
+    let mut pc = lo;
+    while pc < hi {
+        match &ck.code[pc] {
+            Instr::Loop {
+                var, lb, ub, exit, ..
+            } => {
+                let lo_v = ck.lower[*lb as usize].eval_lower(&st.vals);
+                let hi_v = ck.upper[*ub as usize].eval_upper(&st.vals);
+                if lo_v > hi_v {
+                    pc = *exit as usize;
+                } else {
+                    st.vals[*var as usize] = lo_v;
+                    st.ubs.push(hi_v);
+                    pc += 1;
+                }
+            }
+            Instr::LoopEnd { var, top } => {
+                let v = st.vals[*var as usize] + 1;
+                if v <= *st.ubs.last().expect("open loop frame") {
+                    st.vals[*var as usize] = v;
+                    pc = *top as usize + 1;
+                } else {
+                    st.ubs.pop();
+                    pc += 1;
+                }
+            }
+            Instr::Let { var, expr } => {
+                st.vals[*var as usize] = ck.exprs[*expr as usize].eval_floor(&st.vals);
+                pc += 1;
+            }
+            Instr::Guard { lo, hi, exit } => {
+                if CCond::all_hold(&ck.conds[*lo as usize..*hi as usize], &st.vals) {
+                    pc += 1;
+                } else {
+                    pc = *exit as usize;
+                }
+            }
+            Instr::FilterEnter { stmt, lo, hi } => {
+                let pass = CCond::all_hold(&ck.conds[*lo as usize..*hi as usize], &st.vals);
+                st.fstack.push(pass);
+                if !pass {
+                    st.suppressed[*stmt as usize] += 1;
+                }
+                pc += 1;
+            }
+            Instr::FilterExit { stmt } => {
+                if !st.fstack.pop().expect("open filter frame") {
+                    st.suppressed[*stmt as usize] -= 1;
+                }
+                pc += 1;
+            }
+            Instr::Stmt { leaf } => {
+                run_leaf(ck, *leaf, st, mem);
+                pc += 1;
+            }
+        }
+    }
+}
+
+/// Per-run telemetry state (same contract as the scoped engine's).
+struct Telemetry<'a> {
+    measure: bool,
+    dispatches: Option<&'a mut Vec<pluto_obs::exec::Dispatch>>,
+    flushed: u64,
+}
+
+/// The outer walker: interprets bytecode like [`run_region`], but routes
+/// every parallel loop (when `threads > 1`) to the pool dispatcher.
+#[allow(clippy::too_many_arguments)]
+fn run_outer(
+    ck: &CompiledKernel,
+    lo: usize,
+    hi: usize,
+    st: &mut State,
+    ptrs: &[SendPtr],
+    cfg: ParallelConfig,
+    tel: &mut Telemetry,
+) {
+    let mut pc = lo;
+    while pc < hi {
+        match &ck.code[pc] {
+            Instr::Loop {
+                var,
+                lb,
+                ub,
+                parallel,
+                name,
+                exit,
+            } if *parallel && cfg.threads > 1 => {
+                dispatch(
+                    ck,
+                    pc,
+                    *var,
+                    *lb,
+                    *ub,
+                    *name,
+                    *exit as usize,
+                    st,
+                    ptrs,
+                    cfg,
+                    tel,
+                );
+                pc = *exit as usize;
+            }
+            Instr::Loop {
+                var, lb, ub, exit, ..
+            } => {
+                let lo_v = ck.lower[*lb as usize].eval_lower(&st.vals);
+                let hi_v = ck.upper[*ub as usize].eval_upper(&st.vals);
+                if lo_v > hi_v {
+                    pc = *exit as usize;
+                } else {
+                    st.vals[*var as usize] = lo_v;
+                    st.ubs.push(hi_v);
+                    pc += 1;
+                }
+            }
+            Instr::LoopEnd { var, top } => {
+                let v = st.vals[*var as usize] + 1;
+                if v <= *st.ubs.last().expect("open loop frame") {
+                    st.vals[*var as usize] = v;
+                    pc = *top as usize + 1;
+                } else {
+                    st.ubs.pop();
+                    pc += 1;
+                }
+            }
+            Instr::Let { var, expr } => {
+                st.vals[*var as usize] = ck.exprs[*expr as usize].eval_floor(&st.vals);
+                pc += 1;
+            }
+            Instr::Guard { lo, hi, exit } => {
+                if CCond::all_hold(&ck.conds[*lo as usize..*hi as usize], &st.vals) {
+                    pc += 1;
+                } else {
+                    pc = *exit as usize;
+                }
+            }
+            Instr::FilterEnter { stmt, lo, hi } => {
+                let pass = CCond::all_hold(&ck.conds[*lo as usize..*hi as usize], &st.vals);
+                st.fstack.push(pass);
+                if !pass {
+                    st.suppressed[*stmt as usize] += 1;
+                }
+                pc += 1;
+            }
+            Instr::FilterExit { stmt } => {
+                if !st.fstack.pop().expect("open filter frame") {
+                    st.suppressed[*stmt as usize] -= 1;
+                }
+                pc += 1;
+            }
+            Instr::Stmt { leaf } => {
+                let mut mem = RawMem { ptrs };
+                run_leaf(ck, *leaf, st, &mut mem);
+                pc += 1;
+            }
+        }
+    }
+}
+
+/// Member states handed to the team job. Each slot is touched by exactly
+/// one thread (slot identity = thread identity for the dispatch), which
+/// is what makes the `UnsafeCell` sharing sound.
+struct MemberStates(Vec<UnsafeCell<(State, u128)>>);
+unsafe impl Sync for MemberStates {}
+
+/// One parallel region over the pool: build the (possibly collapsed)
+/// work list, carve it into chunks on a shared counter, run members,
+/// join, account.
+#[allow(clippy::too_many_arguments)]
+fn dispatch(
+    ck: &CompiledKernel,
+    pc: usize,
+    var: u32,
+    lb: u32,
+    ub: u32,
+    name: u32,
+    exit: usize,
+    st: &mut State,
+    ptrs: &[SendPtr],
+    cfg: ParallelConfig,
+    tel: &mut Telemetry,
+) {
+    st.stats.parallel_regions += 1;
+    let lo_v = ck.lower[lb as usize].eval_lower(&st.vals);
+    let hi_v = ck.upper[ub as usize].eval_upper(&st.vals);
+    if lo_v > hi_v {
+        return;
+    }
+    // Collapse two consecutive parallel loops into one work list when
+    // the outer body is exactly the inner loop (same rule as the scoped
+    // engine).
+    let inner = if cfg.collapse >= 2 {
+        match &ck.code[pc + 1] {
+            Instr::Loop {
+                var: iv,
+                lb: ilb,
+                ub: iub,
+                parallel: true,
+                exit: iexit,
+                ..
+            } if *iexit as usize == exit - 1 => Some((*iv, *ilb, *iub, *iexit as usize)),
+            _ => None,
+        }
+    } else {
+        None
+    };
+    let mut items: Vec<(i64, i64)> = Vec::new();
+    match inner {
+        Some((_, ilb, iub, _)) => {
+            for x in lo_v..=hi_v {
+                st.vals[var as usize] = x;
+                let ylo = ck.lower[ilb as usize].eval_lower(&st.vals);
+                let yhi = ck.upper[iub as usize].eval_upper(&st.vals);
+                for y in ylo..=yhi {
+                    items.push((x, y));
+                }
+            }
+        }
+        None => items.extend((lo_v..=hi_v).map(|x| (x, 0))),
+    }
+    // The body region members execute per item.
+    let (body_lo, body_hi, inner_var) = match inner {
+        Some((iv, _, _, iexit)) => (pc + 2, iexit - 1, Some(iv)),
+        None => (pc + 1, exit - 1, None),
+    };
+
+    let pool = pool::global();
+    // The global pool may have grown wider than this run's config
+    // (width never shrinks); never enlist beyond `threads - 1`.
+    let width = pool.width().min(cfg.threads.saturating_sub(1));
+    let chunk = (items.len() / ((width + 1) * CHUNKS_PER_MEMBER)).max(1);
+    let nchunks = items.len().div_ceil(chunk);
+    let team = if items.len() >= MIN_ITEMS_TO_ENLIST {
+        width.min(nchunks.saturating_sub(1))
+    } else {
+        0
+    };
+
+    let measure = tel.measure;
+    let loop_name: &str = &ck.names[name as usize];
+    // Coordinator dispatch span (tid 0): brackets fork to join. `None`
+    // (no allocation) whenever tracing is off.
+    let mut coord = pluto_obs::trace::RingBuf::for_thread(0);
+    if let Some(b) = coord.as_mut() {
+        b.begin(
+            loop_name,
+            &[("items", items.len() as u64), ("threads", team as u64 + 1)],
+        );
+    }
+
+    let members = MemberStates(
+        (0..=team)
+            .map(|_| UnsafeCell::new((st.fork(), 0u128)))
+            .collect(),
+    );
+    let counter = AtomicUsize::new(0);
+    let items_ref = &items;
+    // Capture the `Sync` wrapper, not its inner vector (closure capture
+    // is per-field and would lose the wrapper's `Sync` impl).
+    let members_ref = &members;
+    let job = |slot: usize| {
+        // Safety: slot indices are unique per member thread for the
+        // whole dispatch; no two threads touch the same cell.
+        let (m, chunk_ns) = unsafe { &mut *members_ref.0[slot].get() };
+        // Pool worker slots own the matching timeline tids; the
+        // coordinator's chunks run inside its dispatch span on tid 0.
+        let mut buf = (slot > 0)
+            .then(|| pluto_obs::trace::RingBuf::for_thread(slot as u32))
+            .flatten();
+        if let Some(b) = buf.as_mut() {
+            b.begin(loop_name, &[("slot", slot as u64)]);
+        }
+        // Chunk timing is gated with tracing/profiling: the disabled
+        // path never reads the clock.
+        let started = measure.then(std::time::Instant::now);
+        let mut mem = RawMem { ptrs };
+        loop {
+            let c = counter.fetch_add(1, Ordering::Relaxed);
+            if c >= nchunks {
+                break;
+            }
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(items_ref.len());
+            for &(x, y) in &items_ref[lo..hi] {
+                m.vals[var as usize] = x;
+                if let Some(iv) = inner_var {
+                    m.vals[iv as usize] = y;
+                }
+                run_region(ck, body_lo, body_hi, m, &mut mem);
+            }
+        }
+        *chunk_ns = started.map_or(0, |s| s.elapsed().as_nanos());
+        if let Some(mut b) = buf {
+            b.end(loop_name, &[("instances", m.stats.instances)]);
+            b.submit();
+        }
+    };
+    pool.run(team, &job);
+
+    let mut chunk_ns = Vec::new();
+    let mut instances = Vec::new();
+    let mut team_total = 0u64;
+    for cell in members.0 {
+        let (m, ns) = cell.into_inner();
+        team_total += m.stats.instances;
+        if measure {
+            chunk_ns.push(ns);
+            instances.push(m.stats.instances);
+        }
+        st.stats.merge(m.stats);
+    }
+    // Members counted into locals; flush the team's total to the global
+    // counter once per dispatch and remember it so the run's epilogue
+    // doesn't recount.
+    pluto_obs::counters::MACHINE_INSTANCES.add(team_total);
+    tel.flushed += team_total;
+    if let Some(mut b) = coord {
+        b.end(loop_name, &[("instances", team_total)]);
+        b.submit();
+    }
+    if measure {
+        let d = pluto_obs::exec::Dispatch {
+            name: loop_name.to_string(),
+            items: items.len() as u64,
+            chunk_ns,
+            instances,
+        };
+        if let Some(v) = tel.dispatches.as_deref_mut() {
+            v.push(d.clone());
+        }
+        pluto_obs::exec::record_dispatch(d);
+    }
+}
+
+/// Executes a compiled kernel sequentially (parallel markers ignored) —
+/// the compiled counterpart of [`run_sequential`](crate::run_sequential),
+/// bit-exact with it by construction.
+pub fn run_compiled_kernel(ck: &CompiledKernel, arrays: &mut Arrays) -> ExecStats {
+    let _span = pluto_obs::span("execute/compiled");
+    check_shape(ck, arrays);
+    let mut st = State::new(ck);
+    let mut mem = Direct(arrays);
+    run_region(ck, 0, ck.code.len(), &mut st, &mut mem);
+    pluto_obs::counters::MACHINE_INSTANCES.add(st.stats.instances);
+    st.stats
+}
+
+/// Compiles and runs sequentially in one call.
+pub fn run_compiled(prog: &Program, ast: &Ast, params: &[i64], arrays: &mut Arrays) -> ExecStats {
+    let ck = compile_kernel(prog, ast, params, arrays);
+    run_compiled_kernel(&ck, arrays)
+}
+
+/// Executes a compiled kernel with the persistent thread team.
+pub fn run_compiled_parallel(
+    ck: &CompiledKernel,
+    arrays: &mut Arrays,
+    cfg: ParallelConfig,
+) -> ExecStats {
+    run_compiled_parallel_impl(ck, arrays, cfg, None)
+}
+
+/// Like [`run_compiled_parallel`], additionally measuring every dispatch
+/// and returning the aggregated [`ExecProfile`](pluto_obs::ExecProfile).
+pub fn run_compiled_parallel_profiled(
+    ck: &CompiledKernel,
+    arrays: &mut Arrays,
+    cfg: ParallelConfig,
+) -> (ExecStats, pluto_obs::ExecProfile) {
+    let mut dispatches = Vec::new();
+    let stats = run_compiled_parallel_impl(ck, arrays, cfg, Some(&mut dispatches));
+    let profile = pluto_obs::ExecProfile::build(&dispatches, Vec::new());
+    (stats, profile)
+}
+
+pub(crate) fn run_compiled_parallel_impl(
+    ck: &CompiledKernel,
+    arrays: &mut Arrays,
+    cfg: ParallelConfig,
+    dispatches: Option<&mut Vec<pluto_obs::exec::Dispatch>>,
+) -> ExecStats {
+    let _span = pluto_obs::span("execute/parallel");
+    check_shape(ck, arrays);
+    if cfg.threads > 1 {
+        pool::global().ensure_width(cfg.threads - 1);
+    }
+    let ptrs: Vec<SendPtr> = arrays.raw().into_iter().map(SendPtr).collect();
+    let mut st = State::new(ck);
+    let mut tel = Telemetry {
+        measure: dispatches.is_some() || pluto_obs::exec_metrics_enabled(),
+        dispatches,
+        flushed: 0,
+    };
+    run_outer(ck, 0, ck.code.len(), &mut st, &ptrs, cfg, &mut tel);
+    // Teams flushed their instances per dispatch; count only what the
+    // coordinator executed outside any team (no double counting).
+    pluto_obs::counters::MACHINE_INSTANCES.add(st.stats.instances - tel.flushed);
+    st.stats
+}
+
+/// Runs the AST with the persistent thread team: compiles to bytecode,
+/// then every loop marked parallel distributes its (possibly collapsed)
+/// work list in dynamic chunks over the process-wide worker pool, with
+/// an implicit barrier at loop exit — the paper's OpenMP `parallel for`
+/// semantics without the per-dispatch spawn cost.
+///
+/// The legacy spawn-per-dispatch tree-walk engine survives as
+/// [`run_parallel_scoped`](crate::run_parallel_scoped); the differential
+/// battery keeps the two bit-exact.
+///
+/// When a [`pluto_obs`] profile session or trace is active, each
+/// dispatch additionally records per-member chunk times, load-imbalance
+/// inputs, and per-thread begin/end events on stable worker-slot tids;
+/// with both off the engine takes no clock reads and allocates no trace
+/// buffers.
+pub fn run_parallel(
+    prog: &Program,
+    ast: &Ast,
+    params: &[i64],
+    arrays: &mut Arrays,
+    cfg: ParallelConfig,
+) -> ExecStats {
+    let ck = compile_kernel(prog, ast, params, arrays);
+    run_compiled_parallel_impl(&ck, arrays, cfg, None)
+}
+
+/// Like [`run_parallel`], additionally measuring every dispatch and
+/// returning the aggregated [`ExecProfile`](pluto_obs::ExecProfile)
+/// (load imbalance, barrier wait, per-member instances) without
+/// requiring a global [`Session`](pluto_obs::Session). The profile's
+/// `arrays` section is empty — cache attribution comes from
+/// [`run_with_cache_attributed`](crate::run_with_cache_attributed),
+/// which simulates a sequential interleaving.
+pub fn run_parallel_profiled(
+    prog: &Program,
+    ast: &Ast,
+    params: &[i64],
+    arrays: &mut Arrays,
+    cfg: ParallelConfig,
+) -> (ExecStats, pluto_obs::ExecProfile) {
+    let ck = compile_kernel(prog, ast, params, arrays);
+    run_compiled_parallel_profiled(&ck, arrays, cfg)
+}
+
+fn check_shape(ck: &CompiledKernel, arrays: &Arrays) {
+    assert_eq!(
+        ck.extents.len(),
+        arrays.num_arrays(),
+        "array count mismatch"
+    );
+    for (a, ext) in ck.extents.iter().enumerate() {
+        assert_eq!(
+            ext.as_slice(),
+            arrays.extents(a),
+            "array {a}: extents differ from the compiled shape"
+        );
+    }
+}

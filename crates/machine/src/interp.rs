@@ -1,8 +1,16 @@
-//! The AST interpreter: sequential, cache-simulated and multi-threaded
-//! (scoped `std::thread` teams — no external threading dependency).
+//! The AST interpreter: sequential, cache-simulated and multi-threaded.
+//!
+//! Since the pooled/bytecode engine landed (DESIGN.md §9), this module
+//! is the *reference* tree-walk: [`run_sequential`] stays the
+//! correctness oracle (per-subscript bounds asserts, recursive f64
+//! evaluation), the cache and sanitizer runs build on it, and
+//! [`run_parallel_scoped`] keeps the legacy spawn-per-dispatch scoped
+//! `std::thread` team alive as the differential partner the fuzz
+//! battery compares the pooled engine against.
 
 use crate::arrays::Arrays;
 use crate::cache::{CacheConfig, CacheSim, CacheStats};
+use crate::mem::{Direct, Mem, RawMem, SendPtr};
 use pluto_codegen::Ast;
 use pluto_ir::{Expr, Program};
 use pluto_linalg::Int;
@@ -19,14 +27,14 @@ pub struct ExecStats {
 }
 
 impl ExecStats {
-    fn merge(&mut self, o: ExecStats) {
+    pub(crate) fn merge(&mut self, o: ExecStats) {
         self.instances += o.instances;
         self.flops += o.flops;
         self.parallel_regions += o.parallel_regions;
     }
 }
 
-/// Thread-team configuration for [`run_parallel`].
+/// Thread-team configuration for [`run_parallel`](crate::run_parallel).
 #[derive(Debug, Clone, Copy)]
 pub struct ParallelConfig {
     /// Worker threads (the paper's "number of cores").
@@ -96,25 +104,6 @@ impl Ctx {
     }
 }
 
-/// Abstraction over the different memory backends.
-trait Mem {
-    fn load(&mut self, a: usize, off: usize, addr: u64) -> f64;
-    fn store(&mut self, a: usize, off: usize, addr: u64, v: f64);
-}
-
-struct Direct<'a>(&'a mut Arrays);
-
-impl Mem for Direct<'_> {
-    #[inline]
-    fn load(&mut self, a: usize, off: usize, _addr: u64) -> f64 {
-        self.0.load(a, off)
-    }
-    #[inline]
-    fn store(&mut self, a: usize, off: usize, _addr: u64, v: f64) {
-        self.0.store(a, off, v);
-    }
-}
-
 struct Cached<'a> {
     arrays: &'a mut Arrays,
     sim: &'a mut CacheSim,
@@ -130,33 +119,6 @@ impl Mem for Cached<'_> {
     fn store(&mut self, a: usize, off: usize, addr: u64, v: f64) {
         self.sim.access_for(a, addr);
         self.arrays.store(a, off, v);
-    }
-}
-
-/// Raw-pointer backend for the thread team.
-///
-/// Safety: distinct iterations of a loop marked parallel have disjoint
-/// write sets and no read/write overlap — that is exactly the dependence
-/// condition the transformation framework establishes (and the test-suite
-/// re-verifies with `validate_legality`), so concurrent threads never race.
-#[derive(Clone, Copy)]
-struct RawMem<'a> {
-    ptrs: &'a [SendPtr],
-}
-
-#[derive(Clone, Copy)]
-struct SendPtr(*mut f64);
-unsafe impl Send for SendPtr {}
-unsafe impl Sync for SendPtr {}
-
-impl Mem for RawMem<'_> {
-    #[inline]
-    fn load(&mut self, a: usize, off: usize, _addr: u64) -> f64 {
-        unsafe { *self.ptrs[a].0.add(off) }
-    }
-    #[inline]
-    fn store(&mut self, a: usize, off: usize, _addr: u64, v: f64) {
-        unsafe { *self.ptrs[a].0.add(off) = v }
     }
 }
 
@@ -402,7 +364,7 @@ pub fn run_with_cache_attributed(
     (stats, sim.stats, per)
 }
 
-/// Per-run telemetry state threaded through the parallel walker.
+/// Per-run telemetry state threaded through the scoped parallel walker.
 struct Telemetry<'a> {
     /// Measure chunk wall times and per-thread instance counts at all.
     /// Off (no clock reads) unless a profile session or a trace is
@@ -417,17 +379,23 @@ struct Telemetry<'a> {
     flushed: u64,
 }
 
-/// Runs the AST with a thread team: every loop marked parallel distributes
-/// its iterations (block-wise; collapsed work lists when `collapse >= 2`
-/// and the next loop in is parallel too) over `cfg.threads` scoped
-/// threads, with an implicit barrier at loop exit — the paper's OpenMP
-/// `parallel for` semantics.
+/// Runs the AST with the *legacy* scoped thread team: every loop marked
+/// parallel distributes its iterations block-wise (collapsed work lists
+/// when `collapse >= 2` and the next loop in is parallel too) over
+/// `cfg.threads` scoped threads spawned per dispatch, with an implicit
+/// barrier at loop exit — the paper's OpenMP `parallel for` semantics.
+///
+/// [`run_parallel`](crate::run_parallel) routes through the persistent
+/// pool + compiled-kernel engine instead; this tree-walk engine is kept
+/// as its differential partner (the fuzz battery runs both and demands
+/// bit-exact agreement) and as the simplest-possible reference for the
+/// team semantics.
 ///
 /// When a [`pluto_obs`] profile session or trace is active, each
 /// dispatch additionally records per-thread chunk times, load-imbalance
 /// inputs, and (for traces) per-thread begin/end events; with both off
 /// the walker takes no clock reads and allocates no trace buffers.
-pub fn run_parallel(
+pub fn run_parallel_scoped(
     prog: &Program,
     ast: &Ast,
     params: &[i64],
@@ -437,14 +405,14 @@ pub fn run_parallel(
     run_parallel_impl(prog, ast, params, arrays, cfg, None)
 }
 
-/// Like [`run_parallel`], additionally measuring every dispatch and
-/// returning the aggregated [`ExecProfile`](pluto_obs::ExecProfile)
+/// Like [`run_parallel_scoped`], additionally measuring every dispatch
+/// and returning the aggregated [`ExecProfile`](pluto_obs::ExecProfile)
 /// (load imbalance, barrier wait, per-thread instances) without
 /// requiring a global [`Session`](pluto_obs::Session). The profile's
 /// `arrays` section is empty — cache attribution comes from
 /// [`run_with_cache_attributed`], which simulates a sequential
 /// interleaving.
-pub fn run_parallel_profiled(
+pub fn run_parallel_scoped_profiled(
     prog: &Program,
     ast: &Ast,
     params: &[i64],
@@ -965,7 +933,7 @@ mod tests {
         seq.seed_with(|a, o| (a * 7 + o) as f64);
         let mut par = seq.clone();
         run_sequential(&prog, &ast, &[100], &mut seq);
-        let stats = run_parallel(
+        let stats = run_parallel_scoped(
             &prog,
             &ast,
             &[100],

@@ -10,11 +10,17 @@
 //!   programs must produce bitwise-identical arrays, since legality
 //!   preserves each statement instance's inputs and per-instance flop
 //!   order) and for wall-clock locality measurements;
-//! * [`run_parallel`] — real multi-threaded execution via `std::thread`
-//!   scoped threads: the OpenMP `parallel for` of the paper maps to a
-//!   block-distributed thread team per parallel loop entry, with the
-//!   paper's coarse-grained tile-schedule semantics (one implicit barrier
-//!   per outer sequential iteration);
+//! * [`run_parallel`] — real multi-threaded execution over a persistent
+//!   worker [`pool`] of condvar-parked threads: the OpenMP `parallel
+//!   for` of the paper maps to a chunked dynamically-scheduled team per
+//!   parallel loop entry (the dispatching thread participates as member
+//!   0), with the paper's coarse-grained tile-schedule semantics (one
+//!   implicit barrier per outer sequential iteration). The loop AST is
+//!   lowered once to flat bytecode with precomputed affine access
+//!   strides ([`compile_kernel`]) instead of being re-walked per
+//!   instance; [`run_parallel_scoped`] keeps the legacy
+//!   spawn-per-dispatch scoped-thread tree-walk as the differential
+//!   reference;
 //! * [`run_with_cache`] — the same interpretation with every array access
 //!   driven through a two-level set-associative write-allocate [`CacheSim`]
 //!   (default geometry mirrors the paper's machine: 32 KB 8-way L1,
@@ -35,13 +41,22 @@
 
 mod arrays;
 mod cache;
+mod compile;
+mod exec;
 mod interp;
+mod mem;
+pub mod pool;
 mod simulate;
 
 pub use arrays::Arrays;
 pub use cache::{CacheConfig, CacheSim, CacheStats};
+pub use compile::{compile_kernel, CompiledKernel};
+pub use exec::{
+    run_compiled, run_compiled_kernel, run_compiled_parallel, run_compiled_parallel_profiled,
+    run_parallel, run_parallel_profiled,
+};
 pub use interp::{
-    run_parallel, run_parallel_profiled, run_sanitized, run_sequential, run_with_cache,
-    run_with_cache_attributed, ExecStats, ParallelConfig,
+    run_parallel_scoped, run_parallel_scoped_profiled, run_sanitized, run_sequential,
+    run_with_cache, run_with_cache_attributed, ExecStats, ParallelConfig,
 };
 pub use simulate::{simulate, MachineConfig, SimStats};

@@ -1,0 +1,51 @@
+//! Memory backends shared by the tree-walk interpreter and the compiled
+//! executor.
+
+use crate::arrays::Arrays;
+
+/// Abstraction over the different memory backends.
+pub(crate) trait Mem {
+    fn load(&mut self, a: usize, off: usize, addr: u64) -> f64;
+    fn store(&mut self, a: usize, off: usize, addr: u64, v: f64);
+}
+
+/// Plain single-threaded backend over the owned arrays.
+pub(crate) struct Direct<'a>(pub &'a mut Arrays);
+
+impl Mem for Direct<'_> {
+    #[inline]
+    fn load(&mut self, a: usize, off: usize, _addr: u64) -> f64 {
+        self.0.load(a, off)
+    }
+    #[inline]
+    fn store(&mut self, a: usize, off: usize, _addr: u64, v: f64) {
+        self.0.store(a, off, v);
+    }
+}
+
+/// Raw-pointer backend for the thread team.
+///
+/// Safety: distinct iterations of a loop marked parallel have disjoint
+/// write sets and no read/write overlap — that is exactly the dependence
+/// condition the transformation framework establishes (and the test-suite
+/// re-verifies with `validate_legality`), so concurrent threads never race.
+#[derive(Clone, Copy)]
+pub(crate) struct RawMem<'a> {
+    pub ptrs: &'a [SendPtr],
+}
+
+#[derive(Clone, Copy)]
+pub(crate) struct SendPtr(pub *mut f64);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl Mem for RawMem<'_> {
+    #[inline]
+    fn load(&mut self, a: usize, off: usize, _addr: u64) -> f64 {
+        unsafe { *self.ptrs[a].0.add(off) }
+    }
+    #[inline]
+    fn store(&mut self, a: usize, off: usize, _addr: u64, v: f64) {
+        unsafe { *self.ptrs[a].0.add(off) = v }
+    }
+}

@@ -1,0 +1,233 @@
+//! Stress and property tests for the persistent worker pool — the
+//! deterministic battery behind the engine swap: uneven chunking,
+//! degenerate width, reuse across many dispatches and compiles, panic
+//! propagation without deadlock, and shutdown-on-drop.
+
+use pluto_machine::pool::ThreadPool;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// `spawn_count` is process-global, so the tests that pin it must not
+/// overlap other tests creating pools; serialize the whole file.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The coordinator always participates as member 0, whatever the team.
+#[test]
+fn coordinator_is_member_zero() {
+    let _g = serial();
+    let pool = ThreadPool::new(2);
+    let slots = Mutex::new(Vec::new());
+    pool.run(0, &|slot| slots.lock().unwrap().push(slot));
+    assert_eq!(*slots.lock().unwrap(), vec![0]);
+}
+
+/// Every enlisted slot runs the job exactly once per dispatch, with
+/// stable slot numbers `0..=team`.
+#[test]
+fn all_members_run_once() {
+    let _g = serial();
+    let pool = ThreadPool::new(3);
+    for team in 0..=3 {
+        let slots = Mutex::new(Vec::new());
+        pool.run(team, &|slot| slots.lock().unwrap().push(slot));
+        let mut got = slots.lock().unwrap().clone();
+        got.sort_unstable();
+        assert_eq!(got, (0..=team).collect::<Vec<_>>(), "team {team}");
+    }
+}
+
+/// Requesting a wider team than the pool has workers caps at the width
+/// instead of hanging on slots that do not exist.
+#[test]
+fn oversized_team_is_capped() {
+    let _g = serial();
+    let pool = ThreadPool::new(1);
+    let ran = AtomicUsize::new(0);
+    pool.run(8, &|_| {
+        ran.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(ran.load(Ordering::Relaxed), 2); // coordinator + 1 worker
+}
+
+/// Uneven dynamic chunking: 97 items over 4 members via a shared atomic
+/// counter (the engine's scheduling discipline) — every item claimed
+/// exactly once, no matter how the members interleave.
+#[test]
+fn uneven_chunking_covers_every_item() {
+    let _g = serial();
+    let pool = ThreadPool::new(3);
+    const ITEMS: usize = 97;
+    const CHUNK: usize = 5; // 19 chunks of 5 + 1 of 2: uneven tail
+    for _ in 0..50 {
+        let counter = AtomicUsize::new(0);
+        let claimed: Vec<AtomicU64> = (0..ITEMS).map(|_| AtomicU64::new(0)).collect();
+        pool.run(3, &|_slot| loop {
+            let c = counter.fetch_add(1, Ordering::Relaxed);
+            let lo = c * CHUNK;
+            if lo >= ITEMS {
+                break;
+            }
+            for item in claimed.iter().take((lo + CHUNK).min(ITEMS)).skip(lo) {
+                item.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        for (i, c) in claimed.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "item {i} claim count");
+        }
+    }
+}
+
+/// A zero-width pool is a valid degenerate configuration: everything
+/// runs inline on the caller.
+#[test]
+fn degenerate_single_thread_pool() {
+    let _g = serial();
+    let pool = ThreadPool::new(0);
+    assert_eq!(pool.width(), 0);
+    let hits = AtomicUsize::new(0);
+    for _ in 0..100 {
+        pool.run(4, &|slot| {
+            assert_eq!(slot, 0);
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    assert_eq!(hits.load(Ordering::Relaxed), 100);
+}
+
+/// Repeated reuse: many dispatches against one pool (the bench pattern:
+/// one pool, hundreds of wavefront fronts, several compiled kernels)
+/// never lose a generation and never spawn again.
+#[test]
+fn reuse_across_many_dispatches() {
+    let _g = serial();
+    let before = pluto_machine::pool::spawn_count();
+    let pool = ThreadPool::new(2);
+    assert_eq!(pluto_machine::pool::spawn_count(), before + 2);
+    let total = AtomicUsize::new(0);
+    for round in 0..1000 {
+        let team = round % 3;
+        pool.run(team, &|_| {
+            total.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    // Σ (team + 1) for team cycling 0,1,2.
+    assert_eq!(total.load(Ordering::Relaxed), 334 + 333 * 2 + 333 * 3);
+    assert_eq!(
+        pluto_machine::pool::spawn_count(),
+        before + 2,
+        "reuse must not spawn"
+    );
+}
+
+/// Growing the pool spawns only the missing workers; existing slots are
+/// stable.
+#[test]
+fn ensure_width_grows_monotonically() {
+    let _g = serial();
+    let before = pluto_machine::pool::spawn_count();
+    let pool = ThreadPool::new(1);
+    pool.ensure_width(3);
+    pool.ensure_width(2); // never shrinks, no-op
+    assert_eq!(pool.width(), 3);
+    assert_eq!(pluto_machine::pool::spawn_count(), before + 3);
+    let slots = Mutex::new(Vec::new());
+    pool.run(3, &|slot| slots.lock().unwrap().push(slot));
+    let mut got = slots.lock().unwrap().clone();
+    got.sort_unstable();
+    assert_eq!(got, vec![0, 1, 2, 3]);
+}
+
+/// A worker panic propagates to the dispatching thread after the join
+/// barrier — no deadlock, no hang — and the pool stays usable.
+#[test]
+fn worker_panic_propagates_without_deadlock() {
+    let _g = serial();
+    let pool = ThreadPool::new(2);
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        pool.run(2, &|slot| {
+            if slot == 1 {
+                panic!("injected worker failure");
+            }
+        });
+    }));
+    let msg = *r
+        .expect_err("panic must propagate")
+        .downcast::<&str>()
+        .unwrap();
+    assert_eq!(msg, "injected worker failure");
+    // The worker survives its own panic; the next dispatch still runs
+    // on every member.
+    let slots = Mutex::new(Vec::new());
+    pool.run(2, &|slot| slots.lock().unwrap().push(slot));
+    let mut got = slots.lock().unwrap().clone();
+    got.sort_unstable();
+    assert_eq!(got, vec![0, 1, 2]);
+}
+
+/// A coordinator panic also joins the workers first (they borrow the
+/// dispatch frame) and then unwinds.
+#[test]
+fn coordinator_panic_still_joins_workers() {
+    let _g = serial();
+    let pool = ThreadPool::new(2);
+    let workers_done = AtomicUsize::new(0);
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        pool.run(2, &|slot| {
+            if slot == 0 {
+                panic!("coordinator failure");
+            }
+            workers_done.fetch_add(1, Ordering::Relaxed);
+        });
+    }));
+    assert!(r.is_err());
+    assert_eq!(workers_done.load(Ordering::Relaxed), 2);
+    // Still usable.
+    let ran = AtomicUsize::new(0);
+    pool.run(1, &|_| {
+        ran.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(ran.load(Ordering::Relaxed), 2);
+}
+
+/// Dropping the pool joins every worker (shutdown-on-drop): repeated
+/// create/dispatch/drop cycles neither hang nor leak threads that
+/// would keep claiming generations.
+#[test]
+fn shutdown_on_drop_joins_workers() {
+    let _g = serial();
+    for _ in 0..20 {
+        let pool = ThreadPool::new(3);
+        let ran = AtomicUsize::new(0);
+        pool.run(3, &|_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 4);
+        drop(pool); // joins; a leaked worker would deadlock later drops
+    }
+}
+
+/// Dispatches from concurrent caller threads serialize safely against
+/// one pool (the fuzz harness pattern).
+#[test]
+fn concurrent_dispatchers_serialize() {
+    let _g = serial();
+    let pool = ThreadPool::new(2);
+    let total = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                for _ in 0..100 {
+                    pool.run(2, &|_| {
+                        total.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+    });
+    assert_eq!(total.load(Ordering::Relaxed), 4 * 100 * 3);
+}

@@ -16,6 +16,12 @@ use std::sync::Mutex;
 
 static SERIAL: Mutex<()> = Mutex::new(());
 
+/// Lock that survives a poisoned mutex (an earlier test's panic must
+/// not cascade).
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// `for i in 0..N { b[i] = 2 * a[i] }`, i-loop marked parallel.
 fn parallel_scale() -> (Program, pluto_codegen::Ast) {
     let mut b = ProgramBuilder::new("scale", &["N"]);
@@ -57,7 +63,7 @@ const CFG: ParallelConfig = ParallelConfig {
 /// sequential run's, with no double counting from the run epilogue.
 #[test]
 fn parallel_counter_total_matches_sequential() {
-    let _g = SERIAL.lock().unwrap();
+    let _g = serial();
     let (prog, ast) = parallel_scale();
 
     let session = pluto_obs::Session::start();
@@ -74,18 +80,21 @@ fn parallel_counter_total_matches_sequential() {
     assert_eq!(par, seq, "parallel counter total must match sequential");
 }
 
-/// Acceptance: a traced `run_parallel` produces one timeline per worker
-/// slot plus the coordinator, with paired B/E events.
+/// Acceptance: a traced `run_parallel` produces one timeline per
+/// enlisted worker slot plus the coordinator, with paired B/E events.
+/// With the pooled engine the coordinator participates as member 0, so
+/// `threads = 4` means tids `{0, 1, 2, 3}` — and the worker tids are
+/// the stable pool slot numbers, not per-dispatch spawn order.
 #[test]
 fn run_parallel_emits_trace_spans() {
-    let _g = SERIAL.lock().unwrap();
+    let _g = serial();
     let (prog, ast) = parallel_scale();
     pluto_obs::trace::start();
     run_parallel(&prog, &ast, &[100], &mut fresh_arrays(), CFG);
     let trace = pluto_obs::trace::finish();
-    // Coordinator + 4 worker slots.
-    assert_eq!(trace.distinct_tids(), 5);
-    for tid in 0..5u32 {
+    // Coordinator + 3 enlisted pool workers.
+    assert_eq!(trace.distinct_tids(), 4);
+    for tid in 0..4u32 {
         let begins = trace
             .events
             .iter()
@@ -107,7 +116,7 @@ fn run_parallel_emits_trace_spans() {
 /// global session, and its per-thread instances partition the total.
 #[test]
 fn profiled_run_reports_dispatches() {
-    let _g = SERIAL.lock().unwrap();
+    let _g = serial();
     let (prog, ast) = parallel_scale();
     let (stats, profile) = run_parallel_profiled(&prog, &ast, &[100], &mut fresh_arrays(), CFG);
     assert_eq!(stats.instances, 100);
@@ -123,7 +132,7 @@ fn profiled_run_reports_dispatches() {
 /// by IR array names.
 #[test]
 fn session_collects_exec_section() {
-    let _g = SERIAL.lock().unwrap();
+    let _g = serial();
     let (prog, ast) = parallel_scale();
     let session = pluto_obs::Session::start();
     run_parallel(&prog, &ast, &[100], &mut fresh_arrays(), CFG);
@@ -150,4 +159,54 @@ fn session_collects_exec_section() {
         exec.arrays.iter().map(|a| a.accesses).sum::<u64>(),
         totals.accesses
     );
+}
+
+/// Satellite: telemetry parity between the legacy scoped engine and the
+/// pooled compiled engine. The deterministic parts of the `ExecProfile`
+/// must agree exactly: dispatch count, observed team width, and total
+/// instances. The per-slot instance split is scheduling policy (block
+/// vs dynamic chunks), so only its sum is pinned; cache attribution
+/// comes from the shared `run_with_cache_attributed` path and is
+/// compared via the session in `session_collects_exec_section`.
+#[test]
+fn scoped_and_pooled_profiles_agree() {
+    let _g = serial();
+    let (prog, ast) = parallel_scale();
+    let mut scoped_arrays = fresh_arrays();
+    let mut pooled_arrays = fresh_arrays();
+    let (scoped_stats, scoped) =
+        pluto_machine::run_parallel_scoped_profiled(&prog, &ast, &[100], &mut scoped_arrays, CFG);
+    let (pooled_stats, pooled) =
+        run_parallel_profiled(&prog, &ast, &[100], &mut pooled_arrays, CFG);
+    assert!(scoped_arrays.bitwise_eq(&pooled_arrays));
+    assert_eq!(scoped_stats, pooled_stats);
+    assert_eq!(scoped.dispatches, pooled.dispatches);
+    assert_eq!(scoped.threads, pooled.threads);
+    assert_eq!(
+        scoped.instances_per_thread.iter().sum::<u64>(),
+        pooled.instances_per_thread.iter().sum::<u64>(),
+    );
+}
+
+/// Satellite: the zero-cost disabled path extends to the pool and the
+/// compiled executor — with no session and no trace, a pooled
+/// `run_parallel` allocates no trace buffers and records no dispatches.
+#[test]
+fn pooled_disabled_path_is_inert() {
+    let _g = serial();
+    let (prog, ast) = parallel_scale();
+    assert!(!pluto_obs::enabled());
+    assert!(!pluto_obs::trace::enabled());
+    assert!(!pluto_obs::exec_metrics_enabled());
+    run_parallel(&prog, &ast, &[100], &mut fresh_arrays(), CFG);
+    // Worker-slot and coordinator ring buffers must not exist while
+    // tracing is off (the pin that keeps the hot path clock-free).
+    for tid in 0..4 {
+        assert!(pluto_obs::trace::RingBuf::for_thread(tid).is_none());
+    }
+    // And nothing leaked into the session accumulator: a session opened
+    // *after* the run sees no exec section.
+    let session = pluto_obs::Session::start();
+    let profile = session.finish();
+    assert!(profile.exec.is_none());
 }

@@ -38,34 +38,54 @@ pub struct Dispatch {
     /// Work items distributed over the team (collapsed pairs count
     /// once each).
     pub items: u64,
-    /// Per-thread chunk wall time, nanoseconds; length = team width.
+    /// Per-member chunk wall time, nanoseconds; length = team width.
+    /// With the pooled engine, index 0 is the coordinator and 1.. are
+    /// the enlisted worker slots; with the legacy scoped engine every
+    /// index is a spawned worker.
     pub chunk_ns: Vec<u128>,
-    /// Per-thread statement instances executed; same indexing.
+    /// Per-member statement instances executed; same indexing.
     pub instances: Vec<u64>,
 }
 
 impl Dispatch {
+    /// Team members that actually executed work in this dispatch —
+    /// entries with a nonzero chunk time or instance count. Under
+    /// dynamic chunk scheduling a member the scheduler never fed (the
+    /// work supply ran out before it grabbed a chunk) is *idle*, not
+    /// imbalanced: it reflects surplus team width, which the profile
+    /// reports separately as `threads` vs the active width. Block
+    /// scheduling always feeds every member, so for legacy records
+    /// this is the whole team.
+    fn active(&self) -> impl Iterator<Item = u128> + '_ {
+        self.chunk_ns
+            .iter()
+            .enumerate()
+            .filter(|&(i, &ns)| ns > 0 || self.instances.get(i).is_some_and(|&n| n > 0))
+            .map(|(_, &ns)| ns)
+    }
+
     /// Load-imbalance ratio of this dispatch: slowest chunk over mean
-    /// chunk time (1.0 = perfectly balanced). Defined as 1.0 for an
-    /// empty team or when the clock resolution made every chunk 0.
+    /// chunk time across *active* members (1.0 = perfectly balanced).
+    /// Defined as 1.0 for an empty team or when the clock resolution
+    /// made every chunk 0.
     pub fn imbalance(&self) -> f64 {
-        let n = self.chunk_ns.len();
+        let n = self.active().count();
         if n == 0 {
             return 1.0;
         }
-        let sum: u128 = self.chunk_ns.iter().sum();
+        let sum: u128 = self.active().sum();
         if sum == 0 {
             return 1.0;
         }
-        let max = *self.chunk_ns.iter().max().expect("non-empty") as f64;
+        let max = self.active().max().expect("non-empty") as f64;
         max / (sum as f64 / n as f64)
     }
 
-    /// Total time threads spent waiting at this dispatch's barrier:
-    /// `Σ (slowest chunk − own chunk)`.
+    /// Total time active members spent waiting at this dispatch's
+    /// barrier: `Σ (slowest chunk − own chunk)` over active members.
     pub fn barrier_wait_ns(&self) -> u128 {
-        let max = self.chunk_ns.iter().copied().max().unwrap_or(0);
-        self.chunk_ns.iter().map(|&c| max - c).sum()
+        let max = self.active().max().unwrap_or(0);
+        self.active().map(|c| max - c).sum()
     }
 }
 
@@ -102,8 +122,9 @@ pub struct ExecProfile {
     pub dispatches: u64,
     /// Widest thread team observed.
     pub threads: usize,
-    /// Statement instances per worker slot (index 0 = worker 1),
-    /// summed over dispatches.
+    /// Statement instances per team-member slot, summed over
+    /// dispatches (pooled engine: index 0 = coordinator, 1.. = pool
+    /// worker slots; legacy scoped engine: index t = spawned worker t).
     pub instances_per_thread: Vec<u64>,
     /// Dispatch-duration-weighted mean of per-dispatch
     /// [`imbalance`](Dispatch::imbalance) ratios (1.0 = balanced).
@@ -237,9 +258,33 @@ mod tests {
             chunk_ns: vec![100, 50, 50, 0],
             instances: vec![4, 2, 2, 0],
         };
-        // mean = 50, max = 100 → ratio 2.0; waits: 0+50+50+100 = 200.
-        assert!((d.imbalance() - 2.0).abs() < 1e-12);
-        assert_eq!(d.barrier_wait_ns(), 200);
+        // The fourth member never got work — idle, not imbalanced.
+        // Active mean = 200/3, max = 100 → ratio 1.5; waits: 0+50+50.
+        assert!((d.imbalance() - 1.5).abs() < 1e-12);
+        assert_eq!(d.barrier_wait_ns(), 100);
+    }
+
+    #[test]
+    fn idle_members_do_not_count_as_imbalance() {
+        // One active member (the pooled engine's small-dispatch solo
+        // path) is perfectly balanced by definition.
+        let d = Dispatch {
+            name: "c1".into(),
+            items: 2,
+            chunk_ns: vec![80, 0],
+            instances: vec![9, 0],
+        };
+        assert_eq!(d.imbalance(), 1.0);
+        assert_eq!(d.barrier_wait_ns(), 0);
+        // A member with sub-resolution chunk time but real instances is
+        // active (instances witness the work).
+        let d2 = Dispatch {
+            name: "c1".into(),
+            items: 4,
+            chunk_ns: vec![60, 0, 60],
+            instances: vec![2, 1, 2],
+        };
+        assert!((d2.imbalance() - 1.5).abs() < 1e-12);
     }
 
     #[test]
@@ -289,12 +334,12 @@ mod tests {
         assert_eq!(p.dispatches, 2);
         assert_eq!(p.threads, 3);
         assert_eq!(p.instances_per_thread, vec![5, 3, 0]);
-        // d0: ratio 1.0 weight 100; d1: mean 400/3, max 300 → 2.25,
-        // weight 300 → mean = (100 + 675)/400 = 1.9375.
-        assert!((p.imbalance_mean - 1.9375).abs() < 1e-12);
-        assert!((p.imbalance_max - 2.25).abs() < 1e-12);
-        // waits: d0 0; d1 (0 + 200 + 300).
-        assert_eq!(p.barrier_wait_ns, 500);
+        // d0: ratio 1.0 weight 100; d1 active {300, 100}: mean 200,
+        // max 300 → 1.5, weight 300 → mean = (100 + 450)/400 = 1.375.
+        assert!((p.imbalance_mean - 1.375).abs() < 1e-12);
+        assert!((p.imbalance_max - 1.5).abs() < 1e-12);
+        // waits: d0 0; d1 (0 + 200) over active members.
+        assert_eq!(p.barrier_wait_ns, 200);
         assert!((p.arrays[0].l1_miss_rate() - 0.5).abs() < 1e-12);
     }
 }

@@ -12,6 +12,14 @@
 //! statement instance's inputs and the per-instance flop order; any
 //! divergence at all is a transformation or codegen bug.
 //!
+//! The fully-optimized variant additionally runs through all four
+//! execution engines — tree-walk sequential (the reference), compiled
+//! bytecode sequential, legacy scoped-thread parallel, and the
+//! persistent-pool compiled parallel engine behind [`run_parallel`] —
+//! and every pairing must agree bit-exactly. That four-way battery is
+//! what proves the pool + kernel-compiler rework (DESIGN.md §9)
+//! equivalent to the reference interpreter on every fuzz kernel.
+//!
 //! On top of the dynamic checks, the fully-optimized variant is pushed
 //! through the `pluto_analyze` static verifier (race detector, bounds
 //! prover, lints) and the interpreter's parallel-marker sanitizer — a
@@ -32,7 +40,10 @@ use pluto_analyze::{AnalysisInput, Severity};
 use pluto_codegen::{generate, original_schedule};
 use pluto_ir::analyze_dependences;
 use pluto_linalg::Int;
-use pluto_machine::{run_parallel, run_sanitized, run_sequential, Arrays, ParallelConfig};
+use pluto_machine::{
+    run_compiled, run_parallel, run_parallel_scoped, run_sanitized, run_sequential, Arrays,
+    ParallelConfig,
+};
 
 /// Which optimizer configurations the oracle exercises.
 #[derive(Debug, Clone)]
@@ -175,20 +186,36 @@ pub fn check_kernel(k: &BuiltKernel, cfg: &OracleConfig) -> Result<(), String> {
     // degrees of pipelined parallelism).
     run_seq("full", &full.result.transform)?;
     let ast = generate(prog, &full.result.transform);
+    let pcfg = ParallelConfig {
+        threads: cfg.threads,
+        collapse: 2,
+    };
+    // The four-way engine battery on the fully-optimized AST: compiled
+    // sequential, scoped tree-walk parallel, and pooled compiled
+    // parallel must each match the tree-walk sequential reference
+    // bit-exactly (`run_seq("full")` above covered the reference
+    // engine itself).
+    let mut compiled = fresh_arrays(k);
+    run_compiled(prog, &ast, &k.params, &mut compiled);
+    if !compiled.bitwise_eq(&reference) {
+        return Err(format!(
+            "full: compiled sequential execution diverges from original\n{}",
+            full.result.transform.display(prog)
+        ));
+    }
+    let mut scoped = fresh_arrays(k);
+    run_parallel_scoped(prog, &ast, &k.params, &mut scoped, pcfg);
+    if !scoped.bitwise_eq(&reference) {
+        return Err(format!(
+            "full: scoped parallel execution diverges from original\n{}",
+            full.result.transform.display(prog)
+        ));
+    }
     let mut par = fresh_arrays(k);
-    run_parallel(
-        prog,
-        &ast,
-        &k.params,
-        &mut par,
-        ParallelConfig {
-            threads: cfg.threads,
-            collapse: 2,
-        },
-    );
+    run_parallel(prog, &ast, &k.params, &mut par, pcfg);
     if !par.bitwise_eq(&reference) {
         return Err(format!(
-            "full: parallel execution diverges from original\n{}",
+            "full: pooled parallel execution diverges from original\n{}",
             full.result.transform.display(prog)
         ));
     }

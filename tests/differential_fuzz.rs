@@ -2,8 +2,13 @@
 //! pushed through dependence analysis → hyperplane search → tiling →
 //! wavefront → codegen, then executed (sequentially, tiled, and with the
 //! wavefront thread team) and compared bit-exactly against the original
-//! program order. Every emitted untiled transformation additionally passes
-//! the independent `validate_legality` audit.
+//! program order. The fully-optimized AST runs through all four
+//! execution engines — tree-walk sequential, compiled bytecode
+//! sequential, legacy scoped-thread parallel, and the persistent-pool
+//! compiled parallel engine — so every fuzz kernel is also a
+//! differential proof of the pool + kernel-compiler rework. Every
+//! emitted untiled transformation additionally passes the independent
+//! `validate_legality` audit.
 //!
 //! The run is hermetic and reproducible: a fixed default seed, with
 //! `TESTKIT_SEED=<n>` / `TESTKIT_CASES=<n>` overrides. A failure panics
