@@ -29,6 +29,8 @@ echo "== test suite (release, offline) =="
 cargo test --release --offline --workspace
 
 echo "== differential fuzz: 200 random kernels, fixed seed =="
+# Each case also runs the bytecode translation validator (PL008–PL012)
+# on the compiled kernel the engines executed — see testkit's oracle.
 TESTKIT_CASES=200 cargo test --release --offline --test differential_fuzz \
     -- --nocapture
 
@@ -80,13 +82,24 @@ grep -q '"ph": "B"' /tmp/pluto-ci-trace.json
 echo "== explain smoke: pluto-explain/1 + PL007 ledger cross-check per example =="
 # --explain-json self-validates the emitted document with the in-tree
 # RFC-8259 parser before printing; --analyze re-proves every decision-log
-# satisfaction claim independently (PL007), so a clean exit per kernel
-# means the telemetry and the static verifier agree. (The fuzz run above
-# applies the same ledger gate to all 200 random kernels via the oracle.)
+# satisfaction claim independently (PL007) AND translation-validates the
+# compiled bytecode against the polyhedral source (PL008–PL013), so a
+# clean exit per kernel means the telemetry, the static verifier, and the
+# executor's compiler all agree. (The fuzz run above applies the same
+# ledger + bytecode gates to all 200 random kernels via the oracle.)
 for example in examples/*.c; do
     ./target/release/plutoc --explain-json --analyze "$example" \
         > /tmp/pluto-ci-explain.json
     grep -q '"schema": "pluto-explain/1"' /tmp/pluto-ci-explain.json
 done
+
+echo "== bytecode-verifier smoke: analyze/bytecode span + counters in profiles =="
+# The verification cost must be attributed: an --analyze --profile-json
+# run carries the analyze/bytecode phase and nonzero analyze.bytecode_*
+# counters for a kernel with parallel dispatches.
+./target/release/plutoc --tile 8 --analyze --profile-json \
+    examples/seidel-2d.c > /tmp/pluto-ci-bytecode-profile.json 2>/dev/null
+grep -q '"analyze/bytecode"' /tmp/pluto-ci-bytecode-profile.json
+grep -q '"analyze.bytecode_accesses"' /tmp/pluto-ci-bytecode-profile.json
 
 echo "== ci.sh: all gates passed =="

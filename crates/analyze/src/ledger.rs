@@ -66,7 +66,7 @@ pub fn check(input: &AnalysisInput) -> Vec<Diagnostic> {
         // Strict satisfaction is a global property (`δ_r >= 1` on the
         // whole dependence polyhedron): refute by finding δ_r <= 0.
         let mut set = joint_poly(input.program, t, dep, &param_ctx);
-        let delta = distance_row(t, dep, r, np);
+        let delta = distance_row(t, dep.src, dep.dst, r, np);
         let row: Vec<Int> = delta.iter().map(|&a| -a).collect(); // −δ >= 0
         set.add_ineq(row);
         if let Some(point) = set.sample_point() {

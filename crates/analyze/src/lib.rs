@@ -20,6 +20,14 @@
 //! - [`ledger`]: static/static differential of the optimizer's decision-log
 //!   satisfaction ledger against independently re-proved strict
 //!   satisfaction at each claimed row.
+//! - [`bytecode`]: translation validation of the compiled executor — a
+//!   [`CompiledKernel`](pluto_machine::CompiledKernel) is walked in
+//!   lockstep with its source AST, every folded access is symbolically
+//!   re-expanded against the IR access matrices, every body tape is
+//!   decompiled back to an expression tree, every access is proved
+//!   in-bounds for *all* in-domain instances, and the pooled scheduler's
+//!   chunk partition is proved a disjoint exact cover with
+//!   non-overlapping write footprints across chunks.
 //!
 //! Every finding is a [`Diagnostic`] with a stable code (`PL001`…), a
 //! severity, the AST path it anchors to, and — where the underlying proof
@@ -33,6 +41,7 @@ use pluto_ir::{Dependence, Program};
 use pluto_linalg::Int;
 
 pub mod bounds;
+pub mod bytecode;
 pub mod ledger;
 pub mod lints;
 pub mod race;
@@ -56,6 +65,27 @@ pub enum Code {
     /// The optimizer's decision-log satisfaction ledger disagrees with
     /// independently re-derived dependence satisfaction.
     LedgerDivergence,
+    /// Compiled bytecode diverges from its AST/IR source: a folded
+    /// access re-expands to a different affine function, a bound or
+    /// guard was compiled wrong, or the control skeleton / provenance
+    /// doesn't match the AST.
+    BytecodeDivergence,
+    /// A compiled access's flattened offset can leave `[0, len)` for
+    /// some in-domain instance (ILP-witnessed).
+    BytecodeOob,
+    /// The pooled scheduler's chunk plan is not a disjoint exact cover
+    /// of a dispatch's work-item list.
+    ChunkCover,
+    /// Two distinct work items of a `parallel` dispatch can write the
+    /// same array cell — a race at the scheduler level, proved from the
+    /// compiled strides (ILP-witnessed, independent of PL001).
+    ChunkRace,
+    /// A postfix body tape does not decompile to the statement's IR
+    /// expression tree.
+    TapeDivergence,
+    /// An innermost compiled loop's minimum nonzero access stride
+    /// exceeds 1 (no stride-1 access to stream) — a locality lint.
+    NonUnitStride,
 }
 
 impl Code {
@@ -69,17 +99,31 @@ impl Code {
             Code::OneTripParallel => "PL005-one-trip-parallel",
             Code::ShadowedBinding => "PL006-shadowed-binding",
             Code::LedgerDivergence => "PL007-ledger-divergence",
+            Code::BytecodeDivergence => "PL008-bytecode-divergence",
+            Code::BytecodeOob => "PL009-bytecode-oob",
+            Code::ChunkCover => "PL010-chunk-cover",
+            Code::ChunkRace => "PL011-chunk-race",
+            Code::TapeDivergence => "PL012-tape-divergence",
+            Code::NonUnitStride => "PL013-nonunit-stride",
         }
     }
 
     /// Default severity of the code.
     pub fn severity(self) -> Severity {
         match self {
-            Code::Race | Code::Oob | Code::LedgerDivergence => Severity::Error,
+            Code::Race
+            | Code::Oob
+            | Code::LedgerDivergence
+            | Code::BytecodeDivergence
+            | Code::BytecodeOob
+            | Code::ChunkCover
+            | Code::ChunkRace
+            | Code::TapeDivergence => Severity::Error,
             Code::EmptyLoop
             | Code::RedundantGuard
             | Code::OneTripParallel
             | Code::ShadowedBinding => Severity::Warning,
+            Code::NonUnitStride => Severity::Info,
         }
     }
 }
@@ -196,10 +240,18 @@ pub fn analyze(input: &AnalysisInput) -> Vec<Diagnostic> {
     diags.extend(bounds::check(input));
     diags.extend(lints::check(input));
     diags.extend(ledger::check(input));
+    sort_diagnostics(&mut diags);
+    diags
+}
+
+/// Sorts findings into the analyzer's canonical order (errors first,
+/// then by code, path, message). Callers merging [`bytecode::check`]
+/// results into an [`analyze`] run re-sort with this so rendering order
+/// stays deterministic.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
     diags.sort_by(|a, b| {
         (a.severity, a.code, &a.path, &a.message).cmp(&(b.severity, b.code, &b.path, &b.message))
     });
-    diags
 }
 
 /// Renders diagnostics as human-readable text, one per line, with a

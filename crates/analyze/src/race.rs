@@ -30,14 +30,22 @@ pub struct RaceWitness {
     pub point: Vec<Int>,
 }
 
-/// Builds the dependence-distance row `δ_k` of dependence `dep` at
-/// scattering row `k`, over the joint space
-/// `[src dims (nd_s), dst dims (nd_t), params, 1]`.
-pub(crate) fn distance_row(t: &Transformation, dep: &Dependence, k: usize, np: usize) -> Vec<Int> {
-    let nd_s = t.domains[dep.src].num_vars() - np;
-    let nd_t = t.domains[dep.dst].num_vars() - np;
-    let src_row = &t.stmts[dep.src].rows[k];
-    let dst_row = &t.stmts[dep.dst].rows[k];
+/// Builds the scattering-distance row `δ_k` between statements `src` and
+/// `dst` at scattering row `k`, over the joint space
+/// `[src dims (nd_s), dst dims (nd_t), params, 1]`. Shared with the
+/// bytecode verifier's chunk-race check, which relates arbitrary
+/// statement pairs rather than dependence endpoints.
+pub(crate) fn distance_row(
+    t: &Transformation,
+    src: usize,
+    dst: usize,
+    k: usize,
+    np: usize,
+) -> Vec<Int> {
+    let nd_s = t.domains[src].num_vars() - np;
+    let nd_t = t.domains[dst].num_vars() - np;
+    let src_row = &t.stmts[src].rows[k];
+    let dst_row = &t.stmts[dst].rows[k];
     debug_assert_eq!(src_row.len(), nd_s + np + 1);
     debug_assert_eq!(dst_row.len(), nd_t + np + 1);
     let mut out = vec![0; nd_s + nd_t + np + 1];
@@ -111,10 +119,10 @@ pub fn carried_witness(
     let np = prog.num_params();
     let mut set = joint_poly(prog, t, dep, param_ctx);
     for k in 0..level {
-        set.add_eq(distance_row(t, dep, k, np));
+        set.add_eq(distance_row(t, dep.src, dep.dst, k, np));
     }
     let joint = set.num_vars();
-    let delta = distance_row(t, dep, level, np);
+    let delta = distance_row(t, dep.src, dep.dst, level, np);
     // δ_level >= 1 (forward carried) …
     let mut fwd = set.clone();
     let mut row = delta.clone();

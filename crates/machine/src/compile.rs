@@ -34,11 +34,19 @@ use pluto_codegen::{AffExpr, Ast, Bound, CondRow};
 use pluto_ir::{Expr, Program};
 
 /// An affine expression over variable slots, in `i64`.
+///
+/// Fields are public so the static bytecode verifier
+/// (`pluto-analyze`'s `bytecode` module) can compare compiled
+/// expressions coefficient-by-coefficient against their AST source —
+/// and so golden tests can corrupt them to prove the checks fire.
 #[derive(Debug, Clone)]
-pub(crate) struct CAff {
-    terms: Vec<(u32, i64)>,
-    konst: i64,
-    div: i64,
+pub struct CAff {
+    /// `(variable slot, coefficient)` pairs.
+    pub terms: Vec<(u32, i64)>,
+    /// Constant term.
+    pub konst: i64,
+    /// Divisor (`>= 1`; rounding direction decided by context).
+    pub div: i64,
 }
 
 impl CAff {
@@ -88,8 +96,10 @@ impl CAff {
 
 /// A loop bound: min-of-max (`ceild`) lower, max-of-min (`floord`) upper.
 #[derive(Debug, Clone)]
-pub(crate) struct CBound {
-    groups: Vec<Vec<CAff>>,
+pub struct CBound {
+    /// One inner list per contributing statement (mirrors
+    /// [`Bound::groups`]).
+    pub groups: Vec<Vec<CAff>>,
 }
 
 impl CBound {
@@ -134,10 +144,13 @@ impl CBound {
 
 /// A guard/filter condition row: `Σ terms + konst >= 0` (or `== 0`).
 #[derive(Debug, Clone)]
-pub(crate) struct CCond {
-    terms: Vec<(u32, i64)>,
-    konst: i64,
-    eq: bool,
+pub struct CCond {
+    /// `(variable slot, coefficient)` pairs.
+    pub terms: Vec<(u32, i64)>,
+    /// Constant term.
+    pub konst: i64,
+    /// Equality instead of `>=`.
+    pub eq: bool,
 }
 
 impl CCond {
@@ -176,10 +189,15 @@ impl CCond {
 /// valid iff `0 <= off < len` (checked by the executor before the raw
 /// load/store).
 #[derive(Debug, Clone)]
-pub(crate) struct CAccess {
+pub struct CAccess {
+    /// Array id in the program.
     pub array: u32,
+    /// Constant offset (parameter and constant contributions folded in).
     pub base: i64,
+    /// `(variable slot, stride)` pairs over the statement's original
+    /// iterators.
     pub strides: Vec<(u32, i64)>,
+    /// Flattened array length the offset is checked against.
     pub len: u32,
 }
 
@@ -204,7 +222,7 @@ impl CAccess {
 
 /// One postfix statement-body operation.
 #[derive(Debug, Clone, Copy)]
-pub(crate) enum BodyOp {
+pub enum BodyOp {
     /// Push the value loaded for read access `k`.
     Read(u16),
     /// Push a literal.
@@ -220,12 +238,16 @@ pub(crate) enum BodyOp {
 
 /// One compiled statement leaf: strided accesses plus the body tape.
 #[derive(Debug, Clone)]
-pub(crate) struct CStmt {
+pub struct CStmt {
     /// Statement id (indexes the suppression counters).
     pub stmt: u32,
+    /// The folded write access.
     pub write: CAccess,
+    /// Folded read accesses, in statement-read order.
     pub reads: Vec<CAccess>,
+    /// Postfix body tape (post-order of the expression tree).
     pub body: Vec<BodyOp>,
+    /// Flops per executed instance (for [`ExecStats`](crate::ExecStats)).
     pub flops: u64,
 }
 
@@ -233,7 +255,7 @@ pub(crate) struct CStmt {
 /// [`Instr::LoopEnd`] / guarded region, so a failed bound or guard is a
 /// single `pc` assignment.
 #[derive(Debug, Clone)]
-pub(crate) enum Instr {
+pub enum Instr {
     /// Enter a loop: evaluate bounds, bind `var`, push the upper bound
     /// on the frame stack — or jump to `exit` when empty.
     Loop {
@@ -278,27 +300,94 @@ pub(crate) enum Instr {
     },
 }
 
+/// Where one compiled statement leaf came from: the IR statement and the
+/// variable slots that hold its original iterator values. Recorded at
+/// compile time (instead of being discarded with the AST) so the static
+/// bytecode verifier can re-expand every folded access against the IR
+/// access matrices, and so `--trace` dispatch events can name the source
+/// statements a chunk executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeafOrigin {
+    /// IR statement id.
+    pub stmt: usize,
+    /// Slot ids of the statement's original iterators, in statement
+    /// order (a copy of the AST leaf's `orig_dims`).
+    pub orig_dims: Vec<usize>,
+}
+
+/// Where one compiled loop came from. One entry per [`Instr::Loop`], in
+/// bytecode (= lowering) order, keyed by the instruction's `pc`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopOrigin {
+    /// Index of the [`Instr::Loop`] in [`CompiledKernel::code`].
+    pub pc: usize,
+    /// Scattering row the loop scans (`None` for leaf domain-recovery
+    /// loops) — a copy of the AST loop's `level`.
+    pub level: Option<usize>,
+    /// Bitmask of statement ids with a leaf inside the loop body
+    /// (statement ids `>= 64` saturate into bit 63).
+    pub stmts: u64,
+}
+
+/// The AST↔bytecode provenance table: which statement each leaf was
+/// compiled from and which scattering row each loop scans.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Provenance {
+    /// Per compiled leaf, aligned with [`CompiledKernel::leaves`].
+    pub leaves: Vec<LeafOrigin>,
+    /// Per compiled loop, in `pc` order.
+    pub loops: Vec<LoopOrigin>,
+}
+
+impl Provenance {
+    /// Looks up the loop origin for the [`Instr::Loop`] at `pc`.
+    pub fn loop_at(&self, pc: usize) -> Option<&LoopOrigin> {
+        self.loops
+            .binary_search_by_key(&pc, |l| l.pc)
+            .ok()
+            .map(|i| &self.loops[i])
+    }
+}
+
 /// A kernel lowered to bytecode for specific parameter values and array
 /// extents. Execute it with [`run_compiled_kernel`](crate::run_compiled_kernel)
 /// or [`run_compiled_parallel`](crate::run_compiled_parallel) against
 /// arrays of the same shape.
+///
+/// All fields are public: the compiled form is itself an auditable
+/// artifact — `pluto-analyze`'s bytecode verifier walks it in lockstep
+/// with the source AST, and golden tests mutate it to prove each check
+/// rejects corrupted bytecode. Mutating a kernel by hand and executing
+/// it voids the safety argument of the raw-pointer parallel backend.
 #[derive(Debug, Clone)]
 pub struct CompiledKernel {
-    pub(crate) code: Vec<Instr>,
-    pub(crate) lower: Vec<CBound>,
-    pub(crate) upper: Vec<CBound>,
-    pub(crate) exprs: Vec<CAff>,
-    pub(crate) conds: Vec<CCond>,
-    pub(crate) leaves: Vec<CStmt>,
-    pub(crate) names: Vec<String>,
+    /// Flat instruction stream.
+    pub code: Vec<Instr>,
+    /// Lower-bound forest, indexed by [`Instr::Loop`]'s `lb`.
+    pub lower: Vec<CBound>,
+    /// Upper-bound forest, indexed by [`Instr::Loop`]'s `ub`.
+    pub upper: Vec<CBound>,
+    /// Let-binding expressions, indexed by [`Instr::Let`]'s `expr`.
+    pub exprs: Vec<CAff>,
+    /// Guard/filter condition pool, indexed by `[lo, hi)` ranges.
+    pub conds: Vec<CCond>,
+    /// Statement leaves, indexed by [`Instr::Stmt`]'s `leaf`.
+    pub leaves: Vec<CStmt>,
+    /// Loop display names, indexed by [`Instr::Loop`]'s `name`.
+    pub names: Vec<String>,
     /// Slot-vector size (variables incl. parameters).
-    pub(crate) num_slots: usize,
-    pub(crate) num_stmts: usize,
+    pub num_slots: usize,
+    /// Statement count of the source program (sizes the suppression
+    /// counters).
+    pub num_stmts: usize,
     /// Parameter values baked into bases and the slot prefix.
-    pub(crate) params: Vec<i64>,
+    pub params: Vec<i64>,
     /// Array extents the strides were derived for (shape-checked at
     /// execution time).
-    pub(crate) extents: Vec<Vec<usize>>,
+    pub extents: Vec<Vec<usize>>,
+    /// AST↔bytecode provenance (which statement each leaf came from,
+    /// which scattering row each loop scans).
+    pub provenance: Provenance,
 }
 
 fn narrow(x: pluto_linalg::Int) -> i64 {
@@ -316,6 +405,7 @@ struct Lowerer<'p> {
     conds: Vec<CCond>,
     leaves: Vec<CStmt>,
     names: Vec<String>,
+    provenance: Provenance,
 }
 
 impl Lowerer<'_> {
@@ -342,7 +432,21 @@ impl Lowerer<'_> {
                     name,
                     exit: 0, // patched below
                 });
+                // Loop provenance entries stay pc-sorted because `at` is
+                // allocated before the body's nested loops are lowered.
+                let prov_at = self.provenance.loops.len();
+                self.provenance.loops.push(LoopOrigin {
+                    pc: at,
+                    level: l.level,
+                    stmts: 0,
+                });
+                let leaves_before = self.leaves.len();
                 self.lower(&l.body);
+                let mut mask = 0u64;
+                for leaf in &self.leaves[leaves_before..] {
+                    mask |= 1u64 << (leaf.stmt as u64).min(63);
+                }
+                self.provenance.loops[prov_at].stmts = mask;
                 self.code.push(Instr::LoopEnd {
                     var: l.var as u32,
                     top: at as u32,
@@ -493,6 +597,10 @@ impl Lowerer<'_> {
             body,
             flops: s.body.num_ops() as u64,
         });
+        self.provenance.leaves.push(LeafOrigin {
+            stmt,
+            orig_dims: orig_dims.to_vec(),
+        });
         (self.leaves.len() - 1) as u32
     }
 }
@@ -508,14 +616,28 @@ pub fn compile_kernel(
     arrays: &Arrays,
 ) -> CompiledKernel {
     let _span = pluto_obs::span("execute/compile");
-    assert_eq!(params.len(), prog.num_params(), "parameter count mismatch");
     let extents: Vec<Vec<usize>> = (0..arrays.num_arrays())
         .map(|a| arrays.extents(a).to_vec())
         .collect();
+    compile_kernel_with_extents(prog, ast, params, &extents)
+}
+
+/// Like [`compile_kernel`], but taking the array extents directly — for
+/// callers that need the compiled form without allocating arrays (the
+/// static bytecode verifier compiles the audited AST this way). Emits no
+/// `execute/*` phase span, so analysis-time compiles don't masquerade as
+/// execution in profiles.
+pub fn compile_kernel_with_extents(
+    prog: &Program,
+    ast: &Ast,
+    params: &[i64],
+    extents: &[Vec<usize>],
+) -> CompiledKernel {
+    assert_eq!(params.len(), prog.num_params(), "parameter count mismatch");
     let mut lw = Lowerer {
         prog,
         params: params.to_vec(),
-        extents,
+        extents: extents.to_vec(),
         code: Vec::new(),
         lower: Vec::new(),
         upper: Vec::new(),
@@ -523,6 +645,7 @@ pub fn compile_kernel(
         conds: Vec::new(),
         leaves: Vec::new(),
         names: Vec::new(),
+        provenance: Provenance::default(),
     };
     lw.lower(ast);
     let num_slots = ast.num_vars().max(params.len());
@@ -538,5 +661,6 @@ pub fn compile_kernel(
         num_stmts: prog.stmts.len(),
         params: params.to_vec(),
         extents: lw.extents,
+        provenance: lw.provenance,
     }
 }

@@ -38,11 +38,43 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// Parallel loops with fewer work items than this run inline on the
 /// coordinator: waking a parked worker costs a futex round trip, which
 /// a 2-item wavefront front never amortizes.
-const MIN_ITEMS_TO_ENLIST: usize = 4;
+///
+/// Public (rather than a buried literal) because the static bytecode
+/// verifier models the dispatch partition with the same constants — the
+/// executor and the verifier can't drift apart.
+pub const MIN_ITEMS_TO_ENLIST: usize = 4;
 
 /// Chunks per member the dynamic scheduler aims for; more chunks mean
 /// finer balancing but more atomic traffic on the shared counter.
-const CHUNKS_PER_MEMBER: usize = 4;
+/// Shared with the verifier's partition model like
+/// [`MIN_ITEMS_TO_ENLIST`].
+pub const CHUNKS_PER_MEMBER: usize = 4;
+
+/// Chunk length the dynamic scheduler uses for a dispatch of `n_items`
+/// work items over a team of `width + 1` members (the coordinator plus
+/// `width` enlisted workers). This is *the* partition rule: both the
+/// executor's dispatch claim loop and the verifier's [`chunk_plan`]
+/// model call it.
+#[inline]
+pub fn chunk_len(n_items: usize, width: usize) -> usize {
+    (n_items / ((width + 1) * CHUNKS_PER_MEMBER)).max(1)
+}
+
+/// The exact chunk ranges a dispatch of `n_items` items over team width
+/// `width` carves its work list into: half-open `(lo, hi)` index ranges
+/// claimed off the shared counter in order. The static verifier proves
+/// this plan is a disjoint exact cover of `0..n_items`; the executor
+/// realizes the same arithmetic incrementally in its claim loop.
+pub fn chunk_plan(n_items: usize, width: usize) -> Vec<(usize, usize)> {
+    if n_items == 0 {
+        return Vec::new();
+    }
+    let chunk = chunk_len(n_items, width);
+    let nchunks = n_items.div_ceil(chunk);
+    (0..nchunks)
+        .map(|c| (c * chunk, ((c + 1) * chunk).min(n_items)))
+        .collect()
+}
 
 /// Per-member interpreter state (slot vector, loop frames, filter
 /// bookkeeping, scratch stacks, stats).
@@ -368,7 +400,7 @@ fn dispatch(
     // The global pool may have grown wider than this run's config
     // (width never shrinks); never enlist beyond `threads - 1`.
     let width = pool.width().min(cfg.threads.saturating_sub(1));
-    let chunk = (items.len() / ((width + 1) * CHUNKS_PER_MEMBER)).max(1);
+    let chunk = chunk_len(items.len(), width);
     let nchunks = items.len().div_ceil(chunk);
     let team = if items.len() >= MIN_ITEMS_TO_ENLIST {
         width.min(nchunks.saturating_sub(1))
@@ -379,12 +411,24 @@ fn dispatch(
     let measure = tel.measure;
     let loop_name: &str = &ck.names[name as usize];
     // Coordinator dispatch span (tid 0): brackets fork to join. `None`
-    // (no allocation) whenever tracing is off.
+    // (no allocation) whenever tracing is off. Provenance makes the
+    // event attributable to its source: `level` is the scattering row
+    // the loop scans (1-based; 0 = domain-recovery loop) and `stmts` is
+    // the bitmask of statement ids executing under it.
     let mut coord = pluto_obs::trace::RingBuf::for_thread(0);
     if let Some(b) = coord.as_mut() {
+        let origin = ck.provenance.loop_at(pc);
         b.begin(
             loop_name,
-            &[("items", items.len() as u64), ("threads", team as u64 + 1)],
+            &[
+                ("items", items.len() as u64),
+                ("threads", team as u64 + 1),
+                (
+                    "level",
+                    origin.and_then(|o| o.level).map_or(0, |l| l as u64 + 1),
+                ),
+                ("stmts", origin.map_or(0, |o| o.stmts)),
+            ],
         );
     }
 

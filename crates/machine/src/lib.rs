@@ -50,10 +50,14 @@ mod simulate;
 
 pub use arrays::Arrays;
 pub use cache::{CacheConfig, CacheSim, CacheStats};
-pub use compile::{compile_kernel, CompiledKernel};
+pub use compile::{
+    compile_kernel, compile_kernel_with_extents, BodyOp, CAccess, CAff, CBound, CCond, CStmt,
+    CompiledKernel, Instr, LeafOrigin, LoopOrigin, Provenance,
+};
 pub use exec::{
-    run_compiled, run_compiled_kernel, run_compiled_parallel, run_compiled_parallel_profiled,
-    run_parallel, run_parallel_profiled,
+    chunk_len, chunk_plan, run_compiled, run_compiled_kernel, run_compiled_parallel,
+    run_compiled_parallel_profiled, run_parallel, run_parallel_profiled, CHUNKS_PER_MEMBER,
+    MIN_ITEMS_TO_ENLIST,
 };
 pub use interp::{
     run_parallel_scoped, run_parallel_scoped_profiled, run_sanitized, run_sequential,

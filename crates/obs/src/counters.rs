@@ -154,6 +154,16 @@ registry! {
     /// Statement instances executed by the machine substrate's
     /// interpreter (sequential, parallel, and sanitized runs).
     MACHINE_INSTANCES => "machine.instances";
+    /// Compiled accesses symbolically re-expanded and compared against
+    /// their IR access matrices by the bytecode verifier
+    /// (`analyze/bytecode`).
+    ANALYZE_BYTECODE_ACCESSES => "analyze.bytecode_accesses";
+    /// Postfix body tapes decompiled back to expression trees by the
+    /// bytecode verifier.
+    ANALYZE_BYTECODE_TAPES => "analyze.bytecode_tapes";
+    /// Parallel dispatch sites whose chunk partition and cross-chunk
+    /// write footprints the bytecode verifier proved sound.
+    ANALYZE_BYTECODE_DISPATCHES => "analyze.bytecode_dispatches";
 }
 
 /// Resets every registered counter to zero.

@@ -255,6 +255,25 @@ pub fn check_kernel(k: &BuiltKernel, cfg: &OracleConfig) -> Result<(), String> {
         ));
     }
 
+    // Bytecode gate: the compiled kernel the engines above actually ran
+    // must translation-validate against its polyhedral source — access
+    // folds, flat bounds, dispatch partition, and body tapes
+    // (PL008–PL012; the PL013 stride lint is informational).
+    let ck = pluto_machine::compile_kernel_with_extents(prog, &ast, &k.params, &k.extents);
+    let bdiags = pluto_analyze::bytecode::check(&pluto_analyze::bytecode::BytecodeInput {
+        program: prog,
+        transform: &full.result.transform,
+        ast: &ast,
+        kernel: &ck,
+    });
+    if bdiags.iter().any(|d| d.severity == Severity::Error) {
+        return Err(format!(
+            "full: bytecode translation validation failed:\n{}{}",
+            pluto_analyze::render_text(&bdiags),
+            full.result.transform.display(prog)
+        ));
+    }
+
     // Dynamic gate: the sanitizer re-executes the same AST recording
     // per-iteration read/write sets inside every parallel loop; it must
     // agree with the static verdict (and still produce bit-exact state).

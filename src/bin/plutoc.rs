@@ -44,7 +44,9 @@
 use pluto::{FusionPolicy, Optimizer, PlutoOptions};
 use pluto_analyze::{analyze, is_clean, render_json, render_text, AnalysisInput};
 use pluto_codegen::{emit_c, generate, original_schedule, unroll_innermost};
-use pluto_machine::{run_parallel, run_sequential, Arrays, ParallelConfig};
+use pluto_machine::{
+    compile_kernel_with_extents, run_parallel, run_sequential, Arrays, ParallelConfig,
+};
 use std::io::Read;
 use std::process::ExitCode;
 
@@ -236,7 +238,7 @@ fn run() -> Result<ExitCode, String> {
     let mut analyzer_failed = false;
     if do_analyze {
         let _s = pluto_obs::span("analyze");
-        let diags = analyze(&AnalysisInput {
+        let mut diags = analyze(&AnalysisInput {
             program: &prog,
             deps: &optimized.deps,
             transform: &optimized.result.transform,
@@ -245,6 +247,28 @@ fn run() -> Result<ExitCode, String> {
             param_values: None,
             ledger: Some(&ledger),
         });
+        // Bytecode translation validation needs a concrete execution
+        // shape: take the --verify parameter values when given, else the
+        // same 64-per-parameter default the executor paths use.
+        let bc_params: Vec<i64> = match &verify {
+            Some(v) if v.len() == prog.num_params() => v.clone(),
+            _ => vec![64; prog.num_params()],
+        };
+        match unit.try_extents(&bc_params) {
+            Ok(extents) => {
+                let ck = compile_kernel_with_extents(&prog, &ast, &bc_params, &extents);
+                diags.extend(pluto_analyze::bytecode::check(
+                    &pluto_analyze::bytecode::BytecodeInput {
+                        program: &prog,
+                        transform: &optimized.result.transform,
+                        ast: &ast,
+                        kernel: &ck,
+                    },
+                ));
+                pluto_analyze::sort_diagnostics(&mut diags);
+            }
+            Err(m) => eprintln!("note: bytecode verification skipped: {m}"),
+        }
         if analyze_json {
             print!("{}", render_json(&diags));
         } else {

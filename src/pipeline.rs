@@ -10,12 +10,29 @@
 //! diagnostics alongside the artifacts.
 
 use pluto::{Optimized, Optimizer, PlutoError};
-use pluto_analyze::{analyze, AnalysisInput, Diagnostic};
+use pluto_analyze::{analyze, bytecode, AnalysisInput, Diagnostic};
 use pluto_codegen::{generate, Ast};
 use pluto_ir::Program;
 use pluto_linalg::Int;
+use pluto_machine::compile_kernel_with_extents;
 use pluto_obs::decision::DecisionLog;
 use pluto_obs::Profile;
+
+/// A concrete execution shape: the parameter values and per-array
+/// extents a kernel would actually run with. Handing one to
+/// [`compile_audited_exec`] extends the audit down to the compiled
+/// executor — the AST is lowered to bytecode and translation-validated
+/// (PL008–PL013) against the polyhedral source, and the symbolic checks
+/// (PL002 bounds, PL007 ledger, races) run with parameters pinned to
+/// these values.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecShape<'a> {
+    /// One value per program parameter, in declaration order.
+    pub params: &'a [i64],
+    /// Concrete extents per array (row-major), as the executor sizes its
+    /// buffers — typically `ParsedUnit::try_extents` output.
+    pub extents: &'a [Vec<usize>],
+}
 
 /// Every product of one audited compilation.
 pub struct Compiled {
@@ -56,6 +73,26 @@ pub fn compile_audited(
     optimizer: Optimizer,
     extents: Option<&[Vec<Vec<Int>>]>,
 ) -> Result<Compiled, PlutoError> {
+    compile_audited_exec(prog, optimizer, extents, None)
+}
+
+/// [`compile_audited`] extended with an optional concrete execution
+/// shape. When `exec` is `Some`, the audit additionally lowers the AST
+/// through `machine::compile` at those parameters/extents and runs the
+/// bytecode translation validator ([`pluto_analyze::bytecode`]) on the
+/// result; its findings are merged (and re-sorted) into `diagnostics`,
+/// and the whole verification is attributed to the `analyze/bytecode`
+/// span in the returned profile.
+///
+/// # Errors
+/// Propagates [`PlutoError`] from the transformation search; analysis
+/// itself cannot fail (its findings are data, not errors).
+pub fn compile_audited_exec(
+    prog: &Program,
+    optimizer: Optimizer,
+    extents: Option<&[Vec<Vec<Int>>]>,
+    exec: Option<ExecShape>,
+) -> Result<Compiled, PlutoError> {
     let session = pluto_obs::Session::start();
     // Decision recording is process-global: hold the window guard so
     // concurrent audited compiles (test threads) don't interleave logs.
@@ -75,17 +112,29 @@ pub fn compile_audited(
     drop(window);
     let ledger = decision_log.ledger(optimized.deps.len());
     let ast = generate(prog, &optimized.result.transform);
+    let param_values: Option<Vec<Int>> = exec.map(|e| e.params.iter().map(|&v| v as Int).collect());
     let diagnostics = {
         let _s = pluto_obs::span("analyze");
-        analyze(&AnalysisInput {
+        let mut diags = analyze(&AnalysisInput {
             program: prog,
             deps: &optimized.deps,
             transform: &optimized.result.transform,
             ast: &ast,
             extents,
-            param_values: None,
+            param_values: param_values.as_deref(),
             ledger: Some(&ledger),
-        })
+        });
+        if let Some(shape) = exec {
+            let kernel = compile_kernel_with_extents(prog, &ast, shape.params, shape.extents);
+            diags.extend(bytecode::check(&bytecode::BytecodeInput {
+                program: prog,
+                transform: &optimized.result.transform,
+                ast: &ast,
+                kernel: &kernel,
+            }));
+            pluto_analyze::sort_diagnostics(&mut diags);
+        }
+        diags
     };
     Ok(Compiled {
         optimized,
