@@ -102,4 +102,22 @@ echo "== bytecode-verifier smoke: analyze/bytecode span + counters in profiles =
 grep -q '"analyze/bytecode"' /tmp/pluto-ci-bytecode-profile.json
 grep -q '"analyze.bytecode_accesses"' /tmp/pluto-ci-bytecode-profile.json
 
+echo "== solver-cache smoke: compile-time shortcuts active + output-invariant =="
+# The speed pass (DESIGN.md §11) must actually fire on the flagship
+# kernel: a default seidel-2d compile reports nonzero emptiness-cache
+# hits and nonzero pruned dependence candidates. And the shortcuts must
+# be switchable off with bit-identical output: --no-solver-cache (cache
+# off, warm-start off, pruning off) emits exactly the same C.
+./target/release/plutoc --tile 8 --profile-json examples/seidel-2d.c \
+    > /tmp/pluto-ci-cache-profile.json
+grep -qE '"name": "ilp.cache_hits", "value": [1-9]' \
+    /tmp/pluto-ci-cache-profile.json
+grep -qE '"name": "ir.pruned_candidates", "value": [1-9]' \
+    /tmp/pluto-ci-cache-profile.json
+./target/release/plutoc --tile 8 examples/seidel-2d.c \
+    > /tmp/pluto-ci-cache-on.c
+./target/release/plutoc --tile 8 --no-solver-cache examples/seidel-2d.c \
+    > /tmp/pluto-ci-cache-off.c
+cmp /tmp/pluto-ci-cache-on.c /tmp/pluto-ci-cache-off.c
+
 echo "== ci.sh: all gates passed =="

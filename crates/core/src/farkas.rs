@@ -146,8 +146,94 @@ pub fn bounding_form(
     form
 }
 
+/// Substitutes away unit-coefficient equality rows of `poly`, rewriting
+/// `form` through the same substitution.
+///
+/// Each equality `±x_v = e·[x…,1]` defines an integer affine bijection
+/// between `poly` and its image without column `v`; `L(x) >= 0` holds on
+/// `poly` iff the rewritten form is non-negative on the reduced set, so
+/// [`farkas_eliminate`] over the pair has exactly the same feasible set of
+/// unknowns — while every eliminated equality removes two Farkas
+/// multipliers and one coefficient-matching row, which shrinks the
+/// Fourier–Motzkin elimination superlinearly (DESIGN.md §11). Shifted
+/// duplicate rows produced by the substitution (e.g. a target domain that
+/// collapses onto the source domain of a uniform dependence) are deduped:
+/// duplicate rows are duplicate cone generators and carry no information.
+fn substitute_unit_eqs(poly: &ConstraintSet, form: &SymbolicForm) -> (ConstraintSet, SymbolicForm) {
+    let n = poly.num_vars();
+    let mut eqs: Vec<Vec<Int>> = poly.eqs().to_vec();
+    let mut ineqs: Vec<Vec<Int>> = poly.ineqs().to_vec();
+    let mut form = form.clone();
+    let mut gone = vec![false; n];
+    let mut any = false;
+    loop {
+        let found = eqs.iter().enumerate().find_map(|(ei, e)| {
+            (0..n)
+                .find(|&v| !gone[v] && e[v].abs() == 1)
+                .map(|v| (ei, v))
+        });
+        let Some((ei, v)) = found else { break };
+        let e = eqs.swap_remove(ei);
+        let s = e[v]; // ±1: x_v = expr·[x…,1] with expr[v] == 0.
+        let mut expr = vec![0; n + 1];
+        for (j, x) in expr.iter_mut().enumerate() {
+            if j != v {
+                *x = -s * e[j];
+            }
+        }
+        for r in eqs.iter_mut().chain(ineqs.iter_mut()) {
+            let c = r[v];
+            if c != 0 {
+                r[v] = 0;
+                for j in 0..=n {
+                    r[j] += c * expr[j];
+                }
+            }
+        }
+        // L's coefficient row for x_v distributes over the substitution:
+        // form[v]·x_v = Σ_j expr[j]·form[v]·x_j + expr[n]·form[v].
+        let width = form[n].len();
+        let fv = std::mem::replace(&mut form[v], vec![0; width]);
+        for j in 0..=n {
+            if expr[j] == 0 || j == v {
+                continue;
+            }
+            for (t, &c) in form[j].iter_mut().zip(&fv) {
+                *t += expr[j] * c;
+            }
+        }
+        gone[v] = true;
+        any = true;
+    }
+    if !any {
+        return (poly.clone(), form);
+    }
+    let kept: Vec<usize> = (0..n).filter(|&v| !gone[v]).collect();
+    let compress = |r: &[Int]| -> Vec<Int> {
+        let mut out: Vec<Int> = kept.iter().map(|&v| r[v]).collect();
+        out.push(r[n]);
+        out
+    };
+    let mut reduced = ConstraintSet::new(kept.len());
+    for e in &eqs {
+        reduced.add_eq(compress(e));
+    }
+    for r in &ineqs {
+        reduced.add_ineq(compress(r));
+    }
+    reduced.dedup();
+    let mut new_form: SymbolicForm = kept.iter().map(|&v| form[v].clone()).collect();
+    new_form.push(form[n].clone());
+    (reduced, new_form)
+}
+
 /// Applies Farkas' lemma to "`L(x) >= 0` on `poly`" and eliminates the
 /// multipliers, returning constraints over the `num_unknowns` unknowns.
+///
+/// Unit-coefficient equalities of `poly` are substituted out first (see
+/// `substitute_unit_eqs` above); the returned system's rows may differ
+/// from the unreduced elimination's, but its feasible set — the only
+/// thing the lexmin search observes — is identical.
 ///
 /// # Panics
 /// Panics if `form` has one row per poly column plus a constant row.
@@ -156,8 +242,14 @@ pub fn farkas_eliminate(
     form: &SymbolicForm,
     num_unknowns: usize,
 ) -> ConstraintSet {
+    assert_eq!(
+        form.len(),
+        poly.num_vars() + 1,
+        "form must cover poly columns + const"
+    );
+    let (poly, form) = substitute_unit_eqs(poly, form);
+    let (poly, form) = (&poly, &form);
     let nx = poly.num_vars();
-    assert_eq!(form.len(), nx + 1, "form must cover poly columns + const");
     // Multipliers: λ0, one per inequality, two per equality.
     let n_ineq = poly.ineqs().len();
     let n_eq = poly.eqs().len();

@@ -51,6 +51,9 @@
 //!
 //! DESIGN.md §6 ("Transformation search", "Tiling", "Wavefront") is the algorithmic specification this crate implements.
 
+// The optimizer's public API is what README/DESIGN.md document;
+// the docs gate keeps them honest (extended here from poly/ilp/obs).
+#![deny(missing_docs)]
 pub mod baselines;
 mod explain;
 mod farkas;

@@ -6,7 +6,7 @@ use crate::search::{find_transformation, PlutoError, PlutoOptions, SearchResult}
 use crate::tiling::tile_band;
 use crate::types::{Parallelism, RowKind};
 use crate::wavefront::{reorder_for_vectorization, wavefront};
-use pluto_ir::{analyze_dependences, Dependence, Program};
+use pluto_ir::{analyze_dependences_with, DepAnalysisOptions, Dependence, Program};
 use pluto_linalg::Int;
 
 /// One-stop driver for the full transformation pipeline.
@@ -42,6 +42,12 @@ pub struct Optimizer {
     /// increased (paper Sec. 7: "the tile size of the loop to be
     /// vectorized was increased").
     pub vector_tile_boost: Int,
+    /// Run the uniform-distance candidate pre-tests in dependence
+    /// analysis (output-invariant; `--no-solver-cache` turns them off).
+    pub dep_pruning: bool,
+    /// Worker-team width for dependence analysis; `1` (the default)
+    /// analyzes serially on the calling thread.
+    pub dep_threads: usize,
 }
 
 impl Default for Optimizer {
@@ -64,6 +70,8 @@ impl Optimizer {
             wavefront_degrees: 1,
             vectorize: true,
             vector_tile_boost: 4,
+            dep_pruning: true,
+            dep_threads: 1,
         }
     }
 
@@ -109,6 +117,18 @@ impl Optimizer {
         self
     }
 
+    /// Enables/disables the dependence-candidate pre-tests.
+    pub fn dep_pruning(mut self, on: bool) -> Optimizer {
+        self.dep_pruning = on;
+        self
+    }
+
+    /// Sets the worker-team width for dependence analysis.
+    pub fn dep_threads(mut self, threads: usize) -> Optimizer {
+        self.dep_threads = threads.max(1);
+        self
+    }
+
     /// Runs the full pipeline on a program.
     ///
     /// # Errors
@@ -117,7 +137,14 @@ impl Optimizer {
         let _span = pluto_obs::span("optimize");
         let deps = {
             let _s = pluto_obs::span("deps");
-            analyze_dependences(prog, self.options.use_input_deps)
+            analyze_dependences_with(
+                prog,
+                &DepAnalysisOptions {
+                    include_input: self.options.use_input_deps,
+                    prune: self.dep_pruning,
+                    threads: self.dep_threads,
+                },
+            )
         };
         let res = {
             let _s = pluto_obs::span("search");

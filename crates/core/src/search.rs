@@ -39,6 +39,11 @@ pub struct PlutoOptions {
     pub fuse: FusionPolicy,
     /// Hard cap on total scattering rows (safety valve).
     pub max_rows: usize,
+    /// Warm-start the per-row lexmin sequence from a once-solved band
+    /// base (DESIGN.md §11). Output-invariant — the integer lexmin is
+    /// unique — so this is a pure speed knob; `--no-solver-cache` turns
+    /// it off for differentials.
+    pub warm_start: bool,
 }
 
 impl Default for PlutoOptions {
@@ -47,6 +52,7 @@ impl Default for PlutoOptions {
             use_input_deps: true,
             fuse: FusionPolicy::Smart,
             max_rows: 32,
+            warm_start: true,
         }
     }
 }
@@ -116,6 +122,14 @@ struct Search<'a> {
     legality_cache: Vec<Option<ConstraintSet>>,
     bounding_cache: Vec<Option<ConstraintSet>>,
     reverse_cache: Vec<Option<ConstraintSet>>,
+    /// Warm-start basis for the current band's dependence system, with
+    /// its inequality-row count (for ledger telemetry). The live
+    /// dependence set — and hence the legality + bounding rows — is
+    /// constant within a band (`live_in_band` only compares against
+    /// `band_start`), so the base is solved once per band and each row's
+    /// statement-structure constraints extend it. Cleared whenever the
+    /// band closes.
+    band_base: Option<(pluto_ilp::WarmBase, usize)>,
     /// Telemetry from the last assembled lexmin ILP (decision log only).
     last_ilp_rows: usize,
     last_ilp_cols: usize,
@@ -144,6 +158,7 @@ impl<'a> Search<'a> {
             legality_cache: vec![None; deps.len()],
             bounding_cache: vec![None; deps.len()],
             reverse_cache: vec![None; deps.len()],
+            band_base: None,
             last_ilp_rows: 0,
             last_ilp_cols: 0,
             last_orth: 0,
@@ -259,8 +274,11 @@ impl<'a> Search<'a> {
         }
     }
 
-    fn solve_for_row(&mut self) -> Option<Vec<Int>> {
-        counters::SEARCH_ROW_SOLVES.bump();
+    /// Assembles the dependence part of the row ILP: legality + bounding
+    /// Farkas systems for every dependence live in the current band.
+    /// Constant across the rows of one band, which is what makes the
+    /// warm-start base sound to reuse.
+    fn build_dep_ilp(&mut self) -> IlpProblem {
         let mut ilp = IlpProblem::new(self.vm.total());
         for di in 0..self.deps.len() {
             if !self.live_in_band(di) {
@@ -296,7 +314,17 @@ impl<'a> Search<'a> {
                 add_system(&mut ilp, rsys);
             }
         }
-        // Per-statement structure constraints.
+        ilp
+    }
+
+    /// Per-statement structure constraints for the current row — the
+    /// trivial-solution exclusion Σ c_i >= 1 (Sec. 4.2) and linear
+    /// independence w.r.t. rows already found (Eq. 6) — as raw
+    /// inequality rows, so they can extend either a cold ILP or a warm
+    /// band base. Returns the rows and the orthogonality-row count (for
+    /// the decision log).
+    fn structure_rows(&self) -> (Vec<Vec<Int>>, usize) {
+        let mut extras: Vec<Vec<Int>> = Vec::new();
         let mut orth = 0usize;
         for s in 0..self.prog.stmts.len() {
             let m = self.vm.num_iters(s);
@@ -314,7 +342,7 @@ impl<'a> Search<'a> {
                 sum[self.vm.c(s, i)] = 1;
             }
             sum[self.vm.total()] = -1;
-            ilp.add_ineq(sum);
+            extras.push(sum);
             // Linear independence w.r.t. rows already found (Eq. 6).
             if self.h[s].num_rows() > 0 {
                 let hperp = self.h[s].to_rat().orthogonal_complement().to_int_rows();
@@ -330,20 +358,73 @@ impl<'a> Search<'a> {
                         row[self.vm.c(s, i)] = v;
                         total[self.vm.c(s, i)] += v;
                     }
-                    ilp.add_ineq(row); // h⊥_i · c >= 0
+                    extras.push(row); // h⊥_i · c >= 0
                     orth += 1;
                 }
                 if any {
                     total[self.vm.total()] = -1;
-                    ilp.add_ineq(total); // Σ h⊥_i · c >= 1
+                    extras.push(total); // Σ h⊥_i · c >= 1
                     orth += 1;
                 }
             }
         }
-        self.last_ilp_rows = ilp.num_ineqs();
-        self.last_ilp_cols = ilp.num_vars();
+        (extras, orth)
+    }
+
+    fn solve_for_row(&mut self) -> Option<Vec<Int>> {
+        counters::SEARCH_ROW_SOLVES.bump();
+        let (extras, orth) = self.structure_rows();
+        self.last_ilp_cols = self.vm.total();
         self.last_orth = orth;
-        let sol = {
+        let sol = if self.opts.warm_start {
+            // Solve the band's dependence system once; every row of the
+            // band (this one included) extends that basis with its own
+            // structure rows. Bit-identical to the cold path: the same
+            // rows reach the solver and the integer lexmin is unique.
+            let reused = self.band_base.is_some();
+            if !reused {
+                let ilp = self.build_dep_ilp();
+                let base_rows = ilp.num_ineqs();
+                let base = {
+                    let _t = hist::SEARCH_ROW.timer();
+                    ilp.solve_base()
+                };
+                match base {
+                    Ok(b) => self.band_base = Some((b, base_rows)),
+                    Err(_) => {
+                        // Pivot/cut budget blown on the shared part:
+                        // report the row unsolvable, as the cold path's
+                        // `.ok()` would.
+                        self.last_ilp_rows = base_rows + extras.len();
+                        if decision::enabled() {
+                            decision::record(DecisionEvent::RowSolveFailed {
+                                row: self.row_infos.len(),
+                            });
+                        }
+                        return None;
+                    }
+                }
+            }
+            let base_rows = self.band_base.as_ref().expect("band base just ensured").1;
+            self.last_ilp_rows = base_rows + extras.len();
+            if reused {
+                counters::ILP_WARM_STARTS.bump();
+            }
+            let res = {
+                let _t = hist::SEARCH_ROW_WARM.timer();
+                self.band_base
+                    .as_ref()
+                    .expect("band base just ensured")
+                    .0
+                    .lexmin_with(&extras)
+            };
+            res.ok().flatten()
+        } else {
+            let mut ilp = self.build_dep_ilp();
+            for row in &extras {
+                ilp.add_ineq(row.clone());
+            }
+            self.last_ilp_rows = ilp.num_ineqs();
             let _t = hist::SEARCH_ROW.timer();
             ilp.try_lexmin().ok().flatten()
         };
@@ -512,6 +593,9 @@ impl<'a> Search<'a> {
             }
         }
         self.band_start = end;
+        // The live dependence set changes with `band_start`, so the
+        // warm-start base assembled for the old band is stale.
+        self.band_base = None;
     }
 
     /// Exact per-statement, per-row parallelism: a loop row is parallel
@@ -723,6 +807,32 @@ mod policy_tests {
         let e = PlutoError::NoSolution { at_row: 3 };
         assert!(e.to_string().contains("row 3"));
         assert!(PlutoError::TooManyRows.to_string().contains("limit"));
+    }
+
+    /// The warm-started per-row sequence must find the same
+    /// transformation as from-scratch solves: same rows, same
+    /// satisfaction ledger.
+    #[test]
+    fn warm_start_matches_cold_search() {
+        let prog = two_nests();
+        let deps = analyze_dependences(&prog, true);
+        let warm = find_transformation(&prog, &deps, &PlutoOptions::default()).unwrap();
+        let cold = find_transformation(
+            &prog,
+            &deps,
+            &PlutoOptions {
+                warm_start: false,
+                ..PlutoOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(warm.satisfied_at, cold.satisfied_at);
+        for (a, b) in warm.transform.stmts.iter().zip(&cold.transform.stmts) {
+            assert_eq!(a.rows, b.rows);
+        }
+        for (a, b) in warm.transform.rows.iter().zip(&cold.transform.rows) {
+            assert_eq!((a.kind, a.par), (b.kind, b.par));
+        }
     }
 
     #[test]

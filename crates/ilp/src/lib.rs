@@ -35,9 +35,12 @@
 //!
 //! DESIGN.md §3.4 explains the PipLib substitution; §5 maps the crate; counters it feeds are in PERFORMANCE.md §4.
 
+// The solver's public surface is the PIP stand-in contract; keep
+// every item documented.
+#![deny(missing_docs)]
 mod solver;
 
-pub use solver::{IlpProblem, SolveError};
+pub use solver::{IlpProblem, SolveError, WarmBase};
 
 #[cfg(test)]
 mod brute {
@@ -145,6 +148,74 @@ mod tests {
         // x >= 1 and x <= -1: infeasible.
         let rows2 = vec![vec![1, -1], vec![-1, -1]];
         assert!(!IlpProblem::feasible_with_free_vars(1, &rows2));
+    }
+
+    #[test]
+    fn warm_start_matches_cold_solve() {
+        // A WarmBase extended with rows must give exactly the lexmin a
+        // cold solve over the union gives — on feasible, integer-cut,
+        // and infeasible extensions alike.
+        let mut rng = Rng::new(0x5EED_BA5E);
+        for case in 0..300 {
+            let n = rng.range_usize(1, 4);
+            let base_rows = rng.range_usize(1, 4);
+            let extra_rows = rng.range_usize(1, 3);
+            let row = |rng: &mut Rng| -> Vec<i128> {
+                let mut r: Vec<i128> = (0..n).map(|_| rng.range_i64(-3, 3) as i128).collect();
+                r.push(rng.range_i64(-6, 6) as i128);
+                r
+            };
+            let mut base = IlpProblem::new(n);
+            for _ in 0..base_rows {
+                base.add_ineq(row(&mut rng));
+            }
+            let extra: Vec<Vec<i128>> = (0..extra_rows).map(|_| row(&mut rng)).collect();
+            let mut cold = base.clone();
+            for e in &extra {
+                cold.add_ineq(e.clone());
+            }
+            let warm = base.solve_base().expect("base within budget");
+            assert_eq!(
+                warm.lexmin_with(&extra).expect("warm within budget"),
+                cold.try_lexmin().expect("cold within budget"),
+                "case {case}: base {base:?} extra {extra:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_base_short_circuits_extensions() {
+        let mut p = IlpProblem::new(1);
+        p.add_ineq(vec![1, -5]); // x >= 5
+        p.add_ineq(vec![-1, 3]); // x <= 3
+        let warm = p.solve_base().unwrap();
+        assert!(!warm.base_feasible());
+        assert_eq!(warm.lexmin_with(&[vec![1, 0]]), Ok(None));
+    }
+
+    #[test]
+    fn warm_start_reuses_the_basis_across_objectives() {
+        // The band-base pattern: one base, several per-row extensions.
+        let mut base = IlpProblem::new(3);
+        base.add_ineq(vec![1, 1, 1, -6]); // x + y + z >= 6
+        base.add_ineq(vec![-1, 0, 0, 4]); // x <= 4
+        let warm = base.solve_base().unwrap();
+        assert!(warm.base_feasible());
+        // Extension 1: force x >= 2.
+        assert_eq!(
+            warm.lexmin_with(&[vec![1, 0, 0, -2]]),
+            Ok(Some(vec![2, 0, 4]))
+        );
+        // Extension 2 (same base, different rows): y = 0 and z <= 3.
+        assert_eq!(
+            warm.lexmin_with(&[vec![0, -1, 0, 0], vec![0, 0, -1, 3]]),
+            Ok(Some(vec![3, 0, 3]))
+        );
+        // Extension 3: contradictory rows stay infeasible.
+        assert_eq!(
+            warm.lexmin_with(&[vec![0, 1, 0, -9], vec![0, -1, 0, 2]]),
+            Ok(None)
+        );
     }
 
     #[test]

@@ -110,6 +110,27 @@ impl IlpProblem {
         Tableau::new(self).solve()
     }
 
+    /// Solves this problem once and keeps the optimal basis so later
+    /// solves over *this system plus extra rows* can warm-start from it
+    /// instead of re-pivoting from scratch (DESIGN.md §11).
+    ///
+    /// The returned [`WarmBase`] answers
+    /// [`lexmin_with`](WarmBase::lexmin_with) queries; each is
+    /// bit-identical to a cold [`try_lexmin`](IlpProblem::try_lexmin)
+    /// over the combined row set, because the integer lexmin is unique
+    /// and the dual simplex's column invariant (lexico-positivity)
+    /// survives row addition at optimality.
+    ///
+    /// # Errors
+    /// Returns [`SolveError`] if the pivot/cut budget is exceeded.
+    pub fn solve_base(&self) -> Result<WarmBase, SolveError> {
+        let mut t = Tableau::new(self);
+        let sol = t.run()?;
+        Ok(WarmBase {
+            tab: sol.is_some().then_some(t),
+        })
+    }
+
     /// Whether the problem has any integer solution.
     pub fn is_feasible(&self) -> bool {
         self.lexmin().is_some()
@@ -143,9 +164,57 @@ impl IlpProblem {
     }
 }
 
+/// A solved simplex basis kept alive for warm-started lexmin queries.
+///
+/// Produced by [`IlpProblem::solve_base`]. Each
+/// [`lexmin_with`](WarmBase::lexmin_with) call clones the optimal
+/// dictionary, expresses the extra constraint rows over its current
+/// non-basic columns, and continues the violated-row loop — typically a
+/// handful of pivots instead of a full re-solve. An infeasible base
+/// short-circuits every extension (a superset of an empty system is
+/// empty).
+pub struct WarmBase {
+    /// `None` when the base system itself is infeasible.
+    tab: Option<Tableau>,
+}
+
+impl WarmBase {
+    /// Whether the base system is feasible (extensions may still be
+    /// infeasible).
+    pub fn base_feasible(&self) -> bool {
+        self.tab.is_some()
+    }
+
+    /// The integer lexmin of the base system plus `extra` rows (each
+    /// `row[0..n]·x + row[n] >= 0` over the base's variables), or
+    /// `Ok(None)` if infeasible.
+    ///
+    /// Counts as one `ilp.solves` like a cold solve, so solver counters
+    /// stay comparable across warm and cold configurations.
+    ///
+    /// # Errors
+    /// Returns [`SolveError`] if the pivot/cut budget is exceeded.
+    ///
+    /// # Panics
+    /// Panics if an extra row's width does not match the base problem.
+    pub fn lexmin_with(&self, extra: &[Vec<Int>]) -> Result<Option<Vec<Int>>, SolveError> {
+        let Some(base) = &self.tab else {
+            counters::ILP_SOLVES.bump();
+            counters::ILP_INFEASIBLE.bump();
+            return Ok(None);
+        };
+        let mut t = base.clone();
+        for row in extra {
+            t.add_constraint_row(row);
+        }
+        t.run()
+    }
+}
+
 const MAX_PIVOTS: usize = 200_000;
 const MAX_CUTS: usize = 5_000;
 
+#[derive(Clone)]
 struct Tableau {
     /// Objective prefix length (`x` variables reported to the caller).
     n: usize,
@@ -183,6 +252,12 @@ impl Tableau {
     }
 
     fn solve(mut self) -> Result<Option<Vec<Int>>, SolveError> {
+        self.run()
+    }
+
+    /// Drives the dictionary to an integral lexmin (or infeasibility),
+    /// leaving the final basis in place for warm-started reuse.
+    fn run(&mut self) -> Result<Option<Vec<Int>>, SolveError> {
         let mut pivots = 0;
         let mut cuts = 0;
         let result = self.solve_inner(&mut pivots, &mut cuts);
@@ -195,6 +270,30 @@ impl Tableau {
             counters::ILP_INFEASIBLE.bump();
         }
         result
+    }
+
+    /// Appends the constraint `c[0..n]·x + c[n] >= 0` to a dictionary
+    /// that may already have pivoted: the new slack's row is the
+    /// constraint expressed over the *current* non-basic columns,
+    /// `c[n]·e₀ + Σ c[i]·rows[i]` (row `i` expresses objective variable
+    /// `i` in the current basis). Existing columns keep their first
+    /// nonzero entry, so lexico-positivity — the anti-cycling and
+    /// lexmin-correctness invariant — is preserved.
+    fn add_constraint_row(&mut self, c: &[Int]) {
+        assert_eq!(c.len(), self.n + 1, "constraint width mismatch");
+        let width = 1 + self.cols.len();
+        let mut r = vec![Ratio::ZERO; width];
+        r[0] = Ratio::from(c[self.n]);
+        for (i, &a) in c[..self.n].iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let a = Ratio::from(a);
+            for (cell, &x) in r.iter_mut().zip(&self.rows[i]) {
+                *cell += a * x;
+            }
+        }
+        self.rows.push(r);
     }
 
     fn solve_inner(

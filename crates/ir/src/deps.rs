@@ -10,12 +10,32 @@
 //! at depth `l`) plus the *loop-independent* case (all common iterators
 //! equal, source textually earlier). Each feasible case becomes one
 //! [`Dependence`] with its own dependence polyhedron `P_e`.
+//!
+//! Two compile-time shortcuts ride on top of the exact model (see
+//! DESIGN.md §11; both are output-invariant and can be switched off with
+//! [`DepAnalysisOptions`] / `--no-solver-cache`):
+//!
+//! * **candidate pruning** — before any polyhedron is built, the
+//!   subscript-equality rows of an access pair are scanned for *uniform
+//!   distances*: rows that pin `t_d − s_d` to a known constant (or prove
+//!   the footprints disjoint outright). A candidate level whose ordering
+//!   constraints contradict a known distance is rejected for the cost of
+//!   an interval comparison instead of an ILP emptiness probe
+//!   ([`counters::IR_PRUNED_CANDIDATES`]);
+//! * **parallel pair analysis** — access pairs are independent, so with
+//!   `threads > 1` they are dispatched over the process-wide
+//!   [`pluto_pool`] worker team and merged back in enumeration order,
+//!   making the result bit-identical to the serial run.
 
-use crate::program::{lift_context, Program, Statement};
+use crate::program::{lift_context, Access, Program, Statement};
+use pluto_linalg::int::normalize_ineq;
 use pluto_linalg::Int;
 use pluto_obs::counters;
 use pluto_poly::ConstraintSet;
+use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Classification of a dependence edge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -73,62 +93,273 @@ impl Dependence {
     }
 }
 
+/// Knobs for [`analyze_dependences_with`].
+#[derive(Debug, Clone)]
+pub struct DepAnalysisOptions {
+    /// Analyze read-after-read pairs too (paper Sec. 4.1 locality model).
+    pub include_input: bool,
+    /// Run the uniform-distance candidate pre-tests (output-invariant;
+    /// off reproduces the probe-everything baseline for differentials).
+    pub prune: bool,
+    /// Worker-team width for per-pair dispatch; `1` analyzes serially on
+    /// the calling thread and is the deterministic default.
+    pub threads: usize,
+}
+
+impl Default for DepAnalysisOptions {
+    fn default() -> DepAnalysisOptions {
+        DepAnalysisOptions {
+            include_input: true,
+            prune: true,
+            threads: 1,
+        }
+    }
+}
+
 /// Runs dependence analysis over a program.
 ///
 /// When `include_input` is false, read-after-read pairs are skipped —
 /// useful to reproduce the paper's "existing techniques do not consider
 /// input dependences" baseline for the MVT experiment (Sec. 7).
 pub fn analyze_dependences(prog: &Program, include_input: bool) -> Vec<Dependence> {
-    let mut out = Vec::new();
-    for si in &prog.stmts {
-        for sj in &prog.stmts {
-            for (acc_s, s_writes) in accesses(si) {
-                for (acc_t, t_writes) in accesses(sj) {
-                    if acc_s.array != acc_t.array {
+    analyze_dependences_with(
+        prog,
+        &DepAnalysisOptions {
+            include_input,
+            ..DepAnalysisOptions::default()
+        },
+    )
+}
+
+/// One access pair to test, named by statement / access indices so jobs
+/// are `Copy` and can cross the pool boundary without borrowing rows.
+#[derive(Clone, Copy)]
+struct PairJob {
+    si: usize,
+    sj: usize,
+    acc_s: usize,
+    acc_t: usize,
+    kind: DepKind,
+}
+
+/// Runs dependence analysis with explicit [`DepAnalysisOptions`].
+///
+/// The returned edge list is identical — same edges, same order, same
+/// polyhedra — for every combination of `prune` and `threads`: pruning
+/// only rejects candidates whose polyhedra are provably empty, and
+/// parallel results are merged back in enumeration order.
+pub fn analyze_dependences_with(prog: &Program, opts: &DepAnalysisOptions) -> Vec<Dependence> {
+    let mut jobs: Vec<PairJob> = Vec::new();
+    for (si, stmt_s) in prog.stmts.iter().enumerate() {
+        for (sj, stmt_t) in prog.stmts.iter().enumerate() {
+            for acc_s in 0..1 + stmt_s.reads.len() {
+                for acc_t in 0..1 + stmt_t.reads.len() {
+                    if nth_access(stmt_s, acc_s).array != nth_access(stmt_t, acc_t).array {
                         continue;
                     }
-                    let kind = match (s_writes, t_writes) {
+                    let kind = match (acc_s == 0, acc_t == 0) {
                         (true, true) => DepKind::Output,
                         (true, false) => DepKind::Flow,
                         (false, true) => DepKind::Anti,
                         (false, false) => DepKind::Input,
                     };
-                    if kind == DepKind::Input && !include_input {
+                    if kind == DepKind::Input && !opts.include_input {
                         continue;
                     }
-                    collect_pair(prog, si, sj, acc_s, acc_t, kind, &mut out);
+                    jobs.push(PairJob {
+                        si,
+                        sj,
+                        acc_s,
+                        acc_t,
+                        kind,
+                    });
                 }
             }
+        }
+    }
+    let run = |job: PairJob| -> Vec<Dependence> {
+        let si = &prog.stmts[job.si];
+        let sj = &prog.stmts[job.sj];
+        let mut found = Vec::new();
+        collect_pair(
+            prog,
+            si,
+            sj,
+            nth_access(si, job.acc_s),
+            nth_access(sj, job.acc_t),
+            job.kind,
+            opts.prune,
+            &mut found,
+        );
+        found
+    };
+    let mut out = Vec::new();
+    if opts.threads > 1 && jobs.len() > 1 {
+        // Fan the pairs out over the process-wide team (the same pool the
+        // compiled executor uses, so `threads = n` never spawns more than
+        // `n − 1` workers per process). Jobs are claimed off an atomic
+        // counter; each worker's findings are gathered with the job index
+        // and sorted back into enumeration order, so the merged edge list
+        // is bit-identical to the serial one.
+        let pool = pluto_pool::global();
+        pool.ensure_width(opts.threads - 1);
+        let next = AtomicUsize::new(0);
+        let gathered: Mutex<Vec<(usize, Vec<Dependence>)>> =
+            Mutex::new(Vec::with_capacity(jobs.len()));
+        pool.run(opts.threads - 1, &|_member| loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= jobs.len() {
+                break;
+            }
+            let found = run(jobs[i]);
+            gathered.lock().unwrap().push((i, found));
+        });
+        let mut gathered = gathered.into_inner().unwrap();
+        gathered.sort_unstable_by_key(|&(i, _)| i);
+        for (_, mut found) in gathered {
+            out.append(&mut found);
+        }
+    } else {
+        for &job in &jobs {
+            out.extend(run(job));
         }
     }
     out
 }
 
-/// Enumerates `(access, is_write)` for a statement, write first.
-fn accesses(s: &Statement) -> Vec<(&crate::program::Access, bool)> {
-    let mut v = vec![(&s.write, true)];
-    v.extend(s.reads.iter().map(|r| (r, false)));
-    v
+/// The `idx`-th access of a statement: `0` is the write, `1..` the reads.
+fn nth_access(s: &Statement, idx: usize) -> &Access {
+    if idx == 0 {
+        &s.write
+    } else {
+        &s.reads[idx - 1]
+    }
 }
 
+/// What the cheap footprint pre-test learned about an access pair.
+enum Footprint {
+    /// The subscript equalities are unsatisfiable on their own (constant
+    /// subscripts differ, or two rows pin conflicting distances): every
+    /// candidate of the pair is empty and no polyhedron need be built.
+    Disjoint,
+    /// Uniform distances `t_d − s_d` pinned to a constant, per iterator
+    /// dimension `d`. Dimensions not present are unconstrained.
+    Uniform(BTreeMap<usize, Int>),
+}
+
+/// Scans the subscript-equality rows of an access pair for *uniform
+/// distances* — the interval/bounding-box pre-test run before any
+/// polyhedron is built (DESIGN.md §11).
+///
+/// A row pins `t_d − s_d` when both sides use a single iterator, the
+/// *same* dimension `d`, with the same coefficient, and identical
+/// parameter coefficients: `a·s_d + c_s = a·t_d + c_t` forces
+/// `t_d − s_d = (c_s − c_t)/a` (non-divisible ⇒ no integer solution).
+/// Rows using no iterator at all compare constants outright. Everything
+/// the test learns is an *implied equality* of the dependence polyhedron,
+/// so any candidate level whose ordering constraints contradict a pinned
+/// distance has an empty polyhedron — pruning on it is a relaxation
+/// argument, never a guess. Rows that fit neither shape contribute
+/// nothing (the pair falls through to the exact ILP path).
+fn footprint(
+    prog: &Program,
+    si: &Statement,
+    sj: &Statement,
+    acc_s: &Access,
+    acc_t: &Access,
+) -> Footprint {
+    let ms = si.num_iters();
+    let mt = sj.num_iters();
+    let np = prog.num_params();
+    let mut deltas: BTreeMap<usize, Int> = BTreeMap::new();
+    for (rs, rt) in acc_s.map.iter().zip(acc_t.map.iter()) {
+        if rs[ms..ms + np] != rt[mt..mt + np] {
+            continue; // parameter-dependent subscript difference: no info
+        }
+        let s_nz: Vec<usize> = (0..ms).filter(|&k| rs[k] != 0).collect();
+        let t_nz: Vec<usize> = (0..mt).filter(|&k| rt[k] != 0).collect();
+        let diff = rs[ms + np] - rt[mt + np];
+        match (s_nz.as_slice(), t_nz.as_slice()) {
+            ([], []) if diff != 0 => {
+                return Footprint::Disjoint; // a[3] never aliases a[7]
+            }
+            ([d], [e]) if d == e && rs[*d] == rt[*d] => {
+                let a = rs[*d];
+                if diff % a != 0 {
+                    return Footprint::Disjoint; // 2i vs 2i' + 1: parity
+                }
+                let delta = diff / a;
+                match deltas.insert(*d, delta) {
+                    Some(prev) if prev != delta => return Footprint::Disjoint,
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+    Footprint::Uniform(deltas)
+}
+
+/// Whether a carried-level candidate contradicts the pinned distances:
+/// level `l` demands `t_k = s_k` for `k < l − 1` and `t_{l−1} > s_{l−1}`.
+fn prune_carried(deltas: &BTreeMap<usize, Int>, level: usize) -> bool {
+    deltas
+        .iter()
+        .any(|(&d, &v)| (d < level - 1 && v != 0) || (d == level - 1 && v <= 0))
+}
+
+/// Whether the loop-independent candidate (all common iterators equal)
+/// contradicts the pinned distances.
+fn prune_independent(deltas: &BTreeMap<usize, Int>, common: usize) -> bool {
+    deltas.iter().any(|(&d, &v)| d < common && v != 0)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn collect_pair(
     prog: &Program,
     si: &Statement,
     sj: &Statement,
-    acc_s: &crate::program::Access,
-    acc_t: &crate::program::Access,
+    acc_s: &Access,
+    acc_t: &Access,
     kind: DepKind,
+    prune: bool,
     out: &mut Vec<Dependence>,
 ) {
     let common = si.common_loops(sj);
+    let has_li = si.id != sj.id && si.precedes_textually(sj, common);
+    let candidates = common + usize::from(has_li);
+    let deltas = match prune.then(|| footprint(prog, si, sj, acc_s, acc_t)) {
+        Some(Footprint::Disjoint) => {
+            // Every candidate of the pair is empty; charge them all to
+            // the pruning counter and skip the polyhedra entirely.
+            counters::IR_PRUNED_CANDIDATES.add(candidates as u64);
+            return;
+        }
+        Some(Footprint::Uniform(d)) => Some(d),
+        None => None,
+    };
+    let keep_carried = |level: usize| match &deltas {
+        Some(d) => !prune_carried(d, level),
+        None => true,
+    };
+    let keep_li = match &deltas {
+        Some(d) => !prune_independent(d, common),
+        None => true,
+    };
+    let kept: Vec<usize> = (1..=common).filter(|&l| keep_carried(l)).collect();
+    let pruned = common - kept.len() + usize::from(has_li && !keep_li);
+    counters::IR_PRUNED_CANDIDATES.add(pruned as u64);
+    if kept.is_empty() && !(has_li && keep_li) {
+        return;
+    }
     let base = base_polyhedron(prog, si, sj, acc_s, acc_t);
     if base.is_empty() {
         return;
     }
     let ms = si.num_iters();
     let cols = base.num_vars() + 1;
-    // Carried levels 1..=common.
-    for level in 1..=common {
+    // Carried levels.
+    for level in kept {
         let mut p = base.clone();
         for k in 0..level - 1 {
             let mut row = vec![0; cols];
@@ -142,7 +373,16 @@ fn collect_pair(
         strict[cols - 1] = -1;
         p.add_ineq(strict); // t_l - s_l - 1 >= 0
         if si.id == sj.id {
-            refine_to_chain(&mut p, ms, level);
+            // With `t_l − s_l` pinned to a constant the refinement is a
+            // proven no-op — δ = 1 makes the gap-2 slice empty, δ ≥ 2
+            // makes the inclusion test reject on the pinned row itself,
+            // δ ≤ 0 makes p empty — so skip its ILPs outright.
+            let pinned = deltas
+                .as_ref()
+                .is_some_and(|d| d.contains_key(&(level - 1)));
+            if !pinned {
+                refine_to_chain(&mut p, ms, level);
+            }
         }
         counters::DEP_CANDIDATES.bump();
         if p.is_empty() {
@@ -159,7 +399,7 @@ fn collect_pair(
         }
     }
     // Loop-independent level (textual order must place si before sj).
-    if si.id != sj.id && si.precedes_textually(sj, common) {
+    if has_li && keep_li {
         let mut p = base;
         for k in 0..common {
             let mut row = vec![0; cols];
@@ -239,8 +479,43 @@ fn refine_to_chain(p: &mut ConstraintSet, ms: usize, level: usize) {
             }
         }
     }
-    // Inclusion: P2 must imply every required row (q >= 0).
+    // Inclusion: P2 must imply every required row (q >= 0). Two classes
+    // are decided without an ILP probe, with the outcome the probe would
+    // have had:
+    //
+    // * constant rows (all coefficients zero) hold iff the constant is
+    //   non-negative — a negative constant is exactly the probe finding
+    //   `q <= -1` everywhere, so the refinement aborts;
+    // * rows dominated by a row of `p2` itself (same normalized
+    //   coefficient vector, weaker constant) are implied outright, so
+    //   the probe would be empty.
+    //
+    // Only rows needing a real multi-row implication reach the solver.
+    let nv = cols - 1;
+    let mut tightest: BTreeMap<&[Int], Int> = BTreeMap::new();
+    let flipped: Vec<Vec<Int>> = p2
+        .eqs()
+        .iter()
+        .map(|e| e.iter().map(|&v| -v).collect())
+        .collect();
+    for r in p2.ineqs().iter().chain(p2.eqs()).chain(flipped.iter()) {
+        tightest
+            .entry(&r[..nv])
+            .and_modify(|c| *c = (*c).min(r[nv]))
+            .or_insert(r[nv]);
+    }
     for q in required {
+        if q[..nv].iter().all(|&v| v == 0) {
+            if q[nv] < 0 {
+                return; // constant row violated everywhere
+            }
+            continue; // constant row holds everywhere
+        }
+        let mut norm = q.clone();
+        normalize_ineq(&mut norm);
+        if tightest.get(&norm[..nv]).is_some_and(|&c| c <= norm[nv]) {
+            continue; // dominated by a row of p2: implied
+        }
         let mut test = p2.clone();
         let mut neg: Vec<Int> = q.iter().map(|&v| -v).collect();
         neg[cols - 1] -= 1; // q <= -1 reachable?
@@ -433,5 +708,99 @@ mod tests {
         assert!(flow.poly.contains(&[1, 2, 10]));
         assert!(!flow.poly.contains(&[1, 3, 10]));
         assert!(!flow.poly.contains(&[2, 1, 10]));
+    }
+
+    /// Edge lists must be bit-identical across every knob combination:
+    /// pruning only rejects provably-empty candidates, and parallel
+    /// results are merged back in enumeration order.
+    fn assert_knob_invariant(p: &Program) {
+        let baseline = analyze_dependences_with(
+            p,
+            &DepAnalysisOptions {
+                include_input: true,
+                prune: false,
+                threads: 1,
+            },
+        );
+        for (prune, threads) in [(true, 1), (false, 3), (true, 3)] {
+            let got = analyze_dependences_with(
+                p,
+                &DepAnalysisOptions {
+                    include_input: true,
+                    prune,
+                    threads,
+                },
+            );
+            assert_eq!(baseline.len(), got.len(), "prune={prune} threads={threads}");
+            for (a, b) in baseline.iter().zip(&got) {
+                assert_eq!(
+                    (a.src, a.dst, a.kind, a.level),
+                    (b.src, b.dst, b.kind, b.level)
+                );
+                assert_eq!(a.poly.eqs(), b.poly.eqs());
+                assert_eq!(a.poly.ineqs(), b.poly.ineqs());
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_and_parallelism_are_output_invariant() {
+        assert_knob_invariant(&vertical_stencil());
+    }
+
+    /// Counters are process-global; tests that bracket a recording
+    /// session must not overlap (same pattern as `machine`'s telemetry
+    /// tests).
+    static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    /// A uniform stencil where the footprint pre-test fires: the pinned
+    /// distance (1, 0) rejects the level-2 candidate (δ_1 = 1 ≠ 0) and
+    /// the whole a[i-1][j] → a[i-1][j] input pair never leaves level 1.
+    #[test]
+    fn uniform_stencil_prunes_candidates() {
+        let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let p = vertical_stencil();
+        let session = pluto_obs::Session::start();
+        let _ = analyze_dependences(&p, true);
+        let report = session.finish();
+        let count = |name: &str| report.counter(name).unwrap_or(0);
+        assert!(count("ir.pruned_candidates") > 0, "pre-test never fired");
+        // Pruned candidates are not dependence candidates: the two
+        // counters partition the enumerated (pair, level) space.
+        assert!(count("ir.dep_candidates") > 0);
+    }
+
+    /// Disjoint constant subscripts — a[0] vs a[1] — are rejected without
+    /// building a single polyhedron.
+    #[test]
+    fn disjoint_footprints_prune_whole_pair() {
+        let mut bl = ProgramBuilder::new("disjoint", &["N"]);
+        bl.add_context_ineq(vec![1, -2]);
+        bl.add_array("a", 1);
+        bl.add_statement(StatementSpec {
+            name: "S1".into(),
+            iters: vec!["i".into()],
+            domain_ineqs: vec![vec![1, 0, 0], vec![-1, 1, -1]],
+            beta: vec![0, 0],
+            write: ("a".into(), vec![vec![0, 0, 0]]), // a[0]
+            reads: vec![("a".into(), vec![vec![0, 0, 1]])], // a[1]
+            body: Expr::Read(0),
+        });
+        let p = bl.build();
+        let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let session = pluto_obs::Session::start();
+        let deps = analyze_dependences(&p, false);
+        let report = session.finish();
+        // Flow/anti between a[0] and a[1] are pruned; the write/write
+        // and read/read self-pairs on the same cell remain real.
+        assert!(deps
+            .iter()
+            .all(|d| d.kind == DepKind::Output || d.kind == DepKind::Input));
+        let pruned = report.counter("ir.pruned_candidates").unwrap_or(0);
+        assert!(
+            pruned >= 2,
+            "expected both cross-cell pairs pruned, got {pruned}"
+        );
+        assert_knob_invariant(&p);
     }
 }

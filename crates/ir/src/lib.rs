@@ -21,10 +21,15 @@
 //!
 //! DESIGN.md §6 ("Dependence analysis") specifies the dependence model, including the last-conflicting-access refinement.
 
+// The IR is the boundary every other crate builds on; its public
+// surface stays fully documented (extended here from poly/ilp/obs).
+#![deny(missing_docs)]
 mod deps;
 mod expr;
 mod program;
 
-pub use deps::{analyze_dependences, DepKind, Dependence};
+pub use deps::{
+    analyze_dependences, analyze_dependences_with, DepAnalysisOptions, DepKind, Dependence,
+};
 pub use expr::Expr;
 pub use program::{Access, ArrayDecl, Program, ProgramBuilder, Statement, StatementSpec};

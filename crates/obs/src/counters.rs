@@ -164,6 +164,19 @@ registry! {
     /// Parallel dispatch sites whose chunk partition and cross-chunk
     /// write footprints the bytecode verifier proved sound.
     ANALYZE_BYTECODE_DISPATCHES => "analyze.bytecode_dispatches";
+    /// Emptiness checks answered from the canonicalized solver cache
+    /// without running the ILP (`poly::cache`, DESIGN.md §11).
+    ILP_CACHE_HITS => "ilp.cache_hits";
+    /// Emptiness checks that missed the solver cache and paid for a real
+    /// feasibility probe (the result is then inserted).
+    ILP_CACHE_MISSES => "ilp.cache_misses";
+    /// Per-row lexmin solves answered from a warm-started simplex
+    /// tableau (band-base basis reuse, `core::search`) instead of a
+    /// from-scratch solve.
+    ILP_WARM_STARTS => "ilp.warm_starts";
+    /// Dependence candidates rejected by the cheap interval/uniform-
+    /// distance pre-tests in `ir::deps` before any polyhedron was built.
+    IR_PRUNED_CANDIDATES => "ir.pruned_candidates";
 }
 
 /// Resets every registered counter to zero.

@@ -9,7 +9,11 @@
 //! * [`BOUNDING`] — building one bounding-function system (Eq. 6);
 //! * [`SEARCH_ROW`] — one lexmin ILP solve for a scattering row;
 //! * [`EMPTINESS`] — one polyhedron-emptiness ILP probe
-//!   (`ConstraintSet::is_empty`'s feasibility check).
+//!   (`ConstraintSet::is_empty`'s feasibility check; probes answered by
+//!   the solver cache record no sample — the histogram counts solves
+//!   actually paid for);
+//! * [`SEARCH_ROW_WARM`] — one warm-started lexmin solve for a
+//!   scattering row (basis reused from the band's base tableau).
 //!
 //! Buckets are powers of two in nanoseconds: bucket `i` counts samples
 //! with `2^i <= ns < 2^(i+1)` (bucket 0 also catches 0–1 ns, the last
@@ -174,12 +178,21 @@ pub static BOUNDING: Hist = Hist::new("ilp.latency.bounding");
 pub static SEARCH_ROW: Hist = Hist::new("ilp.latency.search_row");
 /// Latency of one polyhedron-emptiness ILP probe.
 pub static EMPTINESS: Hist = Hist::new("ilp.latency.emptiness");
+/// Latency of one warm-started lexmin solve for a scattering row (the
+/// reused-basis fast path; cold solves land in [`SEARCH_ROW`]).
+pub static SEARCH_ROW_WARM: Hist = Hist::new("ilp.latency.search_row_warm");
 
 /// Every registered histogram, in the stable order `pluto-profile/3`
 /// serializes (renaming or reordering is a schema break, exactly as with
-/// [`counters::all`](crate::counters::all)).
-pub fn all() -> [&'static Hist; 4] {
-    [&LEGALITY, &BOUNDING, &SEARCH_ROW, &EMPTINESS]
+/// [`counters::all`](crate::counters::all); new keys append).
+pub fn all() -> [&'static Hist; 5] {
+    [
+        &LEGALITY,
+        &BOUNDING,
+        &SEARCH_ROW,
+        &EMPTINESS,
+        &SEARCH_ROW_WARM,
+    ]
 }
 
 /// Zeroes every registered histogram.

@@ -74,6 +74,9 @@
 //! `compile_audited`, the bench harness) are sequential, and profiles are
 //! diagnostic data, never inputs to compilation decisions.
 
+// Telemetry names are a public contract (PERFORMANCE.md); the docs
+// gate keeps the registry self-describing.
+#![deny(missing_docs)]
 pub mod counters;
 pub mod decision;
 pub mod exec;

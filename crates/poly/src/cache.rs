@@ -1,0 +1,198 @@
+//! The process-wide canonicalized emptiness cache (DESIGN.md §11).
+//!
+//! Dependence analysis and the hyperplane search ask
+//! [`ConstraintSet::is_empty`](crate::ConstraintSet::is_empty) about the
+//! *same* polyhedra over and over — the two orientations of an access
+//! pair produce row-permuted copies of one system, every per-level
+//! candidate shares its base rows, and the satisfaction bookkeeping
+//! re-probes each dependence per row. Each probe is an ILP solve; this
+//! module remembers the verdicts.
+//!
+//! Keys are **canonical forms**, not hashes of incidental row order:
+//! equality rows are sign-normalized (first nonzero coefficient made
+//! positive — `x − y = 0` and `y − x = 0` denote the same hyperplane),
+//! then both row lists are sorted. Coefficient gcd normalization already
+//! happened at insertion ([`ConstraintSet::add_ineq`] floors constants,
+//! [`ConstraintSet::add_eq`] divides rows by their gcd), so scaled
+//! duplicates collapse before they get here. The full canonical rows are
+//! the map key — a colliding 64-bit digest could silently flip an
+//! emptiness verdict, and everything downstream (legality, pruning,
+//! satisfaction) trusts that verdict.
+//!
+//! The cache is process-global and monotonic: an entry is a theorem
+//! ("this integer system is (in)feasible"), never invalidated by later
+//! compilations. Scoping knobs exist for the two consumers that need
+//! them: [`set_enabled`] lets `plutoc --no-solver-cache` run
+//! differential/debug compiles with every probe paid for, and [`clear`]
+//! lets a long-lived `plutod`-style server (ROADMAP item 3) bound memory
+//! per session. Capacity is capped at [`MAX_ENTRIES`]; a full cache
+//! stops inserting but keeps answering.
+//!
+//! [`ConstraintSet::add_ineq`]: crate::ConstraintSet::add_ineq
+//! [`ConstraintSet::add_eq`]: crate::ConstraintSet::add_eq
+
+use crate::set::ConstraintSet;
+use pluto_linalg::Int;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Hard cap on resident entries; inserts beyond it are dropped (the
+/// cache never evicts — entries are tiny and compiles are short).
+pub const MAX_ENTRIES: usize = 1 << 16;
+
+/// The canonical form of one constraint system — the cache key.
+///
+/// Two [`ConstraintSet`]s get equal keys iff they hold the same rows up
+/// to row order and equality-row sign; distinct systems always get
+/// distinct keys (the rows *are* the key).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Key {
+    num_vars: usize,
+    eqs: Vec<Vec<Int>>,
+    ineqs: Vec<Vec<Int>>,
+}
+
+/// Computes the canonical key of a set: sign-normalize equality rows,
+/// sort both row lists.
+pub fn key_of(set: &ConstraintSet) -> Key {
+    let mut eqs: Vec<Vec<Int>> = set
+        .eqs()
+        .iter()
+        .map(|row| {
+            let mut r = row.clone();
+            if let Some(&lead) = r.iter().find(|&&v| v != 0) {
+                if lead < 0 {
+                    for v in &mut r {
+                        *v = -*v;
+                    }
+                }
+            }
+            r
+        })
+        .collect();
+    eqs.sort_unstable();
+    let mut ineqs: Vec<Vec<Int>> = set.ineqs().to_vec();
+    ineqs.sort_unstable();
+    Key {
+        num_vars: set.num_vars(),
+        eqs,
+        ineqs,
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+fn map() -> &'static Mutex<HashMap<Key, bool>> {
+    static MAP: OnceLock<Mutex<HashMap<Key, bool>>> = OnceLock::new();
+    MAP.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Whether probes consult the cache (default: yes).
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns the cache on or off process-wide (`plutoc --no-solver-cache`).
+/// Disabling does not drop stored entries; re-enabling resumes hits.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Drops every stored verdict (session scoping for long-lived servers).
+pub fn clear() {
+    map().lock().unwrap().clear();
+}
+
+/// Number of resident verdicts.
+pub fn len() -> usize {
+    map().lock().unwrap().len()
+}
+
+/// Looks up a canonical key; `Some(is_empty)` on a hit.
+pub fn lookup(key: &Key) -> Option<bool> {
+    map().lock().unwrap().get(key).copied()
+}
+
+/// Stores a verdict (dropped once [`MAX_ENTRIES`] is reached).
+pub fn insert(key: Key, is_empty: bool) {
+    let mut m = map().lock().unwrap();
+    if m.len() < MAX_ENTRIES {
+        m.insert(key, is_empty);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(eqs: &[&[Int]], ineqs: &[&[Int]]) -> ConstraintSet {
+        let n = eqs
+            .first()
+            .or_else(|| ineqs.first())
+            .map_or(0, |r| r.len() - 1);
+        let mut s = ConstraintSet::new(n);
+        for e in eqs {
+            s.add_eq(e.to_vec());
+        }
+        for i in ineqs {
+            s.add_ineq(i.to_vec());
+        }
+        s
+    }
+
+    #[test]
+    fn permuted_rows_share_a_key() {
+        let a = set(&[], &[&[1, 0, 0], &[0, 1, -2], &[-1, -1, 9]]);
+        let b = set(&[], &[&[-1, -1, 9], &[1, 0, 0], &[0, 1, -2]]);
+        assert_eq!(key_of(&a), key_of(&b));
+    }
+
+    #[test]
+    fn scaled_rows_share_a_key() {
+        // add_ineq divides by the coefficient gcd (flooring the
+        // constant), add_eq by the row gcd — scaling collapses there.
+        let a = set(&[&[1, -1, 0]], &[&[1, 1, -4]]);
+        let b = set(&[&[3, -3, 0]], &[&[2, 2, -8]]);
+        assert_eq!(key_of(&a), key_of(&b));
+    }
+
+    #[test]
+    fn equality_sign_is_canonical() {
+        // x - y = 0 and y - x = 0 are the same constraint.
+        let a = set(&[&[1, -1, 0]], &[]);
+        let b = set(&[&[-1, 1, 0]], &[]);
+        assert_eq!(key_of(&a), key_of(&b));
+        // ...but an inequality's sign is meaning, not presentation.
+        let c = set(&[], &[&[1, -1, 0]]);
+        let d = set(&[], &[&[-1, 1, 0]]);
+        assert_ne!(key_of(&c), key_of(&d));
+    }
+
+    #[test]
+    fn distinct_systems_get_distinct_keys() {
+        let a = set(&[], &[&[1, 0, 0], &[0, 1, 0]]);
+        let b = set(&[], &[&[1, 0, 0], &[0, 1, -1]]);
+        assert_ne!(key_of(&a), key_of(&b));
+        // Same rows, different dimensionality: still distinct.
+        let mut widened = ConstraintSet::new(3);
+        widened.add_ineq(vec![1, 0, 0, 0]);
+        widened.add_ineq(vec![0, 1, 0, 0]);
+        assert_ne!(key_of(&a), key_of(&widened));
+    }
+
+    #[test]
+    fn cached_verdicts_match_fresh_ones() {
+        // An empty and a nonempty system, probed twice each: the second
+        // probe (whether it hit or not) must agree with the first.
+        let empty = set(&[], &[&[1, 0, 0], &[-1, 0, -1]]); // x >= 0, x <= -1
+        let full = set(&[], &[&[1, 0, 0], &[0, 1, 0]]);
+        for s in [&empty, &full] {
+            let first = s.is_empty();
+            assert_eq!(s.is_empty(), first);
+            assert_eq!(lookup(&key_of(s)), Some(first));
+        }
+        assert!(empty.is_empty());
+        assert!(!full.is_empty());
+    }
+}

@@ -29,8 +29,16 @@
 //! assert!(!p.contains(&[11]));
 //! ```
 //!
+//! Emptiness queries are answered through a process-wide canonicalized
+//! verdict cache ([`cache`], DESIGN.md §11) — repeated dependence
+//! polyhedra hit instead of re-solving.
+//!
 //! DESIGN.md §1 and §5 place this crate; the FM counters it feeds are in PERFORMANCE.md §4.
 
+// Every public item in the exact-arithmetic substrate is API other
+// crates (and DESIGN.md) reason about; undocumented surface is a bug.
+#![deny(missing_docs)]
+pub mod cache;
 mod set;
 
 pub use set::ConstraintSet;

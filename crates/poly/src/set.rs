@@ -141,7 +141,17 @@ impl ConstraintSet {
         self.eqs.iter().all(|r| eval(r) == 0) && self.ineqs.iter().all(|r| eval(r) >= 0)
     }
 
-    /// Exact integer emptiness (ILP-backed).
+    /// Exact integer emptiness (ILP-backed, answered from the
+    /// canonicalized [`cache`](crate::cache) when possible).
+    ///
+    /// Cache hits skip the feasibility ILP entirely (and record no
+    /// `ilp.latency.emptiness` sample — the histogram counts probes
+    /// actually paid for). The verdict is independent of cache state:
+    /// keys are full canonical row sets, so a hit can only return what a
+    /// fresh solve would have. Misses delegate to
+    /// [`sample_point`](ConstraintSet::sample_point), whose unit-pivot
+    /// equality substitution shrinks the feasibility ILP without changing
+    /// the verdict (the substitution is an integer bijection).
     pub fn is_empty(&self) -> bool {
         counters::EMPTINESS_CHECKS.bump();
         if self.infeasible {
@@ -150,13 +160,22 @@ impl ConstraintSet {
         if self.eqs.is_empty() && self.ineqs.is_empty() {
             return false;
         }
-        let mut rows: Vec<Vec<Int>> = self.ineqs.clone();
-        for e in &self.eqs {
-            rows.push(e.clone());
-            rows.push(e.iter().map(|&v| -v).collect());
+        let key = crate::cache::enabled().then(|| crate::cache::key_of(self));
+        if let Some(k) = &key {
+            if let Some(hit) = crate::cache::lookup(k) {
+                counters::ILP_CACHE_HITS.bump();
+                return hit;
+            }
+            counters::ILP_CACHE_MISSES.bump();
         }
-        let _t = pluto_obs::hist::EMPTINESS.timer();
-        !IlpProblem::feasible_with_free_vars(self.num_vars, &rows)
+        let empty = {
+            let _t = pluto_obs::hist::EMPTINESS.timer();
+            self.sample_point().is_none()
+        };
+        if let Some(k) = key {
+            crate::cache::insert(k, empty);
+        }
+        empty
     }
 
     /// Inserts `count` fresh unconstrained variables starting at column

@@ -32,13 +32,21 @@
 //! must equal the search's own `satisfied_at` map exactly, and is then
 //! handed to the analyzer's PL007 cross-check — so every fuzz kernel
 //! also differentially tests the telemetry replay.
+//!
+//! Finally, every kernel is recompiled with all compile-time shortcuts
+//! disabled — the canonicalized emptiness cache, simplex warm-starting,
+//! dependence-candidate pruning, and parallel pair analysis
+//! (DESIGN.md §11) — and the slow path must reproduce the dependence
+//! set, transformation, satisfaction ledger, generated AST, and compiled
+//! bytecode bit-for-bit. A divergence here means a shortcut changed an
+//! answer instead of just skipping work.
 
 use crate::kernelgen::{build, BuiltKernel, KernelSpec};
 use pluto::baselines::validate_legality;
 use pluto::{Optimizer, Transformation};
 use pluto_analyze::{AnalysisInput, Severity};
 use pluto_codegen::{generate, original_schedule};
-use pluto_ir::analyze_dependences;
+use pluto_ir::{analyze_dependences, analyze_dependences_with, DepAnalysisOptions};
 use pluto_linalg::Int;
 use pluto_machine::{
     run_compiled, run_parallel, run_parallel_scoped, run_sanitized, run_sequential, Arrays,
@@ -272,6 +280,89 @@ pub fn check_kernel(k: &BuiltKernel, cfg: &OracleConfig) -> Result<(), String> {
             pluto_analyze::render_text(&bdiags),
             full.result.transform.display(prog)
         ));
+    }
+
+    // Shortcut differential (DESIGN.md §11): recompile with every
+    // compile-time shortcut disabled — process-wide emptiness cache off,
+    // warm-starting off, candidate pruning off, serial pair analysis —
+    // and require the slow path to reproduce the dependence set, the
+    // transformation, the satisfaction ledger, the generated AST, and
+    // the compiled bytecode bit-for-bit. The cache switch is
+    // process-global, so the block rides the same exclusive window as
+    // decision recording; concurrently running kernels merely lose the
+    // cache for a moment, which by this very invariant cannot change
+    // their answers.
+    {
+        let _window = pluto_obs::decision::exclusive();
+        pluto_poly::cache::set_enabled(false);
+        let cold = (|| -> Result<(), String> {
+            let deps_cold = analyze_dependences_with(
+                prog,
+                &DepAnalysisOptions {
+                    include_input: true,
+                    prune: false,
+                    threads: 1,
+                },
+            );
+            let same_edges = deps_cold.len() == deps.len()
+                && deps_cold.iter().zip(&deps).all(|(a, b)| {
+                    a.src == b.src
+                        && a.dst == b.dst
+                        && a.kind == b.kind
+                        && a.level == b.level
+                        && a.poly == b.poly
+                });
+            if !same_edges {
+                return Err(format!(
+                    "shortcut differential: dependence sets diverge \
+                     (pruned: {} edges, unpruned: {} edges)",
+                    deps.len(),
+                    deps_cold.len()
+                ));
+            }
+            let searched_cold = pluto::find_transformation(
+                prog,
+                &deps_cold,
+                &pluto::PlutoOptions {
+                    warm_start: false,
+                    ..pluto::PlutoOptions::default()
+                },
+            )
+            .map_err(|e| format!("shortcut differential: uncached search failed: {e:?}"))?;
+            let full_cold = Optimizer::new()
+                .tile_size(cfg.tile_size)
+                .wavefront_degrees(2)
+                .apply(prog, deps_cold, searched_cold);
+            if full_cold.result.satisfied_at != full.result.satisfied_at {
+                return Err(format!(
+                    "shortcut differential: satisfaction ledgers diverge\n\
+                     cached:   {:?}\nuncached: {:?}",
+                    full.result.satisfied_at, full_cold.result.satisfied_at
+                ));
+            }
+            let t_cold = format!("{:?}", full_cold.result.transform);
+            let t_warm = format!("{:?}", full.result.transform);
+            if t_cold != t_warm {
+                return Err(format!(
+                    "shortcut differential: transformations diverge\n\
+                     cached:\n{}\nuncached:\n{}",
+                    full.result.transform.display(prog),
+                    full_cold.result.transform.display(prog)
+                ));
+            }
+            let ast_cold = generate(prog, &full_cold.result.transform);
+            if ast_cold != ast {
+                return Err("shortcut differential: generated ASTs diverge".to_string());
+            }
+            let ck_cold =
+                pluto_machine::compile_kernel_with_extents(prog, &ast_cold, &k.params, &k.extents);
+            if format!("{ck_cold:?}") != format!("{ck:?}") {
+                return Err("shortcut differential: compiled bytecode diverges".to_string());
+            }
+            Ok(())
+        })();
+        pluto_poly::cache::set_enabled(true);
+        cold?;
     }
 
     // Dynamic gate: the sanitizer re-executes the same AST recording

@@ -38,7 +38,13 @@
 //!                     (`trace_event/1`, loadable in Perfetto) to <out>;
 //!                     parameter values come from --verify when given,
 //!                     else default to 64 each
-//!   --threads <n>     thread-team width for --trace runs (default 4)
+//!   --threads <n>     thread-team width for --trace runs and parallel
+//!                     dependence analysis (default 4)
+//!   --no-solver-cache disable every compile-time shortcut — the
+//!                     canonicalized emptiness cache, simplex
+//!                     warm-starting, and dependence-candidate pruning
+//!                     (DESIGN.md §11). Output-invariant by construction;
+//!                     this switch exists for differentials and debugging
 //! ```
 
 use pluto::{FusionPolicy, Optimizer, PlutoOptions};
@@ -80,6 +86,7 @@ fn run() -> Result<ExitCode, String> {
     let mut verify: Option<Vec<i64>> = None;
     let mut trace_out: Option<String> = None;
     let mut threads = 4usize;
+    let mut solver_cache = true;
     let mut path: Option<String> = None;
 
     let mut it = args.into_iter();
@@ -122,6 +129,7 @@ fn run() -> Result<ExitCode, String> {
                 trace_out = Some(it.next().ok_or("--trace expects an output path")?);
             }
             "--threads" => threads = parse_num(&a, it.next())? as usize,
+            "--no-solver-cache" => solver_cache = false,
             "--help" | "-h" => {
                 eprintln!("usage: plutoc [--tile n] [--l2 f] [--notile] [--noparallel]");
                 eprintln!("              [--nofuse] [--noinputdeps] [--wavefront m]");
@@ -129,7 +137,7 @@ fn run() -> Result<ExitCode, String> {
                 eprintln!("              [--explain-json] [--analyze] [--analyze-json]");
                 eprintln!("              [--profile] [--profile-json]");
                 eprintln!("              [--verify v1,v2,…] [--trace out.json]");
-                eprintln!("              [--threads n] <file.c | ->");
+                eprintln!("              [--threads n] [--no-solver-cache] <file.c | ->");
                 return Ok(ExitCode::SUCCESS);
             }
             other if path.is_none() => path = Some(other.to_string()),
@@ -180,14 +188,20 @@ fn run() -> Result<ExitCode, String> {
     let unit = pluto_frontend::parse_unit(&source).map_err(|e| e.to_string())?;
     let prog = unit.program.clone();
 
+    // One switch governs every compile-time shortcut, so a single
+    // cached-vs-uncached differential covers them all (DESIGN.md §11).
+    pluto_poly::cache::set_enabled(solver_cache);
     let mut opt = Optimizer::new()
         .tile_size(tile)
         .tiling(do_tile)
         .parallel(do_parallel)
         .wavefront_degrees(wavefront)
+        .dep_pruning(solver_cache)
+        .dep_threads(if solver_cache { threads } else { 1 })
         .search_options(PlutoOptions {
             use_input_deps: input_deps,
             fuse,
+            warm_start: solver_cache,
             ..PlutoOptions::default()
         });
     if let Some(f) = l2 {

@@ -1,0 +1,95 @@
+//! Cached-vs-uncached compile differential over the full example-kernel
+//! suite.
+//!
+//! Every compile-time shortcut introduced by the optimizer speed pass —
+//! the canonicalized emptiness cache, simplex warm-starting across a
+//! band's rows, dependence-candidate pruning, and parallel pair analysis
+//! (DESIGN.md §11) — is claimed to be *output-invariant*: it may only
+//! skip work whose answer is already determined, never change an answer.
+//! This test makes that claim mechanically checkable on all shipped
+//! kernels: each one is compiled twice, once with every shortcut enabled
+//! and once with every shortcut disabled, and the two compiles must
+//! agree bit-for-bit on
+//!
+//! * the dependence set (edges and polyhedra),
+//! * the transformation (schedule rows, bands, parallel marks),
+//! * the satisfaction ledger and the `pluto-explain/1` document built
+//!   from it, and
+//! * the generated OpenMP C.
+//!
+//! The random-kernel analogue lives in the fuzz oracle
+//! (`testkit::check_kernel`), which adds compiled-bytecode equality; this
+//! test pins the same property on the named kernels the benchmarks and
+//! docs talk about.
+
+use pluto::{explain_json, find_transformation, Optimizer, PlutoOptions};
+use pluto_codegen::{emit_c, generate};
+use pluto_frontend::kernels;
+use pluto_ir::{analyze_dependences_with, DepAnalysisOptions, Program};
+
+/// One full compile at tile size 8 (the plutoc default), returning every
+/// artifact the differential compares: dependence fingerprint, explain
+/// document (transformation + ledger + decision events), and C output.
+fn compile(name: &str, prog: &Program, shortcuts: bool) -> (String, String, String) {
+    pluto_poly::cache::set_enabled(shortcuts);
+    pluto_obs::decision::start();
+    let deps = analyze_dependences_with(
+        prog,
+        &DepAnalysisOptions {
+            include_input: true,
+            prune: shortcuts,
+            threads: 1,
+        },
+    );
+    let searched = find_transformation(
+        prog,
+        &deps,
+        &PlutoOptions {
+            warm_start: shortcuts,
+            ..PlutoOptions::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("{name}: search failed (shortcuts={shortcuts}): {e:?}"));
+    let full = Optimizer::new()
+        .tile_size(8)
+        .apply(prog, deps.clone(), searched);
+    let log = pluto_obs::decision::finish();
+    pluto_poly::cache::set_enabled(true);
+
+    let dep_fingerprint = deps
+        .iter()
+        .map(|d| {
+            format!(
+                "{}->{} {:?} level {}  {:?}\n",
+                d.src, d.dst, d.kind, d.level, d.poly
+            )
+        })
+        .collect::<String>();
+    let doc = explain_json(prog, &deps, &full.result, &log, Some(name));
+    let ast = generate(prog, &full.result.transform);
+    (dep_fingerprint, doc, emit_c(prog, &ast))
+}
+
+#[test]
+fn shortcuts_are_output_invariant_on_all_example_kernels() {
+    // Decision recording and the emptiness cache are process-global;
+    // hold the exclusive window across both compiles of each kernel.
+    let _window = pluto_obs::decision::exclusive();
+    for (name, k) in kernels::all() {
+        let (deps_on, doc_on, c_on) = compile(name, &k.program, true);
+        let (deps_off, doc_off, c_off) = compile(name, &k.program, false);
+        assert_eq!(
+            deps_on, deps_off,
+            "{name}: dependence sets diverge between cached and uncached compiles"
+        );
+        assert_eq!(
+            doc_on, doc_off,
+            "{name}: explain documents (schedule/ledger/events) diverge between \
+             cached and uncached compiles"
+        );
+        assert_eq!(
+            c_on, c_off,
+            "{name}: generated C diverges between cached and uncached compiles"
+        );
+    }
+}
