@@ -2,7 +2,8 @@
 # Hermetic CI gate: lint + format + rustdoc checks, offline release
 # build, full offline test suite, the 200-kernel fixed-seed differential
 # fuzz run, a bench_json smoke run with BENCH_*.json schema checks, a
-# bench_diff perf-regression gate against the committed baselines, and a
+# bench_diff perf-regression gate against the committed baselines, a
+# concurrent-compile isolation smoke (per-session telemetry), and a
 # trace-schema smoke run of `plutoc --trace`.
 #
 # The workspace has zero external dependencies (path deps only), so every
@@ -72,6 +73,49 @@ echo "== pooled-executor smoke: plutoc --threads 4 --profile --trace on seidel-2
 grep -q '"schema": "pluto-profile/3"' /tmp/pluto-ci-pool-profile.json
 grep -q '"dispatches"' /tmp/pluto-ci-pool-profile.json
 grep -q '"schema": "trace_event/1"' /tmp/pluto-ci-pool-trace.json
+
+echo "== concurrent-compile smoke: per-session telemetry isolation =="
+# In-process proof (the ISSUE 9 acceptance): all 13 example kernels
+# compiled simultaneously on their own threads, each under a private
+# ObsSession, must emit explain/profile documents identical to serial
+# runs (tests/concurrent_compiles.rs — built by the suite above, rerun
+# here by name so the gate is visible even when test output is terse).
+cargo test --release --offline --test concurrent_compiles
+# Process-level smoke: 9 parallel plutoc profile compiles (3 per shipped
+# example). Every emitted document must carry the stable schema, and its
+# counter totals must equal a serial reference run of the same kernel —
+# concurrency may never leak into the deterministic counters.
+# (--threads 1 keeps dependence analysis on one worker: with a team,
+# two workers racing to the same emptiness-cache key can both miss,
+# which is correct but makes hit/miss counts scheduling-dependent.)
+for example in examples/*.c; do
+    base=$(basename "$example" .c)
+    ./target/release/plutoc --tile 8 --threads 1 --profile-json "$example" \
+        > "/tmp/pluto-ci-conc-serial-$base.json"
+done
+for round in 1 2 3; do
+    for example in examples/*.c; do
+        base=$(basename "$example" .c)
+        ./target/release/plutoc --tile 8 --threads 1 --profile-json "$example" \
+            > "/tmp/pluto-ci-conc-par-$base-$round.json" &
+    done
+done
+wait
+for round in 1 2 3; do
+    for example in examples/*.c; do
+        base=$(basename "$example" .c)
+        par="/tmp/pluto-ci-conc-par-$base-$round.json"
+        grep -q '"schema": "pluto-profile/3"' "$par"
+        grep -o '"name": "[a-z_.]*", "value": [0-9]*' \
+            "/tmp/pluto-ci-conc-serial-$base.json" > /tmp/pluto-ci-conc-a.txt
+        grep -o '"name": "[a-z_.]*", "value": [0-9]*' \
+            "$par" > /tmp/pluto-ci-conc-b.txt
+        cmp /tmp/pluto-ci-conc-a.txt /tmp/pluto-ci-conc-b.txt || {
+            echo "counter totals diverge for $base (round $round)" >&2
+            exit 1
+        }
+    done
+done
 
 echo "== trace smoke: plutoc --trace emits a valid trace_event/1 document =="
 ./target/release/plutoc --tile 8 --trace /tmp/pluto-ci-trace.json \

@@ -77,18 +77,21 @@ fn trace_wavefront(path: &str) {
     let ast = generate(&k.program, &v.result.transform);
     let mut arrays = Arrays::new((k.extents)(&params));
     arrays.seed_with(kernels::seed_value);
-    pluto_obs::trace::start();
-    run_parallel(
-        &k.program,
-        &ast,
-        &params,
-        &mut arrays,
-        ParallelConfig {
-            threads: 4,
-            collapse: v.collapse,
-        },
-    );
-    let trace = pluto_obs::trace::finish();
+    let obs = pluto_obs::ObsSession::builder().trace().build();
+    {
+        let _g = obs.install();
+        run_parallel(
+            &k.program,
+            &ast,
+            &params,
+            &mut arrays,
+            ParallelConfig {
+                threads: 4,
+                collapse: v.collapse,
+            },
+        );
+    }
+    let trace = obs.take_trace();
     let doc = trace.to_chrome_json();
     pluto_obs::json::parse(&doc).expect("emitted trace must be valid JSON");
     std::fs::write(path, &doc).unwrap_or_else(|e| panic!("figures: cannot write `{path}`: {e}"));

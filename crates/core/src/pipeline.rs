@@ -153,6 +153,27 @@ impl Optimizer {
         Ok(self.apply(prog, deps, res))
     }
 
+    /// [`optimize`] with caller-supplied dependences — the libpluto-style
+    /// entry where the embedder owns dependence analysis (or replays a
+    /// cached dependence set) and this crate only searches and applies.
+    ///
+    /// # Errors
+    /// Propagates [`PlutoError`] from the search.
+    ///
+    /// [`optimize`]: Optimizer::optimize
+    pub fn optimize_with_deps(
+        &self,
+        prog: &Program,
+        deps: Vec<Dependence>,
+    ) -> Result<Optimized, PlutoError> {
+        let _span = pluto_obs::span("optimize");
+        let res = {
+            let _s = pluto_obs::span("search");
+            find_transformation(prog, &deps, &self.options)?
+        };
+        Ok(self.apply(prog, deps, res))
+    }
+
     /// Applies the post-search pipeline stages (tiling → wavefront →
     /// vectorization reorder) to an existing search result.
     ///

@@ -748,17 +748,12 @@ mod tests {
         assert_knob_invariant(&vertical_stencil());
     }
 
-    /// Counters are process-global; tests that bracket a recording
-    /// session must not overlap (same pattern as `machine`'s telemetry
-    /// tests).
-    static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
-
     /// A uniform stencil where the footprint pre-test fires: the pinned
     /// distance (1, 0) rejects the level-2 candidate (δ_1 = 1 ≠ 0) and
     /// the whole a[i-1][j] → a[i-1][j] input pair never leaves level 1.
+    /// Counters are session-scoped, so concurrent tests can't bleed in.
     #[test]
     fn uniform_stencil_prunes_candidates() {
-        let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
         let p = vertical_stencil();
         let session = pluto_obs::Session::start();
         let _ = analyze_dependences(&p, true);
@@ -787,7 +782,6 @@ mod tests {
             body: Expr::Read(0),
         });
         let p = bl.build();
-        let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
         let session = pluto_obs::Session::start();
         let deps = analyze_dependences(&p, false);
         let report = session.finish();

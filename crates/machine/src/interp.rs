@@ -586,6 +586,9 @@ fn run_team(
             &[("items", items.len() as u64), ("threads", nthreads as u64)],
         );
     }
+    // Spawned workers inherit the coordinator's session so their trace
+    // events and chunk timings land in the dispatching compile.
+    let obs_session = pluto_obs::ObsSession::current();
     let results = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(nthreads);
         for t in 0..nthreads {
@@ -596,7 +599,9 @@ fn run_team(
             let outer_var = l.var;
             let inner_var = inner.map(|i| i.var);
             let suppressed = sc.suppressed.clone();
+            let obs_session = &obs_session;
             handles.push(scope.spawn(move || {
+                let _obs = obs_session.as_ref().map(|s| s.install());
                 // Worker slot t owns timeline tid t+1 (0 = coordinator).
                 let mut buf = pluto_obs::trace::RingBuf::for_thread(t as u32 + 1);
                 if let Some(b) = buf.as_mut() {

@@ -8,18 +8,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// `spawn_count` is process-global, so the tests that pin it must not
-/// overlap other tests creating pools; serialize the whole file.
-static SERIAL: Mutex<()> = Mutex::new(());
-
-fn serial() -> std::sync::MutexGuard<'static, ()> {
-    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
-}
-
 /// The coordinator always participates as member 0, whatever the team.
 #[test]
 fn coordinator_is_member_zero() {
-    let _g = serial();
     let pool = ThreadPool::new(2);
     let slots = Mutex::new(Vec::new());
     pool.run(0, &|slot| slots.lock().unwrap().push(slot));
@@ -30,7 +21,6 @@ fn coordinator_is_member_zero() {
 /// stable slot numbers `0..=team`.
 #[test]
 fn all_members_run_once() {
-    let _g = serial();
     let pool = ThreadPool::new(3);
     for team in 0..=3 {
         let slots = Mutex::new(Vec::new());
@@ -45,7 +35,6 @@ fn all_members_run_once() {
 /// instead of hanging on slots that do not exist.
 #[test]
 fn oversized_team_is_capped() {
-    let _g = serial();
     let pool = ThreadPool::new(1);
     let ran = AtomicUsize::new(0);
     pool.run(8, &|_| {
@@ -59,7 +48,6 @@ fn oversized_team_is_capped() {
 /// exactly once, no matter how the members interleave.
 #[test]
 fn uneven_chunking_covers_every_item() {
-    let _g = serial();
     let pool = ThreadPool::new(3);
     const ITEMS: usize = 97;
     const CHUNK: usize = 5; // 19 chunks of 5 + 1 of 2: uneven tail
@@ -86,7 +74,6 @@ fn uneven_chunking_covers_every_item() {
 /// runs inline on the caller.
 #[test]
 fn degenerate_single_thread_pool() {
-    let _g = serial();
     let pool = ThreadPool::new(0);
     assert_eq!(pool.width(), 0);
     let hits = AtomicUsize::new(0);
@@ -104,10 +91,10 @@ fn degenerate_single_thread_pool() {
 /// never lose a generation and never spawn again.
 #[test]
 fn reuse_across_many_dispatches() {
-    let _g = serial();
-    let before = pluto_machine::pool::spawn_count();
+    // Per-pool spawn counter: immune to other tests creating pools
+    // concurrently (the process-wide `spawn_count` is not).
     let pool = ThreadPool::new(2);
-    assert_eq!(pluto_machine::pool::spawn_count(), before + 2);
+    assert_eq!(pool.spawned(), 2);
     let total = AtomicUsize::new(0);
     for round in 0..1000 {
         let team = round % 3;
@@ -117,24 +104,18 @@ fn reuse_across_many_dispatches() {
     }
     // Σ (team + 1) for team cycling 0,1,2.
     assert_eq!(total.load(Ordering::Relaxed), 334 + 333 * 2 + 333 * 3);
-    assert_eq!(
-        pluto_machine::pool::spawn_count(),
-        before + 2,
-        "reuse must not spawn"
-    );
+    assert_eq!(pool.spawned(), 2, "reuse must not spawn");
 }
 
 /// Growing the pool spawns only the missing workers; existing slots are
 /// stable.
 #[test]
 fn ensure_width_grows_monotonically() {
-    let _g = serial();
-    let before = pluto_machine::pool::spawn_count();
     let pool = ThreadPool::new(1);
     pool.ensure_width(3);
     pool.ensure_width(2); // never shrinks, no-op
     assert_eq!(pool.width(), 3);
-    assert_eq!(pluto_machine::pool::spawn_count(), before + 3);
+    assert_eq!(pool.spawned(), 3);
     let slots = Mutex::new(Vec::new());
     pool.run(3, &|slot| slots.lock().unwrap().push(slot));
     let mut got = slots.lock().unwrap().clone();
@@ -146,7 +127,6 @@ fn ensure_width_grows_monotonically() {
 /// barrier — no deadlock, no hang — and the pool stays usable.
 #[test]
 fn worker_panic_propagates_without_deadlock() {
-    let _g = serial();
     let pool = ThreadPool::new(2);
     let r = catch_unwind(AssertUnwindSafe(|| {
         pool.run(2, &|slot| {
@@ -173,7 +153,6 @@ fn worker_panic_propagates_without_deadlock() {
 /// dispatch frame) and then unwinds.
 #[test]
 fn coordinator_panic_still_joins_workers() {
-    let _g = serial();
     let pool = ThreadPool::new(2);
     let workers_done = AtomicUsize::new(0);
     let r = catch_unwind(AssertUnwindSafe(|| {
@@ -199,7 +178,6 @@ fn coordinator_panic_still_joins_workers() {
 /// would keep claiming generations.
 #[test]
 fn shutdown_on_drop_joins_workers() {
-    let _g = serial();
     for _ in 0..20 {
         let pool = ThreadPool::new(3);
         let ran = AtomicUsize::new(0);
@@ -215,7 +193,6 @@ fn shutdown_on_drop_joins_workers() {
 /// one pool (the fuzz harness pattern).
 #[test]
 fn concurrent_dispatchers_serialize() {
-    let _g = serial();
     let pool = ThreadPool::new(2);
     let total = AtomicUsize::new(0);
     std::thread::scope(|scope| {

@@ -3,8 +3,9 @@
 //! emission from `run_parallel`, and the session-free
 //! `run_parallel_profiled` aggregate.
 //!
-//! Sessions and traces are process-global, so this lives in its own
-//! test binary and serializes the tests that touch them.
+//! Sessions and traces are scoped to the test that installs them
+//! (worker threads inherit the dispatching session), so these tests run
+//! fully parallel with no serialization.
 
 use pluto_codegen::{generate, original_schedule};
 use pluto_ir::{Expr, Program, ProgramBuilder, StatementSpec};
@@ -12,15 +13,6 @@ use pluto_machine::{
     run_parallel, run_parallel_profiled, run_sequential, run_with_cache_attributed, Arrays,
     CacheConfig, ParallelConfig,
 };
-use std::sync::Mutex;
-
-static SERIAL: Mutex<()> = Mutex::new(());
-
-/// Lock that survives a poisoned mutex (an earlier test's panic must
-/// not cascade).
-fn serial() -> std::sync::MutexGuard<'static, ()> {
-    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
-}
 
 /// `for i in 0..N { b[i] = 2 * a[i] }`, i-loop marked parallel.
 fn parallel_scale() -> (Program, pluto_codegen::Ast) {
@@ -63,7 +55,6 @@ const CFG: ParallelConfig = ParallelConfig {
 /// sequential run's, with no double counting from the run epilogue.
 #[test]
 fn parallel_counter_total_matches_sequential() {
-    let _g = serial();
     let (prog, ast) = parallel_scale();
 
     let session = pluto_obs::Session::start();
@@ -87,11 +78,13 @@ fn parallel_counter_total_matches_sequential() {
 /// the stable pool slot numbers, not per-dispatch spawn order.
 #[test]
 fn run_parallel_emits_trace_spans() {
-    let _g = serial();
     let (prog, ast) = parallel_scale();
-    pluto_obs::trace::start();
-    run_parallel(&prog, &ast, &[100], &mut fresh_arrays(), CFG);
-    let trace = pluto_obs::trace::finish();
+    let obs = pluto_obs::ObsSession::builder().trace().build();
+    {
+        let _g = obs.install();
+        run_parallel(&prog, &ast, &[100], &mut fresh_arrays(), CFG);
+    }
+    let trace = obs.take_trace();
     // Coordinator + 3 enlisted pool workers.
     assert_eq!(trace.distinct_tids(), 4);
     for tid in 0..4u32 {
@@ -116,7 +109,6 @@ fn run_parallel_emits_trace_spans() {
 /// global session, and its per-thread instances partition the total.
 #[test]
 fn profiled_run_reports_dispatches() {
-    let _g = serial();
     let (prog, ast) = parallel_scale();
     let (stats, profile) = run_parallel_profiled(&prog, &ast, &[100], &mut fresh_arrays(), CFG);
     assert_eq!(stats.instances, 100);
@@ -132,7 +124,6 @@ fn profiled_run_reports_dispatches() {
 /// by IR array names.
 #[test]
 fn session_collects_exec_section() {
-    let _g = serial();
     let (prog, ast) = parallel_scale();
     let session = pluto_obs::Session::start();
     run_parallel(&prog, &ast, &[100], &mut fresh_arrays(), CFG);
@@ -170,7 +161,6 @@ fn session_collects_exec_section() {
 /// compared via the session in `session_collects_exec_section`.
 #[test]
 fn scoped_and_pooled_profiles_agree() {
-    let _g = serial();
     let (prog, ast) = parallel_scale();
     let mut scoped_arrays = fresh_arrays();
     let mut pooled_arrays = fresh_arrays();
@@ -193,7 +183,6 @@ fn scoped_and_pooled_profiles_agree() {
 /// `run_parallel` allocates no trace buffers and records no dispatches.
 #[test]
 fn pooled_disabled_path_is_inert() {
-    let _g = serial();
     let (prog, ast) = parallel_scale();
     assert!(!pluto_obs::enabled());
     assert!(!pluto_obs::trace::enabled());

@@ -1,29 +1,33 @@
-//! The central counter registry: one named [`Counter`] static per
+//! The central counter registry: one named [`Counter`] descriptor per
 //! measured effect, declared here rather than in the crates that bump
 //! them.
 //!
 //! Centralising the declarations keeps registration trivial (no
 //! life-before-main tricks, no lock on the hot path): [`all`] is a plain
-//! slice of statics, so a [`Session`](crate::Session) can reset and
-//! snapshot the complete registry by construction. Hot crates depend on
-//! `pluto-obs` and bump e.g. [`ILP_PIVOTS`] directly; the full glossary —
-//! what each counter means and which code path feeds it — lives in
-//! PERFORMANCE.md.
+//! slice of statics, so an [`ObsSession`](crate::ObsSession) can size and
+//! snapshot the complete registry by construction. Each descriptor is a
+//! `(name, index)` pair; the *cells* live in the session installed on the
+//! recording thread, so concurrent compiles accumulate into disjoint
+//! storage. Hot crates depend on `pluto-obs` and bump e.g. [`ILP_PIVOTS`]
+//! directly; the full glossary — what each counter means and which code
+//! path feeds it — lives in PERFORMANCE.md.
 //!
 //! Counter names are namespaced `crate.effect` (`ilp.pivots`,
 //! `poly.fm_eliminations`) and are part of the stable
 //! `pluto-profile/1` schema: renaming or removing one is a
 //! schema-breaking change.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 
-/// A named monotonic counter with relaxed-atomic updates, inert while no
-/// [`Session`](crate::Session) is recording.
+/// A named monotonic counter with relaxed-atomic updates into the
+/// current thread's [`ObsSession`](crate::ObsSession), inert while none
+/// is installed.
 ///
-/// All mutating methods first check [`enabled`](crate::enabled) (one
-/// relaxed `AtomicBool` load) and return without touching the cell when
-/// profiling is off, so instrumentation can stay in hot loops
-/// permanently.
+/// The descriptor itself is stateless — it names a slot in every
+/// session's cell block. All mutating methods first check the
+/// process-wide installed-session count (one relaxed atomic load) and
+/// return without touching any cell when no session exists, so
+/// instrumentation can stay in hot loops permanently.
 ///
 /// ```
 /// // Without a session, bumps are discarded:
@@ -32,32 +36,30 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// ```
 pub struct Counter {
     name: &'static str,
-    value: AtomicU64,
+    index: usize,
 }
 
 impl Counter {
-    /// Creates a counter. Only used by this module's registry; external
-    /// counters would be invisible to [`all`] and thus never snapshotted.
-    const fn new(name: &'static str) -> Counter {
-        Counter {
-            name,
-            value: AtomicU64::new(0),
-        }
-    }
-
     /// The registry name, e.g. `"ilp.pivots"`.
     #[inline]
     pub fn name(&self) -> &'static str {
         self.name
     }
 
-    /// Adds `n` to the counter if a session is recording; no-op (and no
-    /// touch of the counter cell) otherwise.
+    /// This counter's slot in every session's cell block (also its
+    /// position in [`all`] and in serialized profiles).
+    #[inline]
+    pub(crate) fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Adds `n` to the current session's cell if one records profile
+    /// data on this thread; no-op (and no cell touched) otherwise.
     #[inline]
     pub fn add(&self, n: u64) {
-        if crate::enabled() {
-            self.value.fetch_add(n, Ordering::Relaxed);
-        }
+        crate::with_profiling(|s| {
+            s.counters[self.index].fetch_add(n, Ordering::Relaxed);
+        });
     }
 
     /// Adds 1; see [`add`](Counter::add).
@@ -67,32 +69,37 @@ impl Counter {
     }
 
     /// Raises the counter to `n` if `n` is larger (high-water mark, e.g.
-    /// peak Fourier–Motzkin row count); inert while disabled.
+    /// peak Fourier–Motzkin row count); inert while no session records.
     #[inline]
     pub fn record_max(&self, n: u64) {
-        if crate::enabled() {
-            self.value.fetch_max(n, Ordering::Relaxed);
-        }
+        crate::with_profiling(|s| {
+            s.counters[self.index].fetch_max(n, Ordering::Relaxed);
+        });
     }
 
-    /// Current value. Reads are not gated: tests and
-    /// [`Session::finish`](crate::Session::finish) read regardless of
-    /// the enabled flag.
+    /// Current value in the session installed on this thread; 0 when
+    /// none is (reads are not profile-gated — a session that records no
+    /// profile still reads its zeros).
     #[inline]
     pub fn get(&self) -> u64 {
-        self.value.load(Ordering::Relaxed)
-    }
-
-    /// Resets to zero (used by [`Session::start`](crate::Session::start)).
-    #[inline]
-    pub fn reset(&self) {
-        self.value.store(0, Ordering::Relaxed);
+        crate::current_state().map_or(0, |s| s.counters[self.index].load(Ordering::Relaxed))
     }
 }
 
 macro_rules! registry {
     ($($(#[$doc:meta])* $ident:ident => $name:literal;)*) => {
-        $( $(#[$doc])* pub static $ident: Counter = Counter::new($name); )*
+        // A hidden enum gives each counter a stable, dense index at
+        // compile time; `__Count` sizes every session's cell block.
+        #[allow(non_camel_case_types, clippy::upper_case_acronyms)]
+        #[repr(usize)]
+        enum Idx { $($ident,)* __Count }
+
+        $( $(#[$doc])* pub static $ident: Counter =
+            Counter { name: $name, index: Idx::$ident as usize }; )*
+
+        /// Number of registered counters — the length of each session's
+        /// counter cell block.
+        pub(crate) const NUM: usize = Idx::__Count as usize;
 
         /// Every registered counter, in declaration order — the order
         /// counters appear in profiles and `BENCH_pipeline.json`.
@@ -177,11 +184,4 @@ registry! {
     /// Dependence candidates rejected by the cheap interval/uniform-
     /// distance pre-tests in `ir::deps` before any polyhedron was built.
     IR_PRUNED_CANDIDATES => "ir.pruned_candidates";
-}
-
-/// Resets every registered counter to zero.
-pub fn reset_all() {
-    for c in all() {
-        c.reset();
-    }
 }

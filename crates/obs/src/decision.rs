@@ -14,11 +14,16 @@
 //!
 //! # Recording model
 //!
-//! Same pinned pattern as [`trace`](crate::trace): an independent
-//! process-global switch ([`enabled`], one relaxed atomic load — the
-//! entire disabled-path cost), an explicit [`start`]/[`finish`] pair,
-//! and a bounded collector ([`LOG_CAPACITY`]) that drops excess events
-//! counted rather than reallocating without bound.
+//! Events land in the [`ObsSession`](crate::ObsSession) installed on the
+//! recording thread, provided its decision recorder is on
+//! ([`ObsSessionBuilder::decisions`](crate::ObsSessionBuilder::decisions));
+//! with no session installed anywhere [`enabled`] is one relaxed atomic
+//! load — the entire disabled-path cost. Each session's collector is
+//! bounded ([`LOG_CAPACITY`]): excess events are counted as dropped
+//! rather than reallocating without bound. Because the log is per
+//! session, two compiles recording concurrently on different threads
+//! can never interleave their event streams; drain a session's log with
+//! [`ObsSession::take_decisions`](crate::ObsSession::take_decisions).
 //!
 //! The event stream is *replayable*: [`DecisionLog::ledger`] folds the
 //! events in order — applying the row-index shifts of
@@ -31,88 +36,55 @@
 //!
 //! ```
 //! use pluto_obs::decision::{self, DecisionEvent};
-//! decision::start();
-//! decision::record(DecisionEvent::RowSolved {
-//!     row: 0,
-//!     ilp_rows: 12,
-//!     ilp_cols: 5,
-//!     objective: vec![0, 1],
-//!     hyperplanes: vec![vec![1, 0, 0]],
-//!     newly_satisfied: vec![0],
-//!     still_carried: vec![1],
-//!     orth_constraints: 0,
-//! });
-//! let log = decision::finish();
+//! use pluto_obs::ObsSession;
+//! let session = ObsSession::builder().decisions().build();
+//! {
+//!     let _guard = session.install();
+//!     decision::record(DecisionEvent::RowSolved {
+//!         row: 0,
+//!         ilp_rows: 12,
+//!         ilp_cols: 5,
+//!         objective: vec![0, 1],
+//!         hyperplanes: vec![vec![1, 0, 0]],
+//!         newly_satisfied: vec![0],
+//!         still_carried: vec![1],
+//!         orth_constraints: 0,
+//!     });
+//! }
+//! let log = session.take_decisions();
 //! assert_eq!(log.events.len(), 1);
 //! assert_eq!(log.ledger(2), vec![Some(0), None]);
 //! ```
 
 use crate::json;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
 
-/// Process-global decision-recording switch, independent of the profile
-/// [`Session`](crate::Session) and [`trace`](crate::trace) flags.
-static RECORDING: AtomicBool = AtomicBool::new(false);
-
-/// Collected events plus the count of events dropped over capacity.
-static LOG: Mutex<(Vec<DecisionEvent>, u64)> = Mutex::new((Vec::new(), 0));
-
-/// Hard bound on the retained event count. The search emits a handful
-/// of events per scattering row, so even pathological programs stay far
-/// below this; overflow increments [`DecisionLog::dropped`] instead of
-/// growing without bound.
+/// Hard bound on each session's retained event count. The search emits
+/// a handful of events per scattering row, so even pathological programs
+/// stay far below this; overflow increments [`DecisionLog::dropped`]
+/// instead of growing without bound.
 pub const LOG_CAPACITY: usize = 1 << 14;
 
-/// Whether decision recording is active (one relaxed atomic load — the
-/// entire disabled-path cost, as with [`trace::enabled`](crate::trace::enabled)).
+/// Whether the session installed on this thread records decisions (one
+/// relaxed atomic load while no session is installed anywhere — the
+/// entire disabled-path cost, as with [`enabled`](crate::enabled)).
 #[inline]
 pub fn enabled() -> bool {
-    RECORDING.load(Ordering::Relaxed)
+    crate::current_state().is_some_and(|s| s.decisions)
 }
 
-/// Serializes whole record–replay windows. Recording is process-global
-/// and not reference-counted, so two compiles recording concurrently
-/// (e.g. `#[test]` threads both calling an audited pipeline) would
-/// interleave their event streams and corrupt both ledgers. Callers
-/// that pair [`start`]/[`finish`] around a compile hold this guard for
-/// the whole window; single-compile processes (the CLI) may skip it.
-pub fn exclusive() -> std::sync::MutexGuard<'static, ()> {
-    static WINDOW: Mutex<()> = Mutex::new(());
-    WINDOW.lock().expect("decision window poisoned")
-}
-
-/// Starts recording: clears the collector and enables the switch.
-/// Concurrent recordings are not reference-counted (same model as
-/// [`Session`](crate::Session)); concurrent recording users hold
-/// [`exclusive`] around the whole `start`…`finish` window.
-pub fn start() {
-    let mut log = LOG.lock().expect("decision log poisoned");
-    log.0.clear();
-    log.1 = 0;
-    drop(log);
-    RECORDING.store(true, Ordering::Relaxed);
-}
-
-/// Stops recording and returns everything recorded since [`start`].
-/// Safe to call when no recording is active (returns an empty log).
-pub fn finish() -> DecisionLog {
-    RECORDING.store(false, Ordering::Relaxed);
-    let mut log = LOG.lock().expect("decision log poisoned");
-    let events = std::mem::take(&mut log.0);
-    let dropped = std::mem::replace(&mut log.1, 0);
-    DecisionLog { events, dropped }
-}
-
-/// Appends one event to the log; a no-op when recording is off, a drop
-/// count when the log is full. Emitters gate the (allocating) event
+/// Appends one event to the current session's log; a no-op when no
+/// decision-recording session is installed on this thread, a drop count
+/// when the log is full. Emitters gate the (allocating) event
 /// construction on [`enabled`] themselves, so the disabled path never
 /// reaches this function.
 pub fn record(ev: DecisionEvent) {
-    if !enabled() {
+    let Some(state) = crate::current_state() else {
+        return;
+    };
+    if !state.decisions {
         return;
     }
-    let mut log = LOG.lock().expect("decision log poisoned");
+    let mut log = state.decision_log.lock().expect("decision log poisoned");
     if log.0.len() >= LOG_CAPACITY {
         log.1 += 1;
     } else {
@@ -622,43 +594,59 @@ impl DecisionLog {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ObsSession;
+
+    /// Installs a decisions-only session, runs `f`, returns its log.
+    fn recorded(f: impl FnOnce()) -> DecisionLog {
+        let session = ObsSession::builder().decisions().build();
+        {
+            let _guard = session.install();
+            f();
+        }
+        session.take_decisions()
+    }
 
     #[test]
     fn disabled_recording_is_inert() {
-        let _g = crate::TEST_SERIAL.lock().unwrap();
         assert!(!enabled());
         record(DecisionEvent::RowSolveFailed { row: 0 });
-        let log = finish();
+        // A profile-only session does not record decisions either.
+        let session = ObsSession::profiled();
+        {
+            let _guard = session.install();
+            assert!(!enabled());
+            record(DecisionEvent::RowSolveFailed { row: 1 });
+        }
+        let log = session.take_decisions();
         assert!(log.events.is_empty());
         assert_eq!(log.dropped, 0);
     }
 
     #[test]
     fn events_round_trip_and_tally() {
-        let _g = crate::TEST_SERIAL.lock().unwrap();
-        start();
-        record(DecisionEvent::RowSolved {
-            row: 0,
-            ilp_rows: 9,
-            ilp_cols: 4,
-            objective: vec![0, 1],
-            hyperplanes: vec![vec![1, 0, 0]],
-            newly_satisfied: vec![1],
-            still_carried: vec![0],
-            orth_constraints: 0,
+        let log = recorded(|| {
+            record(DecisionEvent::RowSolved {
+                row: 0,
+                ilp_rows: 9,
+                ilp_cols: 4,
+                objective: vec![0, 1],
+                hyperplanes: vec![vec![1, 0, 0]],
+                newly_satisfied: vec![1],
+                still_carried: vec![0],
+                orth_constraints: 0,
+            });
+            record(DecisionEvent::CandidateRejected {
+                row: 0,
+                stmt: 1,
+                reason: RejectReason::Zero,
+            });
+            record(DecisionEvent::SccCut {
+                row: 1,
+                reason: CutReason::NoProgress,
+                components: 2,
+                satisfied: vec![0],
+            });
         });
-        record(DecisionEvent::CandidateRejected {
-            row: 0,
-            stmt: 1,
-            reason: RejectReason::Zero,
-        });
-        record(DecisionEvent::SccCut {
-            row: 1,
-            reason: CutReason::NoProgress,
-            components: 2,
-            satisfied: vec![0],
-        });
-        let log = finish();
         assert_eq!(log.events.len(), 3);
         let s = log.stats();
         assert_eq!(s.rows_solved, 1);
@@ -676,37 +664,36 @@ mod tests {
 
     #[test]
     fn ledger_replays_row_shifts() {
-        let _g = crate::TEST_SERIAL.lock().unwrap();
-        start();
         // Two rows solved, then tiling inserts 2 rows at 0, then the
         // vectorization reorder moves (what is now) row 2 to row 3.
-        record(DecisionEvent::RowSolved {
-            row: 0,
-            ilp_rows: 1,
-            ilp_cols: 1,
-            objective: vec![],
-            hyperplanes: vec![],
-            newly_satisfied: vec![0],
-            still_carried: vec![1],
-            orth_constraints: 0,
+        let log = recorded(|| {
+            record(DecisionEvent::RowSolved {
+                row: 0,
+                ilp_rows: 1,
+                ilp_cols: 1,
+                objective: vec![],
+                hyperplanes: vec![],
+                newly_satisfied: vec![0],
+                still_carried: vec![1],
+                orth_constraints: 0,
+            });
+            record(DecisionEvent::RowSolved {
+                row: 1,
+                ilp_rows: 1,
+                ilp_cols: 1,
+                objective: vec![],
+                hyperplanes: vec![],
+                newly_satisfied: vec![1],
+                still_carried: vec![],
+                orth_constraints: 0,
+            });
+            record(DecisionEvent::RowsInserted {
+                at: 0,
+                count: 2,
+                tile_level: 1,
+            });
+            record(DecisionEvent::RowMoved { from: 2, to: 3 });
         });
-        record(DecisionEvent::RowSolved {
-            row: 1,
-            ilp_rows: 1,
-            ilp_cols: 1,
-            objective: vec![],
-            hyperplanes: vec![],
-            newly_satisfied: vec![1],
-            still_carried: vec![],
-            orth_constraints: 0,
-        });
-        record(DecisionEvent::RowsInserted {
-            at: 0,
-            count: 2,
-            tile_level: 1,
-        });
-        record(DecisionEvent::RowMoved { from: 2, to: 3 });
-        let log = finish();
         // Dep 0: row 0 -> +2 -> 2 -> moved to 3. Dep 1: row 1 -> 3 -> 2
         // (shifted down by the move passing over it).
         assert_eq!(log.ledger(2), vec![Some(3), Some(2)]);
@@ -714,15 +701,17 @@ mod tests {
 
     #[test]
     fn overflow_drops_and_counts() {
-        let _g = crate::TEST_SERIAL.lock().unwrap();
-        start();
-        for i in 0..LOG_CAPACITY + 5 {
-            record(DecisionEvent::RowSolveFailed { row: i });
+        let session = ObsSession::builder().decisions().build();
+        {
+            let _guard = session.install();
+            for i in 0..LOG_CAPACITY + 5 {
+                record(DecisionEvent::RowSolveFailed { row: i });
+            }
         }
-        let log = finish();
+        let log = session.take_decisions();
         assert_eq!(log.events.len(), LOG_CAPACITY);
         assert_eq!(log.dropped, 5);
-        // finish() cleared: a fresh log is empty.
-        assert!(finish().events.is_empty());
+        // take_decisions() drained: a second take is empty.
+        assert!(session.take_decisions().events.is_empty());
     }
 }

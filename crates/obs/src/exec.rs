@@ -15,19 +15,17 @@
 //! * `run_with_cache` records per-array access/hit/miss totals, keyed
 //!   by the IR array names.
 //!
-//! Recording is gated on the profile session flag
-//! ([`enabled`](crate::enabled)) — while no session is active every
-//! call is a single relaxed load — and
-//! [`Session::finish`](crate::Session::finish) snapshots the
-//! accumulator into
+//! Reports accumulate in the [`ObsSession`](crate::ObsSession) installed
+//! on the reporting thread — while none records, every call is a single
+//! relaxed load — and
+//! [`ObsSession::finish_profile`](crate::ObsSession::finish_profile)
+//! drains the accumulator into
 //! [`Profile::exec`](crate::Profile::exec), serialized as the `exec`
 //! section of the `pluto-profile/3` schema (PERFORMANCE.md §5.1).
 //!
 //! [`ExecProfile::build`] is also public so the machine substrate can
-//! compute the same derived metrics without a global session
+//! compute the same derived metrics without any session
 //! (`run_parallel_profiled`).
-
-use std::sync::Mutex;
 
 /// One parallel-loop dispatch: what each thread of the team did between
 /// entering the region and the implicit barrier at its exit.
@@ -141,7 +139,8 @@ pub struct ExecProfile {
 impl ExecProfile {
     /// Derives the aggregate profile from raw dispatch records and
     /// per-array cache counters — the single definition of the derived
-    /// metrics, shared by [`Session::finish`](crate::Session::finish)
+    /// metrics, shared by
+    /// [`ObsSession::finish_profile`](crate::ObsSession::finish_profile)
     /// and the machine substrate's `run_parallel_profiled`.
     pub fn build(dispatches: &[Dispatch], arrays: Vec<ArrayCache>) -> ExecProfile {
         let threads = dispatches
@@ -185,65 +184,60 @@ impl ExecProfile {
     }
 }
 
-/// The session-scoped accumulator behind [`record_dispatch`] /
-/// [`record_array`].
+/// The per-session accumulator behind [`record_dispatch`] /
+/// [`record_array`]; one lives in every
+/// [`SessionState`](crate::SessionState).
 #[derive(Default)]
-struct Accum {
+pub(crate) struct Accum {
     dispatches: Vec<Dispatch>,
     arrays: Vec<ArrayCache>,
 }
 
-static ACCUM: Mutex<Option<Accum>> = Mutex::new(None);
-
-/// Reports one parallel-loop dispatch. Inert (one relaxed load) while
-/// no [`Session`](crate::Session) records. Called once per dispatch —
-/// never per item — so the mutex is off the hot path.
-pub fn record_dispatch(d: Dispatch) {
-    if !crate::enabled() {
-        return;
+impl Accum {
+    /// Derives the profile section, or `None` if the session observed
+    /// no execution (the common compile-only case — the profile's
+    /// `exec` field serializes as JSON `null`).
+    pub(crate) fn into_profile(self) -> Option<ExecProfile> {
+        if self.dispatches.is_empty() && self.arrays.is_empty() {
+            return None;
+        }
+        Some(ExecProfile::build(&self.dispatches, self.arrays))
     }
-    let mut acc = ACCUM.lock().expect("exec accumulator poisoned");
-    acc.get_or_insert_with(Accum::default).dispatches.push(d);
+}
+
+/// Reports one parallel-loop dispatch into the current thread's session.
+/// Inert (one relaxed load) while none records a profile. Called once
+/// per dispatch — never per item — so the mutex is off the hot path.
+pub fn record_dispatch(d: Dispatch) {
+    crate::with_profiling(|s| {
+        s.exec
+            .lock()
+            .expect("exec accumulator poisoned")
+            .dispatches
+            .push(d);
+    });
 }
 
 /// Reports cache counters attributed to one named array; repeated
 /// reports for the same name accumulate. Inert while no session
 /// records.
 pub fn record_array(name: &str, accesses: u64, l1_misses: u64, l2_misses: u64) {
-    if !crate::enabled() {
-        return;
-    }
-    let mut acc = ACCUM.lock().expect("exec accumulator poisoned");
-    let arrays = &mut acc.get_or_insert_with(Accum::default).arrays;
-    match arrays.iter_mut().find(|a| a.name == name) {
-        Some(a) => {
-            a.accesses += accesses;
-            a.l1_misses += l1_misses;
-            a.l2_misses += l2_misses;
+    crate::with_profiling(|s| {
+        let mut acc = s.exec.lock().expect("exec accumulator poisoned");
+        match acc.arrays.iter_mut().find(|a| a.name == name) {
+            Some(a) => {
+                a.accesses += accesses;
+                a.l1_misses += l1_misses;
+                a.l2_misses += l2_misses;
+            }
+            None => acc.arrays.push(ArrayCache {
+                name: name.to_string(),
+                accesses,
+                l1_misses,
+                l2_misses,
+            }),
         }
-        None => arrays.push(ArrayCache {
-            name: name.to_string(),
-            accesses,
-            l1_misses,
-            l2_misses,
-        }),
-    }
-}
-
-/// Clears the accumulator (on [`Session::start`](crate::Session::start)).
-pub(crate) fn reset() {
-    *ACCUM.lock().expect("exec accumulator poisoned") = None;
-}
-
-/// Drains the accumulator into an [`ExecProfile`], or `None` if the
-/// session observed no execution (the common compile-only case — the
-/// profile's `exec` field serializes as JSON `null`).
-pub(crate) fn take() -> Option<ExecProfile> {
-    let acc = ACCUM.lock().expect("exec accumulator poisoned").take()?;
-    if acc.dispatches.is_empty() && acc.arrays.is_empty() {
-        return None;
-    }
-    Some(ExecProfile::build(&acc.dispatches, acc.arrays))
+    });
 }
 
 #[cfg(test)]

@@ -17,10 +17,11 @@
 //!
 //! Buckets are powers of two in nanoseconds: bucket `i` counts samples
 //! with `2^i <= ns < 2^(i+1)` (bucket 0 also catches 0–1 ns, the last
-//! bucket is open-ended). Like the counters, recording is gated on the
-//! profile [`Session`](crate::Session) switch — one relaxed atomic load
-//! when disabled, and [`Hist::timer`] reads no clock then. Snapshots are
-//! rendered in `--profile` and serialized in the `hists` section of
+//! bucket is open-ended). Like the counters, each [`Hist`] is a
+//! stateless descriptor naming a cell block in the session
+//! installed on the recording thread — one relaxed atomic load when no
+//! session exists, and [`Hist::timer`] reads no clock then. Snapshots
+//! are rendered in `--profile` and serialized in the `hists` section of
 //! `pluto-profile/3` (bucket spec in PERFORMANCE.md).
 //!
 //! ```
@@ -43,43 +44,73 @@ use std::time::Instant;
 /// is open-ended.
 pub const NUM_BUCKETS: usize = 32;
 
-/// A log2-bucketed latency histogram with atomic cells, registered as a
-/// process-global static like a [`Counter`](crate::counters::Counter).
+/// One histogram's per-session storage: bucket cells plus the latency
+/// sum. Each [`ObsSession`](crate::ObsSession) owns [`NUM`] of these.
 #[derive(Debug)]
-pub struct Hist {
-    name: &'static str,
+pub(crate) struct Cells {
     buckets: [AtomicU64; NUM_BUCKETS],
     sum_ns: AtomicU64,
 }
 
-impl Hist {
-    /// Creates a histogram (used by this module's registry statics).
-    pub const fn new(name: &'static str) -> Hist {
-        Hist {
-            name,
+impl Cells {
+    pub(crate) fn new() -> Cells {
+        Cells {
             buckets: [const { AtomicU64::new(0) }; NUM_BUCKETS],
             sum_ns: AtomicU64::new(0),
         }
     }
 
+    fn record_ns(&self, ns: u64) {
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self, name: &'static str) -> HistSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistSnapshot {
+            name,
+            count: buckets.iter().sum(),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A log2-bucketed latency histogram descriptor, registered as a static
+/// like a [`Counter`](crate::counters::Counter); samples land in the
+/// cells of the session installed on the recording thread.
+#[derive(Debug)]
+pub struct Hist {
+    name: &'static str,
+    index: usize,
+}
+
+impl Hist {
     /// The registry name, e.g. `"ilp.latency.search_row"`.
     pub fn name(&self) -> &'static str {
         self.name
     }
 
-    /// Records one sample. When no session is recording this is a
-    /// single relaxed flag load.
+    /// This histogram's slot in every session's cell block.
+    #[inline]
+    pub(crate) fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Records one sample into the current session. When no session
+    /// records on this thread this is a single relaxed flag load.
     #[inline]
     pub fn record_ns(&self, ns: u64) {
-        if !crate::enabled() {
-            return;
-        }
-        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
-        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        crate::with_profiling(|s| s.hists[self.index].record_ns(ns));
     }
 
     /// Starts a latency measurement that records into this histogram
-    /// when the returned guard drops. Reads no clock while disabled.
+    /// when the returned guard drops. Reads no clock while no session
+    /// records.
     #[must_use = "the sample is recorded when the guard drops"]
     pub fn timer(&'static self) -> Timer {
         Timer {
@@ -88,27 +119,18 @@ impl Hist {
         }
     }
 
-    /// Snapshots the histogram.
+    /// Snapshots this histogram's cells in the current thread's session
+    /// (an empty snapshot when none is installed).
     pub fn snapshot(&self) -> HistSnapshot {
-        let buckets: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        HistSnapshot {
-            name: self.name,
-            count: buckets.iter().sum(),
-            sum_ns: self.sum_ns.load(Ordering::Relaxed),
-            buckets,
+        match crate::current_state() {
+            Some(s) => s.hists[self.index].snapshot(self.name),
+            None => HistSnapshot {
+                name: self.name,
+                count: 0,
+                sum_ns: 0,
+                buckets: vec![0; NUM_BUCKETS],
+            },
         }
-    }
-
-    /// Zeroes every cell (ungated, used by [`Session::start`](crate::Session::start)).
-    pub fn reset(&self) {
-        for b in &self.buckets {
-            b.store(0, Ordering::Relaxed);
-        }
-        self.sum_ns.store(0, Ordering::Relaxed);
     }
 }
 
@@ -170,36 +192,42 @@ impl HistSnapshot {
     }
 }
 
-/// Latency of building one dependence's legality (Farkas) system.
-pub static LEGALITY: Hist = Hist::new("ilp.latency.legality");
-/// Latency of building one bounding-function (Eq. 6) system.
-pub static BOUNDING: Hist = Hist::new("ilp.latency.bounding");
-/// Latency of one lexmin ILP solve for a scattering row.
-pub static SEARCH_ROW: Hist = Hist::new("ilp.latency.search_row");
-/// Latency of one polyhedron-emptiness ILP probe.
-pub static EMPTINESS: Hist = Hist::new("ilp.latency.emptiness");
-/// Latency of one warm-started lexmin solve for a scattering row (the
-/// reused-basis fast path; cold solves land in [`SEARCH_ROW`]).
-pub static SEARCH_ROW_WARM: Hist = Hist::new("ilp.latency.search_row_warm");
+macro_rules! registry {
+    ($($(#[$doc:meta])* $ident:ident => $name:literal;)*) => {
+        #[allow(non_camel_case_types, clippy::upper_case_acronyms)]
+        #[repr(usize)]
+        enum Idx { $($ident,)* __Count }
 
-/// Every registered histogram, in the stable order `pluto-profile/3`
-/// serializes (renaming or reordering is a schema break, exactly as with
-/// [`counters::all`](crate::counters::all); new keys append).
-pub fn all() -> [&'static Hist; 5] {
-    [
-        &LEGALITY,
-        &BOUNDING,
-        &SEARCH_ROW,
-        &EMPTINESS,
-        &SEARCH_ROW_WARM,
-    ]
+        $( $(#[$doc])* pub static $ident: Hist =
+            Hist { name: $name, index: Idx::$ident as usize }; )*
+
+        /// Number of registered histograms — the length of each
+        /// session's histogram cell block.
+        pub(crate) const NUM: usize = Idx::__Count as usize;
+
+        /// Every registered histogram, in the stable order
+        /// `pluto-profile/3` serializes (renaming or reordering is a
+        /// schema break, exactly as with
+        /// [`counters::all`](crate::counters::all); new keys append).
+        pub fn all() -> &'static [&'static Hist] {
+            static ALL: &[&Hist] = &[ $( &$ident, )* ];
+            ALL
+        }
+    };
 }
 
-/// Zeroes every registered histogram.
-pub fn reset_all() {
-    for h in all() {
-        h.reset();
-    }
+registry! {
+    /// Latency of building one dependence's legality (Farkas) system.
+    LEGALITY => "ilp.latency.legality";
+    /// Latency of building one bounding-function (Eq. 6) system.
+    BOUNDING => "ilp.latency.bounding";
+    /// Latency of one lexmin ILP solve for a scattering row.
+    SEARCH_ROW => "ilp.latency.search_row";
+    /// Latency of one polyhedron-emptiness ILP probe.
+    EMPTINESS => "ilp.latency.emptiness";
+    /// Latency of one warm-started lexmin solve for a scattering row
+    /// (the reused-basis fast path; cold solves land in [`SEARCH_ROW`]).
+    SEARCH_ROW_WARM => "ilp.latency.search_row_warm";
 }
 
 #[cfg(test)]
@@ -222,8 +250,6 @@ mod tests {
 
     #[test]
     fn disabled_recording_is_inert() {
-        let _g = crate::TEST_SERIAL.lock().unwrap();
-        reset_all();
         assert!(!crate::enabled());
         SEARCH_ROW.record_ns(100);
         {
@@ -237,7 +263,6 @@ mod tests {
 
     #[test]
     fn samples_land_in_their_buckets() {
-        let _g = crate::TEST_SERIAL.lock().unwrap();
         let session = crate::Session::start();
         EMPTINESS.record_ns(3); // bucket 1
         EMPTINESS.record_ns(900); // bucket 9
@@ -253,7 +278,7 @@ mod tests {
         assert_eq!(e.buckets[9], 2);
         assert_eq!(e.mean_ns(), 601);
         assert_eq!(profile.hist("ilp.latency.legality").unwrap().count, 1);
-        // A fresh session resets the cells.
+        // A fresh session has fresh cells.
         let p2 = crate::Session::start().finish();
         assert_eq!(p2.hist("ilp.latency.emptiness").unwrap().count, 0);
     }

@@ -5,23 +5,33 @@
 //! "what did the *compiler* do", this module answers "what did the
 //! *generated program* do, per thread": the machine substrate's thread
 //! teams record timestamped begin/end events into thread-owned buffers
-//! while a trace is active, and [`Trace::to_chrome_json`] serializes
-//! them under the `trace_event/1` schema — a Chrome Trace Event Format
-//! document (JSON Object Format) loadable in Perfetto or
-//! `chrome://tracing` (walkthrough in PERFORMANCE.md).
+//! while a trace-recording session is installed, and
+//! [`Trace::to_chrome_json`] serializes them under the `trace_event/1`
+//! schema — a Chrome Trace Event Format document (JSON Object Format)
+//! loadable in Perfetto or `chrome://tracing` (walkthrough in
+//! PERFORMANCE.md).
 //!
 //! # Recording model
 //!
-//! Tracing is off by default and costs one relaxed atomic load per
-//! check ([`enabled`]). When on, each participating thread creates its
-//! own [`RingBuf`] — a bounded, thread-owned event buffer written with
-//! no synchronization whatsoever (the owning thread is the only
-//! writer) — and [`RingBuf::submit`]s it into the global collector
+//! Tracing is a per-session recorder
+//! ([`ObsSessionBuilder::trace`](crate::ObsSessionBuilder::trace)); with
+//! no session installed anywhere, [`enabled`] costs one relaxed atomic
+//! load. When on, each participating thread creates its own [`RingBuf`]
+//! — a bounded, thread-owned event buffer written with no
+//! synchronization whatsoever (the owning thread is the only writer) —
+//! and [`RingBuf::submit`]s it into the owning session's collector
 //! *once*, at the end of its chunk of work: one lock acquisition per
-//! thread per parallel-loop dispatch, never per event. A buffer that
-//! fills up drops further events and reports the drop count at submit
-//! time instead of reallocating, so tracing perturbs the traced run as
-//! little as possible.
+//! thread per parallel-loop dispatch, never per event. The buffer holds
+//! its session handle from creation, so events land in the compile that
+//! was current when the dispatch began even if the worker's installed
+//! session changes. A buffer that fills up drops further events and
+//! reports the drop count at submit time instead of reallocating, so
+//! tracing perturbs the traced run as little as possible.
+//!
+//! Timestamps are relative to the owning session's construction instant,
+//! so every compile's trace starts near zero and two concurrent
+//! sessions' clocks are independent ([`Trace`] additionally normalizes
+//! to the earliest event on export).
 //!
 //! Thread ids are small integers assigned by the instrumented code:
 //! tid 0 is the coordinating thread, tids 1..=N are worker slots of the
@@ -29,35 +39,23 @@
 //! worker slot).
 //!
 //! ```
-//! pluto_obs::trace::start();
-//! let mut buf = pluto_obs::trace::RingBuf::for_thread(1).expect("tracing is on");
-//! buf.begin("chunk", &[("items", 8)]);
-//! buf.end("chunk", &[("instances", 8)]);
-//! buf.submit();
-//! let trace = pluto_obs::trace::finish();
+//! use pluto_obs::ObsSession;
+//! let session = ObsSession::builder().trace().build();
+//! {
+//!     let _guard = session.install();
+//!     let mut buf = pluto_obs::trace::RingBuf::for_thread(1).expect("tracing is on");
+//!     buf.begin("chunk", &[("items", 8)]);
+//!     buf.end("chunk", &[("instances", 8)]);
+//!     buf.submit();
+//! }
+//! let trace = session.take_trace();
 //! assert_eq!(trace.events.len(), 2);
 //! let doc = pluto_obs::json::parse(&trace.to_chrome_json()).unwrap();
 //! assert_eq!(doc.get("schema").unwrap().as_str(), Some("trace_event/1"));
 //! ```
 
-use crate::json;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, OnceLock};
-use std::time::Instant;
-
-/// Process-global tracing switch, independent of the profile
-/// [`Session`](crate::Session) flag: profiles can be collected without
-/// paying for event streams and vice versa.
-static TRACING: AtomicBool = AtomicBool::new(false);
-
-/// Submitted events, drained by [`finish`].
-static EVENTS: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
-
-/// Clock origin for all trace timestamps. Set once per process on the
-/// first [`start`]; [`Trace`] normalizes to the earliest event on
-/// export, so the epoch never needs resetting (which keeps
-/// [`now_ns`] a lock-free read).
-static EPOCH: OnceLock<Instant> = OnceLock::new();
+use crate::{json, SessionState};
+use std::sync::Arc;
 
 /// Default per-thread buffer capacity, in events. A wavefront dispatch
 /// records two events per worker, so this bounds even pathological
@@ -65,60 +63,33 @@ static EPOCH: OnceLock<Instant> = OnceLock::new();
 /// reallocating mid-measurement.
 pub const RING_CAPACITY: usize = 1 << 16;
 
-/// Whether a trace is currently recording (one relaxed atomic load —
-/// the entire disabled-path cost, as with
-/// [`enabled`](crate::enabled)).
+/// Whether the session installed on this thread records a trace (one
+/// relaxed atomic load while no session is installed anywhere — the
+/// entire disabled-path cost, as with [`enabled`](crate::enabled)).
 #[inline]
 pub fn enabled() -> bool {
-    TRACING.load(Ordering::Relaxed)
+    crate::current_state().is_some_and(|s| s.tracing)
 }
 
-/// Starts recording a trace: clears the event collector and enables the
-/// switch. Concurrent traces are not reference-counted (same model as
-/// [`Session`](crate::Session)); in-tree users are sequential.
-pub fn start() {
-    EPOCH.get_or_init(Instant::now);
-    EVENTS.lock().expect("trace buffer poisoned").clear();
-    TRACING.store(true, Ordering::Relaxed);
-}
-
-/// Stops recording and returns everything submitted since [`start`].
-/// Safe to call when no trace is active (returns an empty [`Trace`]).
-pub fn finish() -> Trace {
-    TRACING.store(false, Ordering::Relaxed);
-    let mut events = std::mem::take(&mut *EVENTS.lock().expect("trace buffer poisoned"));
-    events.sort_by_key(|e| (e.ts_ns, e.tid));
-    Trace { events }
-}
-
-/// Nanoseconds since the process trace epoch (0 before the first
-/// [`start`]). Lock-free: one `OnceLock` load plus the monotonic-clock
-/// read.
-#[inline]
-pub fn now_ns() -> u128 {
-    EPOCH.get().map_or(0, |e| e.elapsed().as_nanos())
-}
-
-/// Records one compile-time span event straight into the collector on
-/// the coordinator timeline (tid 0). Called by
-/// [`span`](crate::span)/`SpanGuard` while a trace records, so optimizer
-/// phases (`parse`, `optimize/search`, `codegen`, …) appear on the same
-/// Perfetto view as the thread team's runtime events. One lock
-/// acquisition per event is fine here: spans fire per compiler *phase*,
-/// not per iteration (the per-iteration runtime path keeps using
-/// thread-owned [`RingBuf`]s).
-pub(crate) fn record_compile_event(name: &str, ph: Phase) {
-    if !enabled() {
-        return;
-    }
-    EVENTS
+/// Records one compile-time span event straight into `state`'s collector
+/// on the coordinator timeline (tid 0). Called by
+/// [`span`](crate::span)/`SpanGuard` while its session records a trace,
+/// so optimizer phases (`parse`, `optimize/search`, `codegen`, …) appear
+/// on the same Perfetto view as the thread team's runtime events. One
+/// lock acquisition per event is fine here: spans fire per compiler
+/// *phase*, not per iteration (the per-iteration runtime path keeps
+/// using thread-owned [`RingBuf`]s).
+pub(crate) fn record_compile_event(state: &SessionState, name: &str, ph: Phase) {
+    let ts_ns = state.started.elapsed().as_nanos();
+    state
+        .trace_events
         .lock()
         .expect("trace buffer poisoned")
         .push(TraceEvent {
             name: name.to_string(),
             ph,
             tid: 0,
-            ts_ns: now_ns(),
+            ts_ns,
             args: Vec::new(),
         });
 }
@@ -156,7 +127,7 @@ pub struct TraceEvent {
     /// Timeline this event belongs to: 0 = coordinator, 1..=N = worker
     /// slots.
     pub tid: u32,
-    /// Nanoseconds since the trace epoch.
+    /// Nanoseconds since the owning session's construction.
     pub ts_ns: u128,
     /// Numeric payload rendered into the Chrome `args` object
     /// (item counts, instance counts, milli-ratios …).
@@ -165,9 +136,11 @@ pub struct TraceEvent {
 
 /// A bounded, thread-owned event buffer: the only writer is the owning
 /// thread, so recording is synchronization-free; the single lock is
-/// taken once, in [`submit`](RingBuf::submit).
-#[derive(Debug)]
+/// taken once, in [`submit`](RingBuf::submit). The buffer pins the
+/// session that was current at creation, so its events land in the
+/// dispatching compile.
 pub struct RingBuf {
+    session: Arc<SessionState>,
     tid: u32,
     events: Vec<TraceEvent>,
     capacity: usize,
@@ -175,12 +148,26 @@ pub struct RingBuf {
     dropped: u64,
 }
 
+impl std::fmt::Debug for RingBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RingBuf")
+            .field("tid", &self.tid)
+            .field("events", &self.events)
+            .field("capacity", &self.capacity)
+            .field("dropped", &self.dropped)
+            .finish_non_exhaustive()
+    }
+}
+
 impl RingBuf {
-    /// Creates a buffer for worker slot `tid` if a trace is recording;
-    /// `None` (no allocation) otherwise — callers hold the `Option` and
-    /// stay zero-cost when tracing is off.
+    /// Creates a buffer for worker slot `tid` if the session installed
+    /// on this thread records a trace; `None` (no allocation) otherwise
+    /// — callers hold the `Option` and stay zero-cost when tracing is
+    /// off.
     pub fn for_thread(tid: u32) -> Option<RingBuf> {
-        enabled().then(|| RingBuf {
+        let session = crate::current_state().filter(|s| s.tracing)?;
+        Some(RingBuf {
+            session,
             tid,
             events: Vec::with_capacity(64),
             capacity: RING_CAPACITY,
@@ -193,11 +180,12 @@ impl RingBuf {
             self.dropped += 1;
             return;
         }
+        let ts_ns = self.session.started.elapsed().as_nanos();
         self.events.push(TraceEvent {
             name: name.to_string(),
             ph,
             tid: self.tid,
-            ts_ns: now_ns(),
+            ts_ns,
             args: args.to_vec(),
         });
     }
@@ -217,26 +205,28 @@ impl RingBuf {
         self.push(name, Phase::Instant, args);
     }
 
-    /// Moves the buffered events into the global collector — the one
-    /// lock acquisition of this buffer's lifetime. Overflow is reported
-    /// as a final `trace.dropped` instant event rather than lost
-    /// silently.
+    /// Moves the buffered events into the owning session's collector —
+    /// the one lock acquisition of this buffer's lifetime. Overflow is
+    /// reported as a final `trace.dropped` instant event rather than
+    /// lost silently.
     pub fn submit(mut self) {
         if self.dropped > 0 {
             // Bypasses the capacity check: the report must not be
             // dropped by the very condition it reports.
+            let ts_ns = self.session.started.elapsed().as_nanos();
             self.events.push(TraceEvent {
                 name: "trace.dropped".to_string(),
                 ph: Phase::Instant,
                 tid: self.tid,
-                ts_ns: now_ns(),
+                ts_ns,
                 args: vec![("events", self.dropped)],
             });
         }
         if self.events.is_empty() {
             return;
         }
-        EVENTS
+        self.session
+            .trace_events
             .lock()
             .expect("trace buffer poisoned")
             .append(&mut self.events);
@@ -339,35 +329,40 @@ impl Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ObsSession;
 
-    /// Trace state is process-global; serialize the tests touching it
-    /// (shared with the other modules' tests — spans feed the trace
-    /// collector now, so cross-module isolation matters).
-    use crate::TEST_SERIAL as SERIAL;
+    fn trace_session() -> ObsSession {
+        ObsSession::builder().trace().build()
+    }
 
     #[test]
     fn disabled_tracing_allocates_nothing() {
-        let _g = SERIAL.lock().unwrap();
         assert!(!enabled());
-        // No trace active: no buffer is handed out, nothing recorded.
+        // No trace-recording session: no buffer is handed out.
         assert!(RingBuf::for_thread(3).is_none());
-        let t = finish();
-        assert!(t.events.is_empty());
+        // A profile-only session does not enable tracing either.
+        let session = ObsSession::profiled();
+        let _guard = session.install();
+        assert!(!enabled());
+        assert!(RingBuf::for_thread(3).is_none());
+        assert!(session.take_trace().events.is_empty());
     }
 
     #[test]
     fn events_round_trip_through_buffers() {
-        let _g = SERIAL.lock().unwrap();
-        start();
-        let mut b1 = RingBuf::for_thread(1).expect("tracing on");
-        let mut b2 = RingBuf::for_thread(2).expect("tracing on");
-        b1.begin("chunk", &[("items", 4)]);
-        b1.end("chunk", &[("instances", 4)]);
-        b2.begin("chunk", &[("items", 3)]);
-        b2.end("chunk", &[]);
-        b1.submit();
-        b2.submit();
-        let t = finish();
+        let session = trace_session();
+        {
+            let _guard = session.install();
+            let mut b1 = RingBuf::for_thread(1).expect("tracing on");
+            let mut b2 = RingBuf::for_thread(2).expect("tracing on");
+            b1.begin("chunk", &[("items", 4)]);
+            b1.end("chunk", &[("instances", 4)]);
+            b2.begin("chunk", &[("items", 3)]);
+            b2.end("chunk", &[]);
+            b1.submit();
+            b2.submit();
+        }
+        let t = session.take_trace();
         assert_eq!(t.events.len(), 4);
         assert_eq!(t.distinct_tids(), 2);
         // Timestamps are sorted and monotone per thread.
@@ -382,16 +377,36 @@ mod tests {
     }
 
     #[test]
-    fn overflow_drops_and_reports() {
-        let _g = SERIAL.lock().unwrap();
-        start();
-        let mut b = RingBuf::for_thread(1).expect("tracing on");
-        b.capacity = 4;
-        for _ in 0..6 {
-            b.begin("e", &[]);
-        }
+    fn submitted_events_outlive_the_install() {
+        // A buffer created under an installed session keeps recording
+        // into that session even after the install guard drops — the
+        // worker-thread shape: the dispatching session is captured at
+        // buffer creation.
+        let session = trace_session();
+        let mut b = {
+            let _guard = session.install();
+            RingBuf::for_thread(1).expect("tracing on")
+        };
+        b.instant("late", &[]);
         b.submit();
-        let t = finish();
+        let t = session.take_trace();
+        assert_eq!(t.events.len(), 1);
+        assert_eq!(t.events[0].name, "late");
+    }
+
+    #[test]
+    fn overflow_drops_and_reports() {
+        let session = trace_session();
+        {
+            let _guard = session.install();
+            let mut b = RingBuf::for_thread(1).expect("tracing on");
+            b.capacity = 4;
+            for _ in 0..6 {
+                b.begin("e", &[]);
+            }
+            b.submit();
+        }
+        let t = session.take_trace();
         // 4 kept, capacity freed by the drop report replacing nothing:
         // the report itself needs a slot, so it is appended above cap.
         let dropped = t
@@ -404,13 +419,13 @@ mod tests {
 
     #[test]
     fn compile_spans_flow_into_the_trace() {
-        let _g = SERIAL.lock().unwrap();
-        start();
+        let session = trace_session();
         {
+            let _guard = session.install();
             let _outer = crate::span("optimize");
             let _inner = crate::span("search");
         }
-        let t = finish();
+        let t = session.take_trace();
         // Two begin/end pairs, all on the coordinator timeline, with
         // the nested span recorded under its joined path.
         assert_eq!(t.events.len(), 4);
@@ -426,14 +441,16 @@ mod tests {
     }
 
     #[test]
-    fn finish_is_idempotent_and_clears() {
-        let _g = SERIAL.lock().unwrap();
-        start();
-        let mut b = RingBuf::for_thread(0).unwrap();
-        b.instant("mark", &[]);
-        b.submit();
-        assert_eq!(finish().events.len(), 1);
-        assert!(finish().events.is_empty());
+    fn take_trace_drains() {
+        let session = trace_session();
+        {
+            let _guard = session.install();
+            let mut b = RingBuf::for_thread(0).unwrap();
+            b.instant("mark", &[]);
+            b.submit();
+        }
+        assert_eq!(session.take_trace().events.len(), 1);
+        assert!(session.take_trace().events.is_empty());
         assert!(!enabled());
     }
 }

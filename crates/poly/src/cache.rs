@@ -19,14 +19,22 @@
 //! emptiness verdict, and everything downstream (legality, pruning,
 //! satisfaction) trusts that verdict.
 //!
-//! The cache is process-global and monotonic: an entry is a theorem
-//! ("this integer system is (in)feasible"), never invalidated by later
-//! compilations. Scoping knobs exist for the two consumers that need
-//! them: [`set_enabled`] lets `plutoc --no-solver-cache` run
-//! differential/debug compiles with every probe paid for, and [`clear`]
-//! lets a long-lived `plutod`-style server (ROADMAP item 3) bound memory
-//! per session. Capacity is capped at [`MAX_ENTRIES`]; a full cache
-//! stops inserting but keeps answering.
+//! Entries are theorems ("this integer system is (in)feasible"), never
+//! invalidated by later compilations — but *where* they are stored
+//! depends on the observability context. When an
+//! [`ObsSession`](pluto_obs::ObsSession) is installed on the probing
+//! thread, the cache lives in that session
+//! ([`pluto_obs::session_ext`]): each concurrent compile gets its own
+//! verdict store, so its `ilp.cache_hits`/`ilp.cache_misses` counters
+//! are attributable to that compile alone and deterministic run to run,
+//! and the store is freed with the session. With no session installed,
+//! probes fall back to a process-global monotonic map — bare library
+//! callers still amortize across compiles. The [`set_enabled`] knob
+//! (`plutoc --no-solver-cache` differential/debug compiles) and
+//! [`clear`] follow the same resolution, so toggling one session's
+//! cache never perturbs another compile. Capacity is capped at
+//! [`MAX_ENTRIES`] per store; a full store stops inserting but keeps
+//! answering.
 //!
 //! [`ConstraintSet::add_ineq`]: crate::ConstraintSet::add_ineq
 //! [`ConstraintSet::add_eq`]: crate::ConstraintSet::add_eq
@@ -81,44 +89,87 @@ pub fn key_of(set: &ConstraintSet) -> Key {
     }
 }
 
-static ENABLED: AtomicBool = AtomicBool::new(true);
-
-fn map() -> &'static Mutex<HashMap<Key, bool>> {
-    static MAP: OnceLock<Mutex<HashMap<Key, bool>>> = OnceLock::new();
-    MAP.get_or_init(|| Mutex::new(HashMap::new()))
+/// One verdict store: the session-scoped cache state
+/// ([`pluto_obs::session_ext`] instantiates one per
+/// [`ObsSession`](pluto_obs::ObsSession) on first probe) and the shape
+/// of the process-global fallback.
+#[derive(Debug)]
+pub struct Scope {
+    enabled: AtomicBool,
+    map: Mutex<HashMap<Key, bool>>,
 }
 
-/// Whether probes consult the cache (default: yes).
+impl Default for Scope {
+    fn default() -> Scope {
+        Scope {
+            enabled: AtomicBool::new(true),
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+/// The process-global fallback store used by sessionless callers.
+fn global() -> &'static Scope {
+    static GLOBAL: OnceLock<Scope> = OnceLock::new();
+    GLOBAL.get_or_init(Scope::default)
+}
+
+/// Whether probes on this thread consult the cache (default: yes).
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    match pluto_obs::session_ext::<Scope>() {
+        Some(s) => s.enabled.load(Ordering::Relaxed),
+        None => global().enabled.load(Ordering::Relaxed),
+    }
 }
 
-/// Turns the cache on or off process-wide (`plutoc --no-solver-cache`).
-/// Disabling does not drop stored entries; re-enabling resumes hits.
+/// Turns the cache on or off for the current scope — the installed
+/// session if any (`plutoc --no-solver-cache`, differential tests),
+/// else process-wide. Disabling does not drop stored entries;
+/// re-enabling resumes hits.
 pub fn set_enabled(on: bool) {
-    ENABLED.store(on, Ordering::Relaxed);
+    match pluto_obs::session_ext::<Scope>() {
+        Some(s) => s.enabled.store(on, Ordering::Relaxed),
+        None => global().enabled.store(on, Ordering::Relaxed),
+    }
 }
 
-/// Drops every stored verdict (session scoping for long-lived servers).
+/// Drops every verdict stored in the current scope.
 pub fn clear() {
-    map().lock().unwrap().clear();
+    match pluto_obs::session_ext::<Scope>() {
+        Some(s) => s.map.lock().unwrap().clear(),
+        None => global().map.lock().unwrap().clear(),
+    }
 }
 
-/// Number of resident verdicts.
+/// Number of verdicts resident in the current scope.
 pub fn len() -> usize {
-    map().lock().unwrap().len()
+    match pluto_obs::session_ext::<Scope>() {
+        Some(s) => s.map.lock().unwrap().len(),
+        None => global().map.lock().unwrap().len(),
+    }
 }
 
-/// Looks up a canonical key; `Some(is_empty)` on a hit.
+/// Looks up a canonical key in the current scope; `Some(is_empty)` on a
+/// hit.
 pub fn lookup(key: &Key) -> Option<bool> {
-    map().lock().unwrap().get(key).copied()
+    match pluto_obs::session_ext::<Scope>() {
+        Some(s) => s.map.lock().unwrap().get(key).copied(),
+        None => global().map.lock().unwrap().get(key).copied(),
+    }
 }
 
-/// Stores a verdict (dropped once [`MAX_ENTRIES`] is reached).
+/// Stores a verdict in the current scope (dropped once [`MAX_ENTRIES`]
+/// is reached).
 pub fn insert(key: Key, is_empty: bool) {
-    let mut m = map().lock().unwrap();
-    if m.len() < MAX_ENTRIES {
-        m.insert(key, is_empty);
+    let store = |s: &Scope| {
+        let mut m = s.map.lock().unwrap();
+        if m.len() < MAX_ENTRIES {
+            m.insert(key, is_empty);
+        }
+    };
+    match pluto_obs::session_ext::<Scope>() {
+        Some(s) => store(&s),
+        None => store(global()),
     }
 }
 
@@ -194,5 +245,38 @@ mod tests {
         }
         assert!(empty.is_empty());
         assert!(!full.is_empty());
+    }
+
+    #[test]
+    fn sessions_get_isolated_stores() {
+        let probe = set(&[], &[&[1, 0, 0], &[0, 1, 0]]);
+        let key = key_of(&probe);
+        let s1 = pluto_obs::ObsSession::builder().build();
+        let s2 = pluto_obs::ObsSession::builder().build();
+        {
+            let _g = s1.install();
+            assert_eq!(lookup(&key), None, "fresh session store not empty");
+            insert(key.clone(), false);
+            assert_eq!(lookup(&key), Some(false));
+            assert_eq!(len(), 1);
+        }
+        {
+            // A different session sees none of s1's verdicts, and its
+            // enabled toggle is its own.
+            let _g = s2.install();
+            assert_eq!(lookup(&key), None);
+            assert_eq!(len(), 0);
+            assert!(enabled());
+            set_enabled(false);
+            assert!(!enabled());
+        }
+        {
+            // s1's store and toggle survive untouched.
+            let _g = s1.install();
+            assert_eq!(lookup(&key), Some(false));
+            assert!(enabled());
+            clear();
+            assert_eq!(len(), 0);
+        }
     }
 }

@@ -22,7 +22,13 @@
 //! * worker panics are caught, the barrier still completes (no deadlock,
 //!   no dangling borrows of the dispatcher's stack), and the payload is
 //!   re-raised on the dispatching thread; the worker itself survives for
-//!   the next dispatch.
+//!   the next dispatch;
+//! * workers inherit the dispatcher's [`ObsSession`](pluto_obs::ObsSession):
+//!   [`ThreadPool::run`] captures the session installed on the calling
+//!   thread and each enlisted worker re-installs it around its share of
+//!   the job, so counters, chunk timings, and trace events recorded
+//!   inside a parallel region land in the compile that dispatched it —
+//!   even with concurrent compiles sharing the pool.
 //!
 //! Spawns are counted process-wide ([`spawn_count`]) so the bench harness
 //! can assert the acceptance criterion "zero thread spawns after pool
@@ -56,6 +62,9 @@ struct State {
     generation: u64,
     /// The current generation's job (valid while `active > 0`).
     job: Option<JobPtr>,
+    /// The dispatcher's observability session for the current
+    /// generation; enlisted workers install a clone around the job.
+    session: Option<pluto_obs::ObsSession>,
     /// Worker slots enlisted in the current generation (slots
     /// `1..=team` run; higher slots skip it).
     team: usize,
@@ -84,7 +93,7 @@ fn lock(m: &Mutex<State>) -> MutexGuard<'_, State> {
 fn worker_loop(shared: Arc<Shared>, slot: usize) {
     let mut seen = 0u64;
     loop {
-        let job = {
+        let (job, session) = {
             let mut st = lock(&shared.state);
             loop {
                 if st.shutdown {
@@ -93,14 +102,23 @@ fn worker_loop(shared: Arc<Shared>, slot: usize) {
                 if st.generation != seen {
                     seen = st.generation;
                     if slot <= st.team {
-                        break st.job.expect("job set for live generation");
+                        break (
+                            st.job.expect("job set for live generation"),
+                            st.session.clone(),
+                        );
                     }
                     // Not enlisted this generation: skip it and re-park.
                 }
                 st = shared.start.wait(st).unwrap_or_else(|e| e.into_inner());
             }
         };
-        let r = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(slot) }));
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            // Attribute this worker's recording to the dispatching
+            // compile for the duration of the job; the guard restores
+            // the (empty) slot even if the job panics.
+            let _obs = session.as_ref().map(|s| s.install());
+            unsafe { (*job.0)(slot) }
+        }));
         let mut st = lock(&shared.state);
         if let Err(p) = r {
             st.panic_payload.get_or_insert(p);
@@ -123,6 +141,10 @@ pub struct ThreadPool {
     ///
     /// [`ensure_width`]: ThreadPool::ensure_width
     width: AtomicUsize,
+    /// OS threads this pool has ever spawned (its private share of
+    /// [`spawn_count`]); lets tests pin "reuse must not spawn" on one
+    /// pool without racing other pools in the process.
+    spawned: AtomicUsize,
     /// Serializes dispatches from concurrent callers (the fuzz harness
     /// runs kernels from several test threads against the global pool).
     dispatch: Mutex<()>,
@@ -137,6 +159,7 @@ impl ThreadPool {
                 state: Mutex::new(State {
                     generation: 0,
                     job: None,
+                    session: None,
                     team: 0,
                     active: 0,
                     panic_payload: None,
@@ -147,6 +170,7 @@ impl ThreadPool {
             }),
             handles: Mutex::new(Vec::new()),
             width: AtomicUsize::new(0),
+            spawned: AtomicUsize::new(0),
             dispatch: Mutex::new(()),
         };
         pool.ensure_width(width);
@@ -156,6 +180,12 @@ impl ThreadPool {
     /// Parked workers available for enlistment.
     pub fn width(&self) -> usize {
         self.width.load(Ordering::Acquire)
+    }
+
+    /// OS threads this pool has spawned over its lifetime. Monotonic:
+    /// once the pool is warm, repeated dispatches must not move it.
+    pub fn spawned(&self) -> usize {
+        self.spawned.load(Ordering::Relaxed)
     }
 
     /// Grows the pool to at least `width` workers (never shrinks). New
@@ -176,6 +206,7 @@ impl ThreadPool {
                     .expect("spawn pool worker"),
             );
             SPAWNED.fetch_add(1, Ordering::Relaxed);
+            self.spawned.fetch_add(1, Ordering::Relaxed);
         }
         self.width.store(width.max(have), Ordering::Release);
     }
@@ -194,6 +225,7 @@ impl ThreadPool {
             // the pointer from outliving the frame it points into.
             let erased: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(job) };
             st.job = Some(JobPtr(erased));
+            st.session = pluto_obs::ObsSession::current();
             st.generation = st.generation.wrapping_add(1);
             st.team = team;
             st.active = team;
@@ -210,6 +242,7 @@ impl ThreadPool {
                 st = self.shared.done.wait(st).unwrap_or_else(|e| e.into_inner());
             }
             st.job = None;
+            st.session = None;
             st.panic_payload.take()
         } else {
             None

@@ -101,17 +101,17 @@ pub fn check_kernel(k: &BuiltKernel, cfg: &OracleConfig) -> Result<(), String> {
     let deps = analyze_dependences(prog, true);
     // One hyperplane search feeds every variant (`Optimizer::apply`); the
     // search dominates oracle cost and is identical across them anyway.
-    // The search and the fully-optimized apply run under decision
-    // recording (window guard held: recording is process-global and the
-    // fuzz harness runs kernels from several test threads), so the
-    // replayed satisfaction ledger can be differenced against the
-    // search's own bookkeeping and fed to the analyzer's PL007 check.
-    let window = pluto_obs::decision::exclusive();
-    pluto_obs::decision::start();
+    // The search and the fully-optimized apply run under this check's
+    // own decision-recording session (per-compile scoping: the fuzz
+    // harness runs kernels from several test threads without
+    // interleaving logs), so the replayed satisfaction ledger can be
+    // differenced against the search's own bookkeeping and fed to the
+    // analyzer's PL007 check.
+    let obs = pluto_obs::ObsSession::builder().decisions().build();
+    let obs_guard = obs.install();
     let searched = match pluto::find_transformation(prog, &deps, &pluto::PlutoOptions::default()) {
         Ok(s) => s,
         Err(e) => {
-            pluto_obs::decision::finish();
             return Err(format!("search failed: {e:?}"));
         }
     };
@@ -123,8 +123,8 @@ pub fn check_kernel(k: &BuiltKernel, cfg: &OracleConfig) -> Result<(), String> {
         .tile_size(cfg.tile_size)
         .wavefront_degrees(2)
         .apply(prog, deps.clone(), searched.clone());
-    let decision_log = pluto_obs::decision::finish();
-    drop(window);
+    drop(obs_guard);
+    let decision_log = obs.take_decisions();
 
     // Replay differential: the event stream folded to final row
     // coordinates must reproduce the search's satisfaction map exactly.
@@ -283,17 +283,16 @@ pub fn check_kernel(k: &BuiltKernel, cfg: &OracleConfig) -> Result<(), String> {
     }
 
     // Shortcut differential (DESIGN.md §11): recompile with every
-    // compile-time shortcut disabled — process-wide emptiness cache off,
+    // compile-time shortcut disabled — emptiness cache off,
     // warm-starting off, candidate pruning off, serial pair analysis —
     // and require the slow path to reproduce the dependence set, the
     // transformation, the satisfaction ledger, the generated AST, and
-    // the compiled bytecode bit-for-bit. The cache switch is
-    // process-global, so the block rides the same exclusive window as
-    // decision recording; concurrently running kernels merely lose the
-    // cache for a moment, which by this very invariant cannot change
-    // their answers.
+    // the compiled bytecode bit-for-bit. A throwaway session scopes the
+    // cache toggle to this block: concurrently running kernels keep
+    // their own caches untouched.
     {
-        let _window = pluto_obs::decision::exclusive();
+        let cold_obs = pluto_obs::ObsSession::builder().build();
+        let _cold_guard = cold_obs.install();
         pluto_poly::cache::set_enabled(false);
         let cold = (|| -> Result<(), String> {
             let deps_cold = analyze_dependences_with(
@@ -361,7 +360,6 @@ pub fn check_kernel(k: &BuiltKernel, cfg: &OracleConfig) -> Result<(), String> {
             }
             Ok(())
         })();
-        pluto_poly::cache::set_enabled(true);
         cold?;
     }
 

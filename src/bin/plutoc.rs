@@ -172,18 +172,26 @@ fn run() -> Result<ExitCode, String> {
         Some(p) => std::fs::read_to_string(p).map_err(|e| format!("cannot read `{p}`: {e}"))?,
     };
 
-    // The session starts before parsing so the "parse" span is captured.
-    // Trace recording likewise starts here (not at the execution block):
-    // with it on, every compile phase span emits Begin/End events on
-    // tid 0, so the exported document shows the compile timeline next to
-    // the runtime wavefronts.
-    let session = do_profile.then(pluto_obs::Session::start);
-    if trace_out.is_some() {
-        pluto_obs::trace::start();
-    }
-    if do_explain || do_analyze {
-        pluto_obs::decision::start();
-    }
+    // This invocation's observability session, installed before parsing
+    // so the "parse" span is captured. The trace recorder is enabled
+    // here too (not at the execution block): with it on, every compile
+    // phase span emits Begin/End events on tid 0, so the exported
+    // document shows the compile timeline next to the runtime
+    // wavefronts.
+    let obs = {
+        let mut b = pluto_obs::ObsSession::builder();
+        if do_profile {
+            b = b.profile();
+        }
+        if trace_out.is_some() {
+            b = b.trace();
+        }
+        if do_explain || do_analyze {
+            b = b.decisions();
+        }
+        b.build()
+    };
+    let _obs_guard = obs.install();
 
     let unit = pluto_frontend::parse_unit(&source).map_err(|e| e.to_string())?;
     let prog = unit.program.clone();
@@ -211,7 +219,7 @@ fn run() -> Result<ExitCode, String> {
     let optimized = opt
         .optimize(&prog)
         .map_err(|e| format!("transformation failed: {e}"))?;
-    let decision_log = pluto_obs::decision::finish();
+    let decision_log = obs.take_decisions();
     let ledger = decision_log.ledger(optimized.deps.len());
     if show_transform {
         eprintln!("{}", optimized.result.transform.display(&prog));
@@ -310,8 +318,9 @@ fn run() -> Result<ExitCode, String> {
             .map_err(|m| format!("--trace: {m}"))?;
         let mut arrays = Arrays::new(extents);
         arrays.seed_with(pluto_frontend::kernels::seed_value);
-        // trace::start() already ran before parsing: the document carries
-        // the compile-phase spans recorded since, plus this execution.
+        // The trace recorder has been live since before parsing: the
+        // document carries the compile-phase spans recorded since, plus
+        // this execution.
         run_parallel(
             &prog,
             &ast,
@@ -322,7 +331,7 @@ fn run() -> Result<ExitCode, String> {
                 collapse: wavefront.max(1),
             },
         );
-        let trace = pluto_obs::trace::finish();
+        let trace = obs.take_trace();
         let doc = trace.to_chrome_json();
         pluto_obs::json::parse(&doc)
             .map_err(|e| format!("--trace: emitted trace is not valid JSON: {e}"))?;
@@ -333,8 +342,8 @@ fn run() -> Result<ExitCode, String> {
             trace.distinct_tids()
         );
     }
-    if let Some(session) = session {
-        let profile = session.finish();
+    if do_profile {
+        let profile = obs.finish_profile();
         if profile_json {
             print!("{}", profile.to_json(Some(&kernel)));
         } else {

@@ -53,6 +53,9 @@
 pub mod pipeline;
 
 pub use pluto;
+pub use schedule::{pluto_schedule, Scheduled};
+
+mod schedule;
 pub use pluto_analyze as analyze;
 pub use pluto_codegen as codegen;
 pub use pluto_frontend as frontend;

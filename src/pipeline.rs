@@ -93,23 +93,17 @@ pub fn compile_audited_exec(
     extents: Option<&[Vec<Vec<Int>>]>,
     exec: Option<ExecShape>,
 ) -> Result<Compiled, PlutoError> {
-    let session = pluto_obs::Session::start();
-    // Decision recording is process-global: hold the window guard so
-    // concurrent audited compiles (test threads) don't interleave logs.
-    let window = pluto_obs::decision::exclusive();
-    pluto_obs::decision::start();
-    let optimized = match optimizer.optimize(prog) {
-        Ok(o) => o,
-        Err(e) => {
-            // Recording must not outlive the compile.
-            pluto_obs::decision::finish();
-            drop(window);
-            session.finish();
-            return Err(e);
-        }
-    };
-    let decision_log = pluto_obs::decision::finish();
-    drop(window);
+    // This compile's own observability context: counters, spans, and the
+    // decision log all land here, isolated from any concurrent compile.
+    let session = pluto_obs::ObsSession::builder()
+        .profile()
+        .decisions()
+        .build();
+    // The install guard uninstalls on every exit path, including the
+    // `?` early return: a failed compile leaves no session behind.
+    let guard = session.install();
+    let optimized = optimizer.optimize(prog)?;
+    let decision_log = session.take_decisions();
     let ledger = decision_log.ledger(optimized.deps.len());
     let ast = generate(prog, &optimized.result.transform);
     let param_values: Option<Vec<Int>> = exec.map(|e| e.params.iter().map(|&v| v as Int).collect());
@@ -136,11 +130,12 @@ pub fn compile_audited_exec(
         }
         diags
     };
+    drop(guard);
     Ok(Compiled {
         optimized,
         ast,
         diagnostics,
-        profile: session.finish(),
+        profile: session.finish_profile(),
         decision_log,
     })
 }

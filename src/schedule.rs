@@ -1,0 +1,91 @@
+//! The reentrant library entry point — the API a compile *service*
+//! wraps.
+//!
+//! `plutoc` is a one-shot CLI; the ROADMAP's `plutod` serves many
+//! concurrent compile requests from one process. [`pluto_schedule`] is
+//! the embedding-friendly analogue of libpluto's
+//! `pluto_schedule(domains, deps, options)`: the caller owns the
+//! polyhedral extraction (domains and accesses arrive as an
+//! [`ir::Program`](pluto_ir::Program), dependences as the caller's own
+//! analysis or a replayed cache), and every call builds a **private**
+//! [`ObsSession`](pluto_obs::ObsSession), so any number of calls can run
+//! concurrently on different threads — each returns its own generated
+//! code, its own `pluto-profile/3` counters/spans, and its own
+//! `pluto-explain/1` decision report, with no cross-talk.
+
+use pluto::{explain_json, Optimizer, PlutoError};
+use pluto_codegen::{emit_c, generate};
+use pluto_ir::{Dependence, Program};
+use pluto_obs::Profile;
+
+/// Everything one [`pluto_schedule`] call produces.
+pub struct Scheduled {
+    /// The transformed program as OpenMP C.
+    pub code: String,
+    /// Phase spans, solver counters, and latency histograms for this
+    /// call alone (`pluto-profile/3` via [`Profile::to_json`]).
+    pub profile: Profile,
+    /// The `pluto-explain/1` JSON document: schedule rows, satisfaction
+    /// ledger, and the search's decision events.
+    pub explain: String,
+}
+
+/// Searches, tiles, and generates code for `prog` under its own
+/// observability session — safe to call from any number of threads at
+/// once.
+///
+/// Dependences are caller-supplied (libpluto-style); compute them with
+/// [`pluto_ir::analyze_dependences`] or
+/// [`pluto_ir::analyze_dependences_with`] if you have nothing cached.
+/// The session also scopes the emptiness-cache store, so two concurrent
+/// calls report independent, deterministic `ilp.cache_*` counters.
+///
+/// # Errors
+/// Propagates [`PlutoError`] from the transformation search.
+///
+/// # Example
+///
+/// ```
+/// use pluto_repro::pluto_schedule;
+/// use pluto::Optimizer;
+/// use pluto_frontend::kernels;
+/// use pluto_ir::analyze_dependences;
+///
+/// let k = kernels::matmul();
+/// let deps = analyze_dependences(&k.program, true);
+/// let out = pluto_schedule(&k.program, deps, &Optimizer::new().tile_size(16))?;
+/// assert!(out.code.contains("#pragma omp parallel for"));
+/// assert!(out.explain.contains("pluto-explain/1"));
+/// assert!(out.profile.phase("optimize/search").is_some());
+/// # Ok::<(), pluto::PlutoError>(())
+/// ```
+pub fn pluto_schedule(
+    prog: &Program,
+    deps: Vec<Dependence>,
+    options: &Optimizer,
+) -> Result<Scheduled, PlutoError> {
+    let session = pluto_obs::ObsSession::builder()
+        .profile()
+        .decisions()
+        .build();
+    // RAII: the `?` on a failed search uninstalls too — no session
+    // leaks onto the calling thread.
+    let guard = session.install();
+    let optimized = options.optimize_with_deps(prog, deps)?;
+    let log = session.take_decisions();
+    let ast = generate(prog, &optimized.result.transform);
+    let code = emit_c(prog, &ast);
+    drop(guard);
+    let explain = explain_json(
+        prog,
+        &optimized.deps,
+        &optimized.result,
+        &log,
+        Some(&prog.name),
+    );
+    Ok(Scheduled {
+        code,
+        profile: session.finish_profile(),
+        explain,
+    })
+}

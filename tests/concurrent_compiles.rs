@@ -1,0 +1,139 @@
+//! The tentpole's proof of isolation: N ≥ 8 threads compiling different
+//! kernels *simultaneously* must each produce the same `pluto-profile/3`
+//! and `pluto-explain/1` documents as their serial runs.
+//!
+//! Every compile installs its own `ObsSession`, so its counters, spans,
+//! decision log, and emptiness-cache store are private by construction —
+//! a concurrent neighbour can neither inflate a counter nor interleave a
+//! decision event. The explain document (schedule rows, satisfaction
+//! ledger, decision events) must be **bit-identical** across runs; the
+//! profile document is compared after zeroing wall-clock fields
+//! (`total_ns`, per-phase `wall_ns`, histogram `sum_ns`/bucket
+//! positions), since time itself is the one thing a loaded machine is
+//! allowed to change — the *counts* (phase calls, all 24 counters,
+//! histogram sample totals) must match exactly.
+
+use pluto::Optimizer;
+use pluto_frontend::kernels;
+use pluto_ir::Program;
+use pluto_repro::pluto_schedule;
+use std::sync::Barrier;
+
+/// One full library compile of `prog` under a private session, returning
+/// the (normalized profile, explain) document pair.
+fn compile(name: &str, prog: &Program) -> (String, String) {
+    // Serial dependence analysis (the `Optimizer` default) keeps the
+    // session's cache hit/miss counters deterministic: with a worker
+    // team, two workers can race to the same canonical key and both
+    // miss, which is correct but scheduling-dependent.
+    let obs = pluto_obs::ObsSession::builder()
+        .profile()
+        .decisions()
+        .build();
+    let deps = {
+        let _g = obs.install();
+        pluto_ir::analyze_dependences(prog, true)
+    };
+    let out = pluto_schedule(prog, deps, &Optimizer::new().tile_size(8))
+        .unwrap_or_else(|e| panic!("{name}: compile failed: {e:?}"));
+    (
+        normalize_profile(&out.profile.to_json(Some(name))),
+        out.explain,
+    )
+}
+
+/// Zeroes the digits following `"key": ` everywhere in `line`.
+fn zero_field(line: &str, key: &str) -> String {
+    let needle = format!("\"{key}\": ");
+    let mut out = String::new();
+    let mut rest = line;
+    while let Some(i) = rest.find(&needle) {
+        let after = i + needle.len();
+        out.push_str(&rest[..after]);
+        out.push('0');
+        rest = rest[after..].trim_start_matches(|c: char| c.is_ascii_digit());
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Strips the timing content from a `pluto-profile/3` document, keeping
+/// every deterministic field: phase paths and call counts, counter
+/// values, histogram names and sample counts.
+fn normalize_profile(doc: &str) -> String {
+    doc.lines()
+        .map(|line| {
+            let mut l = zero_field(line, "total_ns");
+            l = zero_field(&l, "wall_ns");
+            l = zero_field(&l, "sum_ns");
+            // A histogram sample's bucket is its latency's log2 — a
+            // loaded machine legitimately shifts samples between
+            // buckets, so only the total (the `count` field) is pinned.
+            if let (Some(i), Some(j)) = (l.find("\"buckets\": ["), l.rfind(']')) {
+                l = format!("{}{}", &l[..i + "\"buckets\": [".len()], &l[j..]);
+            }
+            l
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// ISSUE 9 acceptance: per-compile profile/explain JSON from N ≥ 8
+/// simultaneous compiles is identical to serial runs.
+#[test]
+fn concurrent_compiles_match_serial_documents() {
+    let all = kernels::all();
+    assert!(all.len() >= 8, "stress test wants at least 8 kernels");
+
+    // Serial reference pass: one compile at a time.
+    let serial: Vec<(String, String)> = all
+        .iter()
+        .map(|(name, k)| compile(name, &k.program))
+        .collect();
+
+    // Concurrent pass: every kernel on its own thread, released together.
+    let barrier = Barrier::new(all.len());
+    let concurrent: Vec<(String, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = all
+            .iter()
+            .map(|(name, k)| {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    compile(name, &k.program)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (((name, _), serial), concurrent) in all.iter().zip(&serial).zip(&concurrent) {
+        assert_eq!(
+            serial.1, concurrent.1,
+            "{name}: explain document diverges between serial and concurrent compiles"
+        );
+        assert_eq!(
+            serial.0, concurrent.0,
+            "{name}: profile document (timing-normalized) diverges between serial \
+             and concurrent compiles"
+        );
+    }
+
+    // And the documents are self-consistent: valid JSON, stable schemas.
+    for ((name, _), (profile, explain)) in all.iter().zip(&serial) {
+        let p = pluto_obs::json::parse(profile)
+            .unwrap_or_else(|e| panic!("{name}: profile JSON invalid: {e}"));
+        assert_eq!(
+            p.get("schema").unwrap().as_str(),
+            Some("pluto-profile/3"),
+            "{name}: profile schema drifted"
+        );
+        let e = pluto_obs::json::parse(explain)
+            .unwrap_or_else(|e| panic!("{name}: explain JSON invalid: {e}"));
+        assert_eq!(
+            e.get("schema").unwrap().as_str(),
+            Some("pluto-explain/1"),
+            "{name}: explain schema drifted"
+        );
+    }
+}

@@ -5,8 +5,11 @@
 //! trace timelines use only stable slot tids, and jacobi-1d's dynamic
 //! chunking holds the load-imbalance acceptance bound.
 //!
-//! The pool, trace buffers, and spawn counter are process-global, so
-//! every test here serializes on one mutex.
+//! Tracing is session-scoped (each test that wants a trace installs its
+//! own `ObsSession`), so the tests run fully parallel; the one
+//! process-global resource left is the pool's spawn counter, which the
+//! spawn-free test neutralizes by pre-warming the pool to the widest
+//! team any test in this binary uses.
 
 use pluto::Optimizer;
 use pluto_codegen::{generate, original_schedule};
@@ -15,13 +18,9 @@ use pluto_machine::{
     compile_kernel, pool, run_compiled_parallel, run_parallel, run_parallel_profiled,
     run_sequential, Arrays, ParallelConfig,
 };
-use std::sync::Mutex;
 
-static SERIAL: Mutex<()> = Mutex::new(());
-
-fn serial() -> std::sync::MutexGuard<'static, ()> {
-    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
-}
+/// The widest team any test in this binary dispatches.
+const MAX_TEAM: usize = 7;
 
 /// The Fig. 13 kernels the bench harness samples, with parameters small
 /// enough for a debug-build golden but large enough that wavefront
@@ -49,7 +48,6 @@ fn reference(k: &Kernel, params: &[i64]) -> Arrays {
 /// the dispatch path at all.
 #[test]
 fn fig13_goldens_across_team_widths() {
-    let _g = serial();
     let opt = Optimizer::new().tile_size(8);
     for (k, params) in fig13() {
         let name = k.program.name.clone();
@@ -94,7 +92,10 @@ fn fig13_goldens_across_team_widths() {
 /// and spawns no threads after the pool is warm.
 #[test]
 fn compiled_kernel_reuse_is_stable_and_spawn_free() {
-    let _g = serial();
+    // The spawn counter is process-global; growing the pool to the
+    // widest team used anywhere in this binary first means no
+    // concurrently running test can spawn behind our back.
+    pool::global().ensure_width(MAX_TEAM);
     let k = kernels::seidel_2d();
     let params = [6i64, 36];
     let expect = reference(&k, &params);
@@ -111,7 +112,7 @@ fn compiled_kernel_reuse_is_stable_and_spawn_free() {
     warm.seed_with(kernels::seed_value);
     run_compiled_parallel(&ck, &mut warm, cfg);
     assert!(warm.bitwise_eq(&expect));
-    let spawned = pool::spawn_count();
+    let spawned = pool::global().spawned();
     for round in 0..10 {
         let mut arrays = Arrays::new((k.extents)(&params));
         arrays.seed_with(kernels::seed_value);
@@ -119,7 +120,7 @@ fn compiled_kernel_reuse_is_stable_and_spawn_free() {
         assert!(arrays.bitwise_eq(&expect), "round {round} diverged");
     }
     assert_eq!(
-        pool::spawn_count(),
+        pool::global().spawned(),
         spawned,
         "steady-state dispatches must not spawn threads"
     );
@@ -130,25 +131,27 @@ fn compiled_kernel_reuse_is_stable_and_spawn_free() {
 /// per-dispatch spawn id.
 #[test]
 fn trace_tids_are_stable_pool_slots() {
-    let _g = serial();
     let k = kernels::seidel_2d();
     let params = [6i64, 36];
     let optimized = Optimizer::new().tile_size(8).optimize(&k.program).unwrap();
     let ast = generate(&k.program, &optimized.result.transform);
     let mut arrays = Arrays::new((k.extents)(&params));
     arrays.seed_with(kernels::seed_value);
-    pluto_obs::trace::start();
-    run_parallel(
-        &k.program,
-        &ast,
-        &params,
-        &mut arrays,
-        ParallelConfig {
-            threads: 4,
-            collapse: 1,
-        },
-    );
-    let trace = pluto_obs::trace::finish();
+    let obs = pluto_obs::ObsSession::builder().trace().build();
+    {
+        let _g = obs.install();
+        run_parallel(
+            &k.program,
+            &ast,
+            &params,
+            &mut arrays,
+            ParallelConfig {
+                threads: 4,
+                collapse: 1,
+            },
+        );
+    }
+    let trace = obs.take_trace();
     let tids: std::collections::BTreeSet<u32> = trace.events.iter().map(|e| e.tid).collect();
     assert!(!tids.is_empty(), "traced run produced no span events");
     assert!(
@@ -163,7 +166,6 @@ fn trace_tids_are_stable_pool_slots() {
 /// measured 1.87 on this kernel), without costing correctness.
 #[test]
 fn jacobi_imbalance_bounded() {
-    let _g = serial();
     let k = kernels::jacobi_1d_imperfect();
     let params = [16i64, 1200];
     let expect = reference(&k, &params);

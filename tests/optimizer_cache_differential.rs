@@ -31,8 +31,13 @@ use pluto_ir::{analyze_dependences_with, DepAnalysisOptions, Program};
 /// artifact the differential compares: dependence fingerprint, explain
 /// document (transformation + ledger + decision events), and C output.
 fn compile(name: &str, prog: &Program, shortcuts: bool) -> (String, String, String) {
+    // Each compile runs under its own session: its decision log and its
+    // emptiness-cache store (and the cache on/off toggle) are private to
+    // this call, so cached and uncached compiles can't contaminate each
+    // other — or any test running concurrently.
+    let obs = pluto_obs::ObsSession::builder().decisions().build();
+    let guard = obs.install();
     pluto_poly::cache::set_enabled(shortcuts);
-    pluto_obs::decision::start();
     let deps = analyze_dependences_with(
         prog,
         &DepAnalysisOptions {
@@ -53,8 +58,8 @@ fn compile(name: &str, prog: &Program, shortcuts: bool) -> (String, String, Stri
     let full = Optimizer::new()
         .tile_size(8)
         .apply(prog, deps.clone(), searched);
-    let log = pluto_obs::decision::finish();
-    pluto_poly::cache::set_enabled(true);
+    drop(guard);
+    let log = obs.take_decisions();
 
     let dep_fingerprint = deps
         .iter()
@@ -72,9 +77,6 @@ fn compile(name: &str, prog: &Program, shortcuts: bool) -> (String, String, Stri
 
 #[test]
 fn shortcuts_are_output_invariant_on_all_example_kernels() {
-    // Decision recording and the emptiness cache are process-global;
-    // hold the exclusive window across both compiles of each kernel.
-    let _window = pluto_obs::decision::exclusive();
     for (name, k) in kernels::all() {
         let (deps_on, doc_on, c_on) = compile(name, &k.program, true);
         let (deps_off, doc_off, c_off) = compile(name, &k.program, false);
