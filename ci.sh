@@ -3,8 +3,10 @@
 # build, full offline test suite, the 200-kernel fixed-seed differential
 # fuzz run, a bench_json smoke run with BENCH_*.json schema checks, a
 # bench_diff perf-regression gate against the committed baselines, a
-# concurrent-compile isolation smoke (per-session telemetry), and a
-# trace-schema smoke run of `plutoc --trace`.
+# concurrent-compile isolation smoke (per-session telemetry), a plutod
+# daemon smoke (cache hits + the stats aggregation invariant re-derived
+# from the wire documents), and a trace-schema smoke run of
+# `plutoc --trace`.
 #
 # The workspace has zero external dependencies (path deps only), so every
 # step runs with --offline against an empty crate registry. Randomized
@@ -44,7 +46,7 @@ echo "== bench smoke: BENCH_*.json emission + well-formedness =="
 cp BENCH_pipeline.json /tmp/pluto-ci-baseline-pipeline.json
 cp BENCH_kernels.json /tmp/pluto-ci-baseline-kernels.json
 cargo run --release --offline -p pluto-bench
-grep -q '"schema": "pluto-bench-pipeline/2"' BENCH_pipeline.json
+grep -q '"schema": "pluto-bench-pipeline/3"' BENCH_pipeline.json
 grep -q '"schema": "pluto-bench-kernels/2"' BENCH_kernels.json
 
 echo "== bench_diff: fresh run vs committed baselines (soft wall-time gate) =="
@@ -116,6 +118,56 @@ for round in 1 2 3; do
         }
     done
 done
+
+echo "== daemon smoke: plutod stdio, 21 compiles with repeats, stats == sum of profiles =="
+# One plutod process serves 7 rounds over the 3 shipped examples (21
+# compile requests — 3 cold, 18 repeats) plus a final stats request.
+# The gate asserts the pluto-rpc/1 / pluto-stats/1 / pluto-log/1 wire
+# surface AND the aggregation invariant, re-derived hermetically: every
+# counter in the stats document must equal the awk-sum of that counter
+# over the 21 per-request pluto-profile/3 documents (PERFORMANCE.md
+# §5.6). Sources are one-lined with tr; the examples contain no JSON
+# metacharacters.
+: > /tmp/pluto-ci-daemon-req.jsonl
+i=0
+for round in 1 2 3 4 5 6 7; do
+    for example in examples/*.c; do
+        i=$((i+1))
+        printf '{"id": %d, "method": "compile", "source": "%s"}\n' \
+            "$i" "$(tr '\n' ' ' < "$example")" >> /tmp/pluto-ci-daemon-req.jsonl
+    done
+done
+printf '{"id": 99, "method": "stats"}\n' >> /tmp/pluto-ci-daemon-req.jsonl
+./target/release/plutod < /tmp/pluto-ci-daemon-req.jsonl \
+    > /tmp/pluto-ci-daemon-resp.jsonl 2> /tmp/pluto-ci-daemon-log.jsonl
+[ "$(wc -l < /tmp/pluto-ci-daemon-resp.jsonl)" -eq 22 ]
+# Wire schemas: every response is pluto-rpc/1, every stderr record is
+# pluto-log/1, the final response carries the pluto-stats/1 aggregate.
+[ "$(grep -c '"schema": "pluto-rpc/1"' /tmp/pluto-ci-daemon-resp.jsonl)" -eq 22 ]
+[ "$(grep -c '"schema": "pluto-log/1"' /tmp/pluto-ci-daemon-log.jsonl)" -eq 22 ]
+tail -n 1 /tmp/pluto-ci-daemon-resp.jsonl | grep -q '"schema": "pluto-stats/1"'
+# The schedule cache worked: 3 cold misses, 18 hits, visible both in
+# the per-request log lines and in the stats cache totals.
+[ "$(grep -c '"cache": "miss"' /tmp/pluto-ci-daemon-log.jsonl)" -eq 3 ]
+[ "$(grep -c '"cache": "hit"' /tmp/pluto-ci-daemon-log.jsonl)" -eq 18 ]
+tail -n 1 /tmp/pluto-ci-daemon-resp.jsonl \
+    | grep -o '"cache": {"hits": [0-9]*, "misses": [0-9]*' \
+    | grep -q '"hits": 18, "misses": 3'
+# The aggregation invariant: awk-sum each counter over the 21 compile
+# responses, then compare name-by-name against the stats counters.
+head -n 21 /tmp/pluto-ci-daemon-resp.jsonl \
+    | grep -o '"name": "[a-z_.]*", "value": [0-9]*' \
+    | awk -F'"' '{sum[$4] += substr($7, 3)}
+                 END {for (n in sum) printf "%s %d\n", n, sum[n]}' \
+    | sort > /tmp/pluto-ci-daemon-sum.txt
+tail -n 1 /tmp/pluto-ci-daemon-resp.jsonl \
+    | grep -o '"name": "[a-z_.]*", "value": [0-9]*' \
+    | awk -F'"' '{printf "%s %d\n", $4, substr($7, 3)}' \
+    | sort > /tmp/pluto-ci-daemon-stats.txt
+cmp /tmp/pluto-ci-daemon-sum.txt /tmp/pluto-ci-daemon-stats.txt || {
+    echo "pluto-stats/1 counters diverge from the sum of served profiles" >&2
+    exit 1
+}
 
 echo "== trace smoke: plutoc --trace emits a valid trace_event/1 document =="
 ./target/release/plutoc --tile 8 --trace /tmp/pluto-ci-trace.json \

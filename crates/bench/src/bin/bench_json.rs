@@ -1,6 +1,7 @@
 //! `bench_json` — emits the machine-readable perf trajectory at the repo
-//! root: `BENCH_pipeline.json` (per-kernel compile-phase breakdown and
-//! solver counters, schema `pluto-bench-pipeline/2`) and
+//! root: `BENCH_pipeline.json` (per-kernel compile-phase breakdown,
+//! solver counters, and ILP latency histograms with p50/p95 estimates,
+//! schema `pluto-bench-pipeline/3`) and
 //! `BENCH_kernels.json` (original-sequential vs pluto-sequential
 //! tree-walk run times against the pluto-wavefront variant on the
 //! compiled bytecode executor + persistent worker pool — compiled once,
@@ -28,6 +29,7 @@ use pluto_machine::{
     compile_kernel, pool, run_compiled_parallel, run_compiled_parallel_profiled, run_sequential,
     run_with_cache_attributed, Arrays, CacheConfig, ParallelConfig,
 };
+use pluto_obs::aggregate::fnv1a;
 use pluto_obs::{exec_json, json, Session};
 
 /// Timed samples per variant (after one warm-up); small because the
@@ -62,16 +64,6 @@ fn bench_set() -> Vec<(&'static str, Kernel, Vec<i64>)> {
         ("mvt", kernels::mvt(), vec![300]),
         ("lu", kernels::lu(), vec![100]),
     ]
-}
-
-/// FNV-1a, the workspace's hermetic stand-in for a real digest.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0100_0000_01b3);
-    }
-    h
 }
 
 /// Identity of the measured configuration: kernel names + parameter
@@ -133,9 +125,11 @@ fn main() {
 }
 
 /// Compiles every kernel under an observability session and serializes
-/// each profile (phases + full counter registry).
+/// each profile (phases + full counter registry + full histogram
+/// registry with log2-bucket p50/p95 estimates, so `bench_diff` can
+/// track latency-distribution drift alongside the counter gates).
 fn emit_pipeline(set: &[(&'static str, Kernel, Vec<i64>)]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"pluto-bench-pipeline/2\",\n");
+    let mut out = String::from("{\n  \"schema\": \"pluto-bench-pipeline/3\",\n");
     out.push_str(&meta_json(set));
     out.push_str("  \"kernels\": [");
     for (i, (name, k, _)) in set.iter().enumerate() {
@@ -175,6 +169,26 @@ fn emit_pipeline(set: &[(&'static str, Kernel, Vec<i64>)]) -> String {
                 "\n        {{\"name\": {}, \"value\": {}}}",
                 json::escape(c.name),
                 c.value
+            ));
+        }
+        out.push_str("\n      ],\n      \"hists\": [");
+        for (j, h) in profile.hists.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n        {{\"name\": {}, \"count\": {}, \"sum_ns\": {}, \"p50_ns\": {}, \
+                 \"p95_ns\": {}, \"buckets\": [{}]}}",
+                json::escape(h.name),
+                h.count,
+                h.sum_ns,
+                h.p50_ns(),
+                h.quantile_ns(0.95),
+                h.buckets
+                    .iter()
+                    .map(|b| b.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
             ));
         }
         out.push_str("\n      ]\n    }");

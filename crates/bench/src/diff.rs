@@ -3,16 +3,17 @@
 //! across PRs is this gap and the counter table".
 //!
 //! [`diff_documents`] compares two documents of the same schema
-//! (`pluto-bench-pipeline/2` or `pluto-bench-kernels/2`) metric by
-//! metric. The gating policy follows PERFORMANCE.md §6:
+//! (`pluto-bench-pipeline/2` or `/3`, or `pluto-bench-kernels/2`)
+//! metric by metric. The gating policy follows PERFORMANCE.md §6:
 //!
 //! * **counter-based metrics** (solver counters, dispatch counts,
 //!   simulated cache accesses/misses) are deterministic for a given
 //!   input, so they gate: an increase ≥ the fail threshold is a
 //!   failure, any change ≥ the warn threshold is a warning;
 //! * **wall-time metrics** (`total_ns`, phase `wall_ns`, variant
-//!   `median_ns`, imbalance ratios, barrier wait) move with machine
-//!   load, so they only ever warn.
+//!   `median_ns`, ILP-latency `p50_ns`/`p95_ns` quantiles, imbalance
+//!   ratios, barrier wait) move with machine load, so they only ever
+//!   warn.
 //!
 //! Documents whose `meta` sections disagree (different kernel set,
 //! thread count, sample count or tile size) measured different things;
@@ -210,7 +211,8 @@ pub fn diff_documents(
     if bs != fs {
         return Err(DiffError::Incompatible(format!("schema `{bs}` vs `{fs}`")));
     }
-    if bs != "pluto-bench-pipeline/2" && bs != "pluto-bench-kernels/2" {
+    let is_pipeline = bs == "pluto-bench-pipeline/2" || bs == "pluto-bench-pipeline/3";
+    if !is_pipeline && bs != "pluto-bench-kernels/2" {
         return Err(DiffError::Parse(format!("unknown schema `{bs}`")));
     }
     check_meta(&base, &fresh)?;
@@ -227,7 +229,7 @@ pub fn diff_documents(
         let fk = find_by(fks, "kernel", name).ok_or_else(|| {
             DiffError::Incompatible(format!("kernel `{name}` missing from fresh document"))
         })?;
-        if bs == "pluto-bench-pipeline/2" {
+        if is_pipeline {
             diff_pipeline_kernel(&mut d, name, bk, fk)?;
         } else {
             diff_kernels_kernel(&mut d, name, bk, fk)?;
@@ -273,6 +275,39 @@ fn diff_pipeline_kernel(d: &mut Differ, name: &str, bk: &Json, fk: &Json) -> Res
             num(field(fc, "value", cname)?, "value")?,
             true,
         );
+    }
+    // ILP-latency quantile deltas (schema /3 adds `hists`): latency is
+    // wall time, so these warn and never gate — the counters above stay
+    // the deterministic regression fence. /2 baselines simply have no
+    // `hists` section and skip this block, keeping old fixtures valid.
+    if let (Some(bhists), Some(fhists)) = (bk.get("hists"), fk.get("hists")) {
+        let bhists = bhists
+            .as_array()
+            .ok_or_else(|| DiffError::Parse(format!("{name}.hists is not an array")))?;
+        let fhists = fhists
+            .as_array()
+            .ok_or_else(|| DiffError::Parse(format!("{name}.hists is not an array")))?;
+        for bh in bhists {
+            let hname = str_field(bh, "name", "hist entry")?;
+            let Some(fh) = find_by(fhists, "name", hname) else {
+                continue; // histogram registry grew/shrank: structural
+            };
+            // Empty-on-both histograms carry no signal; skip so the
+            // compared-metric count reflects real comparisons.
+            let bcount = num(field(bh, "count", hname)?, "count")?;
+            let fcount = num(field(fh, "count", hname)?, "count")?;
+            if bcount == 0.0 && fcount == 0.0 {
+                continue;
+            }
+            for key in ["p50_ns", "p95_ns"] {
+                d.add(
+                    format!("{name}/hists/{hname}/{key}"),
+                    num(field(bh, key, hname)?, key)?,
+                    num(field(fh, key, hname)?, key)?,
+                    false,
+                );
+            }
+        }
     }
     Ok(())
 }
@@ -411,6 +446,50 @@ mod tests {
         let r = diff_documents(&base, &fresh, DEFAULT_WARN, DEFAULT_FAIL).unwrap();
         assert_eq!(r.fails(), 0);
         assert_eq!(r.warns(), 1);
+    }
+
+    fn pipeline3_doc(p50: u64, p95: u64) -> String {
+        format!(
+            r#"{{
+  "schema": "pluto-bench-pipeline/3",
+  "meta": {{"kernel_set_hash": "abc", "tile": 8, "threads": 4, "samples": 5, "pool_spawns": 3}},
+  "kernels": [
+    {{
+      "kernel": "lu",
+      "total_ns": 5000,
+      "phases": [{{"path": "optimize", "calls": 1, "wall_ns": 5000}}],
+      "counters": [{{"name": "ilp.pivots", "value": 1000}}],
+      "hists": [
+        {{"name": "ilp.latency.search_row", "count": 10, "sum_ns": 9000,
+          "p50_ns": {p50}, "p95_ns": {p95}, "buckets": [10]}},
+        {{"name": "ilp.latency.emptiness", "count": 0, "sum_ns": 0,
+          "p50_ns": 0, "p95_ns": 0, "buckets": [0]}}
+      ]
+    }}
+  ]
+}}"#
+        )
+    }
+
+    #[test]
+    fn latency_quantile_regressions_warn_but_never_fail() {
+        let base = pipeline3_doc(800, 900);
+        let fresh = pipeline3_doc(800, 9000); // p95 x10
+        let r = diff_documents(&base, &fresh, DEFAULT_WARN, DEFAULT_FAIL).unwrap();
+        assert_eq!(r.fails(), 0, "report: {}", render_report(&r));
+        let warn = r
+            .lines
+            .iter()
+            .find(|l| l.metric == "lu/hists/ilp.latency.search_row/p95_ns")
+            .expect("p95 delta reported");
+        assert_eq!(warn.level, Level::Warn);
+        assert!(!warn.gated);
+        // Empty-on-both histograms are skipped, quantiles of the sampled
+        // one are compared (p50 + p95).
+        let hist_metrics = r.compared;
+        let r2 = diff_documents(&base, &base, DEFAULT_WARN, DEFAULT_FAIL).unwrap();
+        assert_eq!(r2.compared, hist_metrics);
+        assert_eq!(r2.warns() + r2.fails(), 0);
     }
 
     #[test]

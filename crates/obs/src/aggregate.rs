@@ -1,0 +1,455 @@
+//! Service-level aggregation: merging many per-compile profiles into
+//! one live set of service metrics (DESIGN.md §12).
+//!
+//! An [`ObsSession`](crate::ObsSession) observes *one* compile; a
+//! compile **service** (`plutod`) runs thousands and must observe
+//! itself in aggregate — total solver work, merged latency
+//! distributions, whole-compile latency quantiles, request/error/cache
+//! totals — without ever letting one request's telemetry contaminate
+//! another's. The types here are that second layer:
+//!
+//! * [`Snapshot`] — the portable summary of one finished compile:
+//!   every registered counter (by registry index), every phase
+//!   wall-time, every latency histogram, and the compile's total wall
+//!   time. Taken from a [`Profile`] with [`Snapshot::of`];
+//! * [`ServiceMetrics`] — the mergeable accumulator: [`record`]ing a
+//!   snapshot sums its counters into atomic cells, adds its histograms
+//!   bucket-wise, accumulates its phase times, and drops its total
+//!   wall time into a rolling whole-compile latency histogram.
+//!
+//! # The aggregation invariant
+//!
+//! Because [`record`] *adds the snapshot and nothing else* — counters
+//! by `fetch_add`, histograms bucket-by-bucket, phases call-by-call —
+//! the service totals are **exactly** the component-wise sum of the
+//! recorded per-request snapshots, under any interleaving of
+//! concurrent recorders. `pluto-stats/1` (the [`stats_json`] document)
+//! therefore equals the sum over the served `pluto-profile/3`
+//! documents by construction; `tests/daemon_golden.rs` and the ci.sh
+//! daemon smoke re-derive the sum from the wire documents and assert
+//! equality.
+//!
+//! [`record`]: ServiceMetrics::record
+//! [`stats_json`]: ServiceMetrics::stats_json
+
+use crate::hist::{self, HistSnapshot};
+use crate::{counters, json, Phase, Profile};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// FNV-1a over `bytes` — the workspace's hermetic stand-in for a real
+/// content digest (no external crates, stable across platforms). Used
+/// for the bench `meta.kernel_set_hash`, the daemon's `pluto-log/1`
+/// kernel hashes, and the display form of schedule-cache content keys.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// The portable summary of one finished compile: everything
+/// [`ServiceMetrics`] can merge. Counters are stored positionally in
+/// registry order (the same order [`Profile`] serializes them), so
+/// merging is index arithmetic, not name lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// The compile's total wall time in nanoseconds
+    /// ([`Profile::total_ns`]); feeds the service's rolling
+    /// whole-compile latency histogram.
+    pub total_ns: u128,
+    /// Completed phases, paths and call counts included.
+    pub phases: Vec<Phase>,
+    /// One value per registered counter, in registry order
+    /// (`counters::all()` position `i` ↦ `counters[i]`).
+    pub counters: Vec<u64>,
+    /// One snapshot per registered histogram, in registry order.
+    pub hists: Vec<HistSnapshot>,
+}
+
+impl Snapshot {
+    /// Summarizes a finished [`Profile`] — the snapshot a service takes
+    /// after each request's session ends, before handing the profile
+    /// itself back to the client.
+    pub fn of(profile: &Profile) -> Snapshot {
+        Snapshot {
+            total_ns: profile.total_ns,
+            phases: profile.phases.clone(),
+            counters: profile.counters.iter().map(|c| c.value).collect(),
+            hists: profile.hists.clone(),
+        }
+    }
+}
+
+/// The string-keyed half of the aggregate (phase paths), kept under one
+/// mutex; the counter cells and latency buckets are lock-free atomics.
+#[derive(Debug, Default)]
+struct Merged {
+    /// Accumulated phases, sorted by path (parents before children,
+    /// like [`Profile::phases`]).
+    phases: Vec<Phase>,
+}
+
+/// Live, mergeable service metrics: the state behind `plutod`'s `stats`
+/// method (`pluto-stats/1`).
+///
+/// All hot-path recording is lock-cheap: counter sums and the rolling
+/// latency histogram are relaxed atomics, request/error/cache totals
+/// are single `fetch_add`s; only the phase-path table (a handful of
+/// short strings) takes a mutex. Any number of request threads may
+/// [`record`](ServiceMetrics::record) concurrently.
+#[derive(Debug)]
+pub struct ServiceMetrics {
+    /// Service epoch: `uptime_ns` origin.
+    started: Instant,
+    /// Compile requests aggregated (successful compiles, cache hits
+    /// included).
+    requests: AtomicU64,
+    /// Compile requests that failed (parse error, infeasible search);
+    /// their partial telemetry is *not* aggregated, so the invariant
+    /// ranges over exactly the successful per-request profiles.
+    errors: AtomicU64,
+    /// Schedule-cache hits across all compile requests.
+    cache_hits: AtomicU64,
+    /// Schedule-cache misses (full compiles).
+    cache_misses: AtomicU64,
+    /// Schedule-cache entries evicted at capacity.
+    cache_evictions: AtomicU64,
+    /// Σ per-request counter values, indexed like `counters::all()`.
+    counters: Box<[AtomicU64]>,
+    /// Σ per-request histograms, merged bucket-wise (registry order),
+    /// plus accumulated phases.
+    merged_hists: Mutex<Vec<HistSnapshot>>,
+    /// Accumulated phase wall-times.
+    merged: Mutex<Merged>,
+    /// Rolling whole-compile latency histogram: one
+    /// [`Snapshot::total_ns`] sample per recorded request.
+    latency: hist::Cells,
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> ServiceMetrics {
+        ServiceMetrics::new()
+    }
+}
+
+impl ServiceMetrics {
+    /// A fresh, all-zero aggregate; its uptime clock starts now.
+    pub fn new() -> ServiceMetrics {
+        ServiceMetrics {
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_evictions: AtomicU64::new(0),
+            counters: (0..counters::all().len())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            merged_hists: Mutex::new(
+                hist::all()
+                    .iter()
+                    .map(|h| HistSnapshot {
+                        name: h.name(),
+                        count: 0,
+                        sum_ns: 0,
+                        buckets: vec![0; hist::NUM_BUCKETS],
+                    })
+                    .collect(),
+            ),
+            merged: Mutex::new(Merged::default()),
+            latency: hist::Cells::new(),
+        }
+    }
+
+    /// Merges one request's snapshot into the service totals: counters
+    /// sum, histograms add bucket-wise, phase times accumulate, and the
+    /// snapshot's `total_ns` lands in the rolling whole-compile latency
+    /// histogram. Adds the snapshot and nothing else — the aggregation
+    /// invariant (service == Σ snapshots) holds by construction.
+    pub fn record(&self, snap: &Snapshot) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        for (cell, &v) in self.counters.iter().zip(&snap.counters) {
+            cell.fetch_add(v, Ordering::Relaxed);
+        }
+        self.latency
+            .record_ns(u64::try_from(snap.total_ns).unwrap_or(u64::MAX));
+        {
+            let mut hists = self.merged_hists.lock().expect("service hists poisoned");
+            for (mine, theirs) in hists.iter_mut().zip(&snap.hists) {
+                mine.merge(theirs);
+            }
+        }
+        let mut merged = self.merged.lock().expect("service phases poisoned");
+        for p in &snap.phases {
+            match merged.phases.iter_mut().find(|m| m.path == p.path) {
+                Some(m) => {
+                    m.calls += p.calls;
+                    m.wall_ns += p.wall_ns;
+                }
+                None => merged.phases.push(p.clone()),
+            }
+        }
+        merged.phases.sort_by(|a, b| a.path.cmp(&b.path));
+    }
+
+    /// Counts one failed compile request (nothing else is merged for
+    /// it; see [`errors`](ServiceMetrics::errors)).
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one schedule-cache hit.
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one schedule-cache miss.
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts `n` schedule-cache evictions.
+    pub fn record_cache_evictions(&self, n: u64) {
+        self.cache_evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Compile requests recorded so far (cache hits included).
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Failed compile requests counted so far.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Schedule-cache `(hits, misses, evictions)` totals.
+    pub fn cache_totals(&self) -> (u64, u64, u64) {
+        (
+            self.cache_hits.load(Ordering::Relaxed),
+            self.cache_misses.load(Ordering::Relaxed),
+            self.cache_evictions.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The summed value of one registry counter by name (`None` for
+    /// unknown names).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        counters::all()
+            .iter()
+            .position(|c| c.name() == name)
+            .map(|i| self.counters[i].load(Ordering::Relaxed))
+    }
+
+    /// The rolling whole-compile latency histogram (one sample per
+    /// recorded request).
+    pub fn latency(&self) -> HistSnapshot {
+        self.latency.snapshot("service.latency.compile")
+    }
+
+    /// Serializes the aggregate as a versioned `pluto-stats/1` document
+    /// (schema in PERFORMANCE.md §5.6). `cache_entries`/`cache_capacity`
+    /// describe the schedule cache's current occupancy — the one piece
+    /// of service state that lives outside this accumulator.
+    ///
+    /// Counter and histogram sections carry the full registries in
+    /// registry order, zeros included, exactly like `pluto-profile/3` —
+    /// and every value is the exact sum of the recorded per-request
+    /// profiles. The `latency` section adds p50/p90/p99 estimates from
+    /// the log2 buckets ([`hist::quantile_from_buckets`]).
+    pub fn stats_json(&self, cache_entries: usize, cache_capacity: usize) -> String {
+        let (hits, misses, evictions) = self.cache_totals();
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"pluto-stats/1\",\n");
+        out.push_str(&format!(
+            "  \"uptime_ns\": {},\n",
+            self.started.elapsed().as_nanos()
+        ));
+        out.push_str(&format!("  \"requests\": {},\n", self.requests()));
+        out.push_str(&format!("  \"errors\": {},\n", self.errors()));
+        out.push_str(&format!(
+            "  \"cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"evictions\": {evictions}, \
+             \"entries\": {cache_entries}, \"capacity\": {cache_capacity}}},\n"
+        ));
+        let lat = self.latency();
+        out.push_str(&format!(
+            "  \"latency\": {{\"count\": {}, \"sum_ns\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \
+             \"p99_ns\": {}, \"buckets\": [{}]}},\n",
+            lat.count,
+            lat.sum_ns,
+            lat.p50_ns(),
+            lat.p90_ns(),
+            lat.p99_ns(),
+            lat.buckets
+                .iter()
+                .map(|b| b.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str("  \"phases\": [");
+        {
+            let merged = self.merged.lock().expect("service phases poisoned");
+            for (i, p) in merged.phases.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\n    {{\"path\": {}, \"calls\": {}, \"wall_ns\": {}}}",
+                    json::escape(&p.path),
+                    p.calls,
+                    p.wall_ns
+                ));
+            }
+        }
+        out.push_str("\n  ],\n  \"counters\": [");
+        for (i, c) in counters::all().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"name\": {}, \"value\": {}}}",
+                json::escape(c.name()),
+                self.counters[i].load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str("\n  ],\n  \"hists\": [");
+        {
+            let hists = self.merged_hists.lock().expect("service hists poisoned");
+            for (i, h) in hists.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\n    {{\"name\": {}, \"count\": {}, \"sum_ns\": {}, \"p50_ns\": {}, \
+                     \"p90_ns\": {}, \"p99_ns\": {}, \"buckets\": [{}]}}",
+                    json::escape(h.name),
+                    h.count,
+                    h.sum_ns,
+                    h.p50_ns(),
+                    h.p90_ns(),
+                    h.p99_ns(),
+                    h.buckets
+                        .iter()
+                        .map(|b| b.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{span, Session};
+
+    /// A real compiled-ish snapshot: run a tiny session, bump counters.
+    fn sample_snapshot(pivots: u64, ns: u64) -> Snapshot {
+        let session = Session::start();
+        counters::ILP_PIVOTS.add(pivots);
+        hist::SEARCH_ROW.record_ns(ns);
+        {
+            let _s = span("optimize");
+        }
+        Snapshot::of(&session.finish())
+    }
+
+    #[test]
+    fn fnv1a_is_the_reference_function() {
+        // Pinned reference vectors (FNV-1a 64).
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn service_totals_are_exact_sums() {
+        let metrics = ServiceMetrics::new();
+        let a = sample_snapshot(3, 100);
+        let b = sample_snapshot(39, 900);
+        metrics.record(&a);
+        metrics.record(&b);
+        assert_eq!(metrics.requests(), 2);
+        assert_eq!(metrics.counter("ilp.pivots"), Some(42));
+        assert_eq!(metrics.counter("core.scc_cuts"), Some(0));
+        assert_eq!(metrics.counter("no.such.counter"), None);
+        // Histograms merged bucket-wise: 2 samples total.
+        let stats = crate::json::parse(&metrics.stats_json(0, 8)).unwrap();
+        let hists = stats.get("hists").unwrap().as_array().unwrap();
+        let sr = hists
+            .iter()
+            .find(|h| h.get("name").unwrap().as_str() == Some("ilp.latency.search_row"))
+            .unwrap();
+        assert_eq!(sr.get("count").unwrap().as_u64(), Some(2));
+        // Phase calls accumulate.
+        let phases = stats.get("phases").unwrap().as_array().unwrap();
+        let opt = phases
+            .iter()
+            .find(|p| p.get("path").unwrap().as_str() == Some("optimize"))
+            .unwrap();
+        assert_eq!(opt.get("calls").unwrap().as_u64(), Some(2));
+        // The rolling latency histogram has one sample per request.
+        assert_eq!(metrics.latency().count, 2);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let metrics = ServiceMetrics::new();
+        let snaps: Vec<Snapshot> = (0..16).map(|i| sample_snapshot(i + 1, 50)).collect();
+        std::thread::scope(|scope| {
+            for chunk in snaps.chunks(4) {
+                let m = &metrics;
+                scope.spawn(move || {
+                    for s in chunk {
+                        m.record(s);
+                    }
+                });
+            }
+        });
+        // Σ (1..=16) = 136, under any interleaving.
+        assert_eq!(metrics.requests(), 16);
+        assert_eq!(metrics.counter("ilp.pivots"), Some(136));
+        assert_eq!(metrics.latency().count, 16);
+    }
+
+    #[test]
+    fn stats_document_is_valid_and_versioned() {
+        let metrics = ServiceMetrics::new();
+        metrics.record(&sample_snapshot(7, 300));
+        metrics.record_error();
+        metrics.record_cache_hit();
+        metrics.record_cache_miss();
+        metrics.record_cache_evictions(2);
+        let doc = metrics.stats_json(5, 64);
+        let v = crate::json::parse(&doc).expect("stats document parses");
+        assert_eq!(v.get("schema").unwrap().as_str(), Some("pluto-stats/1"));
+        assert_eq!(v.get("requests").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("errors").unwrap().as_u64(), Some(1));
+        let cache = v.get("cache").unwrap();
+        assert_eq!(cache.get("hits").unwrap().as_u64(), Some(1));
+        assert_eq!(cache.get("misses").unwrap().as_u64(), Some(1));
+        assert_eq!(cache.get("evictions").unwrap().as_u64(), Some(2));
+        assert_eq!(cache.get("entries").unwrap().as_u64(), Some(5));
+        assert_eq!(cache.get("capacity").unwrap().as_u64(), Some(64));
+        // Full registries, in order, zeros included — same contract as
+        // pluto-profile/3.
+        let cs = v.get("counters").unwrap().as_array().unwrap();
+        assert_eq!(cs.len(), counters::all().len());
+        let hs = v.get("hists").unwrap().as_array().unwrap();
+        assert_eq!(hs.len(), hist::all().len());
+        let lat = v.get("latency").unwrap();
+        assert_eq!(lat.get("count").unwrap().as_u64(), Some(1));
+        assert!(lat.get("p50_ns").unwrap().as_u64().unwrap() > 0);
+        assert_eq!(
+            lat.get("buckets").unwrap().as_array().unwrap().len(),
+            hist::NUM_BUCKETS
+        );
+    }
+}

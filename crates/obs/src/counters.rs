@@ -184,4 +184,9 @@ registry! {
     /// Dependence candidates rejected by the cheap interval/uniform-
     /// distance pre-tests in `ir::deps` before any polyhedron was built.
     IR_PRUNED_CANDIDATES => "ir.pruned_candidates";
+    /// Solver-cache insertions discarded because the cache was at its
+    /// capacity bound (`poly::cache::MAX_ENTRIES`) — nonzero values mean
+    /// the workload's working set no longer fits and hit rates degrade
+    /// (visible in `pluto-stats/1` under service aggregation).
+    ILP_CACHE_EVICTIONS => "ilp.cache_evictions";
 }

@@ -60,7 +60,7 @@ impl Cells {
         }
     }
 
-    fn record_ns(&self, ns: u64) {
+    pub(crate) fn record_ns(&self, ns: u64) {
         self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
         self.sum_ns.fetch_add(ns, Ordering::Relaxed);
     }
@@ -190,6 +190,85 @@ impl HistSnapshot {
     pub fn mean_ns(&self) -> u64 {
         self.sum_ns.checked_div(self.count).unwrap_or(0)
     }
+
+    /// Adds `other`'s samples into this snapshot bucket-wise: the merge
+    /// primitive under service-level aggregation
+    /// ([`aggregate::ServiceMetrics`](crate::aggregate::ServiceMetrics)).
+    /// Because buckets are position-aligned log2 cells, the merged
+    /// histogram is exactly the histogram a single session would have
+    /// recorded had it observed both sample streams.
+    ///
+    /// # Panics
+    /// If the two snapshots have different bucket counts (they never do
+    /// for registry histograms — both carry [`NUM_BUCKETS`] cells).
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "merging histograms with different bucket layouts"
+        );
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+    }
+
+    /// Estimated latency of the `q`-quantile sample (`0.0 < q <= 1.0`),
+    /// in nanoseconds; see [`quantile_from_buckets`]. 0 when empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        quantile_from_buckets(&self.buckets, q)
+    }
+
+    /// Estimated median latency (p50), in nanoseconds.
+    pub fn p50_ns(&self) -> u64 {
+        self.quantile_ns(0.50)
+    }
+
+    /// Estimated 90th-percentile latency, in nanoseconds.
+    pub fn p90_ns(&self) -> u64 {
+        self.quantile_ns(0.90)
+    }
+
+    /// Estimated 99th-percentile latency, in nanoseconds.
+    pub fn p99_ns(&self) -> u64 {
+        self.quantile_ns(0.99)
+    }
+}
+
+/// Estimates the `q`-quantile (`0.0 < q <= 1.0`) of a log2-bucketed
+/// sample set, in nanoseconds.
+///
+/// The rank `ceil(q·count)` sample is located by walking the cumulative
+/// bucket counts; its latency is estimated by linear interpolation
+/// inside the bucket (`[2^i, 2^(i+1))`), the standard estimator for
+/// histogram quantiles. The estimate is exact to within one bucket width
+/// — a factor of 2, which is what log2 buckets can promise — and is
+/// monotone in `q`. Returns 0 for an empty sample set.
+///
+/// Shared by [`HistSnapshot::quantile_ns`], the `pluto-stats/1`
+/// aggregate document, and `bench_diff`'s warn-only latency-quantile
+/// deltas (PERFORMANCE.md §4.0).
+pub fn quantile_from_buckets(buckets: &[u64], q: f64) -> u64 {
+    let count: u64 = buckets.iter().sum();
+    if count == 0 {
+        return 0;
+    }
+    let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut cum = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        if cum + n >= target {
+            let lo = bucket_lo(i) as f64;
+            let hi = bucket_lo(i + 1) as f64;
+            let frac = (target - cum) as f64 / n as f64;
+            return (lo + frac * (hi - lo)) as u64;
+        }
+        cum += n;
+    }
+    bucket_lo(buckets.len())
 }
 
 macro_rules! registry {
@@ -259,6 +338,73 @@ mod tests {
         let s = SEARCH_ROW.snapshot();
         assert_eq!(s.count, 0);
         assert_eq!(s.sum_ns, 0);
+    }
+
+    #[test]
+    fn merge_adds_bucketwise() {
+        let mut a = HistSnapshot {
+            name: "m",
+            count: 3,
+            sum_ns: 30,
+            buckets: {
+                let mut b = vec![0; NUM_BUCKETS];
+                b[3] = 2;
+                b[9] = 1;
+                b
+            },
+        };
+        let b = HistSnapshot {
+            name: "m",
+            count: 2,
+            sum_ns: 2000,
+            buckets: {
+                let mut b = vec![0; NUM_BUCKETS];
+                b[9] = 1;
+                b[10] = 1;
+                b
+            },
+        };
+        a.merge(&b);
+        assert_eq!(a.count, 5);
+        assert_eq!(a.sum_ns, 2030);
+        assert_eq!(a.buckets[3], 2);
+        assert_eq!(a.buckets[9], 2);
+        assert_eq!(a.buckets[10], 1);
+        // Merging is exactly what one session observing both streams
+        // would have recorded: the bucket sum still equals the count.
+        assert_eq!(a.buckets.iter().sum::<u64>(), a.count);
+    }
+
+    #[test]
+    fn quantiles_walk_the_cumulative_buckets() {
+        // 10 samples: 4 in bucket 3 ([8,16)), 4 in bucket 4 ([16,32)),
+        // 2 in bucket 8 ([256,512)).
+        let mut buckets = vec![0u64; NUM_BUCKETS];
+        buckets[3] = 4;
+        buckets[4] = 4;
+        buckets[8] = 2;
+        // p50 → rank 5, the first sample of bucket 4: 16 + (1/4)·16 = 20.
+        assert_eq!(quantile_from_buckets(&buckets, 0.50), 20);
+        // p90 → rank 9, the first sample of bucket 8: 256 + (1/2)·256.
+        assert_eq!(quantile_from_buckets(&buckets, 0.90), 384);
+        // p99 → rank 10, the last sample: the top of bucket 8.
+        assert_eq!(quantile_from_buckets(&buckets, 0.99), 512);
+        // Monotone in q, and empty histograms answer 0.
+        assert!(quantile_from_buckets(&buckets, 0.5) <= quantile_from_buckets(&buckets, 0.9));
+        assert_eq!(quantile_from_buckets(&[0; NUM_BUCKETS], 0.5), 0);
+        // The open-ended last bucket still answers (its nominal top).
+        let mut top = vec![0u64; NUM_BUCKETS];
+        top[NUM_BUCKETS - 1] = 1;
+        assert_eq!(quantile_from_buckets(&top, 0.99), 1u64 << NUM_BUCKETS);
+        let snap = HistSnapshot {
+            name: "q",
+            count: 10,
+            sum_ns: 0,
+            buckets,
+        };
+        assert_eq!(snap.p50_ns(), 20);
+        assert_eq!(snap.p90_ns(), 384);
+        assert_eq!(snap.p99_ns(), 512);
     }
 
     #[test]

@@ -71,6 +71,14 @@ impl Json {
         }
     }
 
+    /// `Some(bool)` for `true`/`false`, else `None`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// `Some(&[Json])` for arrays, else `None`.
     pub fn as_array(&self) -> Option<&[Json]> {
         match self {
@@ -82,6 +90,67 @@ impl Json {
     /// `true` only for JSON `null`.
     pub fn is_null(&self) -> bool {
         matches!(self, Json::Null)
+    }
+
+    /// Serializes this value as compact single-line JSON, with `", "`
+    /// between items and `": "` after keys (the same separators the
+    /// pretty emitters use, so `grep`-based gates match either form).
+    ///
+    /// This is how the `plutod` daemon embeds multi-line documents
+    /// (`pluto-profile/3`, `pluto-explain/1`, `pluto-stats/1`) inside
+    /// one-line `pluto-rpc/1` responses: parse, then re-serialize
+    /// compact. Integral numbers print without a fraction, so documents
+    /// of counters and nanosecond totals survive the round trip
+    /// byte-comparably.
+    ///
+    /// ```
+    /// let v = pluto_obs::json::parse("{\n  \"a\": [1, 2],\n  \"b\": null\n}").unwrap();
+    /// assert_eq!(v.to_compact(), r#"{"a": [1, 2], "b": null}"#);
+    /// ```
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Number(n) => {
+                // Integers in f64's exact range print as integers: the
+                // form every in-tree emitter wrote them in.
+                if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            Json::String(s) => out.push_str(&escape(s)),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    v.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&escape(k));
+                    out.push_str(": ");
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
     }
 }
 
@@ -368,5 +437,20 @@ mod tests {
     fn duplicate_keys_first_wins() {
         let v = parse(r#"{"k": 1, "k": 2}"#).unwrap();
         assert_eq!(v.get("k").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn compact_round_trips() {
+        let text = "{\n  \"s\": \"a\\n\\\"b\\\"\",\n  \"n\": [0, -3, 2.5, 1e3],\n  \
+                    \"o\": {\"empty\": [], \"none\": null, \"t\": true}\n}";
+        let v = parse(text).unwrap();
+        let compact = v.to_compact();
+        assert!(!compact.contains('\n'), "compact output has newlines");
+        // Round trip: the compact form parses back to the same value.
+        assert_eq!(parse(&compact).unwrap(), v);
+        assert_eq!(
+            compact,
+            r#"{"s": "a\n\"b\"", "n": [0, -3, 2.5, 1000], "o": {"empty": [], "none": null, "t": true}}"#
+        );
     }
 }

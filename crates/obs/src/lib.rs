@@ -93,6 +93,7 @@
 // Telemetry names are a public contract (PERFORMANCE.md); the docs
 // gate keeps the registry self-describing.
 #![deny(missing_docs)]
+pub mod aggregate;
 pub mod counters;
 pub mod decision;
 pub mod exec;
@@ -695,29 +696,21 @@ impl Profile {
         }
         if self.hists.iter().any(|h| h.count > 0) {
             out.push_str(&format!(
-                "\n{:<44} {:>9} {:>10} {:>16}\n",
-                "latency histogram", "samples", "mean", "modal bucket"
+                "\n{:<44} {:>9} {:>10} {:>10} {:>10} {:>10}\n",
+                "latency histogram", "samples", "mean", "p50", "p90", "p99"
             ));
             for h in &self.hists {
                 if h.count == 0 {
                     continue;
                 }
-                let modal = h
-                    .buckets
-                    .iter()
-                    .enumerate()
-                    .max_by_key(|(_, &n)| n)
-                    .map_or(0, |(i, _)| i);
                 out.push_str(&format!(
-                    "{:<44} {:>9} {:>10} {:>16}\n",
+                    "{:<44} {:>9} {:>10} {:>10} {:>10} {:>10}\n",
                     h.name,
                     h.count,
                     fmt_ns(u128::from(h.mean_ns())),
-                    format!(
-                        "[{}, {})",
-                        fmt_ns(u128::from(hist::bucket_lo(modal))),
-                        fmt_ns(u128::from(hist::bucket_lo(modal + 1)))
-                    )
+                    fmt_ns(u128::from(h.p50_ns())),
+                    fmt_ns(u128::from(h.p90_ns())),
+                    fmt_ns(u128::from(h.p99_ns()))
                 ));
             }
         }

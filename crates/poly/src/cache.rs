@@ -34,7 +34,8 @@
 //! [`clear`] follow the same resolution, so toggling one session's
 //! cache never perturbs another compile. Capacity is capped at
 //! [`MAX_ENTRIES`] per store; a full store stops inserting but keeps
-//! answering.
+//! answering, counting each discarded insert as `ilp.cache_evictions`
+//! so thrashing is visible in profiles and service stats.
 //!
 //! [`ConstraintSet::add_ineq`]: crate::ConstraintSet::add_ineq
 //! [`ConstraintSet::add_eq`]: crate::ConstraintSet::add_eq
@@ -45,8 +46,10 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
 
-/// Hard cap on resident entries; inserts beyond it are dropped (the
-/// cache never evicts — entries are tiny and compiles are short).
+/// Hard cap on resident entries; inserts beyond it are discarded and
+/// counted as `ilp.cache_evictions` (resident entries are never
+/// replaced — they are theorems, and compiles are short, so keeping the
+/// first [`MAX_ENTRIES`] is both deterministic and safe).
 pub const MAX_ENTRIES: usize = 1 << 16;
 
 /// The canonical form of one constraint system — the cache key.
@@ -158,13 +161,18 @@ pub fn lookup(key: &Key) -> Option<bool> {
     }
 }
 
-/// Stores a verdict in the current scope (dropped once [`MAX_ENTRIES`]
-/// is reached).
+/// Stores a verdict in the current scope. Once [`MAX_ENTRIES`] verdicts
+/// are resident the insert is discarded and `ilp.cache_evictions` is
+/// bumped — resident entries keep answering, but a nonzero eviction
+/// counter in a profile (or in the `pluto-stats/1` service aggregate)
+/// says the workload has outgrown the store and miss rates will climb.
 pub fn insert(key: Key, is_empty: bool) {
     let store = |s: &Scope| {
         let mut m = s.map.lock().unwrap();
         if m.len() < MAX_ENTRIES {
             m.insert(key, is_empty);
+        } else {
+            pluto_obs::counters::ILP_CACHE_EVICTIONS.add(1);
         }
     };
     match pluto_obs::session_ext::<Scope>() {
@@ -278,5 +286,35 @@ mod tests {
             clear();
             assert_eq!(len(), 0);
         }
+    }
+
+    #[test]
+    fn capacity_bound_discards_and_counts() {
+        // One-variable systems { x >= c } give MAX_ENTRIES+2 distinct
+        // canonical keys cheaply.
+        let key_for = |c: Int| {
+            let mut s = ConstraintSet::new(1);
+            s.add_ineq(vec![1, c]);
+            key_of(&s)
+        };
+        let session = pluto_obs::ObsSession::builder().profile().build();
+        let _g = session.install();
+        for c in 0..MAX_ENTRIES as Int {
+            insert(key_for(c), false);
+        }
+        assert_eq!(len(), MAX_ENTRIES);
+        assert_eq!(pluto_obs::counters::ILP_CACHE_EVICTIONS.get(), 0);
+        // At the cap: the insert is discarded, the eviction counter
+        // ticks, and every resident verdict keeps answering.
+        insert(key_for(MAX_ENTRIES as Int), true);
+        assert_eq!(len(), MAX_ENTRIES);
+        assert_eq!(lookup(&key_for(MAX_ENTRIES as Int)), None);
+        assert_eq!(pluto_obs::counters::ILP_CACHE_EVICTIONS.get(), 1);
+        assert_eq!(lookup(&key_for(0)), Some(false));
+        assert_eq!(lookup(&key_for(MAX_ENTRIES as Int - 1)), Some(false));
+        // The discard shows up in the session profile like any counter.
+        drop(_g);
+        let profile = session.finish_profile();
+        assert_eq!(profile.counter("ilp.cache_evictions"), Some(1));
     }
 }

@@ -1,0 +1,755 @@
+//! The `plutod` compile service: many compiles, one process, aggregate
+//! observability (ROADMAP item 3, DESIGN.md §12).
+//!
+//! [`pluto_schedule`](crate::pluto_schedule) made the compiler
+//! re-entrant — every compile runs under a private
+//! [`ObsSession`]. This module is the layer
+//! above: a [`Daemon`] that serves newline-delimited JSON requests
+//! (`pluto-rpc/1`), one compile session per request, and merges each
+//! finished session's [`Snapshot`] into a process-wide
+//! [`ServiceMetrics`] aggregate. Three methods:
+//!
+//! * `compile` — affine C source in, transformed OpenMP C out, plus the
+//!   request's own `pluto-profile/3` and `pluto-explain/1` documents;
+//! * `stats` — the live `pluto-stats/1` aggregate: request/error/cache
+//!   totals, summed counters, merged histograms with p50/p90/p99, and a
+//!   rolling whole-compile latency histogram. By construction every
+//!   total is *exactly* the sum over the served per-request profiles
+//!   (the aggregation invariant — see [`pluto_obs::aggregate`]);
+//! * `health` — liveness, uptime, and thread-pool state.
+//!
+//! Every request also produces one single-line `pluto-log/1` document
+//! (request id, kernel FNV-1a hash, cache hit/miss, phase breakdown,
+//! top counters) which the `plutod` binary prints to stderr. Schemas
+//! for all three documents are pinned in PERFORMANCE.md §5.6–5.7 and
+//! `tests/daemon_golden.rs`.
+//!
+//! # The schedule cache
+//!
+//! The service path the paper's Sec. 7 practicality argument cares
+//! about — many users compiling the same few stencils — is served by a
+//! content-addressed schedule cache with two probe levels:
+//!
+//! 1. an exact source+options memo, hit without parsing;
+//! 2. a content key over the *canonicalized dependence polyhedra*
+//!    (every [`Dependence`] reduced to `src/dst/kind/level` plus its
+//!    polyhedron's [`poly::cache::key_of`](pluto_poly::cache::key_of)
+//!    canonical form — row order and equality-row sign erased), the
+//!    program structure, and the options fingerprint. Two sources that
+//!    parse to the same computation reuse one schedule, and a colliding
+//!    digest cannot serve wrong code because the canonical forms
+//!    themselves are the key.
+//!
+//! Capacity is bounded ([`Daemon::with_cache_cap`]); at the cap the
+//! oldest entry is evicted FIFO and counted. Hits, misses, and
+//! evictions are visible per-request in `pluto-log/1` and in aggregate
+//! in `pluto-stats/1`.
+
+use pluto::{explain_json, FusionPolicy, Optimizer, PlutoOptions};
+use pluto_codegen::{emit_c, generate};
+use pluto_frontend::parse_unit;
+use pluto_ir::{analyze_dependences_with, DepAnalysisOptions, Dependence, Program};
+use pluto_linalg::Int;
+use pluto_obs::aggregate::{fnv1a, ServiceMetrics, Snapshot};
+use pluto_obs::json::{self, Json};
+use pluto_obs::{ObsSession, Profile};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default bound on resident schedule-cache entries (each holds one
+/// kernel's generated C and explain report — a few KiB).
+pub const DEFAULT_CACHE_CAP: usize = 1024;
+
+/// The compile options a `pluto-rpc/1` request may set — the subset of
+/// `plutoc`'s flags that changes generated code, under the same names
+/// (`{"tile": 16, "nofuse": true}` ≙ `plutoc --tile 16 --nofuse`).
+/// Requests with the same canonical [`fingerprint`](Self::fingerprint)
+/// share schedule-cache entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Tile size on every dimension of every tiled band (`--tile`).
+    pub tile: Int,
+    /// Optional second tiling level factor (`--l2`).
+    pub l2: Option<Int>,
+    /// Tile permutable bands (`--notile` clears it).
+    pub tiling: bool,
+    /// Extract coarse-grained parallelism (`--noparallel` clears it).
+    pub parallel: bool,
+    /// Fusion policy (`--nofuse` selects [`FusionPolicy::NoFuse`]).
+    pub fuse: FusionPolicy,
+    /// Model read-after-read reuse in the cost function (`--noinputdeps`
+    /// clears it).
+    pub input_deps: bool,
+    /// Degrees of pipelined parallelism (`--wavefront`).
+    pub wavefront: usize,
+}
+
+impl Default for CompileOptions {
+    fn default() -> CompileOptions {
+        CompileOptions {
+            tile: 32,
+            l2: None,
+            tiling: true,
+            parallel: true,
+            fuse: FusionPolicy::Smart,
+            input_deps: true,
+            wavefront: 1,
+        }
+    }
+}
+
+impl CompileOptions {
+    /// Reads options from a request's `options` object (`None` — or an
+    /// absent field — means all defaults).
+    ///
+    /// # Errors
+    /// Unknown keys and ill-typed values are errors: a service must not
+    /// silently ignore an option the client believes it set.
+    pub fn from_json(options: Option<&Json>) -> Result<CompileOptions, String> {
+        let mut opts = CompileOptions::default();
+        let Some(v) = options else { return Ok(opts) };
+        if v.is_null() {
+            return Ok(opts);
+        }
+        let Json::Object(fields) = v else {
+            return Err("`options` must be an object".to_string());
+        };
+        for (key, value) in fields {
+            match key.as_str() {
+                "tile" => {
+                    opts.tile = value
+                        .as_u64()
+                        .filter(|&t| t >= 1)
+                        .ok_or("`tile` must be a positive integer")?
+                        as Int;
+                }
+                "l2" => {
+                    opts.l2 = Some(
+                        value
+                            .as_u64()
+                            .filter(|&f| f >= 1)
+                            .ok_or("`l2` must be a positive integer")?
+                            as Int,
+                    );
+                }
+                "notile" => opts.tiling = !read_bool(value, "notile")?,
+                "noparallel" => opts.parallel = !read_bool(value, "noparallel")?,
+                "nofuse" => {
+                    if read_bool(value, "nofuse")? {
+                        opts.fuse = FusionPolicy::NoFuse;
+                    }
+                }
+                "noinputdeps" => opts.input_deps = !read_bool(value, "noinputdeps")?,
+                "wavefront" => {
+                    opts.wavefront = value
+                        .as_u64()
+                        .filter(|&m| m >= 1)
+                        .ok_or("`wavefront` must be a positive integer")?
+                        as usize;
+                }
+                other => return Err(format!("unknown option `{other}`")),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// The canonical form of these options — one component of every
+    /// schedule-cache key. Two requests share cached schedules iff their
+    /// fingerprints (and content) match.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "tile={};l2={:?};tiling={};parallel={};fuse={:?};input_deps={};wavefront={}",
+            self.tile,
+            self.l2,
+            self.tiling,
+            self.parallel,
+            self.fuse,
+            self.input_deps,
+            self.wavefront
+        )
+    }
+
+    /// The equivalent `plutoc` optimizer configuration. Dependence
+    /// analysis runs single-threaded with pruning on: the service keeps
+    /// per-request counters deterministic (a racing analysis team makes
+    /// `ilp.cache_*` scheduling-dependent), and generated code is
+    /// bit-identical to `plutoc --threads 1` on the same source.
+    pub fn optimizer(&self) -> Optimizer {
+        let mut opt = Optimizer::new()
+            .tile_size(self.tile)
+            .tiling(self.tiling)
+            .parallel(self.parallel)
+            .wavefront_degrees(self.wavefront)
+            .dep_pruning(true)
+            .dep_threads(1)
+            .search_options(PlutoOptions {
+                use_input_deps: self.input_deps,
+                fuse: self.fuse,
+                warm_start: true,
+                ..PlutoOptions::default()
+            });
+        if let Some(f) = self.l2 {
+            opt = opt.second_level(f);
+        }
+        opt
+    }
+
+    /// The dependence-analysis options matching [`optimizer`]
+    /// (the daemon analyzes before the search so it can probe the
+    /// content-addressed cache on the result).
+    ///
+    /// [`optimizer`]: Self::optimizer
+    fn dep_options(&self) -> DepAnalysisOptions {
+        DepAnalysisOptions {
+            include_input: self.input_deps,
+            prune: true,
+            threads: 1,
+        }
+    }
+}
+
+fn read_bool(v: &Json, key: &str) -> Result<bool, String> {
+    v.as_bool().ok_or(format!("`{key}` must be a boolean"))
+}
+
+/// One dependence reduced to its canonical identity: endpoints, kind,
+/// carry level, and the polyhedron's canonical form (row order and
+/// equality-row sign erased by
+/// [`poly::cache::key_of`](pluto_poly::cache::key_of)).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct DepKey {
+    src: usize,
+    dst: usize,
+    kind: &'static str,
+    level: usize,
+    poly: pluto_poly::cache::Key,
+}
+
+/// The content address of one schedule: canonicalized dependence
+/// polyhedra + program structure + options fingerprint. The full
+/// canonical content is the key (no digests — a collision could serve
+/// wrong code), mirroring `poly::cache`'s keying discipline.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ContentKey {
+    options: String,
+    program: String,
+    deps: Vec<DepKey>,
+}
+
+impl ContentKey {
+    /// Computes the content address of a compile about to run: the
+    /// analyzed dependences in analysis order (each canonicalized), the
+    /// program's full structural fingerprint, and the options
+    /// fingerprint.
+    fn of(prog: &Program, deps: &[Dependence], options_fp: &str) -> ContentKey {
+        ContentKey {
+            options: options_fp.to_string(),
+            program: format!("{prog:?}"),
+            deps: deps
+                .iter()
+                .map(|d| DepKey {
+                    src: d.src,
+                    dst: d.dst,
+                    kind: match d.kind {
+                        pluto_ir::DepKind::Flow => "flow",
+                        pluto_ir::DepKind::Anti => "anti",
+                        pluto_ir::DepKind::Output => "output",
+                        pluto_ir::DepKind::Input => "input",
+                    },
+                    level: d.level,
+                    poly: pluto_poly::cache::key_of(&d.poly),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One cached schedule: everything a repeat request needs that does not
+/// depend on the request itself.
+#[derive(Debug)]
+struct Entry {
+    kernel: String,
+    code: String,
+    /// The `pluto-explain/1` document, already compacted to one line.
+    explain: String,
+}
+
+/// The bounded two-level schedule cache (interior of
+/// [`Daemon::cache`]).
+#[derive(Debug)]
+struct ScheduleCache {
+    cap: usize,
+    /// Content address → schedule.
+    by_content: HashMap<Arc<ContentKey>, Arc<Entry>>,
+    /// Exact `(source, options fingerprint)` memo → content address;
+    /// the fast path that skips parsing and dependence analysis.
+    by_source: HashMap<(String, String), Arc<ContentKey>>,
+    /// Content keys in insertion order — the FIFO eviction queue.
+    order: VecDeque<Arc<ContentKey>>,
+}
+
+impl ScheduleCache {
+    fn new(cap: usize) -> ScheduleCache {
+        ScheduleCache {
+            cap: cap.max(1),
+            by_content: HashMap::new(),
+            by_source: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn lookup_source(&mut self, key: &(String, String)) -> Option<Arc<Entry>> {
+        let content = self.by_source.get(key)?;
+        match self.by_content.get(content) {
+            Some(entry) => Some(entry.clone()),
+            None => {
+                // The memo outlived its evicted entry; drop it.
+                self.by_source.remove(key);
+                None
+            }
+        }
+    }
+
+    fn lookup_content(&self, key: &ContentKey) -> Option<Arc<Entry>> {
+        self.by_content.get(key).cloned()
+    }
+
+    fn memoize_source(&mut self, source_key: (String, String), content: &ContentKey) {
+        if let Some((resident, _)) = self.by_content.get_key_value(content) {
+            self.by_source.insert(source_key, resident.clone());
+        }
+    }
+
+    /// Inserts a fresh schedule under both levels; returns how many
+    /// entries were evicted to stay within `cap`.
+    fn insert(
+        &mut self,
+        source_key: (String, String),
+        content: ContentKey,
+        entry: Arc<Entry>,
+    ) -> u64 {
+        // Two concurrent first-compiles of the same content race here;
+        // keep the entry that landed first and just add the memo.
+        if self.by_content.contains_key(&content) {
+            self.memoize_source(source_key, &content);
+            return 0;
+        }
+        let mut evicted = 0u64;
+        while self.by_content.len() >= self.cap {
+            let Some(oldest) = self.order.pop_front() else {
+                break;
+            };
+            if self.by_content.remove(&oldest).is_some() {
+                self.by_source.retain(|_, c| **c != *oldest);
+                evicted += 1;
+            }
+        }
+        let content = Arc::new(content);
+        self.order.push_back(content.clone());
+        self.by_source.insert(source_key, content.clone());
+        self.by_content.insert(content, entry);
+        evicted
+    }
+
+    fn len(&self) -> usize {
+        self.by_content.len()
+    }
+}
+
+/// A handled request: the one-line `pluto-rpc/1` response (for the
+/// client) and the one-line `pluto-log/1` record (for stderr).
+#[derive(Debug, Clone)]
+pub struct Handled {
+    /// Single-line JSON response, no trailing newline.
+    pub response: String,
+    /// Single-line JSON log record, no trailing newline.
+    pub log: String,
+}
+
+/// The compile service: shared, thread-safe state behind `plutod`.
+/// Transport-agnostic — [`handle_line`](Daemon::handle_line) maps one
+/// request line to one response line, whatever carried it (stdin, a
+/// Unix socket, or a test driving the daemon in-process).
+#[derive(Debug)]
+pub struct Daemon {
+    metrics: ServiceMetrics,
+    cache: Mutex<ScheduleCache>,
+    started: Instant,
+}
+
+impl Default for Daemon {
+    fn default() -> Daemon {
+        Daemon::new()
+    }
+}
+
+/// What one `compile` produced, before it is shaped into response and
+/// log documents.
+struct Compiled {
+    entry: Arc<Entry>,
+    cache_hit: bool,
+}
+
+impl Daemon {
+    /// A daemon with the default schedule-cache capacity.
+    pub fn new() -> Daemon {
+        Daemon::with_cache_cap(DEFAULT_CACHE_CAP)
+    }
+
+    /// A daemon whose schedule cache holds at most `cap` entries
+    /// (minimum 1); the oldest entry is evicted FIFO at the bound.
+    pub fn with_cache_cap(cap: usize) -> Daemon {
+        Daemon {
+            metrics: ServiceMetrics::new(),
+            cache: Mutex::new(ScheduleCache::new(cap)),
+            started: Instant::now(),
+        }
+    }
+
+    /// The live service aggregate (the state behind `stats`).
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
+    /// Resident schedule-cache entries.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().expect("schedule cache poisoned").len()
+    }
+
+    /// Handles one `pluto-rpc/1` request line, producing one response
+    /// line and one `pluto-log/1` record. Malformed requests produce
+    /// `"ok": false` responses, never panics — a service stays up.
+    /// Safe to call from any number of threads at once.
+    pub fn handle_line(&self, line: &str) -> Handled {
+        let start = Instant::now();
+        let request = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                return self.finish(
+                    Json::Null,
+                    "invalid",
+                    start,
+                    Err(format!("bad JSON: {e}")),
+                    None,
+                )
+            }
+        };
+        let id = request.get("id").cloned().unwrap_or(Json::Null);
+        let method = request
+            .get("method")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string();
+        match method.as_str() {
+            "compile" => self.handle_compile(id, &request, start),
+            "stats" => {
+                let doc = self
+                    .metrics
+                    .stats_json(self.cache_len(), self.cache.lock().unwrap().cap);
+                let stats = json::parse(&doc).expect("stats_json emits valid JSON");
+                self.finish(id, "stats", start, Ok(stats), None)
+            }
+            "health" => {
+                let health = obj(vec![
+                    ("status", Json::String("ok".to_string())),
+                    ("uptime_ns", num(self.started.elapsed().as_nanos() as u64)),
+                    ("requests", num(self.metrics.requests())),
+                    ("errors", num(self.metrics.errors())),
+                    ("pool_workers", num(pluto_pool::spawn_count() as u64)),
+                    ("cache_entries", num(self.cache_len() as u64)),
+                ]);
+                self.finish(id, "health", start, Ok(health), None)
+            }
+            "" => self.finish(
+                id,
+                "invalid",
+                start,
+                Err("missing `method`".to_string()),
+                None,
+            ),
+            other => self.finish(
+                id,
+                other,
+                start,
+                Err(format!(
+                    "unknown method `{other}` (expected compile|stats|health)"
+                )),
+                None,
+            ),
+        }
+    }
+
+    fn handle_compile(&self, id: Json, request: &Json, start: Instant) -> Handled {
+        let Some(source) = request.get("source").and_then(Json::as_str) else {
+            self.metrics.record_error();
+            return self.finish(
+                id,
+                "compile",
+                start,
+                Err("compile expects a string `source`".to_string()),
+                None,
+            );
+        };
+        let options = match CompileOptions::from_json(request.get("options")) {
+            Ok(o) => o,
+            Err(e) => {
+                self.metrics.record_error();
+                return self.finish(id, "compile", start, Err(e), None);
+            }
+        };
+        // Like plutoc's file-stem kernel label: requests may name the
+        // kernel for logs/profiles; unnamed ones use the program's name.
+        let label = request
+            .get("kernel")
+            .and_then(Json::as_str)
+            .map(str::to_string);
+
+        // This request's private observability context: every counter,
+        // span, and histogram sample between here and `finish_profile`
+        // belongs to this request alone.
+        let obs = ObsSession::builder().profile().decisions().build();
+        let guard = obs.install();
+        let served = self.serve(&obs, source, &options);
+        drop(guard);
+        let profile = obs.finish_profile();
+
+        match served {
+            Ok(compiled) => {
+                // The aggregation invariant lives here: the service
+                // absorbs exactly the profile the client is handed.
+                self.metrics.record(&Snapshot::of(&profile));
+                if compiled.cache_hit {
+                    self.metrics.record_cache_hit();
+                } else {
+                    self.metrics.record_cache_miss();
+                }
+                let detail = CompileDetail {
+                    kernel: label.unwrap_or_else(|| compiled.entry.kernel.clone()),
+                    source_fnv: fnv1a(source.as_bytes()),
+                    cache_hit: compiled.cache_hit,
+                    profile,
+                    entry: compiled.entry,
+                };
+                self.finish(id, "compile", start, Ok(detail.result_json()), Some(detail))
+            }
+            Err(e) => {
+                self.metrics.record_error();
+                self.finish(id, "compile", start, Err(e), None)
+            }
+        }
+    }
+
+    /// The compile itself, under the caller's installed session: probe
+    /// the source memo, else parse + analyze and probe the content
+    /// address, else search + generate and populate both levels.
+    fn serve(
+        &self,
+        obs: &ObsSession,
+        source: &str,
+        options: &CompileOptions,
+    ) -> Result<Compiled, String> {
+        let fp = options.fingerprint();
+        let source_key = (source.to_string(), fp.clone());
+        {
+            let mut cache = self.cache.lock().expect("schedule cache poisoned");
+            if let Some(entry) = cache.lookup_source(&source_key) {
+                return Ok(Compiled {
+                    entry,
+                    cache_hit: true,
+                });
+            }
+        }
+        // parse_unit and generate open their own "parse"/"codegen"
+        // spans; only dependence analysis needs a span here (its usual
+        // "optimize/deps" parent is bypassed so the content probe can
+        // run between analysis and search).
+        let unit = parse_unit(source).map_err(|e| e.to_string())?;
+        let prog = unit.program;
+        let deps = {
+            let _s = pluto_obs::span("deps");
+            analyze_dependences_with(&prog, &options.dep_options())
+        };
+        let content = ContentKey::of(&prog, &deps, &fp);
+        {
+            let mut cache = self.cache.lock().expect("schedule cache poisoned");
+            if let Some(entry) = cache.lookup_content(&content) {
+                cache.memoize_source(source_key, &content);
+                return Ok(Compiled {
+                    entry,
+                    cache_hit: true,
+                });
+            }
+        }
+        let optimized = options
+            .optimizer()
+            .optimize_with_deps(&prog, deps)
+            .map_err(|e| format!("transformation failed: {e}"))?;
+        let decisions = obs.take_decisions();
+        let code = {
+            let ast = generate(&prog, &optimized.result.transform);
+            emit_c(&prog, &ast)
+        };
+        let explain = explain_json(
+            &prog,
+            &optimized.deps,
+            &optimized.result,
+            &decisions,
+            Some(&prog.name),
+        );
+        let explain = json::parse(&explain)
+            .expect("explain_json emits valid JSON")
+            .to_compact();
+        let entry = Arc::new(Entry {
+            kernel: prog.name.clone(),
+            code,
+            explain,
+        });
+        let evicted = self.cache.lock().expect("schedule cache poisoned").insert(
+            source_key,
+            content,
+            entry.clone(),
+        );
+        if evicted > 0 {
+            self.metrics.record_cache_evictions(evicted);
+        }
+        Ok(Compiled {
+            entry,
+            cache_hit: false,
+        })
+    }
+
+    /// Shapes the outcome into the response + log pair. One exit point
+    /// so that *every* request — including malformed ones — produces
+    /// exactly one `pluto-rpc/1` line and one `pluto-log/1` line.
+    fn finish(
+        &self,
+        id: Json,
+        method: &str,
+        start: Instant,
+        outcome: Result<Json, String>,
+        detail: Option<CompileDetail>,
+    ) -> Handled {
+        let wall_ns = start.elapsed().as_nanos() as u64;
+        let ok = outcome.is_ok();
+        let response = match &outcome {
+            Ok(result) => obj(vec![
+                ("schema", Json::String("pluto-rpc/1".to_string())),
+                ("id", id.clone()),
+                ("ok", Json::Bool(true)),
+                ("result", result.clone()),
+            ]),
+            Err(e) => obj(vec![
+                ("schema", Json::String("pluto-rpc/1".to_string())),
+                ("id", id.clone()),
+                ("ok", Json::Bool(false)),
+                ("error", Json::String(e.clone())),
+            ]),
+        };
+
+        let mut log_fields = vec![
+            ("schema", Json::String("pluto-log/1".to_string())),
+            ("id", id),
+            ("method", Json::String(method.to_string())),
+            (
+                "status",
+                Json::String(if ok { "ok" } else { "error" }.to_string()),
+            ),
+            ("wall_ns", num(wall_ns)),
+        ];
+        if let Some(d) = &detail {
+            log_fields.push(("kernel", Json::String(d.kernel.clone())));
+            log_fields.push(("kernel_fnv", Json::String(format!("{:016x}", d.source_fnv))));
+            log_fields.push((
+                "cache",
+                Json::String(if d.cache_hit { "hit" } else { "miss" }.to_string()),
+            ));
+            log_fields.push((
+                "phases",
+                Json::Array(
+                    d.profile
+                        .phases
+                        .iter()
+                        .map(|p| {
+                            obj(vec![
+                                ("path", Json::String(p.path.clone())),
+                                ("wall_ns", num(p.wall_ns as u64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+            // The request's heaviest counters, largest first — enough to
+            // see at a glance where a slow compile spent its work.
+            let mut top: Vec<_> = d.profile.counters.iter().filter(|c| c.value > 0).collect();
+            top.sort_by(|a, b| b.value.cmp(&a.value).then(a.name.cmp(b.name)));
+            log_fields.push((
+                "counters",
+                Json::Array(
+                    top.iter()
+                        .take(5)
+                        .map(|c| {
+                            obj(vec![
+                                ("name", Json::String(c.name.to_string())),
+                                ("value", num(c.value)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        if let Err(e) = &outcome {
+            log_fields.push(("error", Json::String(e.clone())));
+        }
+
+        Handled {
+            response: response.to_compact(),
+            log: obj(log_fields).to_compact(),
+        }
+    }
+}
+
+/// The compile-specific facts [`Daemon::finish`] folds into the result
+/// and log documents.
+struct CompileDetail {
+    kernel: String,
+    source_fnv: u64,
+    cache_hit: bool,
+    profile: Profile,
+    entry: Arc<Entry>,
+}
+
+impl CompileDetail {
+    fn result_json(&self) -> Json {
+        let profile = json::parse(&self.profile.to_json(Some(&self.kernel)))
+            .expect("Profile::to_json emits valid JSON");
+        let explain = json::parse(&self.entry.explain).expect("cached explain is valid JSON");
+        obj(vec![
+            ("kernel", Json::String(self.kernel.clone())),
+            (
+                "kernel_fnv",
+                Json::String(format!("{:016x}", self.source_fnv)),
+            ),
+            (
+                "cache",
+                Json::String(if self.cache_hit { "hit" } else { "miss" }.to_string()),
+            ),
+            ("code", Json::String(self.entry.code.clone())),
+            ("profile", profile),
+            ("explain", explain),
+        ])
+    }
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn num(n: u64) -> Json {
+    Json::Number(n as f64)
+}

@@ -18,7 +18,11 @@
 //! * [`poly`], [`ilp`] and [`linalg`] are the exact-arithmetic substrates
 //!   standing in for PolyLib and PIP;
 //! * [`obs`] observes it all — phase spans and solver counters surfaced
-//!   as compile profiles (`plutoc --profile`, PERFORMANCE.md).
+//!   as compile profiles (`plutoc --profile`, PERFORMANCE.md);
+//! * [`daemon`] serves it all — the long-running `plutod` compile
+//!   service: `pluto-rpc/1` over stdio or a Unix socket, a
+//!   content-addressed schedule cache, and service-level aggregation of
+//!   every request's profile (`pluto-stats/1`, DESIGN.md §12).
 //!
 //! DESIGN.md (repo root) is the full inventory: §1 maps every paper
 //! component to its crate, §6 holds the algorithmic notes, §9 the
@@ -50,6 +54,7 @@
 //! # Ok::<(), pluto::PlutoError>(())
 //! ```
 
+pub mod daemon;
 pub mod pipeline;
 
 pub use pluto;

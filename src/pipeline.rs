@@ -56,6 +56,16 @@ impl Compiled {
     pub fn is_clean(&self) -> bool {
         pluto_analyze::is_clean(&self.diagnostics)
     }
+
+    /// This compile's mergeable summary
+    /// ([`aggregate::Snapshot`](pluto_obs::aggregate::Snapshot)) — what
+    /// a long-running service folds into its
+    /// [`ServiceMetrics`](pluto_obs::aggregate::ServiceMetrics) after
+    /// each request (the `plutod` daemon does exactly this with every
+    /// served profile).
+    pub fn snapshot(&self) -> pluto_obs::aggregate::Snapshot {
+        pluto_obs::aggregate::Snapshot::of(&self.profile)
+    }
 }
 
 /// Runs the full pipeline on `prog` with the given optimizer
